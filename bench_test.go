@@ -1,0 +1,318 @@
+// Benchmarks: one testing.B anchor per experiment E1–E12 (each runs the
+// harness driver in quick mode), plus micro-benchmarks for the hot paths
+// (scheduler steps under each policy, condition checkers, the NP solvers,
+// and the baselines). Regenerate the full tables with cmd/txgc-bench.
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/locking"
+	"repro/internal/model"
+	"repro/internal/predeclared"
+	"repro/internal/reduction"
+	"repro/internal/sat"
+	"repro/internal/setcover"
+	"repro/internal/workload"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	exp, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables := exp.Run(bench.RunConfig{Seed: int64(i + 1), Quick: true})
+		if len(tables) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+func BenchmarkE1Example1(b *testing.B)       { benchExperiment(b, "E1") }
+func BenchmarkE2C1(b *testing.B)             { benchExperiment(b, "E2") }
+func BenchmarkE3Bound(b *testing.B)          { benchExperiment(b, "E3") }
+func BenchmarkE4SetCover(b *testing.B)       { benchExperiment(b, "E4") }
+func BenchmarkE5ThreeSAT(b *testing.B)       { benchExperiment(b, "E5") }
+func BenchmarkE6Predeclared(b *testing.B)    { benchExperiment(b, "E6") }
+func BenchmarkE7Policies(b *testing.B)       { benchExperiment(b, "E7") }
+func BenchmarkE8Ablation(b *testing.B)       { benchExperiment(b, "E8") }
+func BenchmarkE9C3Cost(b *testing.B)         { benchExperiment(b, "E9") }
+func BenchmarkE10Noncurrent(b *testing.B)    { benchExperiment(b, "E10") }
+func BenchmarkE11CommitGC(b *testing.B)      { benchExperiment(b, "E11") }
+func BenchmarkE12Certification(b *testing.B) { benchExperiment(b, "E12") }
+
+// --- micro: scheduler step throughput per policy ------------------------
+
+func benchPolicy(b *testing.B, policy core.Policy) {
+	cfg := workload.Config{
+		Entities: 64, Txns: 200, MaxActive: 8,
+		ReadsMin: 1, ReadsMax: 4, WritesMin: 1, WritesMax: 2, Seed: 7,
+	}
+	// Materialize once so each iteration replays the same stream.
+	var steps []model.Step
+	gen := workload.New(cfg)
+	for {
+		st, ok := gen.Next()
+		if !ok {
+			break
+		}
+		steps = append(steps, st)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		s := core.NewScheduler(core.Config{Policy: policy})
+		dead := map[model.TxnID]bool{}
+		for _, st := range steps {
+			if dead[st.Txn] {
+				continue
+			}
+			res, err := s.Apply(st)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Accepted {
+				dead[st.Txn] = true
+			}
+			total++
+		}
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "steps/op")
+}
+
+func BenchmarkStepNoGC(b *testing.B)           { benchPolicy(b, core.NoGC{}) }
+func BenchmarkStepLemma1(b *testing.B)         { benchPolicy(b, core.Lemma1Policy{}) }
+func BenchmarkStepGreedyC1(b *testing.B)       { benchPolicy(b, core.GreedyC1{}) }
+func BenchmarkStepNoncurrentSafe(b *testing.B) { benchPolicy(b, core.NoncurrentSafe{}) }
+func BenchmarkStepMaxSafe(b *testing.B)        { benchPolicy(b, core.MaxSafeExact{Budget: 20000}) }
+
+// --- micro: condition checkers ------------------------------------------
+
+func builtScheduler(n int) *core.Scheduler {
+	s := core.NewScheduler(core.Config{})
+	gen := workload.New(workload.Config{
+		Entities: 16, Txns: n, MaxActive: 6,
+		ReadsMin: 1, ReadsMax: 3, WritesMin: 1, WritesMax: 2, Seed: 13,
+	})
+	for {
+		st, ok := gen.Next()
+		if !ok {
+			return s
+		}
+		res, err := s.Apply(st)
+		if err == nil && !res.Accepted {
+			gen.NotifyAbort(st.Txn)
+		}
+	}
+}
+
+func BenchmarkCheckC1(b *testing.B) {
+	s := builtScheduler(150)
+	ids := s.CompletedTxns()
+	if len(ids) == 0 {
+		b.Skip("no completed transactions")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.CheckC1(ids[i%len(ids)])
+	}
+}
+
+func BenchmarkCheckC2Pair(b *testing.B) {
+	s := builtScheduler(150)
+	ids := s.CompletedTxns()
+	if len(ids) < 2 {
+		b.Skip("need two completed transactions")
+	}
+	set := map[model.TxnID]struct{}{ids[0]: {}, ids[1]: {}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.CheckC2(set)
+	}
+}
+
+func BenchmarkMaxSafeSet(b *testing.B) {
+	s := builtScheduler(150)
+	completed := s.CompletedTxns()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.MaxSafeSet(s, s.Graph(), completed, 0)
+	}
+}
+
+func BenchmarkNecessityContinuation(b *testing.B) {
+	s := core.Example1Scheduler(core.Config{})
+	if err := s.ForceDelete(core.Ex1T3); err != nil {
+		b.Fatal(err)
+	}
+	_, viol := s.CheckC1(core.Ex1T2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NecessityContinuation(s, core.Ex1T2, viol, model.TxnID(1000+i), 77); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro: C3, C4, locking, solvers -------------------------------------
+
+func BenchmarkCheckC3Gadget(b *testing.B) {
+	f := &sat.Formula{NumVars: 3, Clauses: []sat.Clause{{1, -2, 3}, {-1, 2, -3}}}
+	gad, err := reduction.BuildThreeSAT(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := gad.Sched.CheckC3(gad.C); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckC4(b *testing.B) {
+	s := predeclared.Example2Scheduler(predeclared.Config{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.CheckC4(predeclared.Ex2C)
+	}
+}
+
+func BenchmarkLocking2PL(b *testing.B) {
+	var steps []model.Step
+	gen := workload.New(workload.Config{
+		Entities: 64, Txns: 200, MaxActive: 8,
+		ReadsMin: 1, ReadsMax: 4, WritesMin: 1, WritesMax: 2, Seed: 7,
+	})
+	for {
+		st, ok := gen.Next()
+		if !ok {
+			break
+		}
+		steps = append(steps, st)
+	}
+	byTxn := map[model.TxnID][]model.Step{}
+	var order []model.TxnID
+	for _, st := range steps {
+		if _, ok := byTxn[st.Txn]; !ok {
+			order = append(order, st.Txn)
+		}
+		byTxn[st.Txn] = append(byTxn[st.Txn], st)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := locking.NewScheduler()
+		queues := map[model.TxnID][]model.Step{}
+		for id, q := range byTxn {
+			queues[id] = q
+		}
+		dead := map[model.TxnID]bool{}
+		for {
+			progress := false
+			for _, id := range order {
+				q := queues[id]
+				if len(q) == 0 || dead[id] || s.IsBlocked(id) {
+					continue
+				}
+				res, err := s.Apply(q[0])
+				if err != nil {
+					dead[id] = true
+					continue
+				}
+				queues[id] = q[1:]
+				progress = true
+				if res.Outcome == locking.Aborted {
+					dead[id] = true
+				}
+			}
+			if !progress {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkDPLL(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	var formulas []*sat.Formula
+	for i := 0; i < 16; i++ {
+		formulas = append(formulas, sat.Random3CNF(rng, 12, 50))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sat.Solve(formulas[i%len(formulas)])
+	}
+}
+
+func BenchmarkSetCoverExact(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	var instances []*setcover.Instance
+	for i := 0; i < 16; i++ {
+		instances = append(instances, setcover.Random(rng, 12, 10))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		setcover.MinCover(instances[i%len(instances)])
+	}
+}
+
+func BenchmarkPredeclaredSteps(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := predeclared.NewScheduler(predeclared.Config{GC: true})
+		for id := model.TxnID(1); id <= 50; id++ {
+			x := model.Entity(id % 16)
+			if _, err := s.Begin(id, predeclared.Decl{Reads: []model.Entity{x}, Writes: []model.Entity{(x + 1) % 16}}); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Read(id, x); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Write(id, (x+1)%16); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkReductionBuild3SAT(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	f := sat.Random3CNF(rng, 3, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reduction.BuildThreeSAT(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Guard: the per-experiment benchmarks must cover every registered
+// experiment (keeps this file honest when experiments are added).
+func TestBenchmarksCoverAllExperiments(t *testing.T) {
+	if len(bench.All()) != 12 {
+		t.Fatalf("experiment registry changed (%d entries); update bench_test.go", len(bench.All()))
+	}
+	for _, e := range bench.All() {
+		if _, ok := bench.ByID(e.ID); !ok {
+			t.Fatalf("experiment %s not resolvable", e.ID)
+		}
+	}
+	_ = fmt.Sprint() // keep fmt imported for future debugging rows
+}

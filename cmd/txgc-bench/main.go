@@ -1,0 +1,67 @@
+// Command txgc-bench regenerates the experiment tables of EXPERIMENTS.md
+// (E1–E12), each corresponding to a figure, example, theorem, or
+// complexity claim of "Deleting Completed Transactions".
+//
+// Usage:
+//
+//	txgc-bench                 # run every experiment
+//	txgc-bench -exp E4,E5      # run selected experiments
+//	txgc-bench -quick          # shrunken sweeps
+//	txgc-bench -seed 7 -csv    # change the seed; emit CSV instead of text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		seed    = flag.Int64("seed", 1, "random seed for all experiments")
+		quick   = flag.Bool("quick", false, "shrink sweeps for a fast run")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Name)
+		}
+		return
+	}
+
+	var selected []bench.Experiment
+	if *expFlag == "" {
+		selected = bench.All()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := bench.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "txgc-bench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	cfg := bench.RunConfig{Seed: *seed, Quick: *quick, Out: os.Stderr}
+	for _, e := range selected {
+		fmt.Fprintf(os.Stderr, "running %s: %s...\n", e.ID, e.Name)
+		for _, tb := range e.Run(cfg) {
+			if *csv {
+				fmt.Printf("# %s: %s\n", tb.ID, tb.Title)
+				tb.CSV(os.Stdout)
+				fmt.Println()
+			} else {
+				tb.Render(os.Stdout)
+			}
+		}
+	}
+}

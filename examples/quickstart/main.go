@@ -1,0 +1,65 @@
+// Quickstart: the paper's Example 1 through the public API.
+//
+// A long-running reader T1 holds entity x open while T2 and T3 serially
+// read-modify-write x. Both completed transactions satisfy condition C1,
+// but only one of them may be deleted — deleting one removes the other's
+// witness. The GreedyC1 policy handles this automatically.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/txdel"
+)
+
+func main() {
+	fmt.Println("== without deletion (the graph only grows) ==")
+	run(txdel.NoGC{})
+	fmt.Println()
+	fmt.Println("== with GreedyC1 (Theorem 1 + Theorem 3) ==")
+	run(txdel.GreedyC1{})
+}
+
+func run(policy txdel.Policy) {
+	s := txdel.NewScheduler(txdel.Config{Policy: policy})
+
+	const x = txdel.Entity(0)
+	step := func(st txdel.Step) {
+		res := s.MustApply(st)
+		status := "accepted"
+		if !res.Accepted {
+			status = "REJECTED (txn aborted)"
+		}
+		extra := ""
+		if len(res.Deleted) > 0 {
+			extra = fmt.Sprintf("  -> policy deleted %v", res.Deleted)
+		}
+		fmt.Printf("  %-12s %-24s nodes=%d completed=%d%s\n",
+			st.String(), status, s.Graph().NumNodes(), s.NumCompleted(), extra)
+	}
+
+	// T1: the long-running reader (still active at the end).
+	step(txdel.Begin(1))
+	step(txdel.Read(1, x))
+	// T2 and T3: serial read-modify-writes of x.
+	for id := txdel.TxnID(2); id <= 3; id++ {
+		step(txdel.Begin(id))
+		step(txdel.Read(id, x))
+		step(txdel.WriteFinal(id, x))
+	}
+
+	// Inspect the deletion conditions directly.
+	for _, id := range s.CompletedTxns() {
+		ok, viol := txdel.CheckC1(s, id)
+		if ok {
+			fmt.Printf("  C1(T%d): deletable\n", id)
+		} else {
+			fmt.Printf("  C1(T%d): kept — %v\n", id, viol)
+		}
+	}
+	if ok, _ := txdel.CheckC2(s, txdel.NodeSet{2: {}, 3: {}}); !ok && s.NumCompleted() == 2 {
+		fmt.Println("  C2({T2,T3}): cannot delete both simultaneously (the paper's Example 1)")
+	}
+}

@@ -1,0 +1,438 @@
+// Experiments E1–E6: the paper's examples, theorems, and reductions.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/oracle"
+	"repro/internal/predeclared"
+	"repro/internal/reduction"
+	"repro/internal/sat"
+	"repro/internal/setcover"
+	"repro/internal/workload"
+)
+
+// E1Example1 replays Example 1 (Fig. 1) and reports the C1 verdicts, the
+// both-deletable-but-not-together phenomenon, and the effect of each
+// deletion order.
+func E1Example1(cfg RunConfig) []*Table {
+	shape := &Table{
+		ID:      "E1",
+		Title:   "Example 1 (Fig. 1) — conflict graph and C1 verdicts",
+		Note:    "T1 active reads x; T2, T3 serially read+write x and complete.",
+		Columns: []string{"txn", "status", "access(x)", "C1 holds", "witness/violation"},
+	}
+	s := core.Example1Scheduler(core.Config{})
+	for _, id := range []model.TxnID{core.Ex1T1, core.Ex1T2, core.Ex1T3} {
+		ok, viol := s.CheckC1(id)
+		detail := "—"
+		if ok {
+			detail = "deletable"
+		} else if viol != nil && viol.Tj != model.NoTxn {
+			detail = viol.Error()
+		} else {
+			detail = "not completed"
+		}
+		shape.AddRow(fmt.Sprintf("T%d", id), s.Status(id).String(),
+			s.Access(id).Get(core.Ex1X).String(), ok, detail)
+	}
+
+	orders := &Table{
+		ID:      "E1",
+		Title:   "Example 1 — deleting one disables the other",
+		Columns: []string{"delete first", "then deletable?", "C2({T2,T3})", "max safe set size"},
+	}
+	for _, first := range []model.TxnID{core.Ex1T2, core.Ex1T3} {
+		s := core.Example1Scheduler(core.Config{})
+		other := core.Ex1T2
+		if first == core.Ex1T2 {
+			other = core.Ex1T3
+		}
+		pairOK, _ := s.CheckC2(map[model.TxnID]struct{}{core.Ex1T2: {}, core.Ex1T3: {}})
+		maxSet := core.MaxSafeSet(s, s.Graph(), s.CompletedTxns(), 0)
+		if !s.DeleteIfSafe(first) {
+			orders.AddRow(fmt.Sprintf("T%d", first), "DELETE FAILED", pairOK, len(maxSet))
+			continue
+		}
+		okOther, _ := s.CheckC1(other)
+		orders.AddRow(fmt.Sprintf("T%d", first), okOther, pairOK, len(maxSet))
+	}
+	return []*Table{shape, orders}
+}
+
+// E2Theorem1 validates C1 in both directions: sufficiency via lockstep
+// oracle runs under GreedyC1 across workload shapes, and necessity by
+// force-deleting C1 violators and replaying the adversarial continuation.
+func E2Theorem1(cfg RunConfig) []*Table {
+	seeds := int64(10)
+	if cfg.Quick {
+		seeds = 3
+	}
+	suff := &Table{
+		ID:      "E2",
+		Title:   "C1 sufficiency — GreedyC1 vs full scheduler (lockstep)",
+		Note:    "Divergences must be 0 and every accepted subschedule CSR.",
+		Columns: []string{"workload", "seeds", "steps", "deleted", "divergences", "CSR violations"},
+	}
+	shapes := []struct {
+		name string
+		mk   func(seed int64) workload.Config
+	}{
+		{"uniform", func(seed int64) workload.Config {
+			return workload.Config{Entities: 12, Txns: 120, MaxActive: 5, ReadsMin: 1, ReadsMax: 3, WritesMin: 1, WritesMax: 2, Seed: seed}
+		}},
+		{"hotspot", func(seed int64) workload.Config {
+			return workload.Config{Entities: 40, Txns: 120, MaxActive: 6, ReadsMin: 1, ReadsMax: 4, WritesMin: 1, WritesMax: 2, HotFrac: 0.1, Seed: seed}
+		}},
+		{"straggler", func(seed int64) workload.Config {
+			return workload.Config{Entities: 16, Txns: 120, MaxActive: 5, ReadsMin: 1, ReadsMax: 3, WritesMin: 1, WritesMax: 2, Straggler: 12, Seed: seed}
+		}},
+	}
+	for _, sh := range shapes {
+		var steps, deleted, div, csr int
+		for seed := int64(0); seed < seeds; seed++ {
+			r := oracle.New(core.GreedyC1{})
+			rep := r.RunGenerator(workload.New(sh.mk(seed*31+cfg.Seed)), 0)
+			steps += rep.Steps
+			deleted += int(rep.ReducedStats.Deleted)
+			if rep.Divergence != nil {
+				div++
+			}
+			if rep.CSRViolation != nil {
+				csr++
+			}
+		}
+		suff.AddRow(sh.name, seeds, steps, deleted, div, csr)
+	}
+
+	nec := &Table{
+		ID:      "E2",
+		Title:   "C1 necessity — adversarial continuations for C1 violators",
+		Note:    "Each force-deleted violator must yield a divergence (Theorem 1's construction).",
+		Columns: []string{"seed", "violator", "witness (Tj,x)", "diverged"},
+	}
+	tested := 0
+	for seed := int64(0); seed < 80 && tested < int(seeds); seed++ {
+		r := oracle.New(core.NoGC{})
+		gen := workload.New(workload.Config{
+			Entities: 5, Txns: 14, MaxActive: 4, ReadsMin: 1, ReadsMax: 3,
+			WritesMin: 1, WritesMax: 1, Seed: seed + cfg.Seed,
+		})
+		for i := 0; i < 30; i++ {
+			step, ok := gen.Next()
+			if !ok {
+				break
+			}
+			res, _, err := r.Apply(step)
+			if err != nil {
+				break
+			}
+			if !res.Accepted {
+				gen.NotifyAbort(step.Txn)
+			}
+		}
+		var victim model.TxnID = model.NoTxn
+		var viol *core.C1Violation
+		for _, id := range r.Reduced.CompletedTxns() {
+			if ok, v := r.Reduced.CheckC1(id); !ok && v != nil && v.Tj != model.NoTxn {
+				victim, viol = id, v
+				break
+			}
+		}
+		if victim == model.NoTxn {
+			continue
+		}
+		cont, err := core.NecessityContinuation(r.Reduced, victim, viol, 100000, 99999)
+		if err != nil {
+			continue
+		}
+		if r.Reduced.ForceDelete(victim) != nil {
+			continue
+		}
+		rep := r.RunSteps(cont)
+		nec.AddRow(seed, fmt.Sprintf("T%d", victim),
+			fmt.Sprintf("(T%d,%d)", viol.Tj, viol.X), rep.Divergence != nil)
+		tested++
+	}
+	return []*Table{suff, nec}
+}
+
+// E3Bound sweeps (actives a) × (entities e) and confirms the paper's
+// closing remark of Section 4: after greedy C1 reduction the graph is
+// irreducible, and an irreducible graph holds at most a·e completed
+// transactions.
+func E3Bound(cfg RunConfig) []*Table {
+	t := &Table{
+		ID:      "E3",
+		Title:   "Irreducible graph size vs the a·e bound",
+		Note:    "peak kept = max completed transactions retained under GreedyC1; bound = a·e.",
+		Columns: []string{"a (max active)", "e (entities)", "bound a*e", "peak kept", "peak/bound", "within bound"},
+	}
+	as := []int{1, 2, 4, 8}
+	es := []int{2, 8, 32}
+	txns := 400
+	if cfg.Quick {
+		as = []int{2, 4}
+		es = []int{4, 8}
+		txns = 80
+	}
+	for _, a := range as {
+		for _, e := range es {
+			s := core.NewScheduler(core.Config{Policy: core.GreedyC1{}})
+			gen := workload.New(workload.Config{
+				Entities: e, Txns: txns, MaxActive: a,
+				ReadsMin: 1, ReadsMax: 3, WritesMin: 1, WritesMax: 2,
+				Seed: cfg.Seed + int64(a*1000+e),
+			})
+			peak := 0
+			for {
+				step, ok := gen.Next()
+				if !ok {
+					break
+				}
+				res, err := s.Apply(step)
+				if err != nil {
+					break
+				}
+				if !res.Accepted {
+					gen.NotifyAbort(step.Txn)
+				}
+				// The bound applies to the post-sweep (irreducible) graph
+				// with the CURRENT active count.
+				kept := s.NumCompleted()
+				if kept > peak {
+					peak = kept
+				}
+			}
+			bound := a * e
+			t.AddRow(a, e, bound, peak, float64(peak)/float64(bound), peak <= bound)
+		}
+	}
+	return []*Table{t}
+}
+
+// E4SetCover realizes Theorem 5's reduction on random instances and
+// checks max-deletable = m − minCover, also comparing the greedy policy's
+// deletion count against the exact optimum.
+func E4SetCover(cfg RunConfig) []*Table {
+	t := &Table{
+		ID:      "E4",
+		Title:   "Theorem 5 — Set Cover reduction",
+		Note:    "max deletable must equal m − min cover; greedy is a lower bound.",
+		Columns: []string{"elements n", "sets m", "min cover", "predicted max", "exact max", "match", "greedy deletable", "solve ms"},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 4))
+	trials := 12
+	if cfg.Quick {
+		trials = 4
+	}
+	for i := 0; i < trials; i++ {
+		n := 3 + rng.Intn(5)
+		m := 3 + rng.Intn(5)
+		in := setcover.Random(rng, n, m)
+		gad, err := reduction.BuildSetCover(in)
+		if err != nil {
+			continue
+		}
+		mc := setcover.MinCover(in)
+		start := time.Now()
+		exact := gad.MaxDeletable(0)
+		ms := float64(time.Since(start).Microseconds()) / 1000.0
+		// Greedy: apply GreedyC1 sweeps on a fresh replay.
+		s := core.NewScheduler(core.Config{Policy: core.GreedyC1{}})
+		for _, st := range gad.Steps {
+			if _, err := s.Apply(st); err != nil {
+				break
+			}
+		}
+		greedyDeleted := int(s.Stats().Deleted)
+		t.AddRow(n, m, len(mc), m-len(mc), exact, exact == m-len(mc), greedyDeleted, fmt.Sprintf("%.2f", ms))
+	}
+	return []*Table{t}
+}
+
+// E5ThreeSAT realizes Theorem 6's reduction on random 3-CNF formulas and
+// checks "C deletable ⟺ unsatisfiable" against DPLL, round-tripping the
+// violating abort-set back into a satisfying assignment.
+func E5ThreeSAT(cfg RunConfig) []*Table {
+	t := &Table{
+		ID:      "E5",
+		Title:   "Theorem 6 — 3-SAT reduction (Fig. 3 gadget)",
+		Note:    "deletable must equal UNSAT; for SAT formulas the violating M decodes to a model.",
+		Columns: []string{"vars", "clauses", "satisfiable", "C deletable", "match", "assignment ok", "C3 ms"},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 5))
+	trials := 10
+	if cfg.Quick {
+		trials = 4
+	}
+	// Two deterministic anchors — a trivially satisfiable formula and the
+	// all-eight-sign-patterns unsatisfiable one — followed by random
+	// trials.
+	anchors := []*sat.Formula{
+		{NumVars: 3, Clauses: []sat.Clause{{1, 2, 3}}},
+		{NumVars: 3, Clauses: []sat.Clause{
+			{1, 2, 3}, {1, 2, -3}, {1, -2, 3}, {1, -2, -3},
+			{-1, 2, 3}, {-1, 2, -3}, {-1, -2, 3}, {-1, -2, -3},
+		}},
+	}
+	for i := 0; i < trials; i++ {
+		var f *sat.Formula
+		if i < len(anchors) {
+			f = anchors[i]
+		} else {
+			f = sat.Random3CNF(rng, 3, 2+rng.Intn(12))
+		}
+		_, satisfiable := sat.Solve(f)
+		gad, err := reduction.BuildThreeSAT(f)
+		if err != nil {
+			continue
+		}
+		start := time.Now()
+		deletable, viol, err := gad.CDeletable()
+		ms := float64(time.Since(start).Microseconds()) / 1000.0
+		if err != nil {
+			continue
+		}
+		assignOK := "n/a"
+		if !deletable && viol != nil {
+			if f.Satisfies(gad.AssignmentFromViolation(viol)) {
+				assignOK = "yes"
+			} else {
+				assignOK = "NO"
+			}
+		}
+		t.AddRow(f.NumVars, len(f.Clauses), satisfiable, deletable, deletable == !satisfiable, assignOK, fmt.Sprintf("%.2f", ms))
+	}
+	return []*Table{t}
+}
+
+// E6Predeclared replays Example 2 (Fig. 4) and then runs randomized
+// predeclared workloads under the greedy C4 policy, reporting retention.
+func E6Predeclared(cfg RunConfig) []*Table {
+	ex := &Table{
+		ID:      "E6",
+		Title:   "Example 2 (Fig. 4) — C4 verdicts",
+		Note:    "A active (remaining read of y); B, C completed.",
+		Columns: []string{"txn", "status", "C4 holds", "detail"},
+	}
+	s := predeclared.Example2Scheduler(predeclared.Config{})
+	for _, id := range []model.TxnID{predeclared.Ex2A, predeclared.Ex2B, predeclared.Ex2C} {
+		ok, viol := s.CheckC4(id)
+		detail := "deletable"
+		if !ok {
+			if viol != nil && viol.Tj != model.NoTxn {
+				detail = viol.Error()
+			} else {
+				detail = "not completed"
+			}
+		}
+		ex.AddRow(fmt.Sprintf("T%d", id), s.Status(id).String(), ok, detail)
+	}
+
+	gc := &Table{
+		ID:      "E6",
+		Title:   "Greedy C4 policy on random predeclared workloads",
+		Columns: []string{"seed", "txns", "completed", "deleted", "peak nodes", "blocked events"},
+	}
+	seeds := int64(6)
+	if cfg.Quick {
+		seeds = 2
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		sch, stats := runPredeclaredWorkload(cfg.Seed+seed, 40, 6, true)
+		gc.AddRow(seed, 40, stats.Completed, stats.Deleted, stats.PeakNodes, stats.BlockedEv)
+		_ = sch
+	}
+	return []*Table{ex, gc}
+}
+
+// runPredeclaredWorkload drives random predeclared transactions to
+// completion, returning the scheduler and stats.
+func runPredeclaredWorkload(seed int64, txns, entities int, gc bool) (*predeclared.Scheduler, predeclared.Stats) {
+	rng := rand.New(rand.NewSource(seed))
+	s := predeclared.NewScheduler(predeclared.Config{GC: gc})
+	type script struct {
+		id   model.TxnID
+		todo []model.Step
+	}
+	var scripts []*script
+	next := model.TxnID(1)
+	spawned := 0
+	spawn := func() {
+		d := predeclared.Decl{}
+		seen := map[model.Entity]bool{}
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			x := model.Entity(rng.Intn(entities))
+			if !seen[x] {
+				seen[x] = true
+				d.Reads = append(d.Reads, x)
+			}
+		}
+		seenW := map[model.Entity]bool{}
+		for i := 0; i < 1+rng.Intn(2); i++ {
+			x := model.Entity(rng.Intn(entities))
+			if !seenW[x] {
+				seenW[x] = true
+				d.Writes = append(d.Writes, x)
+			}
+		}
+		id := next
+		next++
+		spawned++
+		if _, err := s.Begin(id, d); err != nil {
+			panic(err)
+		}
+		sc := &script{id: id}
+		for _, x := range d.Reads {
+			sc.todo = append(sc.todo, model.Read(id, x))
+		}
+		for _, x := range d.Writes {
+			sc.todo = append(sc.todo, model.Write(id, x))
+		}
+		rng.Shuffle(len(sc.todo), func(i, j int) { sc.todo[i], sc.todo[j] = sc.todo[j], sc.todo[i] })
+		scripts = append(scripts, sc)
+	}
+	for i := 0; i < 4 && spawned < txns; i++ {
+		spawn()
+	}
+	for len(scripts) > 0 || spawned < txns {
+		if len(scripts) == 0 {
+			spawn()
+		}
+		progress := false
+		for i := 0; i < len(scripts); i++ {
+			sc := scripts[i]
+			if s.IsBlocked(sc.id) {
+				continue
+			}
+			if len(sc.todo) == 0 {
+				scripts = append(scripts[:i], scripts[i+1:]...)
+				i--
+				progress = true
+				continue
+			}
+			st := sc.todo[0]
+			a := model.ReadAccess
+			if st.Kind == model.KindWrite {
+				a = model.WriteAccess
+			}
+			if _, err := s.Do(sc.id, st.Entity, a); err != nil {
+				panic(err)
+			}
+			sc.todo = sc.todo[1:]
+			progress = true
+		}
+		if !progress {
+			panic("bench: predeclared workload stalled")
+		}
+		if spawned < txns && rng.Intn(3) == 0 {
+			spawn()
+		}
+	}
+	return s, s.Stats()
+}

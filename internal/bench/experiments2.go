@@ -1,0 +1,566 @@
+// Experiments E7–E12: policy engineering comparisons, ablations,
+// complexity curves, and negative controls.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/locking"
+	"repro/internal/model"
+	"repro/internal/oracle"
+	"repro/internal/reduction"
+	"repro/internal/sat"
+	"repro/internal/workload"
+)
+
+// txnScript is the materialized step list of one transaction.
+type txnScript struct {
+	id    model.TxnID
+	steps []model.Step
+}
+
+// materialize drains a generator (never aborting anything) into the
+// intended per-transaction scripts plus the global submission order, so
+// that every scheduler under comparison sees an identical input stream.
+func materialize(cfg workload.Config) []model.Step {
+	gen := workload.New(cfg)
+	var steps []model.Step
+	for {
+		st, ok := gen.Next()
+		if !ok {
+			return steps
+		}
+		steps = append(steps, st)
+	}
+}
+
+// runCore feeds the stream to a core scheduler (skipping steps of
+// aborted transactions) and reports stats plus wall time.
+func runCore(steps []model.Step, policy core.Policy) (core.Stats, time.Duration) {
+	s := core.NewScheduler(core.Config{Policy: policy})
+	dead := make(map[model.TxnID]bool)
+	start := time.Now()
+	for _, st := range steps {
+		if dead[st.Txn] {
+			continue
+		}
+		res, err := s.Apply(st)
+		if err != nil {
+			continue
+		}
+		if !res.Accepted {
+			dead[st.Txn] = true
+		}
+	}
+	return s.Stats(), time.Since(start)
+}
+
+// runLocking feeds the stream to the 2PL baseline with per-transaction
+// gating for blocked steps.
+func runLocking(steps []model.Step) (locking.Stats, int, time.Duration) {
+	s := locking.NewScheduler()
+	// Queue per transaction, preserving global order via round-robin
+	// over a pending index.
+	queues := make(map[model.TxnID][]model.Step)
+	var order []model.TxnID
+	for _, st := range steps {
+		if _, ok := queues[st.Txn]; !ok {
+			order = append(order, st.Txn)
+		}
+		queues[st.Txn] = append(queues[st.Txn], st)
+	}
+	dead := make(map[model.TxnID]bool)
+	start := time.Now()
+	peakLive := 0
+	for {
+		progress := false
+		for _, id := range order {
+			q := queues[id]
+			if len(q) == 0 || dead[id] || s.IsBlocked(id) {
+				continue
+			}
+			res, err := s.Apply(q[0])
+			if err != nil {
+				dead[id] = true
+				continue
+			}
+			queues[id] = q[1:]
+			progress = true
+			if res.Outcome == locking.Aborted {
+				dead[id] = true
+			}
+			if l := s.Live(); l > peakLive {
+				peakLive = l
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	return s.Stats(), peakLive, time.Since(start)
+}
+
+func e7Workloads(seed int64, quick bool) []struct {
+	name string
+	cfg  workload.Config
+} {
+	txns := 600
+	if quick {
+		txns = 100
+	}
+	return []struct {
+		name string
+		cfg  workload.Config
+	}{
+		{"uniform", workload.Config{Entities: 64, Txns: txns, MaxActive: 8, ReadsMin: 1, ReadsMax: 4, WritesMin: 1, WritesMax: 2, Seed: seed}},
+		{"hotspot", workload.Config{Entities: 128, Txns: txns, MaxActive: 8, ReadsMin: 1, ReadsMax: 4, WritesMin: 1, WritesMax: 2, HotFrac: 0.05, Seed: seed + 1}},
+		{"zipf", workload.Config{Entities: 128, Txns: txns, MaxActive: 8, ReadsMin: 1, ReadsMax: 4, WritesMin: 1, WritesMax: 2, ZipfS: 1.3, Seed: seed + 2}},
+		{"straggler", workload.Config{Entities: 64, Txns: txns, MaxActive: 8, ReadsMin: 1, ReadsMax: 4, WritesMin: 1, WritesMax: 2, Straggler: txns / 10, Seed: seed + 3}},
+	}
+}
+
+// E7Policies is the engineering table the introduction motivates: how
+// much conflict-graph state each policy retains, at what throughput,
+// against the locking baseline that retains (almost) nothing.
+func E7Policies(cfg RunConfig) []*Table {
+	t := &Table{
+		ID:      "E7",
+		Title:   "Deletion policies — retention and throughput",
+		Note:    "peak/avg kept = completed transactions retained in the graph; locking retains none.",
+		Columns: []string{"workload", "policy", "steps", "aborts", "peak kept", "avg kept", "deleted", "ms", "ksteps/s"},
+	}
+	policies := []core.Policy{
+		core.NoGC{},
+		core.Lemma1Policy{},
+		core.NoncurrentSafe{},
+		core.GreedyC1{},
+		core.MaxSafeExact{Budget: 30000},
+	}
+	for _, w := range e7Workloads(cfg.Seed+7, cfg.Quick) {
+		steps := materialize(w.cfg)
+		for _, p := range policies {
+			st, d := runCore(steps, p)
+			ms := float64(d.Microseconds()) / 1000.0
+			rate := 0.0
+			if d > 0 {
+				rate = float64(st.Accepted+st.Rejected) / d.Seconds() / 1000.0
+			}
+			t.AddRow(w.name, p.Name(), st.Accepted+st.Rejected, st.Aborts,
+				st.PeakKept, st.AvgKept(), st.Deleted,
+				fmt.Sprintf("%.1f", ms), fmt.Sprintf("%.0f", rate))
+		}
+		lst, peakLive, d := runLocking(steps)
+		ms := float64(d.Microseconds()) / 1000.0
+		rate := 0.0
+		if d > 0 {
+			rate = float64(lst.Reads+lst.Writes+lst.Begins) / d.Seconds() / 1000.0
+		}
+		t.AddRow(w.name, "locking-2pl", lst.Reads+lst.Writes+lst.Begins, lst.Aborts,
+			0, 0.0, "n/a",
+			fmt.Sprintf("%.1f", ms), fmt.Sprintf("%.0f", rate))
+		_ = peakLive
+	}
+	return []*Table{t}
+}
+
+// --- E8: ablations ------------------------------------------------------
+
+// c1VariantPolicy deletes per a weakened/strengthened variant of C1.
+// Exactly one of the paper's ingredients is toggled per variant.
+type c1VariantPolicy struct {
+	name string
+	// loosePreds quantifies over ALL active predecessors (not only tight
+	// ones): stricter than C1, still safe, deletes less.
+	loosePreds bool
+	// looseSuccs accepts witnesses reachable through ACTIVE intermediates
+	// (non-tight successors): weaker than C1 — UNSAFE.
+	looseSuccs bool
+	// ignoreStrength accepts any witness access regardless of read/write
+	// strength: weaker than C1 — UNSAFE.
+	ignoreStrength bool
+}
+
+func (p c1VariantPolicy) Name() string { return p.name }
+
+func (p c1VariantPolicy) check(s *core.Scheduler, ti model.TxnID) bool {
+	if !s.Status(ti).Terminated() {
+		return false
+	}
+	g := s.Graph()
+	terminated := func(n model.TxnID) bool { return s.Status(n).Terminated() }
+	var preds []model.TxnID
+	if p.loosePreds {
+		for a := range g.Ancestors(ti) {
+			if s.Status(a) == model.StatusActive {
+				preds = append(preds, a)
+			}
+		}
+	} else {
+		preds = core.ActiveTightPredecessors(s, g, ti)
+	}
+	access := s.Access(ti)
+	for _, tj := range preds {
+		var succs graph.NodeSet
+		if p.looseSuccs {
+			succs = make(graph.NodeSet)
+			for d := range g.Descendants(tj) {
+				if terminated(d) {
+					succs.Add(d)
+				}
+			}
+		} else {
+			succs = core.CompletedTightSuccessors(s, g, tj)
+		}
+		strongest := make(map[model.Entity]model.Access)
+		for tk := range succs {
+			if tk == ti {
+				continue
+			}
+			for x, a := range s.Access(tk) {
+				if a > strongest[x] {
+					strongest[x] = a
+				}
+			}
+		}
+		for x, need := range access {
+			if p.ignoreStrength {
+				if strongest[x] == model.NoAccess {
+					return false
+				}
+			} else if !strongest[x].AtLeastAsStrong(need) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Sweep implements core.Policy.
+func (p c1VariantPolicy) Sweep(sw *core.Sweep) {
+	s := sw.Scheduler()
+	for {
+		progress := false
+		for _, id := range s.CompletedTxns() {
+			if p.check(s, id) && sw.Delete(id) {
+				progress = true
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// looseSuccTrapSteps is a deterministic schedule on which the non-tight-
+// witness variant performs an unsafe deletion: the only witness W for
+// Ti's read of x is reachable from the active tight predecessor Tj only
+// through the ACTIVE intermediate A (path Tj→C→A→W). The continuation
+// aborts A (Theorem 1's dance) and then has Tj write x: the full
+// scheduler rejects (cycle through Ti), the reduced one accepts.
+//
+//	T1=Tj (active): reads e5, e6.    T3=C: writes e6 and e8, completes.
+//	T4=A (active): reads e8, e7.     T2=W: reads x=e0, writes e7.
+//	T5=Ti: reads x=e0, writes e6.
+//
+// Graph: 1→3→4→2 and {1,3}→5. Real C1 for T5 fails on (T1, e0): the only
+// e0 witness W sits behind the active intermediate T4; the loose variant
+// accepts it and deletes T5.
+func looseSuccTrapSteps() (prefix, continuation []model.Step) {
+	prefix = []model.Step{
+		model.Begin(1), model.Read(1, 5), model.Read(1, 6),
+		model.Begin(3), model.WriteFinal(3, 6, 8),
+		model.Begin(4), model.Read(4, 8), model.Read(4, 7),
+		model.Begin(2), model.Read(2, 0), model.WriteFinal(2, 7),
+		model.Begin(5), model.Read(5, 0), model.WriteFinal(5, 6),
+	}
+	// Abort A (T4) with the y-dance on fresh entity 9, then the
+	// conflicting access: Tj writes x=e0.
+	continuation = []model.Step{
+		model.Read(4, 9),
+		model.Begin(100), model.WriteFinal(100, 9),
+		model.WriteFinal(4, 9), // cycle: T4 aborts in both schedulers
+		model.WriteFinal(1, 0),
+	}
+	return prefix, continuation
+}
+
+// strengthTrapSteps is the deterministic schedule on which the ignore-
+// strength variant performs an unsafe deletion: Ti WROTE x but its only
+// witness W merely READ x. The continuation has Tj read x: full rejects
+// (arc Ti→Tj closes the cycle), reduced accepts (no writers of x left).
+func strengthTrapSteps() (prefix, continuation []model.Step) {
+	prefix = []model.Step{
+		model.Begin(1), model.Read(1, 0), // Tj reads x
+		model.Begin(2), model.WriteFinal(2, 0), // Ti writes x (arc 1→2)
+		model.Begin(3), model.Read(3, 0), model.WriteFinal(3), // W reads x
+	}
+	continuation = []model.Step{model.Read(1, 0)}
+	return prefix, continuation
+}
+
+// E8Ablation toggles each ingredient of C1 and shows: tight predecessors
+// buy deletions (the loose variant is safe but weaker), while loosening
+// the witness side or dropping the strength requirement is UNSAFE — each
+// caught by a deterministic trap schedule (and occasionally by the
+// randomized oracle).
+func E8Ablation(cfg RunConfig) []*Table {
+	t := &Table{
+		ID:      "E8",
+		Title:   "C1 ablations — safety and deletion power",
+		Note:    "paper = greedy-c1. 'gadget caught' = deterministic trap schedule diverged.",
+		Columns: []string{"variant", "safe in theory", "seeds run", "divergences", "gadget caught", "total deleted (safe runs)"},
+	}
+	variants := []struct {
+		policy core.Policy
+		safe   bool
+		gadget func() (prefix, cont []model.Step)
+	}{
+		{core.GreedyC1{}, true, nil},
+		{c1VariantPolicy{name: "all-active-preds (stricter)", loosePreds: true}, true, nil},
+		{c1VariantPolicy{name: "non-tight-witnesses (UNSAFE)", looseSuccs: true}, false, looseSuccTrapSteps},
+		{c1VariantPolicy{name: "ignore-strength (UNSAFE)", ignoreStrength: true}, false, strengthTrapSteps},
+	}
+	seeds := int64(25)
+	if cfg.Quick {
+		seeds = 8
+	}
+	for _, v := range variants {
+		var div, deleted int
+		for seed := int64(0); seed < seeds; seed++ {
+			r := oracle.New(v.policy)
+			rep := r.RunGenerator(workload.New(workload.Config{
+				Entities: 4, Txns: 50, MaxActive: 5, ReadsMin: 1, ReadsMax: 3,
+				WritesMin: 0, WritesMax: 2, Seed: cfg.Seed + seed*13,
+			}), 0)
+			if rep.Divergence != nil || rep.CSRViolation != nil {
+				div++
+			} else {
+				deleted += int(rep.ReducedStats.Deleted)
+			}
+		}
+		gadget := "n/a"
+		if v.gadget != nil {
+			prefix, cont := v.gadget()
+			r := oracle.New(v.policy)
+			rep := r.RunSteps(append(append([]model.Step{}, prefix...), cont...))
+			if rep.Divergence != nil {
+				gadget = "yes"
+			} else {
+				gadget = "NO"
+			}
+		} else if v.safe {
+			// Safe variants must survive the traps too.
+			ok := true
+			for _, g := range []func() ([]model.Step, []model.Step){looseSuccTrapSteps, strengthTrapSteps} {
+				prefix, cont := g()
+				r := oracle.New(v.policy)
+				rep := r.RunSteps(append(append([]model.Step{}, prefix...), cont...))
+				if rep.Divergence != nil {
+					ok = false
+				}
+			}
+			if ok {
+				gadget = "survived"
+			} else {
+				gadget = "DIVERGED"
+			}
+		}
+		t.AddRow(v.policy.Name(), v.safe, seeds, div, gadget, deleted)
+	}
+	return []*Table{t}
+}
+
+// E9C3Cost measures the C3 checker's exponential growth in the number of
+// active transactions (Fig. 3 gadgets of growing size) against the
+// polynomial C1 on graphs of comparable size.
+func E9C3Cost(cfg RunConfig) []*Table {
+	t := &Table{
+		ID:      "E9",
+		Title:   "Checker cost — C3 is exponential in actives, C1 polynomial in graph size",
+		Columns: []string{"gadget vars", "actives a", "subsets 2^a", "C3 ms", "graph nodes", "C1 all-completed ms"},
+	}
+	maxVars := 5
+	if cfg.Quick {
+		maxVars = 3
+	}
+	for n := 1; n <= maxVars; n++ {
+		// Build an n-clause formula over max(3, n) variables; each clause
+		// uses three consecutive (distinct) variables with mixed signs.
+		f := &sat.Formula{NumVars: maxInt(3, n)}
+		for j := 0; j < n; j++ {
+			c := sat.Clause{
+				sat.Literal((j % f.NumVars) + 1),
+				sat.Literal(-(((j + 1) % f.NumVars) + 1)),
+				sat.Literal(((j + 2) % f.NumVars) + 1),
+			}
+			f.Clauses = append(f.Clauses, c)
+		}
+		gad, err := reduction.BuildThreeSAT(f)
+		if err != nil {
+			continue
+		}
+		actives := len(gad.Sched.Active())
+		start := time.Now()
+		_, _, err = gad.CDeletable()
+		c3ms := float64(time.Since(start).Microseconds()) / 1000.0
+		if err != nil {
+			continue
+		}
+		// C1 comparison: run CheckC1 on every completed transaction of a
+		// basic-model workload with a similar node count.
+		s := core.NewScheduler(core.Config{})
+		gen := workload.New(workload.Config{
+			Entities: 8, Txns: gad.Sched.Graph().NumNodes(), MaxActive: 6,
+			ReadsMin: 1, ReadsMax: 3, WritesMin: 1, WritesMax: 1, Seed: cfg.Seed,
+		})
+		for {
+			st, ok := gen.Next()
+			if !ok {
+				break
+			}
+			res, err := s.Apply(st)
+			if err == nil && !res.Accepted {
+				gen.NotifyAbort(st.Txn)
+			}
+		}
+		start = time.Now()
+		for _, id := range s.CompletedTxns() {
+			s.CheckC1(id)
+		}
+		c1ms := float64(time.Since(start).Microseconds()) / 1000.0
+		t.AddRow(f.NumVars, actives, 1<<uint(actives),
+			fmt.Sprintf("%.2f", c3ms), gad.Sched.Graph().NumNodes(), fmt.Sprintf("%.3f", c1ms))
+	}
+	return []*Table{t}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// E10Noncurrent evaluates Corollary 1's rule: standalone it is safe (the
+// current writer always survives), composed after C1 deletions it is the
+// Example 1 trap, and the presence-guarded variant restores safety.
+func E10Noncurrent(cfg RunConfig) []*Table {
+	t := &Table{
+		ID:      "E10",
+		Title:   "Corollary 1 — noncurrent deletions, compositions, and the Example 1 trap",
+		Columns: []string{"policy", "seeds", "divergences", "deleted", "peak kept (avg)"},
+	}
+	seeds := int64(15)
+	if cfg.Quick {
+		seeds = 5
+	}
+	policies := []core.Policy{
+		core.NoncurrentNaive{},
+		core.NoncurrentSafe{},
+		core.GreedyC1{},
+		core.Chain{core.GreedyC1{NewestFirst: true}, core.NoncurrentSafe{}},
+		core.Chain{core.GreedyC1{NewestFirst: true}, core.NoncurrentNaive{}},
+	}
+	for _, p := range policies {
+		var div, deleted, peakSum int
+		for seed := int64(0); seed < seeds; seed++ {
+			r := oracle.New(p)
+			rep := r.RunGenerator(workload.New(workload.Config{
+				Entities: 5, Txns: 60, MaxActive: 5, ReadsMin: 1, ReadsMax: 3,
+				WritesMin: 1, WritesMax: 2, Seed: cfg.Seed + seed*7,
+			}), 0)
+			if !rep.Ok() {
+				div++
+			} else {
+				deleted += int(rep.ReducedStats.Deleted)
+				peakSum += rep.ReducedStats.PeakKept
+			}
+		}
+		avgPeak := "n/a"
+		if seeds > int64(div) {
+			avgPeak = fmt.Sprintf("%.1f", float64(peakSum)/float64(seeds-int64(div)))
+		}
+		t.AddRow(p.Name(), seeds, div, deleted, avgPeak)
+	}
+
+	trap := &Table{
+		ID:      "E10",
+		Title:   "The Example 1 trap, end to end",
+		Columns: []string{"policy", "diverged on Example 1 + w1(x)"},
+	}
+	steps := append(core.Example1Steps(), model.WriteFinal(core.Ex1T1, core.Ex1X))
+	for _, p := range []core.Policy{
+		core.Chain{core.GreedyC1{NewestFirst: true}, core.NoncurrentNaive{}},
+		core.Chain{core.GreedyC1{NewestFirst: true}, core.NoncurrentSafe{}},
+	} {
+		r := oracle.New(p)
+		rep := r.RunSteps(steps)
+		trap.AddRow(p.Name(), rep.Divergence != nil)
+	}
+	return []*Table{t, trap}
+}
+
+// E11CommitGC shows Theorem 2's negative direction concretely: closing at
+// commit (the locking habit) diverges from the conflict scheduler, and
+// always in the dangerous direction (reduced accepts, full rejects).
+func E11CommitGC(cfg RunConfig) []*Table {
+	t := &Table{
+		ID:      "E11",
+		Title:   "Commit-time GC under the conflict scheduler (negative control)",
+		Columns: []string{"seed", "diverged", "at step", "direction ok (reduced accepts / full rejects)"},
+	}
+	seeds := int64(12)
+	if cfg.Quick {
+		seeds = 5
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		r := oracle.New(core.CommitGC{})
+		rep := r.RunGenerator(workload.New(workload.Config{
+			Entities: 3, Txns: 80, MaxActive: 5, ReadsMin: 1, ReadsMax: 3,
+			WritesMin: 1, WritesMax: 2, Seed: cfg.Seed + seed,
+		}), 0)
+		if rep.Divergence == nil {
+			t.AddRow(seed, false, "—", "—")
+			continue
+		}
+		t.AddRow(seed, true, rep.Divergence.StepIndex,
+			rep.Divergence.ReducedAccepted && !rep.Divergence.FullAccepted)
+	}
+	return []*Table{t}
+}
+
+// E12Certification compares the preventive scheduler with the optimistic
+// certification variant on identical streams (paper Section 2: "the
+// issues are very similar in the two cases").
+func E12Certification(cfg RunConfig) []*Table {
+	t := &Table{
+		ID:      "E12",
+		Title:   "Preventive vs certification conflict scheduling",
+		Note:    "certification always completes at least as many transactions (it only tests at the end).",
+		Columns: []string{"workload", "preventive completed", "preventive aborts", "certified completed", "certification aborts", "cert graph nodes"},
+	}
+	for _, w := range e7Workloads(cfg.Seed+12, cfg.Quick) {
+		steps := materialize(w.cfg)
+		pst, _ := runCore(steps, core.NoGC{})
+		c := core.NewCertifier()
+		dead := make(map[model.TxnID]bool)
+		for _, st := range steps {
+			if dead[st.Txn] {
+				continue
+			}
+			res, err := c.Apply(st)
+			if err != nil {
+				continue
+			}
+			if !res.Accepted {
+				dead[st.Txn] = true
+			}
+		}
+		cst := c.Stats()
+		t.AddRow(w.name, pst.Completed, pst.Aborts, cst.Completed, cst.Aborts, c.Graph().NumNodes())
+	}
+	return []*Table{t}
+}

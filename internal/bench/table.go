@@ -1,0 +1,143 @@
+// Package bench implements the experiment harness: one driver per
+// experiment E1–E12 of EXPERIMENTS.md, each regenerating a table (or
+// series) that corresponds to a figure, example, theorem, or complexity
+// claim of the paper.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one result table.
+type Table struct {
+	ID      string
+	Title   string
+	Note    string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case bool:
+			if v {
+				row[i] = "yes"
+			} else {
+				row[i] = "no"
+			}
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes an aligned plain-text table.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "%s\n", t.Note)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(widths) {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV writes the table as CSV (no escaping needed: cells are plain).
+func (t *Table) CSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.Columns, ","))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+// Experiment is a named driver.
+type Experiment struct {
+	ID   string
+	Name string
+	Run  func(cfg RunConfig) []*Table
+}
+
+// RunConfig scales experiments.
+type RunConfig struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Quick shrinks sweeps for fast runs (used by tests and -quick).
+	Quick bool
+	// Out receives progress logging (may be nil).
+	Out io.Writer
+}
+
+func (c RunConfig) logf(format string, args ...interface{}) {
+	if c.Out != nil {
+		fmt.Fprintf(c.Out, format+"\n", args...)
+	}
+}
+
+// All returns the registered experiments in order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "Example 1 / Fig. 1: the deletion trap", E1Example1},
+		{"E2", "Theorem 1: C1 sufficiency and necessity", E2Theorem1},
+		{"E3", "Section 4: irreducible graphs hold ≤ a·e completed transactions", E3Bound},
+		{"E4", "Theorem 5: max-deletable = m − min set cover", E4SetCover},
+		{"E5", "Theorem 6 / Fig. 3: C deletable iff formula unsatisfiable", E5ThreeSAT},
+		{"E6", "Example 2 / Fig. 4 and Theorem 7: condition C4", E6Predeclared},
+		{"E7", "Memory retention and throughput under deletion policies", E7Policies},
+		{"E8", "Ablations of C1's tightness and strength requirements", E8Ablation},
+		{"E9", "Checker cost: C1/C4 polynomial vs C3 exponential", E9C3Cost},
+		{"E10", "Corollary 1: noncurrent rule, safe and unsafe compositions", E10Noncurrent},
+		{"E11", "Theorem 2 negative control: commit-time GC caught", E11CommitGC},
+		{"E12", "Preventive vs certification conflict scheduling", E12Certification},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

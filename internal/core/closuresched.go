@@ -1,0 +1,256 @@
+// ClosureScheduler: the basic conflict-graph scheduler re-implemented on
+// the transitive-closure engine, realizing the paper's implementation
+// remark: "If the cycle-checking algorithm keeps track of the transitive
+// closure of the graph (to facilitate testing whether a new arc can be
+// inserted), then removing a transaction is equivalent to simply deleting
+// the corresponding node and incident edges from the transitive closure."
+//
+// The closure answers every cycle test in O(|tails|) membership lookups
+// (no DFS), and deletion from it is plain node removal — no
+// predecessor×successor splicing. Condition C1, however, is defined over
+// the reduced graph's ARC structure (tight paths through completed
+// intermediates), which the closure deliberately forgets; so the
+// scheduler also maintains the ordinary reduced graph as a shadow used
+// only by the deletion sweep. Tests verify step-for-step equivalence with
+// the DFS Scheduler under GreedyC1.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// ClosureScheduler is the closure-backed basic-model scheduler. It
+// supports the same step protocol as Scheduler and an optional greedy C1
+// deletion sweep.
+type ClosureScheduler struct {
+	// c serves the scheduler's cycle tests.
+	c *graph.Closure
+	// shadow is the reduced conflict graph (arcs + splices), consulted
+	// only by the C1 sweep.
+	shadow  *graph.Graph
+	txns    map[model.TxnID]*TxnState
+	readers map[model.Entity]graph.NodeSet
+	writers map[model.Entity]graph.NodeSet
+	gc      bool
+	stats   Stats
+}
+
+// NewClosureScheduler returns an empty closure-backed scheduler; gc
+// enables the greedy C1 sweep after completions and aborts.
+func NewClosureScheduler(gc bool) *ClosureScheduler {
+	return &ClosureScheduler{
+		c:       graph.NewClosure(),
+		shadow:  graph.New(),
+		txns:    make(map[model.TxnID]*TxnState),
+		readers: make(map[model.Entity]graph.NodeSet),
+		writers: make(map[model.Entity]graph.NodeSet),
+		gc:      gc,
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (s *ClosureScheduler) Stats() Stats { return s.stats }
+
+// Closure exposes the underlying closure graph (read-only).
+func (s *ClosureScheduler) Closure() *graph.Closure { return s.c }
+
+// Graph exposes the reduced-graph shadow (read-only).
+func (s *ClosureScheduler) Graph() *graph.Graph { return s.shadow }
+
+// Status mirrors Scheduler.Status.
+func (s *ClosureScheduler) Status(id model.TxnID) model.Status {
+	if t, ok := s.txns[id]; ok {
+		return t.Status
+	}
+	return model.StatusAborted
+}
+
+// Access mirrors Scheduler.Access.
+func (s *ClosureScheduler) Access(id model.TxnID) model.AccessSet {
+	if t, ok := s.txns[id]; ok {
+		return t.Access
+	}
+	return nil
+}
+
+// NumCompleted returns the retained completed-transaction count.
+func (s *ClosureScheduler) NumCompleted() int {
+	n := 0
+	for _, t := range s.txns {
+		if t.Status == model.StatusCompleted {
+			n++
+		}
+	}
+	return n
+}
+
+// Apply processes one basic-model step.
+func (s *ClosureScheduler) Apply(step model.Step) (Result, error) {
+	switch step.Kind {
+	case model.KindBegin:
+		if _, ok := s.txns[step.Txn]; ok {
+			return Result{}, fmt.Errorf("core: duplicate BEGIN for T%d", step.Txn)
+		}
+		s.c.AddNode(step.Txn)
+		s.shadow.AddNode(step.Txn)
+		s.txns[step.Txn] = &TxnState{ID: step.Txn, Status: model.StatusActive, Access: make(model.AccessSet)}
+		s.stats.Begins++
+		s.stats.Accepted++
+		return Result{Step: step, Accepted: true, Aborted: model.NoTxn, CompletedTxn: model.NoTxn}, nil
+	case model.KindRead:
+		t, err := s.activeTxn(step.Txn)
+		if err != nil {
+			return Result{}, err
+		}
+		tails := make(graph.NodeSet)
+		for w := range s.writers[step.Entity] {
+			if w != t.ID {
+				tails.Add(w)
+			}
+		}
+		// The closure decides acceptance in O(|tails|).
+		if s.c.WouldCycleInto(t.ID, tails) {
+			return s.reject(step, t), nil
+		}
+		for w := range tails {
+			s.c.AddArc(w, t.ID)
+			s.shadow.AddArc(w, t.ID)
+		}
+		s.note(t, step.Entity, model.ReadAccess)
+		s.stats.Reads++
+		s.stats.Accepted++
+		return Result{Step: step, Accepted: true, Aborted: model.NoTxn, CompletedTxn: model.NoTxn}, nil
+	case model.KindWriteFinal:
+		t, err := s.activeTxn(step.Txn)
+		if err != nil {
+			return Result{}, err
+		}
+		tails := make(graph.NodeSet)
+		for _, x := range step.Entities {
+			for r := range s.readers[x] {
+				if r != t.ID {
+					tails.Add(r)
+				}
+			}
+			for w := range s.writers[x] {
+				if w != t.ID {
+					tails.Add(w)
+				}
+			}
+		}
+		if s.c.WouldCycleInto(t.ID, tails) {
+			return s.reject(step, t), nil
+		}
+		for u := range tails {
+			s.c.AddArc(u, t.ID)
+			s.shadow.AddArc(u, t.ID)
+		}
+		for _, x := range step.Entities {
+			s.note(t, x, model.WriteAccess)
+		}
+		t.Status = model.StatusCompleted
+		s.stats.Writes++
+		s.stats.Accepted++
+		s.stats.Completed++
+		res := Result{Step: step, Accepted: true, Aborted: model.NoTxn, CompletedTxn: t.ID}
+		s.sweep(&res)
+		return res, nil
+	default:
+		return Result{}, fmt.Errorf("core: step kind %v not part of the basic model", step.Kind)
+	}
+}
+
+func (s *ClosureScheduler) activeTxn(id model.TxnID) (*TxnState, error) {
+	t, ok := s.txns[id]
+	if !ok {
+		return nil, fmt.Errorf("core: step for unknown transaction T%d", id)
+	}
+	if t.Status != model.StatusActive {
+		return nil, fmt.Errorf("core: step for %v transaction T%d", t.Status, id)
+	}
+	return t, nil
+}
+
+func (s *ClosureScheduler) note(t *TxnState, x model.Entity, a model.Access) {
+	t.Access.Note(x, a)
+	idx := s.readers
+	if a == model.WriteAccess {
+		idx = s.writers
+	}
+	set, ok := idx[x]
+	if !ok {
+		set = make(graph.NodeSet)
+		idx[x] = set
+	}
+	set.Add(t.ID)
+}
+
+func (s *ClosureScheduler) reject(step model.Step, t *TxnState) Result {
+	s.forget(t.ID)
+	s.c.DeleteNode(t.ID)      // aborts drop reachability through the node...
+	s.shadow.RemoveNode(t.ID) // ...in both structures
+	delete(s.txns, t.ID)
+	s.stats.Rejected++
+	s.stats.Aborts++
+	res := Result{Step: step, Accepted: false, Aborted: t.ID, CompletedTxn: model.NoTxn}
+	s.sweep(&res)
+	return res
+}
+
+func (s *ClosureScheduler) forget(id model.TxnID) {
+	t := s.txns[id]
+	if t == nil {
+		return
+	}
+	for x, a := range t.Access {
+		delete(s.readers[x], id)
+		if len(s.readers[x]) == 0 {
+			delete(s.readers, x)
+		}
+		if a == model.WriteAccess {
+			delete(s.writers[x], id)
+			if len(s.writers[x]) == 0 {
+				delete(s.writers, x)
+			}
+		}
+	}
+}
+
+// CheckC1 evaluates condition C1 on the reduced-graph shadow.
+func (s *ClosureScheduler) CheckC1(ti model.TxnID) bool {
+	ok, _ := CheckC1(s, s.shadow, ti)
+	return ok
+}
+
+// sweep greedily deletes C1-satisfying completed transactions (if gc).
+// Deletion is the paper's remark in action: the closure just drops the
+// node (reachability through it is already recorded); only the shadow
+// performs the splice.
+func (s *ClosureScheduler) sweep(res *Result) {
+	if !s.gc {
+		return
+	}
+	for {
+		progress := false
+		for id, t := range s.txns {
+			if t.Status != model.StatusCompleted {
+				continue
+			}
+			if s.CheckC1(id) {
+				s.forget(id)
+				s.c.DeleteNode(id)
+				s.shadow.Reduce(id)
+				delete(s.txns, id)
+				s.stats.Deleted++
+				res.Deleted = append(res.Deleted, id)
+				progress = true
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}

@@ -1,0 +1,47 @@
+// Canonical schedules from the paper, reused by tests, experiments, and
+// example programs.
+package core
+
+import "repro/internal/model"
+
+// Example 1 (Fig. 1) transaction IDs.
+const (
+	Ex1T1 model.TxnID = 1 // long-running reader, still active
+	Ex1T2 model.TxnID = 2 // first read-modify-write of x, completed
+	Ex1T3 model.TxnID = 3 // second read-modify-write of x, completed
+)
+
+// Ex1X is the contended entity of Example 1.
+const Ex1X model.Entity = 0
+
+// Example1Steps returns the schedule p of the paper's Example 1 (Fig. 1):
+// "Transaction T1 first reads (among other things) entity x. Subsequently,
+// before T1 terminates, in a serial order T2 and T3 read and write x and
+// complete." The conflict graph is T1→T2→T3 with chord T1→T3; both T2 and
+// T3 satisfy C1, but deleting either one disables the condition for the
+// other.
+func Example1Steps() []model.Step {
+	return []model.Step{
+		model.Begin(Ex1T1),
+		model.Read(Ex1T1, Ex1X),
+		model.Begin(Ex1T2),
+		model.Read(Ex1T2, Ex1X),
+		model.WriteFinal(Ex1T2, Ex1X),
+		model.Begin(Ex1T3),
+		model.Read(Ex1T3, Ex1X),
+		model.WriteFinal(Ex1T3, Ex1X),
+	}
+}
+
+// Example1Scheduler replays Example 1 on a fresh scheduler with the given
+// config and returns it. It panics if any step is rejected (none can be).
+func Example1Scheduler(cfg Config) *Scheduler {
+	s := NewScheduler(cfg)
+	for _, st := range Example1Steps() {
+		res := s.MustApply(st)
+		if !res.Accepted {
+			panic("core: Example 1 step rejected: " + st.String())
+		}
+	}
+	return s
+}

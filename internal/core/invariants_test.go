@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+// checkInvariants asserts the scheduler's structural invariants:
+//  1. the (reduced) graph is acyclic at all times;
+//  2. every graph node has a live transaction record and vice versa;
+//  3. the per-entity reader/writer indexes agree exactly with the live
+//     access sets (deletion = forgetting, abort = forgetting);
+//  4. reduced-graph property (3) of Section 4: whenever two present
+//     transactions performed conflicting accesses, an arc joins them.
+func checkInvariants(t *testing.T, s *Scheduler) {
+	t.Helper()
+	if !s.g.Acyclic() {
+		t.Fatal("invariant: graph must stay acyclic")
+	}
+	for _, id := range s.g.Nodes() {
+		if s.txns[id] == nil {
+			t.Fatalf("invariant: node T%d has no record", id)
+		}
+	}
+	for id := range s.txns {
+		if !s.g.HasNode(id) {
+			t.Fatalf("invariant: record T%d has no node", id)
+		}
+	}
+	// Index ⊆ access sets.
+	for x, set := range s.readers {
+		for id := range set {
+			tr := s.txns[id]
+			if tr == nil || tr.Access.Get(x) == model.NoAccess {
+				t.Fatalf("invariant: stale reader index entry (T%d, %d)", id, x)
+			}
+		}
+	}
+	for x, set := range s.writers {
+		for id := range set {
+			tr := s.txns[id]
+			if tr == nil || tr.Access.Get(x) != model.WriteAccess {
+				t.Fatalf("invariant: stale writer index entry (T%d, %d)", id, x)
+			}
+		}
+	}
+	// Access sets ⊆ index.
+	for id, tr := range s.txns {
+		for x, a := range tr.Access {
+			if a == model.WriteAccess {
+				if !s.writers[x].Has(id) {
+					t.Fatalf("invariant: writer (T%d, %d) missing from index", id, x)
+				}
+			} else if !s.readers[x].Has(id) {
+				t.Fatalf("invariant: reader (T%d, %d) missing from index", id, x)
+			}
+		}
+	}
+	// Conflicting present pairs are joined by an arc (in one direction).
+	ids := s.g.Nodes()
+	for i, a := range ids {
+		for _, b := range ids[i+1:] {
+			ta, tb := s.txns[a], s.txns[b]
+			conflict := false
+			for x, aa := range ta.Access {
+				if aa.Conflicts(tb.Access.Get(x)) {
+					conflict = true
+					break
+				}
+			}
+			if conflict && !s.g.HasArc(a, b) && !s.g.HasArc(b, a) {
+				t.Fatalf("invariant: conflicting pair T%d, T%d with no arc", a, b)
+			}
+		}
+	}
+}
+
+// TestSchedulerInvariantsProperty drives random step streams (with random
+// policies) and checks the invariants after every step.
+func TestSchedulerInvariantsProperty(t *testing.T) {
+	policies := []Policy{nil, NoGC{}, GreedyC1{}, NoncurrentSafe{}, Lemma1Policy{}, MaxSafeExact{Budget: 5000}}
+	f := func(seed int64) bool {
+		s := randomDriver{seed: seed}.run(t, policies[int(uint64(seed)%uint64(len(policies)))])
+		checkInvariants(t, s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomDriver replays a deterministic random basic-model workload,
+// checking invariants at every step.
+type randomDriver struct{ seed int64 }
+
+func (d randomDriver) run(t *testing.T, p Policy) *Scheduler {
+	t.Helper()
+	s := NewScheduler(Config{Policy: p})
+	// Reuse the randomScheduler plan logic but with invariant checks.
+	rng := newRand(d.seed)
+	type plan struct {
+		id    model.TxnID
+		reads []model.Entity
+		write []model.Entity
+	}
+	var active []*plan
+	next := model.TxnID(1)
+	issued := 0
+	for issued < 12 || len(active) > 0 {
+		if issued < 12 && (len(active) == 0 || (len(active) < 4 && rng.Intn(3) == 0)) {
+			pl := &plan{id: next}
+			next++
+			issued++
+			for i := 0; i < 1+rng.Intn(3); i++ {
+				pl.reads = append(pl.reads, model.Entity(rng.Intn(5)))
+			}
+			if rng.Intn(4) > 0 {
+				pl.write = append(pl.write, model.Entity(rng.Intn(5)))
+			}
+			s.MustApply(model.Begin(pl.id))
+			active = append(active, pl)
+			checkInvariants(t, s)
+			continue
+		}
+		i := rng.Intn(len(active))
+		pl := active[i]
+		var res Result
+		if len(pl.reads) > 0 {
+			res = s.MustApply(model.Read(pl.id, pl.reads[0]))
+			pl.reads = pl.reads[1:]
+		} else {
+			res = s.MustApply(model.WriteFinal(pl.id, pl.write...))
+			pl.reads, pl.write = nil, nil
+			active = append(active[:i], active[i+1:]...)
+		}
+		if !res.Accepted {
+			for j, q := range active {
+				if q.id == pl.id {
+					active = append(active[:j], active[j+1:]...)
+					break
+				}
+			}
+		}
+		checkInvariants(t, s)
+	}
+	return s
+}
+
+// newRand isolates the math/rand import to one helper.
+func newRand(seed int64) *randSource {
+	return &randSource{state: uint64(seed)*2862933555777941757 + 3037000493}
+}
+
+// randSource is a tiny deterministic PRNG (xorshift*), avoiding any
+// coupling to math/rand's generator across Go versions.
+type randSource struct{ state uint64 }
+
+func (r *randSource) next() uint64 {
+	r.state ^= r.state >> 12
+	r.state ^= r.state << 25
+	r.state ^= r.state >> 27
+	return r.state * 2685821657736338717
+}
+
+func (r *randSource) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}

@@ -1,0 +1,215 @@
+// Maximum safe deletion set (Theorem 5). Finding the largest subset N of
+// completed transactions whose simultaneous deletion is safe (condition
+// C2) is NP-complete; this file implements an exact branch-and-bound that
+// is practical for the candidate-set sizes arising in real sweeps, seeded
+// with the greedy solution as incumbent.
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// DefaultMaxSafeBudget is the default bound on branch-and-bound nodes.
+const DefaultMaxSafeBudget = 200_000
+
+// demand is one (member, witnesses) constraint extracted from C2: for a
+// particular (Ti, Tj, x) triple, at least one transaction in witnesses
+// must stay OUT of the deleted set. Ti itself deletes only if each of its
+// demands keeps a witness.
+type demand struct {
+	member    model.TxnID   // Ti — the candidate this demand constrains
+	witnesses graph.NodeSet // completed tight successors of Tj accessing x strongly enough
+}
+
+// MaxSafeSet returns a maximum-cardinality subset of completed whose
+// simultaneous deletion from g is safe per C2. budget bounds the search
+// (0 = DefaultMaxSafeBudget); if the bound is hit the best subset found so
+// far is returned, which is always at least the greedy solution and always
+// safe. The returned set is verified with CheckC2 before being returned;
+// failure (which would indicate a bug) degrades to the greedy set.
+func MaxSafeSet(v StateView, g *graph.Graph, completed []model.TxnID, budget int) graph.NodeSet {
+	if budget <= 0 {
+		budget = DefaultMaxSafeBudget
+	}
+	candidates := C1Candidates(v, g, completed)
+	if len(candidates) == 0 {
+		return graph.NodeSet{}
+	}
+	candSet := make(graph.NodeSet, len(candidates))
+	for _, c := range candidates {
+		candSet.Add(c)
+	}
+
+	// Build the demand list. For every candidate Ti, every active tight
+	// predecessor Tj, every entity x in access(Ti): the witness set is the
+	// set of completed tight successors Tk ≠ Ti of Tj with access(Tk, x)
+	// at least as strong as access(Ti, x). Witnesses that are not
+	// candidates can never be deleted, so such a demand is always
+	// satisfied and dropped. If a demand's witness set (restricted to
+	// candidates) is empty BUT it had non-candidate witnesses, it is
+	// likewise dropped. C1 guarantees every demand has at least one
+	// witness overall.
+	var demands []demand
+	// Per-candidate demand indexes for fast feasibility updates.
+	memberDemands := make(map[model.TxnID][]int)
+	witnessDemands := make(map[model.TxnID][]int)
+	for _, ti := range candidates {
+		access := v.Access(ti)
+		for _, tj := range ActiveTightPredecessors(v, g, ti) {
+			succs := CompletedTightSuccessors(v, g, tj)
+			for x, need := range access {
+				wit := make(graph.NodeSet)
+				alwaysSatisfied := false
+				for tk := range succs {
+					if tk == ti {
+						continue
+					}
+					if v.Access(tk).Get(x).AtLeastAsStrong(need) {
+						if !candSet.Has(tk) {
+							// A permanent witness: this demand can never
+							// be violated.
+							alwaysSatisfied = true
+							break
+						}
+						wit.Add(tk)
+					}
+				}
+				if alwaysSatisfied {
+					continue
+				}
+				d := demand{member: ti, witnesses: wit}
+				idx := len(demands)
+				demands = append(demands, d)
+				memberDemands[ti] = append(memberDemands[ti], idx)
+				for w := range wit {
+					witnessDemands[w] = append(witnessDemands[w], idx)
+				}
+			}
+		}
+	}
+
+	// Greedy incumbent: delete candidates one at a time in ascending
+	// order, keeping the partial set C2-feasible.
+	greedy := make(graph.NodeSet)
+	for _, c := range candidates {
+		greedy.Add(c)
+		if ok, _ := CheckC2(v, g, greedy); !ok {
+			delete(greedy, c)
+		}
+	}
+
+	bb := &maxSafeSearch{
+		v: v, g: g,
+		demands:        demands,
+		memberDemands:  memberDemands,
+		witnessDemands: witnessDemands,
+		budget:         budget,
+		best:           cloneSet(greedy),
+	}
+	// remainingWitnesses[i] counts candidate witnesses of demand i not yet
+	// deleted; plus we track whether the demand's member is deleted.
+	bb.remaining = make([]int, len(demands))
+	for i, d := range demands {
+		bb.remaining[i] = len(d.witnesses)
+	}
+	bb.inSet = make(graph.NodeSet)
+	bb.search(candidates, 0)
+
+	if ok, _ := CheckC2(v, g, bb.best); !ok {
+		// Defensive: should be unreachable; fall back to the greedy set
+		// which was built under direct C2 checks.
+		return greedy
+	}
+	return bb.best
+}
+
+type maxSafeSearch struct {
+	v              StateView
+	g              *graph.Graph
+	demands        []demand
+	memberDemands  map[model.TxnID][]int
+	witnessDemands map[model.TxnID][]int
+	remaining      []int // candidate witnesses of each demand still undeleted
+	inSet          graph.NodeSet
+	best           graph.NodeSet
+	budget         int
+	nodes          int
+}
+
+// feasibleWith reports whether deleting id on top of inSet keeps every
+// relevant demand satisfiable: each demand whose member is in the set (or
+// is id) must retain ≥1 undeleted witness after id is deleted.
+func (b *maxSafeSearch) feasibleWith(id model.TxnID) bool {
+	// Demands of id itself must currently have a surviving witness (id is
+	// never its own witness by construction, and demands with permanent
+	// non-candidate witnesses were dropped at construction time).
+	for _, di := range b.memberDemands[id] {
+		if b.remaining[di] == 0 {
+			return false
+		}
+	}
+	// Demands for which id is a witness: if the member is in the set (or
+	// is about to be — but id's member demands were checked above) and id
+	// is the LAST witness, infeasible.
+	for _, di := range b.witnessDemands[id] {
+		d := b.demands[di]
+		if d.member == id {
+			continue
+		}
+		if b.inSet.Has(d.member) && b.remaining[di] == 1 {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *maxSafeSearch) include(id model.TxnID) {
+	b.inSet.Add(id)
+	for _, di := range b.witnessDemands[id] {
+		b.remaining[di]--
+	}
+}
+
+func (b *maxSafeSearch) exclude(id model.TxnID) {
+	delete(b.inSet, id)
+	for _, di := range b.witnessDemands[id] {
+		b.remaining[di]++
+	}
+}
+
+func (b *maxSafeSearch) search(cands []model.TxnID, i int) {
+	b.nodes++
+	if b.nodes > b.budget {
+		return
+	}
+	// Bound: even taking every remaining candidate cannot beat best.
+	if len(b.inSet)+(len(cands)-i) <= len(b.best) {
+		return
+	}
+	if i == len(cands) {
+		if len(b.inSet) > len(b.best) {
+			b.best = cloneSet(b.inSet)
+		}
+		return
+	}
+	id := cands[i]
+	// Branch 1: include id if feasible.
+	if b.feasibleWith(id) {
+		b.include(id)
+		// Double-check demands of members already chosen remain satisfied
+		// (feasibleWith covered them), then recurse.
+		b.search(cands, i+1)
+		b.exclude(id)
+	}
+	// Branch 2: exclude id.
+	b.search(cands, i+1)
+}
+
+func cloneSet(s graph.NodeSet) graph.NodeSet {
+	out := make(graph.NodeSet, len(s))
+	for k := range s {
+		out.Add(k)
+	}
+	return out
+}

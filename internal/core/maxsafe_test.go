@@ -1,0 +1,210 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+func TestMaxSafeSetExample1(t *testing.T) {
+	s := Example1Scheduler(Config{})
+	best := MaxSafeSet(s, s.Graph(), s.CompletedTxns(), 0)
+	if len(best) != 1 {
+		t.Fatalf("max safe set size = %d, want 1 (got %v)", len(best), best.Sorted())
+	}
+	if ok, v := s.CheckC2(best); !ok {
+		t.Fatalf("returned set not C2-safe: %v", v)
+	}
+}
+
+func TestMaxSafeSetEmptyWhenNothingDeletable(t *testing.T) {
+	s := Example1Scheduler(Config{})
+	// Delete T3 manually; T2 alone remains and violates C1.
+	if err := s.deleteTxn(Ex1T3); err != nil {
+		t.Fatal(err)
+	}
+	best := MaxSafeSet(s, s.Graph(), s.CompletedTxns(), 0)
+	if len(best) != 0 {
+		t.Fatalf("nothing is deletable, got %v", best.Sorted())
+	}
+}
+
+// chainScheduler builds: T1 active reads x; then k transactions each
+// read+write x serially. Max safe set = k-1 (must keep the last writer...
+// precisely: must keep at least one witness; any k-1 of them delete).
+func chainScheduler(t *testing.T, k int) *Scheduler {
+	t.Helper()
+	s := NewScheduler(Config{})
+	s.MustApply(model.Begin(1))
+	s.MustApply(model.Read(1, 0))
+	for i := 0; i < k; i++ {
+		id := model.TxnID(2 + i)
+		s.MustApply(model.Begin(id))
+		s.MustApply(model.Read(id, 0))
+		s.MustApply(model.WriteFinal(id, 0))
+	}
+	return s
+}
+
+func TestMaxSafeSetChain(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 5, 8} {
+		s := chainScheduler(t, k)
+		best := MaxSafeSet(s, s.Graph(), s.CompletedTxns(), 0)
+		want := k - 1
+		if want < 0 {
+			want = 0
+		}
+		if len(best) != want {
+			t.Fatalf("k=%d: max safe = %d, want %d", k, len(best), want)
+		}
+	}
+}
+
+// bruteMaxSafe enumerates all subsets of completed transactions and
+// returns the size of the largest C2-safe one. Exponential; small inputs
+// only.
+func bruteMaxSafe(v StateView, g *graph.Graph, completed []model.TxnID) int {
+	best := 0
+	n := len(completed)
+	for mask := 1; mask < (1 << n); mask++ {
+		set := make(graph.NodeSet)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				set.Add(completed[i])
+			}
+		}
+		if len(set) <= best {
+			continue
+		}
+		if ok, _ := CheckC2(v, g, set); ok {
+			best = len(set)
+		}
+	}
+	return best
+}
+
+// randomScheduler drives a small random basic-model workload directly
+// (no generator dependency, to avoid an import cycle) and returns the
+// scheduler mid-flight.
+func randomScheduler(seed int64, txns, entities int) *Scheduler {
+	rng := rand.New(rand.NewSource(seed))
+	s := NewScheduler(Config{})
+	type plan struct {
+		id    model.TxnID
+		reads []model.Entity
+		write []model.Entity
+	}
+	var active []*plan
+	next := model.TxnID(1)
+	issued := 0
+	for issued < txns || len(active) > 0 {
+		if issued < txns && (len(active) == 0 || (len(active) < 4 && rng.Intn(3) == 0)) {
+			p := &plan{id: next}
+			next++
+			issued++
+			for i := 0; i < 1+rng.Intn(3); i++ {
+				p.reads = append(p.reads, model.Entity(rng.Intn(entities)))
+			}
+			if rng.Intn(4) > 0 {
+				p.write = append(p.write, model.Entity(rng.Intn(entities)))
+			}
+			s.MustApply(model.Begin(p.id))
+			active = append(active, p)
+			continue
+		}
+		i := rng.Intn(len(active))
+		p := active[i]
+		var res Result
+		if len(p.reads) > 0 {
+			res = s.MustApply(model.Read(p.id, p.reads[0]))
+			p.reads = p.reads[1:]
+		} else {
+			res = s.MustApply(model.WriteFinal(p.id, p.write...))
+			p.reads = nil
+			p.write = nil
+			active = append(active[:i], active[i+1:]...)
+		}
+		if !res.Accepted {
+			// aborted: drop it
+			for j, q := range active {
+				if q.id == p.id {
+					active = append(active[:j], active[j+1:]...)
+					break
+				}
+			}
+		}
+	}
+	return s
+}
+
+func TestMaxSafeSetMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		s := randomScheduler(seed, 7, 4)
+		completed := s.CompletedTxns()
+		if len(completed) > 12 {
+			continue
+		}
+		want := bruteMaxSafe(s, s.Graph(), completed)
+		got := MaxSafeSet(s, s.Graph(), completed, 0)
+		if len(got) != want {
+			t.Fatalf("seed %d: MaxSafeSet = %d, brute force = %d (completed %v)",
+				seed, len(got), want, completed)
+		}
+		if ok, v := CheckC2(s, s.Graph(), got); !ok {
+			t.Fatalf("seed %d: returned set unsafe: %v", seed, v)
+		}
+	}
+}
+
+func TestMaxSafeSetMidScheduleWithActives(t *testing.T) {
+	// Keep some transactions active: take random prefixes.
+	for seed := int64(100); seed < 120; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewScheduler(Config{})
+		// Three active readers over 3 entities, five completed writers.
+		for id := model.TxnID(1); id <= 3; id++ {
+			s.MustApply(model.Begin(id))
+			s.MustApply(model.Read(id, model.Entity(rng.Intn(3))))
+		}
+		for id := model.TxnID(4); id <= 8; id++ {
+			s.MustApply(model.Begin(id))
+			s.MustApply(model.Read(id, model.Entity(rng.Intn(3))))
+			s.MustApply(model.WriteFinal(id, model.Entity(rng.Intn(3))))
+		}
+		completed := s.CompletedTxns()
+		want := bruteMaxSafe(s, s.Graph(), completed)
+		got := MaxSafeSet(s, s.Graph(), completed, 0)
+		if len(got) != want {
+			t.Fatalf("seed %d: MaxSafeSet = %d, brute = %d", seed, len(got), want)
+		}
+	}
+}
+
+func TestMaxSafeAtLeastGreedy(t *testing.T) {
+	for seed := int64(200); seed < 220; seed++ {
+		s := randomScheduler(seed, 10, 5)
+		completed := s.CompletedTxns()
+		got := MaxSafeSet(s, s.Graph(), completed, 0)
+		// Build the greedy-by-inclusion set under direct C2 checks.
+		greedy := make(graph.NodeSet)
+		for _, c := range C1Candidates(s, s.Graph(), completed) {
+			greedy.Add(c)
+			if ok, _ := CheckC2(s, s.Graph(), greedy); !ok {
+				delete(greedy, c)
+			}
+		}
+		if len(got) < len(greedy) {
+			t.Fatalf("seed %d: exact %d < greedy %d", seed, len(got), len(greedy))
+		}
+	}
+}
+
+func TestMaxSafeTinyBudgetStillSafe(t *testing.T) {
+	s := chainScheduler(t, 6)
+	got := MaxSafeSet(s, s.Graph(), s.CompletedTxns(), 1) // absurdly small budget
+	if ok, _ := s.CheckC2(got); !ok {
+		t.Fatal("budget-limited result must still be safe")
+	}
+}

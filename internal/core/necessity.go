@@ -1,0 +1,72 @@
+// The adversarial continuation from Theorem 1's necessity proof: if a
+// completed transaction Ti violates C1 with witness (Tj, x), there is a
+// continuation r = s·t after which the conflict scheduler rejects the last
+// step while the reduced scheduler (with Ti deleted) accepts it — i.e.
+// deleting Ti is demonstrably unsafe.
+//
+// The construction (quoting the proof): "Let y be any entity other than x.
+// First, all active transactions except Tj read y; then a new transaction
+// Tm writes y, and finally all active transactions except Tj try to write
+// y. Clearly, the last writes will fail and all active transactions except
+// Tj will be aborted... The last step t is as follows. If Ti reads but
+// does not write x then Tj writes x; if Ti writes x then Tj reads x."
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// NecessityContinuation builds the continuation r = s·t witnessing that
+// deleting ti (which violates C1 via viol) is unsafe after the current
+// schedule. The caller supplies a fresh transaction ID for Tm and a fresh
+// entity y (one different from viol.X; a never-used entity always works).
+//
+// Feeding the returned steps to the original scheduler rejects the final
+// step (cycle through ti), while a scheduler whose graph had ti reduced
+// away accepts it — the divergence the oracle detects.
+func NecessityContinuation(s *Scheduler, ti model.TxnID, viol *C1Violation, tm model.TxnID, y model.Entity) ([]model.Step, error) {
+	if viol == nil || viol.Tj == model.NoTxn {
+		return nil, fmt.Errorf("core: necessity continuation needs a concrete C1 violation witness")
+	}
+	tj := viol.Tj
+	x := viol.X
+	if y == x {
+		return nil, fmt.Errorf("core: fresh entity y must differ from witness entity x=%d", x)
+	}
+	if s.Status(tj) != model.StatusActive {
+		return nil, fmt.Errorf("core: witness predecessor T%d is not active", tj)
+	}
+	if _, exists := s.txns[tm]; exists {
+		return nil, fmt.Errorf("core: T%d already exists; Tm must be fresh", tm)
+	}
+
+	var steps []model.Step
+	// Phase s: abort every active transaction except Tj using entity y.
+	var others []model.TxnID
+	for _, id := range s.ActiveTxns() {
+		if id != tj {
+			others = append(others, id)
+		}
+	}
+	if len(others) > 0 {
+		for _, id := range others {
+			steps = append(steps, model.Read(id, y))
+		}
+		steps = append(steps, model.Begin(tm), model.WriteFinal(tm, y))
+		for _, id := range others {
+			// Each of these writes y after having read y before Tm's
+			// write: arc to Tm and arc from Tm — a cycle, so the step is
+			// rejected and the transaction aborts, in both schedulers.
+			steps = append(steps, model.WriteFinal(id, y))
+		}
+	}
+	// Phase t: the single conflicting access on x by Tj.
+	if viol.Strength == model.WriteAccess {
+		steps = append(steps, model.Read(tj, x))
+	} else {
+		steps = append(steps, model.WriteFinal(tj, x))
+	}
+	return steps, nil
+}

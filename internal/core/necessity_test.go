@@ -1,0 +1,187 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// replay clones a scheduler state by replaying steps; used to compare a
+// full and a reduced scheduler on the same continuation.
+func replay(t *testing.T, steps []model.Step, cfg Config) *Scheduler {
+	t.Helper()
+	s := NewScheduler(cfg)
+	for _, st := range steps {
+		if _, err := s.Apply(st); err != nil {
+			t.Fatalf("replay %v: %v", st, err)
+		}
+	}
+	return s
+}
+
+// runContinuation feeds steps, skipping those of already-aborted txns,
+// and returns whether the FINAL step was accepted.
+func runContinuation(t *testing.T, s *Scheduler, steps []model.Step) bool {
+	t.Helper()
+	aborted := map[model.TxnID]bool{}
+	lastAccepted := false
+	for _, st := range steps {
+		if aborted[st.Txn] {
+			continue
+		}
+		res, err := s.Apply(st)
+		if err != nil {
+			t.Fatalf("continuation %v: %v", st, err)
+		}
+		lastAccepted = res.Accepted
+		if !res.Accepted {
+			aborted[st.Txn] = true
+		}
+	}
+	return lastAccepted
+}
+
+// TestNecessityExample1 deletes T3 in Example 1, leaving T2 in violation
+// of C1, builds the continuation of Theorem 1's necessity proof for the
+// *unsafe* deletion of T2, and verifies the full and reduced schedulers
+// disagree on its last step.
+func TestNecessityExample1(t *testing.T) {
+	base := Example1Steps()
+
+	// Reduced world: delete T3 (safe) and then T2 (unsafe).
+	reduced := replay(t, base, Config{})
+	if err := reduced.deleteTxn(Ex1T3); err != nil {
+		t.Fatal(err)
+	}
+	ok, viol := reduced.CheckC1(Ex1T2)
+	if ok {
+		t.Fatal("T2 should violate C1 after T3 is gone")
+	}
+	steps, err := NecessityContinuation(reduced, Ex1T2, viol, 100 /*Tm*/, 77 /*y*/)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reduced.deleteTxn(Ex1T2); err != nil { // the unsafe deletion
+		t.Fatal(err)
+	}
+
+	// Full world: no deletions at all.
+	full := replay(t, base, Config{})
+
+	fullLast := runContinuation(t, full, steps)
+	redLast := runContinuation(t, reduced, steps)
+	if fullLast {
+		t.Fatal("full scheduler must REJECT the adversarial last step")
+	}
+	if !redLast {
+		t.Fatal("reduced scheduler must ACCEPT the adversarial last step (divergence)")
+	}
+}
+
+// TestNecessityWithOtherActives checks the abort-everyone-else phase: add
+// extra active transactions before the continuation and confirm the
+// construction still produces the divergence.
+func TestNecessityWithOtherActives(t *testing.T) {
+	base := Example1Steps()
+	extra := []model.Step{
+		model.Begin(50), model.Read(50, 5),
+		model.Begin(51), model.Read(51, 6),
+	}
+	all := append(append([]model.Step{}, base...), extra...)
+
+	reduced := replay(t, all, Config{})
+	if err := reduced.deleteTxn(Ex1T3); err != nil {
+		t.Fatal(err)
+	}
+	_, viol := reduced.CheckC1(Ex1T2)
+	steps, err := NecessityContinuation(reduced, Ex1T2, viol, 100, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reduced.deleteTxn(Ex1T2); err != nil {
+		t.Fatal(err)
+	}
+	full := replay(t, all, Config{})
+
+	fullLast := runContinuation(t, full, steps)
+	redLast := runContinuation(t, reduced, steps)
+	if fullLast || !redLast {
+		t.Fatalf("divergence expected: full=%v reduced=%v", fullLast, redLast)
+	}
+	// The dance must have aborted T50 and T51 in both schedulers.
+	for _, s := range []*Scheduler{full, reduced} {
+		if s.Txn(50) != nil || s.Txn(51) != nil {
+			t.Fatal("helper actives should have aborted")
+		}
+	}
+	// And Tj (T1) must still be active in both.
+	if full.Status(Ex1T1) != model.StatusActive {
+		// T1 performed the final conflicting step; in the full scheduler
+		// that step was rejected, aborting T1. That IS the divergence.
+		if full.Txn(Ex1T1) != nil {
+			t.Fatal("T1 should have aborted in the full scheduler")
+		}
+	}
+}
+
+// TestNecessityWriteCaseUsesRead covers the branch where Ti WROTE x, so
+// the last step is a read by Tj.
+func TestNecessityWriteCase(t *testing.T) {
+	// T1 active reads nothing relevant... construct: T1 reads z; T2
+	// reads z and writes x (completes). T2's violation: active tight pred
+	// T1 via arc? T1 read z, T2 writes z? Let's make T2 write z so the
+	// arc exists, and also write x with no witness.
+	steps := []model.Step{
+		model.Begin(1),
+		model.Read(1, 10), // z
+		model.Begin(2),
+		model.WriteFinal(2, 10, 20), // writes z (arc T1->T2) and x=20
+	}
+	reduced := replay(t, steps, Config{})
+	ok, viol := reduced.CheckC1(2)
+	if ok {
+		t.Fatal("T2 should violate C1 (no witnesses at all)")
+	}
+	// The witness entity may be z or x; force the x=20 write case by
+	// constructing the violation manually if needed.
+	if viol.X != 20 {
+		viol = &C1Violation{Ti: 2, Tj: 1, X: 20, Strength: model.WriteAccess}
+	}
+	cont, err := NecessityContinuation(reduced, 2, viol, 100, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Last step must be a READ by T1 of x (because T2 wrote x).
+	last := cont[len(cont)-1]
+	if last.Kind != model.KindRead || last.Txn != 1 || last.Entity != 20 {
+		t.Fatalf("last step = %v, want T1:r(20)", last)
+	}
+	if err := reduced.deleteTxn(2); err != nil {
+		t.Fatal(err)
+	}
+	full := replay(t, steps, Config{})
+	if runContinuation(t, full, cont) {
+		t.Fatal("full scheduler must reject")
+	}
+	if !runContinuation(t, reduced, cont) {
+		t.Fatal("reduced scheduler must accept")
+	}
+}
+
+func TestNecessityInputValidation(t *testing.T) {
+	s := Example1Scheduler(Config{})
+	if _, err := NecessityContinuation(s, Ex1T2, nil, 100, 77); err == nil {
+		t.Fatal("nil violation must error")
+	}
+	v := &C1Violation{Ti: Ex1T2, Tj: Ex1T1, X: Ex1X, Strength: model.WriteAccess}
+	if _, err := NecessityContinuation(s, Ex1T2, v, 100, Ex1X); err == nil {
+		t.Fatal("y == x must error")
+	}
+	bad := &C1Violation{Ti: Ex1T2, Tj: Ex1T3, X: Ex1X, Strength: model.WriteAccess}
+	if _, err := NecessityContinuation(s, Ex1T2, bad, 100, 77); err == nil {
+		t.Fatal("non-active Tj must error")
+	}
+	if _, err := NecessityContinuation(s, Ex1T2, v, Ex1T1, 77); err == nil {
+		t.Fatal("existing Tm must error")
+	}
+}

@@ -1,0 +1,319 @@
+// Deletion policies (the paper's Section 4: "A deletion policy P is an
+// algorithm which given reduced graph G outputs a set of completed nodes to
+// be deleted. ... Call a deletion policy correct if the scheduling
+// algorithm accepts only CSR schedules.")
+//
+// By Theorem 2 a policy is correct iff it performs only safe deletions; by
+// Theorems 3 and 4, safety is exactly C1 for single deletions (repeatable
+// on reduced graphs) and C2 for sets. The policies here are:
+//
+//   - NoGC           — never delete (the reference full scheduler).
+//   - Lemma1Policy   — delete completed nodes with no active predecessor.
+//   - GreedyC1       — repeatedly delete any node satisfying C1 (safe by
+//     Theorem 3; maximal by inclusion but not maximum).
+//   - MaxSafeExact   — exact maximum safe subset via branch-and-bound over
+//     C1 candidates with C2 feasibility (Theorem 5 problem).
+//   - NoncurrentSafe — Corollary 1 made compositional: delete noncurrent
+//     transactions whose current writers are still present.
+//   - CommitGC       — UNSAFE negative control: delete at completion, the
+//     locking-scheduler habit the introduction warns about.
+//   - NoncurrentNaive— UNSAFE negative control: Corollary 1 applied
+//     verbatim to reduced graphs (the Example 1 trap).
+package core
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// Policy decides which completed transactions to delete after a step. The
+// scheduler invokes Sweep after completions and aborts (or after every
+// accepted step with Config.SweepEveryStep); the policy performs deletions
+// through the Sweep handle.
+type Policy interface {
+	// Name identifies the policy in experiment tables.
+	Name() string
+	// Sweep performs zero or more deletions via sw.
+	Sweep(sw *Sweep)
+}
+
+// Sweep is the mutating handle a Policy receives. It records what was
+// deleted so the scheduler can report it in the step Result.
+type Sweep struct {
+	s             *Scheduler
+	justCompleted model.TxnID
+	deleted       []model.TxnID
+}
+
+// Scheduler returns the underlying scheduler (read via its query methods).
+func (sw *Sweep) Scheduler() *Scheduler { return sw.s }
+
+// JustCompleted returns the transaction completed by the triggering step,
+// or NoTxn.
+func (sw *Sweep) JustCompleted() model.TxnID { return sw.justCompleted }
+
+// Completed returns the retained completed transactions, ascending.
+func (sw *Sweep) Completed() []model.TxnID { return sw.s.CompletedTxns() }
+
+// CheckC1 tests condition C1 for id on the current graph.
+func (sw *Sweep) CheckC1(id model.TxnID) bool {
+	ok, _ := sw.s.CheckC1(id)
+	return ok
+}
+
+// CheckC2 tests condition C2 for a set on the current graph.
+func (sw *Sweep) CheckC2(set graph.NodeSet) bool {
+	ok, _ := sw.s.CheckC2(set)
+	return ok
+}
+
+// Delete removes id unconditionally (the policy is responsible for
+// safety). It returns false if id is not a retained completed transaction.
+func (sw *Sweep) Delete(id model.TxnID) bool {
+	if err := sw.s.deleteTxn(id); err != nil {
+		return false
+	}
+	sw.deleted = append(sw.deleted, id)
+	return true
+}
+
+// DeleteSet removes every member of set, in ascending order.
+func (sw *Sweep) DeleteSet(set graph.NodeSet) {
+	for _, id := range set.Sorted() {
+		sw.Delete(id)
+	}
+}
+
+// Deleted returns the transactions deleted so far in this sweep.
+func (sw *Sweep) Deleted() []model.TxnID { return sw.deleted }
+
+// ---------------------------------------------------------------------------
+
+// NoGC never deletes; it is the paper's original conflict scheduler and
+// the reference side of every equivalence oracle.
+type NoGC struct{}
+
+// Name implements Policy.
+func (NoGC) Name() string { return "nogc" }
+
+// Sweep implements Policy.
+func (NoGC) Sweep(*Sweep) {}
+
+// ---------------------------------------------------------------------------
+
+// Lemma1Policy deletes completed transactions that have no active
+// predecessor at all (Lemma 1). It is strictly weaker than C1 (Example 1's
+// T2 has an active predecessor yet is C1-deletable) but very cheap.
+type Lemma1Policy struct{}
+
+// Name implements Policy.
+func (Lemma1Policy) Name() string { return "lemma1" }
+
+// Sweep implements Policy.
+func (Lemma1Policy) Sweep(sw *Sweep) {
+	s := sw.s
+	for {
+		progress := false
+		for _, id := range s.CompletedTxns() {
+			if !HasActivePredecessor(s, s.g, id) {
+				if sw.Delete(id) {
+					progress = true
+				}
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+// GreedyC1 repeatedly deletes any completed transaction satisfying C1 on
+// the successively reduced graph until none does. Theorem 3 guarantees
+// each individual deletion is safe, hence (Theorem 2) the policy is
+// correct. The result is maximal by inclusion; Theorem 5 shows finding the
+// maximum is NP-complete, so greedy is the practical default.
+//
+// Order controls the scan order; OldestFirst (default) favors deleting
+// older transactions, which empirically keeps the graph smaller because
+// old nodes accumulate predecessor arcs.
+type GreedyC1 struct {
+	// NewestFirst scans candidates newest-first instead of oldest-first.
+	NewestFirst bool
+}
+
+// Name implements Policy.
+func (p GreedyC1) Name() string {
+	if p.NewestFirst {
+		return "greedy-c1-newest"
+	}
+	return "greedy-c1"
+}
+
+// Sweep implements Policy.
+func (p GreedyC1) Sweep(sw *Sweep) {
+	s := sw.s
+	for {
+		ids := s.CompletedTxns()
+		if p.NewestFirst {
+			sort.Slice(ids, func(i, j int) bool { return ids[i] > ids[j] })
+		}
+		progress := false
+		for _, id := range ids {
+			if ok, _ := s.CheckC1(id); ok {
+				if sw.Delete(id) {
+					progress = true
+				}
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+// MaxSafeExact computes, at each sweep, a maximum-size safely deletable
+// subset (the NP-complete problem of Theorem 5) by branch-and-bound over
+// the C1 candidate set with C2 feasibility, then deletes it. Budget bounds
+// the search nodes; on exhaustion it falls back to the best subset found
+// (at least as large as greedy's, which seeds the incumbent).
+type MaxSafeExact struct {
+	// Budget bounds branch-and-bound nodes; 0 means DefaultMaxSafeBudget.
+	Budget int
+}
+
+// Name implements Policy.
+func (MaxSafeExact) Name() string { return "max-safe" }
+
+// Sweep implements Policy.
+func (p MaxSafeExact) Sweep(sw *Sweep) {
+	s := sw.s
+	for {
+		best := MaxSafeSet(s, s.g, s.CompletedTxns(), p.Budget)
+		if len(best) == 0 {
+			return
+		}
+		sw.DeleteSet(best)
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+// NoncurrentSafe deletes, at each sweep, every noncurrent completed
+// transaction whose entities' current writers are all still present in the
+// graph (and distinct from it). Presence of the current writer restores
+// Corollary 1's witness on reduced graphs: for each entity x of Ti the
+// last writer Tk is completed, conflicts with Ti (so the reduced graph has
+// the arc Ti→Tk), and hence is a completed tight successor of every active
+// tight predecessor of Ti. Because current writers are themselves current,
+// they are never in the deleted batch, satisfying C2's outside-N
+// requirement.
+type NoncurrentSafe struct{}
+
+// Name implements Policy.
+func (NoncurrentSafe) Name() string { return "noncurrent-safe" }
+
+// Sweep implements Policy.
+func (NoncurrentSafe) Sweep(sw *Sweep) {
+	s := sw.s
+	for {
+		batch := make(graph.NodeSet)
+		for _, id := range s.CompletedTxns() {
+			if s.Noncurrent(id) && s.CurrentWriterPresent(id) {
+				batch.Add(id)
+			}
+		}
+		if len(batch) == 0 {
+			return
+		}
+		sw.DeleteSet(batch)
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+// CommitGC is the UNSAFE policy that closes transactions at commit time,
+// which is correct for locking schedulers but wrong for conflict-graph
+// schedulers (paper, Section 1). It exists as a negative control: the
+// equivalence oracle must catch it.
+type CommitGC struct{}
+
+// Name implements Policy.
+func (CommitGC) Name() string { return "commit-gc-UNSAFE" }
+
+// Sweep implements Policy.
+func (CommitGC) Sweep(sw *Sweep) {
+	if id := sw.JustCompleted(); id != model.NoTxn {
+		sw.Delete(id)
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+// Chain runs several policies in order within one sweep. It is how the
+// paper's Example 1 trap is reproduced: Chain{GreedyC1{NewestFirst:true},
+// NoncurrentNaive{}} first C1-deletes the current transaction T3 and then
+// blindly noncurrent-deletes T2, whose witness is now gone — an unsafe
+// deletion the oracle catches. Chain{GreedyC1{...}, NoncurrentSafe{}} is
+// safe: the presence guard refuses T2.
+type Chain []Policy
+
+// Name implements Policy.
+func (c Chain) Name() string {
+	name := "chain("
+	for i, p := range c {
+		if i > 0 {
+			name += "+"
+		}
+		name += p.Name()
+	}
+	return name + ")"
+}
+
+// Sweep implements Policy.
+func (c Chain) Sweep(sw *Sweep) {
+	for _, p := range c {
+		p.Sweep(sw)
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+// NoncurrentNaive applies Corollary 1 verbatim to whatever (possibly
+// reduced) graph it is given: it deletes every noncurrent completed
+// transaction without checking that the current writers are still present.
+//
+// Run STANDALONE this is actually safe — the policy never deletes a
+// current transaction, so each entity's last writer (the corollary's
+// witness) survives every batch, which re-establishes C2 on the reduced
+// graph (experiment E10 verifies this empirically). But composed after a
+// policy that can delete current transactions (GreedyC1 can), it performs
+// exactly the unsafe deletion of the paper's Example 1 — which is why the
+// paper stresses that Corollary 1 is a conflict-graph rule, not a
+// reduced-graph rule. Treat it as a pedagogical control, not a policy.
+type NoncurrentNaive struct{}
+
+// Name implements Policy.
+func (NoncurrentNaive) Name() string { return "noncurrent-naive-UNSAFE" }
+
+// Sweep implements Policy.
+func (NoncurrentNaive) Sweep(sw *Sweep) {
+	s := sw.s
+	for {
+		batch := make(graph.NodeSet)
+		for _, id := range s.CompletedTxns() {
+			if s.Noncurrent(id) {
+				batch.Add(id)
+			}
+		}
+		if len(batch) == 0 {
+			return
+		}
+		sw.DeleteSet(batch)
+	}
+}

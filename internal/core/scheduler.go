@@ -1,0 +1,504 @@
+// Package core implements the paper's primary contribution: the basic
+// conflict-graph scheduler of Section 2 (Rules 1–3, preventive variant and
+// the optimistic certification variant), the deletion conditions of
+// Sections 3–4 (Lemma 1, Theorem 1's C1, Theorem 4's C2, Corollary 1's
+// noncurrent rule), deletion policies built on them, the NP-complete
+// maximum-safe-subset solver of Theorem 5, and the adversarial continuation
+// of Theorem 1's necessity proof.
+//
+// Model recap (paper Section 2): a transaction BEGINs, performs read steps,
+// and ends with one final atomic write step that installs its whole write
+// set and completes (and commits) it. The scheduler maintains a conflict
+// graph; a step that would create a cycle is rejected and its transaction
+// aborts. Deleting a completed transaction replaces its node by
+// predecessor×successor arcs and forgets its read/write sets.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// Stats accumulates scheduler counters for the experiment harness.
+type Stats struct {
+	Begins     int64
+	Reads      int64
+	Writes     int64 // final write steps accepted
+	Accepted   int64 // accepted steps of any kind
+	Rejected   int64 // rejected steps (each aborts its transaction)
+	Aborts     int64
+	Completed  int64
+	Deleted    int64 // nodes removed by the deletion policy
+	Sweeps     int64 // policy sweeps executed
+	PeakNodes  int
+	PeakArcs   int
+	PeakKept   int   // peak number of completed transactions retained
+	KeptSum    int64 // sum over steps of retained completed transactions
+	KeptSample int64 // number of samples in KeptSum
+}
+
+// AvgKept returns the average number of completed transactions retained in
+// the graph per accepted step.
+func (s *Stats) AvgKept() float64 {
+	if s.KeptSample == 0 {
+		return 0
+	}
+	return float64(s.KeptSum) / float64(s.KeptSample)
+}
+
+// TxnState is the scheduler's record of one transaction. Deleting the
+// transaction erases this record: that is the storage the paper's
+// conditions let us reclaim.
+type TxnState struct {
+	ID     model.TxnID
+	Status model.Status
+	Access model.AccessSet
+	// accessSeq tracks, per entity, the sequence number of the latest
+	// access; together with Scheduler.lastWriteSeq it decides currency
+	// (Corollary 1).
+	accessSeq map[model.Entity]int64
+	BeginSeq  int64
+	EndSeq    int64
+}
+
+// Config configures a Scheduler.
+type Config struct {
+	// Policy is the deletion policy; nil means never delete (NoGC).
+	Policy Policy
+	// SweepEveryStep forces a policy sweep after every accepted step. By
+	// default the scheduler sweeps only after completions and aborts,
+	// which is sufficient: in the basic model, BEGIN adds an isolated node
+	// and an accepted read only adds arcs whose head is the active reader,
+	// so neither can create a new active-tight-predecessor relationship or
+	// a new completed witness, hence cannot change any C1 verdict.
+	SweepEveryStep bool
+	// OnDelete, if non-nil, is invoked for every node the policy deletes.
+	OnDelete func(model.TxnID)
+	// MaxSafeBudget bounds the branch-and-bound search of MaxSafeExact
+	// (nodes explored); 0 means DefaultMaxSafeBudget.
+	MaxSafeBudget int
+}
+
+// Result reports the effect of one step.
+type Result struct {
+	Step     model.Step
+	Accepted bool
+	// Aborted is the transaction aborted by a rejected step (NoTxn
+	// otherwise).
+	Aborted model.TxnID
+	// CompletedTxn is set when the step completed its transaction.
+	CompletedTxn model.TxnID
+	// Deleted lists nodes removed by the policy during the post-step sweep.
+	Deleted []model.TxnID
+}
+
+// Scheduler is the paper's basic (preventive) conflict-graph scheduler.
+type Scheduler struct {
+	g    *graph.Graph
+	txns map[model.TxnID]*TxnState
+	// readers[x] and writers[x] index the transactions currently in the
+	// graph that have read/written x — the information Rules 2 and 3
+	// consult. Deleting a transaction removes it from these indexes: its
+	// access sets are forgotten.
+	readers map[model.Entity]graph.NodeSet
+	writers map[model.Entity]graph.NodeSet
+	// lastWriteSeq and lastWriter track the schedule-level current value
+	// per entity (for Corollary 1's noncurrent rule); lastWriter may name
+	// a deleted transaction, which is precisely what makes the naive
+	// noncurrent rule non-compositional.
+	lastWriteSeq map[model.Entity]int64
+	lastWriter   map[model.Entity]model.TxnID
+	seq          int64
+	cfg          Config
+	stats        Stats
+}
+
+// NewScheduler returns an empty scheduler with the given configuration.
+func NewScheduler(cfg Config) *Scheduler {
+	return &Scheduler{
+		g:            graph.New(),
+		txns:         make(map[model.TxnID]*TxnState),
+		readers:      make(map[model.Entity]graph.NodeSet),
+		writers:      make(map[model.Entity]graph.NodeSet),
+		lastWriteSeq: make(map[model.Entity]int64),
+		lastWriter:   make(map[model.Entity]model.TxnID),
+		cfg:          cfg,
+	}
+}
+
+// Graph exposes the current (reduced) conflict graph. Callers must treat
+// it as read-only.
+func (s *Scheduler) Graph() *graph.Graph { return s.g }
+
+// Stats returns a snapshot of the counters.
+func (s *Scheduler) Stats() Stats { return s.stats }
+
+// Seq returns the number of steps processed so far.
+func (s *Scheduler) Seq() int64 { return s.seq }
+
+// Txn returns the live record for id, or nil if the transaction is
+// unknown, aborted, or deleted.
+func (s *Scheduler) Txn(id model.TxnID) *TxnState { return s.txns[id] }
+
+// Status implements StateView.
+func (s *Scheduler) Status(id model.TxnID) model.Status {
+	if t, ok := s.txns[id]; ok {
+		return t.Status
+	}
+	return model.StatusAborted
+}
+
+// Access implements StateView.
+func (s *Scheduler) Access(id model.TxnID) model.AccessSet {
+	if t, ok := s.txns[id]; ok {
+		return t.Access
+	}
+	return nil
+}
+
+// ActiveTxns returns the IDs of active transactions, ascending.
+func (s *Scheduler) ActiveTxns() []model.TxnID {
+	var out []model.TxnID
+	for id, t := range s.txns {
+		if t.Status == model.StatusActive {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CompletedTxns returns the IDs of retained completed transactions,
+// ascending.
+func (s *Scheduler) CompletedTxns() []model.TxnID {
+	var out []model.TxnID
+	for id, t := range s.txns {
+		if t.Status == model.StatusCompleted {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumCompleted returns the number of retained completed transactions.
+func (s *Scheduler) NumCompleted() int {
+	n := 0
+	for _, t := range s.txns {
+		if t.Status == model.StatusCompleted {
+			n++
+		}
+	}
+	return n
+}
+
+// NumActive returns the number of active transactions.
+func (s *Scheduler) NumActive() int {
+	n := 0
+	for _, t := range s.txns {
+		if t.Status == model.StatusActive {
+			n++
+		}
+	}
+	return n
+}
+
+// Apply processes one step, returning its Result. A protocol violation
+// (unknown transaction, duplicate BEGIN, step after completion, a
+// multiple-write-model step kind) yields an error and leaves the state
+// unchanged.
+func (s *Scheduler) Apply(step model.Step) (Result, error) {
+	switch step.Kind {
+	case model.KindBegin:
+		return s.begin(step)
+	case model.KindRead:
+		return s.read(step)
+	case model.KindWriteFinal:
+		return s.writeFinal(step)
+	default:
+		return Result{}, fmt.Errorf("core: step kind %v not part of the basic model", step.Kind)
+	}
+}
+
+// MustApply is Apply that panics on protocol errors; for tests and
+// hand-built schedules.
+func (s *Scheduler) MustApply(step model.Step) Result {
+	res, err := s.Apply(step)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+func (s *Scheduler) begin(step model.Step) (Result, error) {
+	id := step.Txn
+	if _, ok := s.txns[id]; ok {
+		return Result{}, fmt.Errorf("core: duplicate BEGIN for T%d", id)
+	}
+	s.seq++
+	// Rule 1: add an isolated node. A fresh node can never create a cycle.
+	s.g.AddNode(id)
+	s.txns[id] = &TxnState{
+		ID:        id,
+		Status:    model.StatusActive,
+		Access:    make(model.AccessSet),
+		accessSeq: make(map[model.Entity]int64),
+		BeginSeq:  s.seq,
+	}
+	s.stats.Begins++
+	s.stats.Accepted++
+	res := Result{Step: step, Accepted: true, Aborted: model.NoTxn, CompletedTxn: model.NoTxn}
+	s.afterStep(&res, false)
+	return res, nil
+}
+
+func (s *Scheduler) read(step model.Step) (Result, error) {
+	t, err := s.activeTxn(step.Txn)
+	if err != nil {
+		return Result{}, err
+	}
+	s.seq++
+	x := step.Entity
+	// Rule 2: arcs from every node that has written x into the reader.
+	tails := make(graph.NodeSet)
+	for w := range s.writers[x] {
+		if w != t.ID {
+			tails.Add(w)
+		}
+	}
+	// A cycle appears iff the reader already reaches one of the tails.
+	if s.g.ReachesAny(t.ID, tails) {
+		return s.reject(step, t), nil
+	}
+	for w := range tails {
+		s.g.AddArc(w, t.ID)
+	}
+	s.noteAccess(t, x, model.ReadAccess)
+	s.stats.Reads++
+	s.stats.Accepted++
+	res := Result{Step: step, Accepted: true, Aborted: model.NoTxn, CompletedTxn: model.NoTxn}
+	s.afterStep(&res, false)
+	return res, nil
+}
+
+func (s *Scheduler) writeFinal(step model.Step) (Result, error) {
+	t, err := s.activeTxn(step.Txn)
+	if err != nil {
+		return Result{}, err
+	}
+	s.seq++
+	// Rule 3: for every written entity, arcs from every prior reader or
+	// writer of it into the writer.
+	tails := make(graph.NodeSet)
+	for _, x := range step.Entities {
+		for r := range s.readers[x] {
+			if r != t.ID {
+				tails.Add(r)
+			}
+		}
+		for w := range s.writers[x] {
+			if w != t.ID {
+				tails.Add(w)
+			}
+		}
+	}
+	if s.g.ReachesAny(t.ID, tails) {
+		return s.reject(step, t), nil
+	}
+	for u := range tails {
+		s.g.AddArc(u, t.ID)
+	}
+	for _, x := range step.Entities {
+		s.noteAccess(t, x, model.WriteAccess)
+		s.lastWriteSeq[x] = s.seq
+		s.lastWriter[x] = t.ID
+	}
+	t.Status = model.StatusCompleted
+	t.EndSeq = s.seq
+	s.stats.Writes++
+	s.stats.Accepted++
+	s.stats.Completed++
+	res := Result{Step: step, Accepted: true, Aborted: model.NoTxn, CompletedTxn: t.ID}
+	s.afterStep(&res, true)
+	return res, nil
+}
+
+func (s *Scheduler) activeTxn(id model.TxnID) (*TxnState, error) {
+	t, ok := s.txns[id]
+	if !ok {
+		return nil, fmt.Errorf("core: step for unknown transaction T%d (no BEGIN, aborted, or deleted)", id)
+	}
+	if t.Status != model.StatusActive {
+		return nil, fmt.Errorf("core: step for %v transaction T%d", t.Status, id)
+	}
+	return t, nil
+}
+
+func (s *Scheduler) noteAccess(t *TxnState, x model.Entity, a model.Access) {
+	t.Access.Note(x, a)
+	t.accessSeq[x] = s.seq
+	idx := s.readers
+	if a == model.WriteAccess {
+		idx = s.writers
+	}
+	set, ok := idx[x]
+	if !ok {
+		set = make(graph.NodeSet)
+		idx[x] = set
+	}
+	set.Add(t.ID)
+}
+
+// reject aborts the acting transaction: the step is refused and the node,
+// its arcs, and all its access information are removed.
+func (s *Scheduler) reject(step model.Step, t *TxnState) Result {
+	s.forget(t.ID)
+	s.g.RemoveNode(t.ID)
+	t.Status = model.StatusAborted
+	delete(s.txns, t.ID)
+	s.stats.Rejected++
+	s.stats.Aborts++
+	res := Result{Step: step, Accepted: false, Aborted: t.ID, CompletedTxn: model.NoTxn}
+	s.afterStep(&res, true)
+	return res
+}
+
+// forget erases the transaction from the per-entity indexes. Its graph
+// node is handled separately (RemoveNode on abort, Reduce on deletion).
+func (s *Scheduler) forget(id model.TxnID) {
+	t := s.txns[id]
+	if t == nil {
+		return
+	}
+	for x, a := range t.Access {
+		delete(s.readers[x], id)
+		if len(s.readers[x]) == 0 {
+			delete(s.readers, x)
+		}
+		if a == model.WriteAccess {
+			delete(s.writers[x], id)
+			if len(s.writers[x]) == 0 {
+				delete(s.writers, x)
+			}
+		}
+	}
+}
+
+// deleteTxn removes a completed transaction with the paper's reduction:
+// splice predecessor×successor arcs and forget the access sets. It is the
+// policy-facing primitive and performs no safety check itself.
+func (s *Scheduler) deleteTxn(id model.TxnID) error {
+	t, ok := s.txns[id]
+	if !ok {
+		return fmt.Errorf("core: delete of unknown transaction T%d", id)
+	}
+	if t.Status != model.StatusCompleted {
+		return fmt.Errorf("core: delete of %v transaction T%d", t.Status, id)
+	}
+	s.forget(id)
+	s.g.Reduce(id)
+	delete(s.txns, id)
+	s.stats.Deleted++
+	if s.cfg.OnDelete != nil {
+		s.cfg.OnDelete(id)
+	}
+	return nil
+}
+
+// afterStep updates peak statistics and runs the deletion policy.
+// sweepEvent is true for the events after which a C1 verdict can change
+// (a completion or an abort); see Config.SweepEveryStep.
+func (s *Scheduler) afterStep(res *Result, sweepEvent bool) {
+	if s.cfg.Policy != nil && (sweepEvent || s.cfg.SweepEveryStep) {
+		sw := &Sweep{s: s, justCompleted: res.CompletedTxn}
+		s.cfg.Policy.Sweep(sw)
+		res.Deleted = sw.deleted
+		s.stats.Sweeps++
+	}
+	if n := s.g.NumNodes(); n > s.stats.PeakNodes {
+		s.stats.PeakNodes = n
+	}
+	if a := s.g.NumArcs(); a > s.stats.PeakArcs {
+		s.stats.PeakArcs = a
+	}
+	kept := s.NumCompleted()
+	if kept > s.stats.PeakKept {
+		s.stats.PeakKept = kept
+	}
+	s.stats.KeptSum += int64(kept)
+	s.stats.KeptSample++
+}
+
+// Noncurrent reports whether completed transaction id is noncurrent in the
+// sense of Corollary 1: every entity it accessed has been subsequently
+// overwritten. This is a property of the schedule, not of the (possibly
+// reduced) graph — which is exactly why the naive rule is not
+// compositional.
+func (s *Scheduler) Noncurrent(id model.TxnID) bool {
+	t, ok := s.txns[id]
+	if !ok || t.Status != model.StatusCompleted {
+		return false
+	}
+	for x := range t.Access {
+		if t.accessSeq[x] >= s.lastWriteSeq[x] {
+			return false // t read or wrote the current value of x
+		}
+	}
+	return true
+}
+
+// CurrentWriterPresent reports whether, for every entity the completed
+// transaction accessed, the schedule's current writer of that entity is a
+// *different* transaction that is still present in the graph. Together
+// with noncurrency this restores compositional safety (the present current
+// writer is a completed tight successor witness for every active tight
+// predecessor, as in Corollary 1's proof).
+func (s *Scheduler) CurrentWriterPresent(id model.TxnID) bool {
+	t, ok := s.txns[id]
+	if !ok {
+		return false
+	}
+	for x := range t.Access {
+		w, ok := s.lastWriter[x]
+		if !ok || w == id {
+			return false
+		}
+		if _, present := s.txns[w]; !present {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckC1 evaluates Theorem 1's condition C1 for transaction id against
+// the scheduler's current (reduced) graph. See conditions.go.
+func (s *Scheduler) CheckC1(id model.TxnID) (bool, *C1Violation) {
+	return CheckC1(s, s.g, id)
+}
+
+// CheckC2 evaluates Theorem 4's condition C2 for the set of transactions.
+func (s *Scheduler) CheckC2(set graph.NodeSet) (bool, *C2Violation) {
+	return CheckC2(s, s.g, set)
+}
+
+// ForceDelete removes a completed transaction WITHOUT any safety check.
+// It exists for the necessity experiments (Theorem 1's adversarial
+// continuations require performing a deletion that is known to be unsafe)
+// and must never be used by deletion policies.
+func (s *Scheduler) ForceDelete(id model.TxnID) error {
+	return s.deleteTxn(id)
+}
+
+// DeleteIfSafe deletes id iff C1 holds, returning whether it deleted.
+func (s *Scheduler) DeleteIfSafe(id model.TxnID) bool {
+	if ok, _ := s.CheckC1(id); !ok {
+		return false
+	}
+	if err := s.deleteTxn(id); err != nil {
+		return false
+	}
+	return true
+}

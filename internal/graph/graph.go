@@ -1,0 +1,600 @@
+// Package graph implements the directed-graph engine underneath every
+// scheduler in this repository: the conflict graph of Hadzilacos &
+// Yannakakis' "Deleting Completed Transactions" and the reduced graphs
+// obtained by deleting nodes.
+//
+// The engine supports the three operations the paper's schedulers need:
+//
+//   - incremental cycle checks when a step wants to add a batch of arcs
+//     (all arcs of one step share an endpoint, so a single DFS suffices);
+//   - reachability restricted to paths whose intermediate nodes satisfy a
+//     predicate ("tight" paths through completed transactions only);
+//   - node reduction — deleting a node and splicing arcs from all its
+//     immediate predecessors to all its immediate successors, the paper's
+//     RCG(p, Ti) operation.
+//
+// Nodes are model.TxnID values. The graph never stores parallel arcs or
+// self-loops.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// NodeSet is a set of transaction IDs.
+type NodeSet map[model.TxnID]struct{}
+
+// Has reports membership.
+func (s NodeSet) Has(id model.TxnID) bool { _, ok := s[id]; return ok }
+
+// Add inserts id.
+func (s NodeSet) Add(id model.TxnID) { s[id] = struct{}{} }
+
+// Sorted returns the members in ascending order.
+func (s NodeSet) Sorted() []model.TxnID {
+	out := make([]model.TxnID, 0, len(s))
+	for id := range s {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Arc is a directed edge between two transactions.
+type Arc struct {
+	From, To model.TxnID
+}
+
+// Graph is a mutable directed graph over transaction IDs.
+// The zero value is not usable; call New.
+type Graph struct {
+	out map[model.TxnID]NodeSet
+	in  map[model.TxnID]NodeSet
+	// arcs counts directed edges (each stored once).
+	arcs int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		out: make(map[model.TxnID]NodeSet),
+		in:  make(map[model.TxnID]NodeSet),
+	}
+}
+
+// Clone deep-copies the graph.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	c.arcs = g.arcs
+	for id, succs := range g.out {
+		ns := make(NodeSet, len(succs))
+		for s := range succs {
+			ns.Add(s)
+		}
+		c.out[id] = ns
+	}
+	for id, preds := range g.in {
+		ns := make(NodeSet, len(preds))
+		for p := range preds {
+			ns.Add(p)
+		}
+		c.in[id] = ns
+	}
+	return c
+}
+
+// AddNode inserts a node with no arcs. Adding an existing node is a no-op.
+func (g *Graph) AddNode(id model.TxnID) {
+	if _, ok := g.out[id]; ok {
+		return
+	}
+	g.out[id] = make(NodeSet)
+	g.in[id] = make(NodeSet)
+}
+
+// HasNode reports whether id is present.
+func (g *Graph) HasNode(id model.TxnID) bool {
+	_, ok := g.out[id]
+	return ok
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.out) }
+
+// NumArcs returns the arc count.
+func (g *Graph) NumArcs() int { return g.arcs }
+
+// Nodes returns all node IDs in ascending order.
+func (g *Graph) Nodes() []model.TxnID {
+	out := make([]model.TxnID, 0, len(g.out))
+	for id := range g.out {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AddArc inserts from→to. Self-loops and duplicate arcs are ignored; both
+// endpoints must already be nodes (it panics otherwise — schedulers always
+// add nodes first, so a violation is a programming error).
+func (g *Graph) AddArc(from, to model.TxnID) {
+	if from == to {
+		return
+	}
+	succ, ok := g.out[from]
+	if !ok {
+		panic(fmt.Sprintf("graph: AddArc from missing node T%d", from))
+	}
+	pred, ok := g.in[to]
+	if !ok {
+		panic(fmt.Sprintf("graph: AddArc to missing node T%d", to))
+	}
+	if succ.Has(to) {
+		return
+	}
+	succ.Add(to)
+	pred.Add(from)
+	g.arcs++
+}
+
+// HasArc reports whether from→to exists.
+func (g *Graph) HasArc(from, to model.TxnID) bool {
+	succ, ok := g.out[from]
+	return ok && succ.Has(to)
+}
+
+// Succs calls yield for each immediate successor of id until yield returns
+// false. Iteration order is unspecified.
+func (g *Graph) Succs(id model.TxnID, yield func(model.TxnID) bool) {
+	for s := range g.out[id] {
+		if !yield(s) {
+			return
+		}
+	}
+}
+
+// Preds calls yield for each immediate predecessor of id until yield
+// returns false.
+func (g *Graph) Preds(id model.TxnID, yield func(model.TxnID) bool) {
+	for p := range g.in[id] {
+		if !yield(p) {
+			return
+		}
+	}
+}
+
+// SuccList returns the immediate successors of id, sorted.
+func (g *Graph) SuccList(id model.TxnID) []model.TxnID { return g.out[id].Sorted() }
+
+// PredList returns the immediate predecessors of id, sorted.
+func (g *Graph) PredList(id model.TxnID) []model.TxnID { return g.in[id].Sorted() }
+
+// OutDegree returns the number of immediate successors of id.
+func (g *Graph) OutDegree(id model.TxnID) int { return len(g.out[id]) }
+
+// InDegree returns the number of immediate predecessors of id.
+func (g *Graph) InDegree(id model.TxnID) int { return len(g.in[id]) }
+
+// RemoveNode deletes id and all incident arcs (an *abort*: paths through
+// the node are lost on purpose). Removing a missing node is a no-op.
+func (g *Graph) RemoveNode(id model.TxnID) {
+	succs, ok := g.out[id]
+	if !ok {
+		return
+	}
+	for s := range succs {
+		delete(g.in[s], id)
+		g.arcs--
+	}
+	for p := range g.in[id] {
+		delete(g.out[p], id)
+		g.arcs--
+	}
+	delete(g.out, id)
+	delete(g.in, id)
+}
+
+// Reduce deletes id and splices arcs from every immediate predecessor to
+// every immediate successor, so no path through id is lost. This is the
+// paper's reduction operation D(G, Ti): "RCG(p, Ti) is CG(p) with node Ti
+// deleted and arcs to and from it replaced by arcs from all its immediate
+// predecessors to all its immediate successors."
+func (g *Graph) Reduce(id model.TxnID) {
+	succs, ok := g.out[id]
+	if !ok {
+		return
+	}
+	preds := g.in[id]
+	for p := range preds {
+		for s := range succs {
+			if p == s {
+				// A pred that is also a succ would mean a cycle through id;
+				// reduced graphs are acyclic so this cannot happen, but be
+				// defensive: never create a self-loop.
+				continue
+			}
+			g.AddArc(p, s)
+		}
+	}
+	g.RemoveNode(id)
+}
+
+// Reachable reports whether there is a (possibly empty) path from src to
+// dst. Reachable(x, x) is true.
+func (g *Graph) Reachable(src, dst model.TxnID) bool {
+	if src == dst {
+		return g.HasNode(src)
+	}
+	if !g.HasNode(src) || !g.HasNode(dst) {
+		return false
+	}
+	seen := NodeSet{src: {}}
+	stack := []model.TxnID{src}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for s := range g.out[n] {
+			if s == dst {
+				return true
+			}
+			if !seen.Has(s) {
+				seen.Add(s)
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// ReachesAny reports whether src reaches any member of targets by a
+// non-empty path... more precisely by any path of length >= 1, or length 0
+// if src itself is in targets. It is the scheduler's cycle test: a step
+// adds arcs tail→src for each tail in targets, so a cycle appears iff src
+// already reaches some tail.
+func (g *Graph) ReachesAny(src model.TxnID, targets NodeSet) bool {
+	if len(targets) == 0 || !g.HasNode(src) {
+		return false
+	}
+	if targets.Has(src) {
+		return true
+	}
+	seen := NodeSet{src: {}}
+	stack := []model.TxnID{src}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for s := range g.out[n] {
+			if targets.Has(s) {
+				return true
+			}
+			if !seen.Has(s) {
+				seen.Add(s)
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// AnyReaches reports whether any member of sources reaches dst.
+func (g *Graph) AnyReaches(sources NodeSet, dst model.TxnID) bool {
+	if len(sources) == 0 || !g.HasNode(dst) {
+		return false
+	}
+	if sources.Has(dst) {
+		return true
+	}
+	// Search backwards from dst.
+	seen := NodeSet{dst: {}}
+	stack := []model.TxnID{dst}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for p := range g.in[n] {
+			if sources.Has(p) {
+				return true
+			}
+			if !seen.Has(p) {
+				seen.Add(p)
+				stack = append(stack, p)
+			}
+		}
+	}
+	return false
+}
+
+// ForwardClosure returns every node reachable from src by a non-empty path
+// whose *intermediate* nodes all satisfy through. src itself is not
+// included unless reachable by such a path (i.e. never, since the graph is
+// acyclic in our uses). Endpoints are unconstrained: this matches the
+// paper's "tight successor" when through selects completed transactions.
+func (g *Graph) ForwardClosure(src model.TxnID, through func(model.TxnID) bool) NodeSet {
+	out := make(NodeSet)
+	if !g.HasNode(src) {
+		return out
+	}
+	// expanded marks nodes whose successors we have pushed.
+	expanded := NodeSet{src: {}}
+	stack := []model.TxnID{src}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for s := range g.out[n] {
+			if !out.Has(s) && s != src {
+				out.Add(s)
+			}
+			if !expanded.Has(s) && through(s) {
+				expanded.Add(s)
+				stack = append(stack, s)
+			}
+		}
+	}
+	return out
+}
+
+// BackwardClosure is ForwardClosure on the reversed graph: every node that
+// reaches src by a non-empty path whose intermediate nodes satisfy through.
+func (g *Graph) BackwardClosure(src model.TxnID, through func(model.TxnID) bool) NodeSet {
+	out := make(NodeSet)
+	if !g.HasNode(src) {
+		return out
+	}
+	expanded := NodeSet{src: {}}
+	stack := []model.TxnID{src}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for p := range g.in[n] {
+			if !out.Has(p) && p != src {
+				out.Add(p)
+			}
+			if !expanded.Has(p) && through(p) {
+				expanded.Add(p)
+				stack = append(stack, p)
+			}
+		}
+	}
+	return out
+}
+
+// Descendants returns all nodes reachable from src by a non-empty path.
+func (g *Graph) Descendants(src model.TxnID) NodeSet {
+	return g.ForwardClosure(src, func(model.TxnID) bool { return true })
+}
+
+// Ancestors returns all nodes that reach src by a non-empty path.
+func (g *Graph) Ancestors(src model.TxnID) NodeSet {
+	return g.BackwardClosure(src, func(model.TxnID) bool { return true })
+}
+
+// WouldCycle reports whether tentatively adding arcs would create a
+// directed cycle. It mutates nothing. The general algorithm inserts the
+// arcs into a scratch overlay and runs a DFS from each arc head looking for
+// any arc tail; schedulers with single-endpoint batches should prefer
+// ReachesAny/AnyReaches, but the certification variant needs this form.
+func (g *Graph) WouldCycle(arcs []Arc) bool {
+	if len(arcs) == 0 {
+		return false
+	}
+	// Overlay adjacency for the new arcs.
+	extra := make(map[model.TxnID][]model.TxnID, len(arcs))
+	for _, a := range arcs {
+		if a.From == a.To {
+			return true
+		}
+		extra[a.From] = append(extra[a.From], a.To)
+	}
+	// A new cycle must use at least one new arc; equivalently some head
+	// reaches some tail in graph+overlay. Search once from the set of heads.
+	tails := make(NodeSet, len(arcs))
+	heads := make(NodeSet, len(arcs))
+	for _, a := range arcs {
+		tails.Add(a.From)
+		heads.Add(a.To)
+	}
+	seen := make(NodeSet)
+	stack := make([]model.TxnID, 0, len(heads))
+	for h := range heads {
+		if !seen.Has(h) {
+			seen.Add(h)
+			stack = append(stack, h)
+		}
+	}
+	// BFS/DFS through union of existing arcs and overlay arcs. Finding a
+	// tail t reachable from a head is necessary but not sufficient (the
+	// path must continue from t through ITS new arc back to a head, which
+	// the overlay traversal handles automatically since overlay arcs are
+	// included). So: cycle iff the traversal, which includes overlay arcs,
+	// revisits a node already on the stack? Simpler and correct: a cycle
+	// exists in graph+overlay iff DFS from all nodes finds a back edge. We
+	// bound work to nodes reachable from heads, which must contain any new
+	// cycle. Run a coloring DFS over graph+overlay restricted to that set.
+	reach := seen
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for s := range g.out[n] {
+			if !reach.Has(s) {
+				reach.Add(s)
+				stack = append(stack, s)
+			}
+		}
+		for _, s := range extra[n] {
+			if !reach.Has(s) {
+				reach.Add(s)
+				stack = append(stack, s)
+			}
+		}
+	}
+	// Coloring DFS for cycle detection on the reachable subgraph.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[model.TxnID]uint8, len(reach))
+	type frame struct {
+		node model.TxnID
+		next []model.TxnID
+	}
+	neighbors := func(n model.TxnID) []model.TxnID {
+		var ns []model.TxnID
+		for s := range g.out[n] {
+			if reach.Has(s) {
+				ns = append(ns, s)
+			}
+		}
+		for _, s := range extra[n] {
+			if reach.Has(s) {
+				ns = append(ns, s)
+			}
+		}
+		return ns
+	}
+	for start := range reach {
+		if color[start] != white {
+			continue
+		}
+		st := []frame{{start, neighbors(start)}}
+		color[start] = gray
+		for len(st) > 0 {
+			f := &st[len(st)-1]
+			if len(f.next) == 0 {
+				color[f.node] = black
+				st = st[:len(st)-1]
+				continue
+			}
+			n := f.next[len(f.next)-1]
+			f.next = f.next[:len(f.next)-1]
+			switch color[n] {
+			case white:
+				color[n] = gray
+				st = append(st, frame{n, neighbors(n)})
+			case gray:
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Acyclic reports whether the whole graph is acyclic (used by tests and
+// the offline CSR checker).
+func (g *Graph) Acyclic() bool {
+	indeg := make(map[model.TxnID]int, len(g.out))
+	for id := range g.out {
+		indeg[id] = len(g.in[id])
+	}
+	queue := make([]model.TxnID, 0, len(g.out))
+	for id, d := range indeg {
+		if d == 0 {
+			queue = append(queue, id)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		n := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		seen++
+		for s := range g.out[n] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	return seen == len(g.out)
+}
+
+// TopoOrder returns the nodes in a topological order, or nil if the graph
+// has a cycle.
+func (g *Graph) TopoOrder() []model.TxnID {
+	indeg := make(map[model.TxnID]int, len(g.out))
+	for id := range g.out {
+		indeg[id] = len(g.in[id])
+	}
+	// Deterministic order: seed the queue sorted.
+	var queue []model.TxnID
+	for id, d := range indeg {
+		if d == 0 {
+			queue = append(queue, id)
+		}
+	}
+	sort.Slice(queue, func(i, j int) bool { return queue[i] < queue[j] })
+	order := make([]model.TxnID, 0, len(g.out))
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		var next []model.TxnID
+		for s := range g.out[n] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				next = append(next, s)
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		queue = append(queue, next...)
+	}
+	if len(order) != len(g.out) {
+		return nil
+	}
+	return order
+}
+
+// Arcs returns every arc, sorted by (From, To). Intended for tests and
+// rendering; O(E log E).
+func (g *Graph) Arcs() []Arc {
+	out := make([]Arc, 0, g.arcs)
+	for from, succs := range g.out {
+		for to := range succs {
+			out = append(out, Arc{from, to})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// Equal reports whether two graphs have identical node and arc sets.
+func (g *Graph) Equal(o *Graph) bool {
+	if len(g.out) != len(o.out) || g.arcs != o.arcs {
+		return false
+	}
+	for id, succs := range g.out {
+		osuccs, ok := o.out[id]
+		if !ok || len(succs) != len(osuccs) {
+			return false
+		}
+		for s := range succs {
+			if !osuccs.Has(s) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the graph as "T1->{T2 T3}; T2->{}" lines for debugging.
+func (g *Graph) String() string {
+	var b strings.Builder
+	for _, id := range g.Nodes() {
+		fmt.Fprintf(&b, "T%d -> {", id)
+		for i, s := range g.SuccList(id) {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "T%d", s)
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,361 @@
+// Package locking implements a strict two-phase-locking scheduler as the
+// paper's baseline: "If pure locking is used to control concurrency, then
+// transactions can be closed at commit time" (Section 1). The scheduler
+// acquires shared locks for reads and exclusive locks for the final
+// atomic write, holds everything to commit, and at commit releases the
+// locks and FORGETS the transaction entirely — the storage behaviour the
+// conflict-graph scheduler cannot match without the paper's deletion
+// conditions.
+//
+// Blocked steps queue FIFO per entity; deadlocks are detected with a
+// waits-for cycle check at block time and resolved by aborting the
+// requester. Locking accepts only a subset of the conflict-serializable
+// schedules (2PL ⊊ CSR), which experiment E7 quantifies.
+package locking
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// Outcome of a step.
+type Outcome uint8
+
+const (
+	// Executed: locks granted, step ran.
+	Executed Outcome = iota
+	// Blocked: step queued behind conflicting locks.
+	Blocked
+	// Aborted: the step would deadlock; its transaction was aborted.
+	Aborted
+)
+
+// Result reports one step's effect.
+type Result struct {
+	Step    model.Step
+	Outcome Outcome
+	// Unblocked lists queued steps granted as a consequence, in order.
+	Unblocked []model.Step
+	// Committed lists transactions committed (and closed) by this call.
+	Committed []model.TxnID
+}
+
+// Stats counts scheduler activity.
+type Stats struct {
+	Begins    int64
+	Reads     int64
+	Writes    int64
+	BlockedEv int64
+	Deadlocks int64
+	Aborts    int64
+	Commits   int64
+	// PeakLive is the peak number of transaction records held — the
+	// locking scheduler's analogue of retained graph nodes. It never
+	// exceeds the number of concurrently active transactions.
+	PeakLive int
+	// PeakLocks is the peak number of held lock entries.
+	PeakLocks int
+}
+
+// request is a queued lock acquisition.
+type request struct {
+	txn model.TxnID
+	// wants maps entity -> exclusive?
+	wants map[model.Entity]bool
+	// step re-emitted on grant.
+	step model.Step
+}
+
+type txnState struct {
+	id model.TxnID
+	// held maps entity -> exclusive?
+	held    map[model.Entity]bool
+	pending *request
+	// writeSet of the final write once submitted.
+	finishing bool
+}
+
+// Scheduler is the strict-2PL baseline.
+type Scheduler struct {
+	txns map[model.TxnID]*txnState
+
+	// sharedHolders[x] = transactions holding a shared lock on x.
+	sharedHolders map[model.Entity]graph.NodeSet
+	// exclHolder[x] = transaction holding the exclusive lock, if any.
+	exclHolder map[model.Entity]model.TxnID
+	// queues[x] = FIFO of waiting requests that include x.
+	queue []*request
+	stats Stats
+}
+
+// NewScheduler returns an empty locking scheduler.
+func NewScheduler() *Scheduler {
+	return &Scheduler{
+		txns:          make(map[model.TxnID]*txnState),
+		sharedHolders: make(map[model.Entity]graph.NodeSet),
+		exclHolder:    make(map[model.Entity]model.TxnID),
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Scheduler) Stats() Stats { return s.stats }
+
+// Live returns the number of transaction records currently held.
+func (s *Scheduler) Live() int { return len(s.txns) }
+
+// IsBlocked reports whether id has a queued request.
+func (s *Scheduler) IsBlocked(id model.TxnID) bool {
+	t, ok := s.txns[id]
+	return ok && t.pending != nil
+}
+
+// Apply processes one basic-model step.
+func (s *Scheduler) Apply(step model.Step) (Result, error) {
+	switch step.Kind {
+	case model.KindBegin:
+		if _, ok := s.txns[step.Txn]; ok {
+			return Result{}, fmt.Errorf("locking: duplicate BEGIN for T%d", step.Txn)
+		}
+		s.txns[step.Txn] = &txnState{id: step.Txn, held: make(map[model.Entity]bool)}
+		s.stats.Begins++
+		if n := len(s.txns); n > s.stats.PeakLive {
+			s.stats.PeakLive = n
+		}
+		return Result{Step: step, Outcome: Executed}, nil
+	case model.KindRead:
+		t, err := s.liveTxn(step.Txn)
+		if err != nil {
+			return Result{}, err
+		}
+		s.stats.Reads++
+		return s.acquire(t, step, map[model.Entity]bool{step.Entity: false}), nil
+	case model.KindWriteFinal:
+		t, err := s.liveTxn(step.Txn)
+		if err != nil {
+			return Result{}, err
+		}
+		s.stats.Writes++
+		wants := make(map[model.Entity]bool, len(step.Entities))
+		for _, x := range step.Entities {
+			wants[x] = true
+		}
+		t.finishing = true
+		return s.acquire(t, step, wants), nil
+	default:
+		return Result{}, fmt.Errorf("locking: step kind %v not part of the basic model", step.Kind)
+	}
+}
+
+func (s *Scheduler) liveTxn(id model.TxnID) (*txnState, error) {
+	t, ok := s.txns[id]
+	if !ok {
+		return nil, fmt.Errorf("locking: step for unknown transaction T%d (no BEGIN, committed, or aborted)", id)
+	}
+	if t.pending != nil {
+		return nil, fmt.Errorf("locking: T%d already has a blocked step", id)
+	}
+	return t, nil
+}
+
+// canGrant reports whether t can take all locks in wants right now.
+func (s *Scheduler) canGrant(t *txnState, wants map[model.Entity]bool) bool {
+	for x, excl := range wants {
+		if holder, ok := s.exclHolder[x]; ok && holder != t.id {
+			return false
+		}
+		if excl {
+			for h := range s.sharedHolders[x] {
+				if h != t.id {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// grant takes the locks (upgrading shared to exclusive where needed).
+func (s *Scheduler) grant(t *txnState, wants map[model.Entity]bool) {
+	for x, excl := range wants {
+		if excl {
+			delete(s.sharedHolders[x], t.id)
+			if len(s.sharedHolders[x]) == 0 {
+				delete(s.sharedHolders, x)
+			}
+			s.exclHolder[x] = t.id
+			t.held[x] = true
+		} else if !t.held[x] {
+			set, ok := s.sharedHolders[x]
+			if !ok {
+				set = make(graph.NodeSet)
+				s.sharedHolders[x] = set
+			}
+			set.Add(t.id)
+			t.held[x] = false
+		}
+	}
+	if n := s.countLocks(); n > s.stats.PeakLocks {
+		s.stats.PeakLocks = n
+	}
+}
+
+func (s *Scheduler) countLocks() int {
+	n := len(s.exclHolder)
+	for _, hs := range s.sharedHolders {
+		n += len(hs)
+	}
+	return n
+}
+
+// blockers returns the transactions t would wait for given wants.
+func (s *Scheduler) blockers(t *txnState, wants map[model.Entity]bool) graph.NodeSet {
+	out := make(graph.NodeSet)
+	for x, excl := range wants {
+		if holder, ok := s.exclHolder[x]; ok && holder != t.id {
+			out.Add(holder)
+		}
+		if excl {
+			for h := range s.sharedHolders[x] {
+				if h != t.id {
+					out.Add(h)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// waitsForCycle reports whether blocking t on `blockers` would close a
+// cycle in the waits-for graph.
+func (s *Scheduler) waitsForCycle(start model.TxnID, first graph.NodeSet) bool {
+	seen := make(graph.NodeSet)
+	stack := first.Sorted()
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == start {
+			return true
+		}
+		if seen.Has(n) {
+			continue
+		}
+		seen.Add(n)
+		// n waits for the blockers of its own pending request.
+		if tn := s.txns[n]; tn != nil && tn.pending != nil {
+			for b := range s.blockers(tn, tn.pending.wants) {
+				stack = append(stack, b)
+			}
+		}
+	}
+	return false
+}
+
+// acquire grants, blocks, or deadlock-aborts the step.
+func (s *Scheduler) acquire(t *txnState, step model.Step, wants map[model.Entity]bool) Result {
+	if s.canGrant(t, wants) {
+		s.grant(t, wants)
+		res := Result{Step: step, Outcome: Executed}
+		s.finishIfCommitting(t, &res)
+		s.drain(&res)
+		return res
+	}
+	blockers := s.blockers(t, wants)
+	if s.waitsForCycle(t.id, blockers) {
+		s.stats.Deadlocks++
+		s.abort(t.id)
+		res := Result{Step: step, Outcome: Aborted}
+		s.drain(&res)
+		return res
+	}
+	req := &request{txn: t.id, wants: wants, step: step}
+	t.pending = req
+	s.queue = append(s.queue, req)
+	s.stats.BlockedEv++
+	return Result{Step: step, Outcome: Blocked}
+}
+
+// finishIfCommitting commits and CLOSES the transaction after its final
+// write executed: locks released, record deleted — nothing about the
+// transaction survives (the locking scheduler's defining property).
+func (s *Scheduler) finishIfCommitting(t *txnState, res *Result) {
+	if !t.finishing {
+		return
+	}
+	s.releaseAll(t)
+	delete(s.txns, t.id)
+	s.stats.Commits++
+	res.Committed = append(res.Committed, t.id)
+}
+
+func (s *Scheduler) releaseAll(t *txnState) {
+	for x, excl := range t.held {
+		if excl {
+			delete(s.exclHolder, x)
+		} else {
+			delete(s.sharedHolders[x], t.id)
+			if len(s.sharedHolders[x]) == 0 {
+				delete(s.sharedHolders, x)
+			}
+		}
+	}
+	t.held = make(map[model.Entity]bool)
+}
+
+// abort releases everything T holds and drops it (and its queue entry).
+func (s *Scheduler) abort(id model.TxnID) {
+	t := s.txns[id]
+	if t == nil {
+		return
+	}
+	s.releaseAll(t)
+	for i, r := range s.queue {
+		if r.txn == id {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			break
+		}
+	}
+	delete(s.txns, id)
+	s.stats.Aborts++
+}
+
+// drain grants queued requests (first-fit FIFO scan) until a fixpoint.
+func (s *Scheduler) drain(res *Result) {
+	for {
+		progress := false
+		for i := 0; i < len(s.queue); i++ {
+			r := s.queue[i]
+			t := s.txns[r.txn]
+			if t == nil {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				i--
+				continue
+			}
+			if s.canGrant(t, r.wants) {
+				s.grant(t, r.wants)
+				t.pending = nil
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				i--
+				res.Unblocked = append(res.Unblocked, r.step)
+				s.finishIfCommitting(t, res)
+				progress = true
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// WaitsFor exposes the waits-for edges of a blocked transaction (tests).
+func (s *Scheduler) WaitsFor(id model.TxnID) []model.TxnID {
+	t := s.txns[id]
+	if t == nil || t.pending == nil {
+		return nil
+	}
+	out := s.blockers(t, t.pending.wants).Sorted()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

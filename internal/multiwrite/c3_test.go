@@ -1,0 +1,225 @@
+package multiwrite
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// privateWriterScenario: T1 active reads a; T2 writes a's conflict
+// partner... Build the simplest C3-relevant shape:
+//
+//	A (active) -w-> F1 (finished, dep on A) -w-> C1 (committed)
+//
+// where C1 writes a private entity: not deletable (M=∅ world has an
+// FC-path A→...→C1 but no alternative for the private entity).
+func TestC3PrivateEntityBlocksDeletion(t *testing.T) {
+	s := NewScheduler()
+	apply(t, s, model.Begin(1))    // A
+	apply(t, s, model.Write(1, 0)) // A writes e0
+	apply(t, s, model.Begin(2))    // F1
+	apply(t, s, model.Read(2, 0))  // reads A's e0: dep on A; arc 1->2
+	apply(t, s, model.Write(2, 1)) // writes e1
+	apply(t, s, model.Finish(2))   // F (depends on active A)
+	apply(t, s, model.Begin(3))    // C1
+	apply(t, s, model.Write(3, 1)) // ww conflict with F1: arc 2->3, no dep
+	apply(t, s, model.Write(3, 2)) // private entity e2
+	apply(t, s, model.Finish(3))   // commits
+	if s.Status(3) != model.StatusCommitted {
+		t.Fatalf("T3 = %v", s.Status(3))
+	}
+	ok, viol, err := s.CheckC3(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("T3 wrote a private entity with an FC-path from active T1: C3 must fail")
+	}
+	if viol.Tj != 1 {
+		t.Fatalf("violation Tj = T%d, want T1", viol.Tj)
+	}
+}
+
+// TestC3AbortWorldMatters: a transaction that looks safe in the M=∅ world
+// can be unsafe in a world where aborting an active removes the witness.
+func TestC3AbortWorldMatters(t *testing.T) {
+	// A1 (active) writes e0.
+	// W (finished, dep on A1): reads e0, writes x.      [the witness]
+	// A2 (active) reads yy.
+	// Ti: writes yy (arc A2->Ti), writes x after W (arc W->Ti), commits.
+	// In the M=∅ world: FC-path A2->Ti direct; witness for x: path
+	// A2->Ti->? no... witness must be a path from A2 to some Tk≠Ti with
+	// access(x) ≥ write. W is not a successor of A2. Hmm — then Ti is
+	// already unsafe in the empty world. Reverse: make W a successor of
+	// A2 too: W also writes z after A2 reads z (arc A2->W).
+	s := NewScheduler()
+	apply(t, s, model.Begin(1))    // A1
+	apply(t, s, model.Write(1, 0)) // e0
+	apply(t, s, model.Begin(2))    // A2
+	apply(t, s, model.Read(2, 3))  // reads z (e3)
+	apply(t, s, model.Begin(4))    // W
+	apply(t, s, model.Read(4, 0))  // dep on A1; arc 1->4
+	apply(t, s, model.Write(4, 3)) // writes z: arc 2->4 (A2 read z)
+	apply(t, s, model.Write(4, 1)) // writes x (e1)
+	apply(t, s, model.Finish(4))   // F (dep on A1)
+	apply(t, s, model.Begin(5))    // Ti
+	apply(t, s, model.Read(5, 2))  // reads yy (e2)? need arc A2->Ti:
+	// A2 must have accessed something Ti writes. A2 read z; Ti writes z.
+	apply(t, s, model.Write(5, 3)) // writes z: arcs 2->5 and 4->5
+	apply(t, s, model.Write(5, 1)) // writes x after W: arc 4->5
+	apply(t, s, model.Finish(5))   // commits? deps: read of e2 (never written) — no dep
+	if s.Status(5) != model.StatusCommitted {
+		t.Fatalf("T5 = %v", s.Status(5))
+	}
+	// Empty world: A2 has FC-path to T5 (direct arc). Witness for x: path
+	// A2 -> W (arc 2->4), W writes x: OK. Witness for z: W writes z: OK.
+	// e2 is read-only for T5; witness needs any reader: nobody else reads
+	// e2 — VIOLATION with M=∅? "accesses x at least as strongly": T5
+	// reads e2, so a witness must read or write e2. None does. So C3
+	// already fails in the empty world. Drop the e2 read to make the
+	// empty world pass... (we keep this test focused on the abort world)
+	// Rebuild without the e2 read:
+	s2 := NewScheduler()
+	apply(t, s2, model.Begin(1))
+	apply(t, s2, model.Write(1, 0))
+	apply(t, s2, model.Begin(2))
+	apply(t, s2, model.Read(2, 3))
+	apply(t, s2, model.Begin(4))
+	apply(t, s2, model.Read(4, 0))
+	apply(t, s2, model.Write(4, 3))
+	apply(t, s2, model.Write(4, 1))
+	apply(t, s2, model.Finish(4))
+	apply(t, s2, model.Begin(5))
+	apply(t, s2, model.Write(5, 3))
+	apply(t, s2, model.Write(5, 1))
+	apply(t, s2, model.Finish(5))
+	if s2.Status(5) != model.StatusCommitted {
+		t.Fatalf("T5 = %v", s2.Status(5))
+	}
+	// Empty world passes (W witnesses both x and z). But M={A1}: aborting
+	// A1 cascades to W (it read A1's e0), removing the witness, while the
+	// FC-path A2->T5 (direct arc) survives: C3 must fail.
+	ok, viol, err := s2.CheckC3(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("aborting A1 removes witness W; C3 must fail")
+	}
+	if len(viol.M) != 1 || viol.M[0] != 1 {
+		t.Fatalf("violating M = %v, want [1]", viol.M)
+	}
+	if viol.Tj != 2 {
+		t.Fatalf("Tj = T%d, want T2", viol.Tj)
+	}
+}
+
+// TestC3Deletable: with a committed witness the deletion is safe in every
+// abort world.
+func TestC3DeletableWithCommittedWitness(t *testing.T) {
+	s := NewScheduler()
+	apply(t, s, model.Begin(2))    // A2 active
+	apply(t, s, model.Read(2, 3))  // reads z
+	apply(t, s, model.Begin(4))    // W: committed witness
+	apply(t, s, model.Write(4, 3)) // writes z: arc 2->4
+	apply(t, s, model.Write(4, 1)) // writes x
+	apply(t, s, model.Finish(4))   // commits (no deps)
+	apply(t, s, model.Begin(5))    // Ti
+	apply(t, s, model.Write(5, 3)) // arcs 2->5, 4->5
+	apply(t, s, model.Write(5, 1)) // arc 4->5
+	apply(t, s, model.Finish(5))   // commits
+	ok, viol, err := s.CheckC3(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("committed witness W covers both entities; C3 should hold: %v", viol)
+	}
+	if did, err := s.DeleteIfSafe(5); err != nil || !did {
+		t.Fatalf("DeleteIfSafe: %v %v", did, err)
+	}
+	if s.Graph().HasNode(5) {
+		t.Fatal("node should be gone")
+	}
+}
+
+func TestC3NoActives(t *testing.T) {
+	s := NewScheduler()
+	apply(t, s, model.Begin(1))
+	apply(t, s, model.Write(1, 0))
+	apply(t, s, model.Finish(1))
+	apply(t, s, model.Begin(2))
+	apply(t, s, model.Write(2, 0))
+	apply(t, s, model.Finish(2))
+	for _, id := range []model.TxnID{1, 2} {
+		ok, _, err := s.CheckC3(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("with no actives every committed txn is deletable; T%d failed", id)
+		}
+	}
+}
+
+func TestC3RequiresCommitted(t *testing.T) {
+	s := NewScheduler()
+	apply(t, s, model.Begin(1))
+	apply(t, s, model.Write(1, 0))
+	if _, _, err := s.CheckC3(1); err == nil {
+		t.Fatal("C3 on active must error")
+	}
+	if _, _, err := s.CheckC3(99); err == nil {
+		t.Fatal("C3 on unknown must error")
+	}
+}
+
+func TestC3TooManyActives(t *testing.T) {
+	s := NewScheduler()
+	for id := model.TxnID(0); id < MaxC3Actives+1; id++ {
+		apply(t, s, model.Begin(id))
+	}
+	apply(t, s, model.Begin(100))
+	apply(t, s, model.Write(100, 0))
+	apply(t, s, model.Finish(100))
+	if _, _, err := s.CheckC3(100); err == nil {
+		t.Fatal("active count beyond MaxC3Actives must error")
+	}
+}
+
+func TestIrreducible(t *testing.T) {
+	// One committed with private entity + FC path from an active: stuck.
+	s := NewScheduler()
+	apply(t, s, model.Begin(1))
+	apply(t, s, model.Read(1, 0)) // active reads e0
+	apply(t, s, model.Begin(2))
+	apply(t, s, model.Write(2, 0)) // arc 1->2
+	apply(t, s, model.Write(2, 5)) // private
+	apply(t, s, model.Finish(2))   // commits
+	stuck, err := s.Irreducible()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stuck {
+		t.Fatal("T2's private entity blocks deletion: graph is irreducible")
+	}
+	// Add a second writer of both entities: now T2 becomes deletable.
+	apply(t, s, model.Begin(3))
+	apply(t, s, model.Write(3, 0))
+	apply(t, s, model.Write(3, 5))
+	apply(t, s, model.Finish(3))
+	stuck, err = s.Irreducible()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stuck {
+		t.Fatal("T3 witnesses everything T2 did; T2 should now be deletable")
+	}
+}
+
+func TestC3ViolationError(t *testing.T) {
+	v := &C3Violation{Ti: 1, M: []model.TxnID{2}, Tj: 3, X: 4}
+	if v.Error() == "" {
+		t.Fatal("empty error")
+	}
+}

@@ -1,0 +1,173 @@
+package multiwrite
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// mwScript is one planned multiwrite transaction.
+type mwScript struct {
+	id    model.TxnID
+	steps []model.Step
+}
+
+// randomMWStream materializes a random multiple-write workload: per
+// transaction, interleaved reads and writes ended by Finish.
+func randomMWStream(seed int64, txns, entities, maxActive int) []model.Step {
+	rng := rand.New(rand.NewSource(seed))
+	var out []model.Step
+	var live []*mwScript
+	next := model.TxnID(1)
+	issued := 0
+	for issued < txns || len(live) > 0 {
+		if issued < txns && (len(live) == 0 || (len(live) < maxActive && rng.Intn(3) == 0)) {
+			sc := &mwScript{id: next}
+			next++
+			issued++
+			n := 1 + rng.Intn(4)
+			for i := 0; i < n; i++ {
+				x := model.Entity(rng.Intn(entities))
+				if rng.Intn(2) == 0 {
+					sc.steps = append(sc.steps, model.Read(sc.id, x))
+				} else {
+					sc.steps = append(sc.steps, model.Write(sc.id, x))
+				}
+			}
+			sc.steps = append(sc.steps, model.Finish(sc.id))
+			out = append(out, model.Begin(sc.id))
+			live = append(live, sc)
+			continue
+		}
+		i := rng.Intn(len(live))
+		sc := live[i]
+		out = append(out, sc.steps[0])
+		sc.steps = sc.steps[1:]
+		if len(sc.steps) == 0 {
+			live = append(live[:i], live[i+1:]...)
+		}
+	}
+	return out
+}
+
+// feed drives a stream through a scheduler, skipping steps of dead
+// (aborted, incl. cascaded) transactions; if gc is true, runs the greedy
+// C3 sweep after every accepted step that committed something. It returns
+// the per-step accept decisions and the log for offline CSR checking.
+func feed(t *testing.T, s *Scheduler, steps []model.Step, gc bool) ([]bool, *trace.Log) {
+	t.Helper()
+	dead := map[model.TxnID]bool{}
+	var decisions []bool
+	log := trace.NewLog()
+	for _, st := range steps {
+		if dead[st.Txn] {
+			continue
+		}
+		res, err := s.Apply(st)
+		if err != nil {
+			t.Fatalf("%v: %v", st, err)
+		}
+		decisions = append(decisions, res.Accepted)
+		log.Append(st, res.Accepted)
+		for _, a := range res.Aborted {
+			dead[a] = true
+			log.MarkAborted(a)
+		}
+		if gc && len(res.Committed) > 0 {
+			s.GreedyC3Sweep(0)
+		}
+	}
+	return decisions, log
+}
+
+// TestGreedyC3LockstepEquivalence is the multiple-write analogue of the
+// basic-model oracle: a scheduler that C3-deletes committed transactions
+// must make exactly the decisions of the never-deleting scheduler, and
+// its accepted subschedule must be CSR. (Lemma 4 + Theorem 2, whose proof
+// the paper notes is rule-agnostic.)
+func TestGreedyC3LockstepEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		// Small active counts keep the exponential C3 affordable.
+		steps := randomMWStream(seed, 24, 4, 3)
+		full := NewScheduler()
+		reduced := NewScheduler()
+		fd, flog := feed(t, full, steps, false)
+		rd, rlog := feed(t, reduced, steps, true)
+		if len(fd) != len(rd) {
+			t.Fatalf("seed %d: decision streams differ in length: %d vs %d", seed, len(fd), len(rd))
+		}
+		for i := range fd {
+			if fd[i] != rd[i] {
+				t.Fatalf("seed %d: divergence at decision %d: full=%v reduced=%v", seed, i, fd[i], rd[i])
+			}
+		}
+		if err := flog.CheckAcceptedCSR(); err != nil {
+			t.Fatalf("seed %d (full): %v", seed, err)
+		}
+		if err := rlog.CheckAcceptedCSR(); err != nil {
+			t.Fatalf("seed %d (reduced): %v", seed, err)
+		}
+	}
+}
+
+// TestGreedyC3ActuallyDeletes guards against the sweep being vacuous.
+func TestGreedyC3ActuallyDeletes(t *testing.T) {
+	deletedTotal := 0
+	for seed := int64(0); seed < 12; seed++ {
+		steps := randomMWStream(seed, 24, 4, 3)
+		s := NewScheduler()
+		dead := map[model.TxnID]bool{}
+		for _, st := range steps {
+			if dead[st.Txn] {
+				continue
+			}
+			res, err := s.Apply(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, a := range res.Aborted {
+				dead[a] = true
+			}
+			if len(res.Committed) > 0 {
+				deletedTotal += len(s.GreedyC3Sweep(0))
+			}
+		}
+	}
+	if deletedTotal == 0 {
+		t.Fatal("greedy C3 never deleted anything across 12 seeds")
+	}
+}
+
+// TestGreedyC3SweepBudget: the candidate budget stops the sweep early.
+func TestGreedyC3SweepBudget(t *testing.T) {
+	s := NewScheduler()
+	for id := model.TxnID(1); id <= 5; id++ {
+		s.MustApply(model.Begin(id))
+		s.MustApply(model.Write(id, model.Entity(id)))
+		s.MustApply(model.Finish(id))
+	}
+	got := s.GreedyC3Sweep(2)
+	if len(got) > 2 {
+		t.Fatalf("budget 2 but deleted %d", len(got))
+	}
+	if len(got) == 0 {
+		t.Fatal("independent committed transactions should be deletable")
+	}
+}
+
+// TestGreedyC3StopsBeyondActiveCap: with too many actives the sweep
+// degrades gracefully (no deletions, no panic).
+func TestGreedyC3StopsBeyondActiveCap(t *testing.T) {
+	s := NewScheduler()
+	for id := model.TxnID(0); id < MaxC3Actives+2; id++ {
+		s.MustApply(model.Begin(id))
+	}
+	s.MustApply(model.Begin(1000))
+	s.MustApply(model.Write(1000, 0))
+	s.MustApply(model.Finish(1000))
+	if got := s.GreedyC3Sweep(0); len(got) != 0 {
+		t.Fatalf("sweep beyond the active cap must delete nothing, got %v", got)
+	}
+}

@@ -1,0 +1,39 @@
+// GreedyC3: the multiple-write model's deletion policy. After each commit
+// it repeatedly deletes any committed transaction satisfying condition C3.
+// Each C3 test is exponential in the number of active transactions
+// (Theorem 6 — there is no way around it), so the sweep refuses to run
+// beyond MaxC3Actives and can be budgeted with MaxCandidates.
+package multiwrite
+
+import "repro/internal/model"
+
+// GreedyC3Sweep deletes committed transactions satisfying C3 until none
+// does, returning the deleted IDs. maxCandidates bounds how many C3 tests
+// run per sweep (0 = unlimited); the sweep stops early when the active
+// count exceeds MaxC3Actives (the checker would error).
+func (s *Scheduler) GreedyC3Sweep(maxCandidates int) []model.TxnID {
+	var deleted []model.TxnID
+	tested := 0
+	for {
+		progress := false
+		for _, id := range s.Committed() {
+			if maxCandidates > 0 && tested >= maxCandidates {
+				return deleted
+			}
+			ok, _, err := s.CheckC3(id)
+			tested++
+			if err != nil {
+				return deleted // too many actives: stop sweeping
+			}
+			if ok {
+				if s.Delete(id) == nil {
+					deleted = append(deleted, id)
+					progress = true
+				}
+			}
+		}
+		if !progress {
+			return deleted
+		}
+	}
+}

@@ -1,0 +1,439 @@
+// Package multiwrite implements the paper's Section 5 "multiple write
+// steps" model: a transaction is an arbitrary sequence of read and write
+// steps (each write installs immediately), ended by an explicit finish.
+// Because writes are visible before completion, a transaction may read
+// from an uncommitted writer and thereby *depend* on it; aborts cascade
+// along dependencies, and a finished transaction commits only once it no
+// longer depends on any uncommitted transaction. Transactions therefore
+// have three states: Active (A), Finished-but-uncommitted (F), and
+// Committed (C).
+//
+// The scheduler applies the same conflict-graph Rules 1–3 step by step
+// (write arcs at each write). Deletion of a committed transaction is
+// governed by condition C3 (see c3.go), whose test is NP-complete
+// (Theorem 6).
+package multiwrite
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// Stats counts scheduler activity.
+type Stats struct {
+	Begins    int64
+	Reads     int64
+	Writes    int64
+	Finishes  int64
+	Accepted  int64
+	Rejected  int64
+	Aborts    int64 // includes cascading aborts
+	Cascaded  int64 // aborts caused by dependency, not by a rejected step
+	Commits   int64
+	Deleted   int64
+	PeakNodes int
+}
+
+// TxnState is the record of one multiwrite transaction.
+type TxnState struct {
+	ID     model.TxnID
+	Status model.Status // Active, Finished, Committed (Aborted = removed)
+	Access model.AccessSet
+}
+
+// Result reports one step's effect.
+type Result struct {
+	Step     model.Step
+	Accepted bool
+	// Aborted lists every transaction aborted by this step: the acting
+	// transaction (if rejected) plus all cascading aborts.
+	Aborted []model.TxnID
+	// Committed lists transactions whose commit was triggered by this
+	// step (the finisher itself and/or dependents unblocked by it).
+	Committed []model.TxnID
+}
+
+// Scheduler is the multiple-write conflict-graph scheduler.
+type Scheduler struct {
+	g       *graph.Graph
+	txns    map[model.TxnID]*TxnState
+	readers map[model.Entity]graph.NodeSet
+	writers map[model.Entity]graph.NodeSet
+	// writeStack tracks, per entity, the live writers in write order; the
+	// top is the version a new read observes (aborts pop their writes,
+	// restoring before-images).
+	writeStack map[model.Entity][]model.TxnID
+	// dependsOn[t] = direct uncommitted writers t has read from.
+	dependsOn map[model.TxnID]graph.NodeSet
+	// dependents[t] = transactions that directly depend on t.
+	dependents map[model.TxnID]graph.NodeSet
+	stats      Stats
+}
+
+// NewScheduler returns an empty multiwrite scheduler.
+func NewScheduler() *Scheduler {
+	return &Scheduler{
+		g:          graph.New(),
+		txns:       make(map[model.TxnID]*TxnState),
+		readers:    make(map[model.Entity]graph.NodeSet),
+		writers:    make(map[model.Entity]graph.NodeSet),
+		writeStack: make(map[model.Entity][]model.TxnID),
+		dependsOn:  make(map[model.TxnID]graph.NodeSet),
+		dependents: make(map[model.TxnID]graph.NodeSet),
+	}
+}
+
+// Graph exposes the current graph (read-only).
+func (s *Scheduler) Graph() *graph.Graph { return s.g }
+
+// Stats returns a snapshot of counters.
+func (s *Scheduler) Stats() Stats { return s.stats }
+
+// Status implements core.StateView (Aborted for unknown IDs).
+func (s *Scheduler) Status(id model.TxnID) model.Status {
+	if t, ok := s.txns[id]; ok {
+		return t.Status
+	}
+	return model.StatusAborted
+}
+
+// Access implements core.StateView.
+func (s *Scheduler) Access(id model.TxnID) model.AccessSet {
+	if t, ok := s.txns[id]; ok {
+		return t.Access
+	}
+	return nil
+}
+
+// TxnsByStatus returns the IDs with the given status, ascending.
+func (s *Scheduler) TxnsByStatus(st model.Status) []model.TxnID {
+	var out []model.TxnID
+	for id, t := range s.txns {
+		if t.Status == st {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Active returns the active transactions (type A).
+func (s *Scheduler) Active() []model.TxnID { return s.TxnsByStatus(model.StatusActive) }
+
+// Finished returns the finished-but-uncommitted transactions (type F).
+func (s *Scheduler) Finished() []model.TxnID { return s.TxnsByStatus(model.StatusFinished) }
+
+// Committed returns the committed transactions (type C).
+func (s *Scheduler) Committed() []model.TxnID { return s.TxnsByStatus(model.StatusCommitted) }
+
+// DependsOn returns the direct uncommitted writers id has read from.
+func (s *Scheduler) DependsOn(id model.TxnID) []model.TxnID {
+	return s.dependsOn[id].Sorted()
+}
+
+// Apply processes one multiwrite-model step.
+func (s *Scheduler) Apply(step model.Step) (Result, error) {
+	switch step.Kind {
+	case model.KindBegin:
+		return s.begin(step)
+	case model.KindRead:
+		return s.read(step)
+	case model.KindWrite:
+		return s.write(step)
+	case model.KindFinish:
+		return s.finish(step)
+	default:
+		return Result{}, fmt.Errorf("multiwrite: step kind %v not part of the multiple-write model", step.Kind)
+	}
+}
+
+// MustApply panics on protocol errors.
+func (s *Scheduler) MustApply(step model.Step) Result {
+	res, err := s.Apply(step)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+func (s *Scheduler) begin(step model.Step) (Result, error) {
+	if _, ok := s.txns[step.Txn]; ok {
+		return Result{}, fmt.Errorf("multiwrite: duplicate BEGIN for T%d", step.Txn)
+	}
+	s.g.AddNode(step.Txn)
+	s.txns[step.Txn] = &TxnState{ID: step.Txn, Status: model.StatusActive, Access: make(model.AccessSet)}
+	s.stats.Begins++
+	s.stats.Accepted++
+	s.peak()
+	return Result{Step: step, Accepted: true}, nil
+}
+
+func (s *Scheduler) activeTxn(id model.TxnID) (*TxnState, error) {
+	t, ok := s.txns[id]
+	if !ok {
+		return nil, fmt.Errorf("multiwrite: step for unknown transaction T%d", id)
+	}
+	if t.Status != model.StatusActive {
+		return nil, fmt.Errorf("multiwrite: step for %v transaction T%d", t.Status, id)
+	}
+	return t, nil
+}
+
+func (s *Scheduler) read(step model.Step) (Result, error) {
+	t, err := s.activeTxn(step.Txn)
+	if err != nil {
+		return Result{}, err
+	}
+	x := step.Entity
+	tails := make(graph.NodeSet)
+	for w := range s.writers[x] {
+		if w != t.ID {
+			tails.Add(w)
+		}
+	}
+	if s.g.ReachesAny(t.ID, tails) {
+		return s.rejectAndCascade(step, t.ID), nil
+	}
+	for w := range tails {
+		s.g.AddArc(w, t.ID)
+	}
+	t.Access.Note(x, model.ReadAccess)
+	s.addIndex(s.readers, x, t.ID)
+	// Dependency: reading the top-of-stack version of x from an
+	// uncommitted writer makes t depend on it.
+	if stack := s.writeStack[x]; len(stack) > 0 {
+		w := stack[len(stack)-1]
+		if w != t.ID {
+			if wt := s.txns[w]; wt != nil && wt.Status != model.StatusCommitted {
+				s.addDep(t.ID, w)
+			}
+		}
+	}
+	s.stats.Reads++
+	s.stats.Accepted++
+	return Result{Step: step, Accepted: true}, nil
+}
+
+func (s *Scheduler) write(step model.Step) (Result, error) {
+	t, err := s.activeTxn(step.Txn)
+	if err != nil {
+		return Result{}, err
+	}
+	x := step.Entity
+	tails := make(graph.NodeSet)
+	for r := range s.readers[x] {
+		if r != t.ID {
+			tails.Add(r)
+		}
+	}
+	for w := range s.writers[x] {
+		if w != t.ID {
+			tails.Add(w)
+		}
+	}
+	if s.g.ReachesAny(t.ID, tails) {
+		return s.rejectAndCascade(step, t.ID), nil
+	}
+	for u := range tails {
+		s.g.AddArc(u, t.ID)
+	}
+	t.Access.Note(x, model.WriteAccess)
+	s.addIndex(s.writers, x, t.ID)
+	s.writeStack[x] = append(s.writeStack[x], t.ID)
+	s.stats.Writes++
+	s.stats.Accepted++
+	return Result{Step: step, Accepted: true}, nil
+}
+
+func (s *Scheduler) finish(step model.Step) (Result, error) {
+	t, err := s.activeTxn(step.Txn)
+	if err != nil {
+		return Result{}, err
+	}
+	t.Status = model.StatusFinished
+	s.stats.Finishes++
+	s.stats.Accepted++
+	res := Result{Step: step, Accepted: true}
+	res.Committed = s.tryCommit(t.ID)
+	return res, nil
+}
+
+// tryCommit commits id if finished with no uncommitted dependencies, then
+// propagates to dependents. Returns all transactions committed.
+func (s *Scheduler) tryCommit(id model.TxnID) []model.TxnID {
+	var out []model.TxnID
+	queue := []model.TxnID{id}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		t := s.txns[n]
+		if t == nil || t.Status != model.StatusFinished || len(s.dependsOn[n]) > 0 {
+			continue
+		}
+		t.Status = model.StatusCommitted
+		s.stats.Commits++
+		out = append(out, n)
+		// Discharge n from its dependents.
+		for d := range s.dependents[n] {
+			delete(s.dependsOn[d], n)
+			if len(s.dependsOn[d]) == 0 {
+				delete(s.dependsOn, d)
+				queue = append(queue, d)
+			}
+		}
+		delete(s.dependents, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// rejectAndCascade aborts the acting transaction and everything that
+// depends on it, transitively ("the abort of a transaction B causes the
+// abortion of all transactions that depend on it").
+func (s *Scheduler) rejectAndCascade(step model.Step, id model.TxnID) Result {
+	s.stats.Rejected++
+	doomed := s.dependentsClosure(graph.NodeSet{id: {}})
+	var aborted []model.TxnID
+	for _, n := range doomed.Sorted() {
+		s.abortOne(n)
+		aborted = append(aborted, n)
+		if n != id {
+			s.stats.Cascaded++
+		}
+	}
+	s.stats.Aborts += int64(len(aborted))
+	s.peak()
+	return Result{Step: step, Accepted: false, Aborted: aborted}
+}
+
+// dependentsClosure returns seed plus everything that transitively
+// depends on it — the paper's M⁺ (with M included).
+func (s *Scheduler) dependentsClosure(seed graph.NodeSet) graph.NodeSet {
+	out := make(graph.NodeSet, len(seed))
+	var stack []model.TxnID
+	for n := range seed {
+		out.Add(n)
+		stack = append(stack, n)
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for d := range s.dependents[n] {
+			if !out.Has(d) {
+				out.Add(d)
+				stack = append(stack, d)
+			}
+		}
+	}
+	return out
+}
+
+// DependentsClosure exposes M ∪ M⁺ for the C3 checker and tests.
+func (s *Scheduler) DependentsClosure(seed graph.NodeSet) graph.NodeSet {
+	return s.dependentsClosure(seed)
+}
+
+// abortOne removes one transaction entirely: graph node with incident
+// arcs, entity indexes, write versions, dependency edges.
+func (s *Scheduler) abortOne(id model.TxnID) {
+	t := s.txns[id]
+	if t == nil {
+		return
+	}
+	s.g.RemoveNode(id)
+	for x, a := range t.Access {
+		delete(s.readers[x], id)
+		if len(s.readers[x]) == 0 {
+			delete(s.readers, x)
+		}
+		if a == model.WriteAccess {
+			delete(s.writers[x], id)
+			if len(s.writers[x]) == 0 {
+				delete(s.writers, x)
+			}
+			// Pop its versions from the write stack.
+			stack := s.writeStack[x]
+			kept := stack[:0]
+			for _, w := range stack {
+				if w != id {
+					kept = append(kept, w)
+				}
+			}
+			if len(kept) == 0 {
+				delete(s.writeStack, x)
+			} else {
+				s.writeStack[x] = kept
+			}
+		}
+	}
+	for w := range s.dependsOn[id] {
+		delete(s.dependents[w], id)
+	}
+	delete(s.dependsOn, id)
+	for d := range s.dependents[id] {
+		delete(s.dependsOn[d], id)
+	}
+	delete(s.dependents, id)
+	delete(s.txns, id)
+}
+
+// Delete removes a COMMITTED transaction with the reduction splice and
+// forgets its access sets. The caller is responsible for safety (C3).
+func (s *Scheduler) Delete(id model.TxnID) error {
+	t, ok := s.txns[id]
+	if !ok {
+		return fmt.Errorf("multiwrite: delete of unknown transaction T%d", id)
+	}
+	if t.Status != model.StatusCommitted {
+		return fmt.Errorf("multiwrite: delete of %v transaction T%d (only committed transactions are removable)", t.Status, id)
+	}
+	for x, a := range t.Access {
+		delete(s.readers[x], id)
+		if len(s.readers[x]) == 0 {
+			delete(s.readers, x)
+		}
+		if a == model.WriteAccess {
+			delete(s.writers[x], id)
+			if len(s.writers[x]) == 0 {
+				delete(s.writers, x)
+			}
+		}
+	}
+	s.g.Reduce(id)
+	delete(s.txns, id)
+	s.stats.Deleted++
+	return nil
+}
+
+func (s *Scheduler) addIndex(idx map[model.Entity]graph.NodeSet, x model.Entity, id model.TxnID) {
+	set, ok := idx[x]
+	if !ok {
+		set = make(graph.NodeSet)
+		idx[x] = set
+	}
+	set.Add(id)
+}
+
+func (s *Scheduler) addDep(reader, writer model.TxnID) {
+	set, ok := s.dependsOn[reader]
+	if !ok {
+		set = make(graph.NodeSet)
+		s.dependsOn[reader] = set
+	}
+	set.Add(writer)
+	dset, ok := s.dependents[writer]
+	if !ok {
+		dset = make(graph.NodeSet)
+		s.dependents[writer] = dset
+	}
+	dset.Add(reader)
+}
+
+func (s *Scheduler) peak() {
+	if n := s.g.NumNodes(); n > s.stats.PeakNodes {
+		s.stats.PeakNodes = n
+	}
+}

@@ -1,0 +1,324 @@
+package multiwrite
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func apply(t *testing.T, s *Scheduler, st model.Step) Result {
+	t.Helper()
+	res, err := s.Apply(st)
+	if err != nil {
+		t.Fatalf("Apply(%v): %v", st, err)
+	}
+	return res
+}
+
+func TestLifecycleActiveFinishedCommitted(t *testing.T) {
+	s := NewScheduler()
+	apply(t, s, model.Begin(1))
+	if s.Status(1) != model.StatusActive {
+		t.Fatalf("status = %v", s.Status(1))
+	}
+	apply(t, s, model.Write(1, 0))
+	res := apply(t, s, model.Finish(1))
+	if s.Status(1) != model.StatusCommitted {
+		t.Fatalf("independent transaction must commit at finish; got %v", s.Status(1))
+	}
+	if len(res.Committed) != 1 || res.Committed[0] != 1 {
+		t.Fatalf("Committed = %v", res.Committed)
+	}
+}
+
+func TestDirtyReadCreatesDependency(t *testing.T) {
+	s := NewScheduler()
+	apply(t, s, model.Begin(1))
+	apply(t, s, model.Write(1, 0)) // T1 writes x, stays active
+	apply(t, s, model.Begin(2))
+	apply(t, s, model.Read(2, 0)) // T2 reads T1's uncommitted write
+	if got := s.DependsOn(2); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("DependsOn(2) = %v, want [1]", got)
+	}
+	res := apply(t, s, model.Finish(2))
+	if s.Status(2) != model.StatusFinished {
+		t.Fatalf("T2 depends on active T1: must stay finished, got %v", s.Status(2))
+	}
+	if len(res.Committed) != 0 {
+		t.Fatalf("nothing can commit yet: %v", res.Committed)
+	}
+}
+
+func TestCommitPropagation(t *testing.T) {
+	s := NewScheduler()
+	apply(t, s, model.Begin(1))
+	apply(t, s, model.Write(1, 0))
+	apply(t, s, model.Begin(2))
+	apply(t, s, model.Read(2, 0))
+	apply(t, s, model.Finish(2)) // F, waiting on T1
+	apply(t, s, model.Begin(3))
+	apply(t, s, model.Read(3, 0)) // also reads T1's write
+	apply(t, s, model.Finish(3))  // F
+	res := apply(t, s, model.Finish(1))
+	// T1's commit must cascade to T2 and T3.
+	if len(res.Committed) != 3 {
+		t.Fatalf("Committed = %v, want [1 2 3]", res.Committed)
+	}
+	for id := model.TxnID(1); id <= 3; id++ {
+		if s.Status(id) != model.StatusCommitted {
+			t.Fatalf("T%d = %v", id, s.Status(id))
+		}
+	}
+}
+
+func TestTransitiveDependencyChain(t *testing.T) {
+	s := NewScheduler()
+	apply(t, s, model.Begin(1))
+	apply(t, s, model.Write(1, 0))
+	apply(t, s, model.Begin(2))
+	apply(t, s, model.Read(2, 0))
+	apply(t, s, model.Write(2, 1))
+	apply(t, s, model.Finish(2))
+	apply(t, s, model.Begin(3))
+	apply(t, s, model.Read(3, 1)) // reads T2's write; T2 is F
+	apply(t, s, model.Finish(3))
+	if s.Status(3) != model.StatusFinished {
+		t.Fatal("T3 depends on uncommitted T2")
+	}
+	res := apply(t, s, model.Finish(1))
+	if len(res.Committed) != 3 {
+		t.Fatalf("chain commit: %v", res.Committed)
+	}
+}
+
+func TestCascadingAbort(t *testing.T) {
+	// T1 writes x (active). T2 reads x (depends on T1), finishes. T3
+	// reads T2's write... build: T2 writes y after reading x; T3 reads y.
+	// Then T1 aborts: T2 and T3 must cascade.
+	s := NewScheduler()
+	apply(t, s, model.Begin(1))
+	apply(t, s, model.Write(1, 0))
+	apply(t, s, model.Begin(2))
+	apply(t, s, model.Read(2, 0))
+	apply(t, s, model.Write(2, 1))
+	apply(t, s, model.Finish(2))
+	apply(t, s, model.Begin(3))
+	apply(t, s, model.Read(3, 1))
+	// Force T1 to abort: T4 writes z, T1 reads z? Build a cycle for T1:
+	// T4 reads w; T1 writes w (arc T4->T1); T4 writes v; T1 reads... let
+	// T1 read v: arc T4->T1 exists; T1 reading T4's v adds arc T4->T1
+	// again (no cycle). Instead: T1 writes w after T4 read w => arc
+	// T4->T1; then T4 writes u, and T1 writes u => arc T4->T1 (again no
+	// cycle!). Make the cycle: T1 -> T4 first: T4 reads something T1
+	// wrote: T4 reads x => arc T1->T4 and dependency. Then T4 writes q,
+	// then T1 tries to write q: arc T4->T1 closes the cycle and T1 is
+	// rejected.
+	apply(t, s, model.Begin(4))
+	apply(t, s, model.Read(4, 0))  // T4 reads x from T1: arc T1->T4, dep
+	apply(t, s, model.Write(4, 9)) // T4 writes q
+	res := apply(t, s, model.Write(1, 9))
+	if res.Accepted {
+		t.Fatal("T1's write of q must create a cycle and be rejected")
+	}
+	// Cascade: T1 aborts; T2, T3 (dependents through reads) and T4
+	// (read x from T1) all abort.
+	want := map[model.TxnID]bool{1: true, 2: true, 3: true, 4: true}
+	if len(res.Aborted) != len(want) {
+		t.Fatalf("Aborted = %v", res.Aborted)
+	}
+	for _, id := range res.Aborted {
+		if !want[id] {
+			t.Fatalf("unexpected abort T%d", id)
+		}
+		if s.Status(id) != model.StatusAborted {
+			t.Fatalf("T%d status = %v", id, s.Status(id))
+		}
+	}
+	if s.Graph().NumNodes() != 0 {
+		t.Fatalf("graph should be empty, has %d nodes", s.Graph().NumNodes())
+	}
+	if s.Stats().Cascaded != 3 {
+		t.Fatalf("Cascaded = %d, want 3", s.Stats().Cascaded)
+	}
+}
+
+func TestAbortRestoresBeforeImage(t *testing.T) {
+	// T1 commits a write of x; T2 writes x (active) and aborts; a new
+	// reader must then read T1's version (no dependency on anyone).
+	s := NewScheduler()
+	apply(t, s, model.Begin(1))
+	apply(t, s, model.Write(1, 0))
+	apply(t, s, model.Finish(1))
+	apply(t, s, model.Begin(2))
+	apply(t, s, model.Write(2, 0))
+	// Abort T2 via a cycle: T3 reads x (depends on T2!), that's no good —
+	// use entity q: T3 reads q... simplest: T2 reads something creating a
+	// cycle. T3 reads y, T2 writes y (arc T3->T2), T3 writes x => arc
+	// T2->T3 cycle => T3 rejected. That aborts T3, not T2. Instead: arc
+	// T2->T3 first: T3 reads x after T2's write (dep on T2), then T3
+	// writes q, then T2 writes q => cycle => T2 rejected, T3 cascades.
+	apply(t, s, model.Begin(3))
+	apply(t, s, model.Read(3, 0))
+	apply(t, s, model.Write(3, 9))
+	res := apply(t, s, model.Write(2, 9))
+	if res.Accepted {
+		t.Fatal("expected rejection")
+	}
+	// Now a fresh reader of x must see T1's version: no dependencies.
+	apply(t, s, model.Begin(4))
+	apply(t, s, model.Read(4, 0))
+	if got := s.DependsOn(4); len(got) != 0 {
+		t.Fatalf("T4 must read committed T1's version; deps = %v", got)
+	}
+	res = apply(t, s, model.Finish(4))
+	if s.Status(4) != model.StatusCommitted {
+		t.Fatal("T4 should commit immediately")
+	}
+	_ = res
+}
+
+func TestReadFromCommittedNoDependency(t *testing.T) {
+	s := NewScheduler()
+	apply(t, s, model.Begin(1))
+	apply(t, s, model.Write(1, 0))
+	apply(t, s, model.Finish(1))
+	apply(t, s, model.Begin(2))
+	apply(t, s, model.Read(2, 0))
+	if got := s.DependsOn(2); len(got) != 0 {
+		t.Fatalf("reading committed data must not create deps: %v", got)
+	}
+}
+
+func TestRuleArcsMultiwrite(t *testing.T) {
+	s := NewScheduler()
+	apply(t, s, model.Begin(1))
+	apply(t, s, model.Write(1, 0))
+	apply(t, s, model.Begin(2))
+	apply(t, s, model.Read(2, 0))
+	if !s.Graph().HasArc(1, 2) {
+		t.Fatal("w1(x) r2(x): arc 1->2")
+	}
+	apply(t, s, model.Begin(3))
+	apply(t, s, model.Write(3, 0))
+	if !s.Graph().HasArc(1, 3) || !s.Graph().HasArc(2, 3) {
+		t.Fatal("w3(x) must get arcs from prior reader and writer")
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	s := NewScheduler()
+	apply(t, s, model.Begin(1))
+	if _, err := s.Apply(model.Begin(1)); err == nil {
+		t.Fatal("duplicate BEGIN")
+	}
+	if _, err := s.Apply(model.Read(9, 0)); err == nil {
+		t.Fatal("unknown txn")
+	}
+	if _, err := s.Apply(model.WriteFinal(1, 0)); err == nil {
+		t.Fatal("basic-model step kind must error")
+	}
+	apply(t, s, model.Finish(1))
+	if _, err := s.Apply(model.Write(1, 0)); err == nil {
+		t.Fatal("write after finish")
+	}
+	if _, err := s.Apply(model.Finish(1)); err == nil {
+		t.Fatal("double finish")
+	}
+}
+
+func TestDeleteOnlyCommitted(t *testing.T) {
+	s := NewScheduler()
+	apply(t, s, model.Begin(1))
+	apply(t, s, model.Write(1, 0))
+	apply(t, s, model.Begin(2))
+	apply(t, s, model.Read(2, 0))
+	apply(t, s, model.Finish(2)) // F
+	if err := s.Delete(2); err == nil {
+		t.Fatal("finished-but-uncommitted must not be deletable")
+	}
+	if err := s.Delete(1); err == nil {
+		t.Fatal("active must not be deletable")
+	}
+	if err := s.Delete(99); err == nil {
+		t.Fatal("unknown must not be deletable")
+	}
+	apply(t, s, model.Finish(1)) // commits both
+	if err := s.Delete(2); err != nil {
+		t.Fatalf("committed T2 should delete: %v", err)
+	}
+	if s.Graph().HasNode(2) {
+		t.Fatal("delete must remove the node")
+	}
+}
+
+func TestDeleteSplicesPaths(t *testing.T) {
+	s := NewScheduler()
+	// Chain 1 -> 2 -> 3 via distinct entities; all commit.
+	apply(t, s, model.Begin(1))
+	apply(t, s, model.Write(1, 0))
+	apply(t, s, model.Finish(1))
+	apply(t, s, model.Begin(2))
+	apply(t, s, model.Read(2, 0))
+	apply(t, s, model.Write(2, 1))
+	apply(t, s, model.Finish(2))
+	apply(t, s, model.Begin(3))
+	apply(t, s, model.Read(3, 1))
+	apply(t, s, model.Finish(3))
+	if err := s.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Graph().HasArc(1, 3) {
+		t.Fatal("reduction must splice 1->3")
+	}
+}
+
+func TestStatusListings(t *testing.T) {
+	s := NewScheduler()
+	apply(t, s, model.Begin(1))
+	apply(t, s, model.Write(1, 0))
+	apply(t, s, model.Begin(2))
+	apply(t, s, model.Read(2, 0))
+	apply(t, s, model.Finish(2))
+	apply(t, s, model.Begin(3))
+	apply(t, s, model.Write(3, 5))
+	apply(t, s, model.Finish(3))
+	if got := s.Active(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Active = %v", got)
+	}
+	if got := s.Finished(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Finished = %v", got)
+	}
+	if got := s.Committed(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Committed = %v", got)
+	}
+	st := s.Stats()
+	if st.Begins != 3 || st.Writes != 2 || st.Reads != 1 || st.Commits != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestMustApplyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewScheduler().MustApply(model.Read(1, 0))
+}
+
+func TestDependentsClosure(t *testing.T) {
+	s := NewScheduler()
+	apply(t, s, model.Begin(1))
+	apply(t, s, model.Write(1, 0))
+	apply(t, s, model.Begin(2))
+	apply(t, s, model.Read(2, 0))
+	apply(t, s, model.Write(2, 1))
+	apply(t, s, model.Finish(2))
+	apply(t, s, model.Begin(3))
+	apply(t, s, model.Read(3, 1))
+	apply(t, s, model.Finish(3))
+	got := s.DependentsClosure(map[model.TxnID]struct{}{1: {}})
+	if len(got) != 3 || !got.Has(1) || !got.Has(2) || !got.Has(3) {
+		t.Fatalf("closure = %v", got.Sorted())
+	}
+}

@@ -1,0 +1,166 @@
+// Package oracle runs two schedulers in lockstep — the original conflict
+// scheduler (no deletions) and a reduced scheduler driven by a deletion
+// policy — and compares their decisions step by step.
+//
+// By the paper's Lemma 2 and Theorem 2, a deletion policy is correct iff
+// the reduced scheduler behaves exactly like the original on every input;
+// the first disagreement, if any, is always the reduced scheduler
+// accepting a step the original rejects. The oracle detects exactly that,
+// and additionally re-checks the accepted subschedule's conflict
+// serializability offline (condition (3) of Lemma 2) with internal/trace.
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Divergence describes the first step on which the schedulers disagreed.
+type Divergence struct {
+	StepIndex       int
+	Step            model.Step
+	FullAccepted    bool
+	ReducedAccepted bool
+}
+
+// Error implements error.
+func (d *Divergence) Error() string {
+	return fmt.Sprintf("oracle: divergence at step %d (%v): full=%v reduced=%v",
+		d.StepIndex, d.Step, d.FullAccepted, d.ReducedAccepted)
+}
+
+// Runner drives the pair.
+type Runner struct {
+	Full    *core.Scheduler
+	Reduced *core.Scheduler
+	Log     *trace.Log
+	steps   int
+	div     *Divergence
+}
+
+// New builds a runner whose reduced scheduler uses policy.
+func New(policy core.Policy) *Runner {
+	return &Runner{
+		Full:    core.NewScheduler(core.Config{}),
+		Reduced: core.NewScheduler(core.Config{Policy: policy}),
+		Log:     trace.NewLog(),
+	}
+}
+
+// Diverged returns the recorded divergence, or nil.
+func (r *Runner) Diverged() *Divergence { return r.div }
+
+// Steps returns how many steps have been applied.
+func (r *Runner) Steps() int { return r.steps }
+
+// Apply feeds one step to both schedulers. It returns the reduced
+// scheduler's result and a non-nil *Divergence the first time the two
+// disagree (after which the runner refuses further steps: the pair's
+// states are no longer comparable).
+func (r *Runner) Apply(step model.Step) (core.Result, *Divergence, error) {
+	if r.div != nil {
+		return core.Result{}, r.div, fmt.Errorf("oracle: already diverged")
+	}
+	fullRes, errF := r.Full.Apply(step)
+	redRes, errR := r.Reduced.Apply(step)
+	if errF != nil || errR != nil {
+		// Protocol errors must agree too; if only one errs the harness
+		// itself is broken.
+		if (errF == nil) != (errR == nil) {
+			return core.Result{}, nil, fmt.Errorf("oracle: protocol error mismatch: full=%v reduced=%v", errF, errR)
+		}
+		return core.Result{}, nil, errF
+	}
+	r.steps++
+	r.Log.Append(step, redRes.Accepted)
+	if fullRes.Accepted != redRes.Accepted {
+		r.div = &Divergence{
+			StepIndex:       r.steps,
+			Step:            step,
+			FullAccepted:    fullRes.Accepted,
+			ReducedAccepted: redRes.Accepted,
+		}
+		return redRes, r.div, nil
+	}
+	return redRes, nil, nil
+}
+
+// Report summarizes a full run.
+type Report struct {
+	Steps        int
+	Divergence   *Divergence
+	FullStats    core.Stats
+	ReducedStats core.Stats
+	// CSRViolation is non-nil if the reduced scheduler's accepted
+	// subschedule failed the offline conflict-serializability check.
+	CSRViolation error
+}
+
+// Ok reports whether the run showed the policy behaving safely.
+func (rep *Report) Ok() bool { return rep.Divergence == nil && rep.CSRViolation == nil }
+
+// RunGenerator drains gen (up to maxSteps) through the pair, reporting the
+// first divergence if any. Aborts are reported back to the generator from
+// the REDUCED scheduler's decisions (identical to the full scheduler's
+// until divergence, at which point the run stops anyway).
+func (r *Runner) RunGenerator(gen workload.Generator, maxSteps int) Report {
+	for i := 0; maxSteps <= 0 || i < maxSteps; i++ {
+		step, ok := gen.Next()
+		if !ok {
+			break
+		}
+		res, div, err := r.Apply(step)
+		if err != nil {
+			break
+		}
+		if div != nil {
+			break
+		}
+		if !res.Accepted {
+			gen.NotifyAbort(step.Txn)
+		}
+	}
+	rep := Report{
+		Steps:        r.steps,
+		Divergence:   r.div,
+		FullStats:    r.Full.Stats(),
+		ReducedStats: r.Reduced.Stats(),
+	}
+	if r.div == nil {
+		rep.CSRViolation = r.Log.CheckAcceptedCSR()
+	}
+	return rep
+}
+
+// RunSteps feeds a fixed step sequence, skipping steps that belong to
+// transactions already aborted, and returns the report. Hand-built
+// schedules (examples, gadgets) use this entry point.
+func (r *Runner) RunSteps(steps []model.Step) Report {
+	aborted := make(map[model.TxnID]bool)
+	for _, st := range steps {
+		if aborted[st.Txn] {
+			continue
+		}
+		res, div, err := r.Apply(st)
+		if err != nil || div != nil {
+			break
+		}
+		if !res.Accepted {
+			aborted[st.Txn] = true
+		}
+	}
+	rep := Report{
+		Steps:        r.steps,
+		Divergence:   r.div,
+		FullStats:    r.Full.Stats(),
+		ReducedStats: r.Reduced.Stats(),
+	}
+	if r.div == nil {
+		rep.CSRViolation = r.Log.CheckAcceptedCSR()
+	}
+	return rep
+}

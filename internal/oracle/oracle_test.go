@@ -1,0 +1,232 @@
+package oracle
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// safePolicies are the policies Theorems 1–4 prove correct (plus safe
+// compositions).
+func safePolicies() []core.Policy {
+	return []core.Policy{
+		core.NoGC{},
+		core.Lemma1Policy{},
+		core.GreedyC1{},
+		core.GreedyC1{NewestFirst: true},
+		core.MaxSafeExact{Budget: 20000},
+		core.NoncurrentSafe{},
+		core.NoncurrentNaive{}, // standalone it is safe; see policies.go
+		core.Chain{core.GreedyC1{}, core.NoncurrentSafe{}},
+	}
+}
+
+func workloads(seed int64) []workload.Config {
+	return []workload.Config{
+		{Entities: 6, Txns: 60, MaxActive: 4, ReadsMin: 1, ReadsMax: 3, WritesMin: 1, WritesMax: 2, Seed: seed},
+		{Entities: 3, Txns: 50, MaxActive: 5, ReadsMin: 1, ReadsMax: 2, WritesMin: 1, WritesMax: 1, Seed: seed + 1000},
+		{Entities: 24, Txns: 60, MaxActive: 6, ReadsMin: 2, ReadsMax: 5, WritesMin: 0, WritesMax: 2, HotFrac: 0.2, Seed: seed + 2000},
+		{Entities: 12, Txns: 50, MaxActive: 4, ReadsMin: 1, ReadsMax: 4, WritesMin: 1, WritesMax: 2, Straggler: 8, Seed: seed + 3000},
+		{Entities: 8, Txns: 40, MaxActive: 4, ReadsMin: 1, ReadsMax: 3, WritesMin: 1, WritesMax: 2, ZipfS: 1.4, Seed: seed + 4000},
+	}
+}
+
+// TestSafePoliciesNeverDiverge is the empirical heart of the reproduction:
+// for every provably-safe policy and a spread of workloads, the reduced
+// scheduler must agree with the full scheduler on every step, and its
+// accepted subschedule must be CSR (Lemma 2 conditions (1)–(3)).
+func TestSafePoliciesNeverDiverge(t *testing.T) {
+	for _, p := range safePolicies() {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			for seed := int64(0); seed < 6; seed++ {
+				for wi, cfg := range workloads(seed * 17) {
+					r := New(p)
+					rep := r.RunGenerator(workload.New(cfg), 0)
+					if rep.Divergence != nil {
+						t.Fatalf("workload %d seed %d: %v", wi, seed, rep.Divergence)
+					}
+					if rep.CSRViolation != nil {
+						t.Fatalf("workload %d seed %d: %v", wi, seed, rep.CSRViolation)
+					}
+					if rep.Steps == 0 {
+						t.Fatalf("workload %d seed %d: no steps ran", wi, seed)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSafePoliciesIdenticalStats: beyond accept/reject agreement, the
+// abort and completion counters must match exactly (Lemma 2 condition 2:
+// the schedulers behave exactly the same way).
+func TestSafePoliciesIdenticalStats(t *testing.T) {
+	for _, p := range safePolicies() {
+		r := New(p)
+		rep := r.RunGenerator(workload.New(workload.Config{
+			Entities: 8, Txns: 80, MaxActive: 5, ReadsMin: 1, ReadsMax: 3,
+			WritesMin: 1, WritesMax: 2, Seed: 99,
+		}), 0)
+		if !rep.Ok() {
+			t.Fatalf("%s: %v / %v", p.Name(), rep.Divergence, rep.CSRViolation)
+		}
+		if rep.FullStats.Aborts != rep.ReducedStats.Aborts ||
+			rep.FullStats.Completed != rep.ReducedStats.Completed ||
+			rep.FullStats.Accepted != rep.ReducedStats.Accepted {
+			t.Fatalf("%s: stats diverge: full=%+v reduced=%+v", p.Name(), rep.FullStats, rep.ReducedStats)
+		}
+	}
+}
+
+// TestCommitGCCaught: the unsafe delete-at-commit policy must diverge on
+// workloads with read-write contention (Theorem 2's negative direction).
+func TestCommitGCCaught(t *testing.T) {
+	caught := false
+	for seed := int64(0); seed < 40 && !caught; seed++ {
+		r := New(core.CommitGC{})
+		rep := r.RunGenerator(workload.New(workload.Config{
+			Entities: 3, Txns: 60, MaxActive: 5, ReadsMin: 1, ReadsMax: 3,
+			WritesMin: 1, WritesMax: 2, Seed: seed,
+		}), 0)
+		if rep.Divergence != nil {
+			caught = true
+			if !rep.Divergence.ReducedAccepted || rep.Divergence.FullAccepted {
+				t.Fatalf("divergence direction wrong: %+v (Lemma 2: the reduced scheduler accepts what the full one rejects)", rep.Divergence)
+			}
+		}
+	}
+	if !caught {
+		t.Fatal("CommitGC never diverged across 40 seeds; oracle or policy broken")
+	}
+}
+
+// TestExample1TrapCaught: the Chain{GreedyC1-newest, NoncurrentNaive}
+// composition must diverge on Example 1 plus T1's final write —
+// reproducing the paper's Example 1 discussion end to end.
+func TestExample1TrapCaught(t *testing.T) {
+	r := New(core.Chain{core.GreedyC1{NewestFirst: true}, core.NoncurrentNaive{}})
+	steps := append(core.Example1Steps(), model.WriteFinal(core.Ex1T1, core.Ex1X))
+	rep := r.RunSteps(steps)
+	if rep.Divergence == nil {
+		t.Fatal("Example 1 trap must diverge")
+	}
+	if rep.Divergence.Step.Kind != model.KindWriteFinal || rep.Divergence.Step.Txn != core.Ex1T1 {
+		t.Fatalf("divergence at wrong step: %+v", rep.Divergence)
+	}
+	if rep.Divergence.FullAccepted || !rep.Divergence.ReducedAccepted {
+		t.Fatalf("divergence direction wrong: %+v", rep.Divergence)
+	}
+}
+
+// TestSafeChainOnExample1 passes where the naive chain fails.
+func TestSafeChainOnExample1(t *testing.T) {
+	r := New(core.Chain{core.GreedyC1{NewestFirst: true}, core.NoncurrentSafe{}})
+	steps := append(core.Example1Steps(), model.WriteFinal(core.Ex1T1, core.Ex1X))
+	rep := r.RunSteps(steps)
+	if !rep.Ok() {
+		t.Fatalf("safe chain diverged: %v / %v", rep.Divergence, rep.CSRViolation)
+	}
+}
+
+// TestNecessityDrivenDivergence: for random schedules, pick a completed
+// transaction violating C1, FORCE its deletion, build the Theorem-1
+// continuation, and confirm the oracle catches the divergence — the
+// necessity direction of Theorem 1, exercised mechanically.
+func TestNecessityDrivenDivergence(t *testing.T) {
+	tested := 0
+	for seed := int64(0); seed < 60 && tested < 8; seed++ {
+		// Build a random prefix on a fresh pair.
+		r := New(forceDeletePolicy{})
+		gen := workload.New(workload.Config{
+			Entities: 5, Txns: 12, MaxActive: 4, ReadsMin: 1, ReadsMax: 3,
+			WritesMin: 1, WritesMax: 1, Seed: seed,
+		})
+		// Run roughly half the workload.
+		for i := 0; i < 25; i++ {
+			step, ok := gen.Next()
+			if !ok {
+				break
+			}
+			res, div, err := r.Apply(step)
+			if err != nil || div != nil {
+				t.Fatalf("seed %d: premature divergence or error: %v %v", seed, div, err)
+			}
+			if !res.Accepted {
+				gen.NotifyAbort(step.Txn)
+			}
+		}
+		// Find a C1 violator on the REDUCED side.
+		var victim model.TxnID = model.NoTxn
+		var viol *core.C1Violation
+		for _, id := range r.Reduced.CompletedTxns() {
+			if ok, v := r.Reduced.CheckC1(id); !ok && v != nil && v.Tj != model.NoTxn {
+				victim, viol = id, v
+				break
+			}
+		}
+		if victim == model.NoTxn {
+			continue
+		}
+		cont, err := core.NecessityContinuation(r.Reduced, victim, viol, 10_000, 9_999)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Force the unsafe deletion on the reduced side only, then replay
+		// the continuation through the oracle.
+		if !forceDelete(r.Reduced, victim) {
+			t.Fatalf("seed %d: force delete failed", seed)
+		}
+		rep := r.RunSteps(cont)
+		if rep.Divergence == nil {
+			t.Fatalf("seed %d: necessity continuation did not diverge (victim T%d, viol %v)", seed, victim, viol)
+		}
+		tested++
+	}
+	if tested == 0 {
+		t.Skip("no C1 violators found in any prefix; widen the workloads")
+	}
+}
+
+// forceDeletePolicy performs no sweeps; deletions are injected manually.
+type forceDeletePolicy struct{}
+
+func (forceDeletePolicy) Name() string      { return "manual" }
+func (forceDeletePolicy) Sweep(*core.Sweep) {}
+
+// forceDelete bypasses safety via the exported test hook: we use a sweep
+// through a one-shot policy... simplest is DeleteIfSafe's internals — but
+// the deletion must be UNSAFE here, so route through the exported
+// ForceDelete helper.
+func forceDelete(s *core.Scheduler, id model.TxnID) bool {
+	return s.ForceDelete(id) == nil
+}
+
+func TestDivergenceErrorString(t *testing.T) {
+	d := &Divergence{StepIndex: 3, Step: model.Read(1, 2), FullAccepted: false, ReducedAccepted: true}
+	if d.Error() == "" {
+		t.Fatal("empty error")
+	}
+}
+
+func TestRunnerRefusesAfterDivergence(t *testing.T) {
+	r := New(core.Chain{core.GreedyC1{NewestFirst: true}, core.NoncurrentNaive{}})
+	steps := append(core.Example1Steps(), model.WriteFinal(core.Ex1T1, core.Ex1X))
+	rep := r.RunSteps(steps)
+	if rep.Divergence == nil {
+		t.Fatal("expected divergence")
+	}
+	if _, _, err := r.Apply(model.Begin(500)); err == nil {
+		t.Fatal("Apply after divergence must error")
+	}
+	if r.Diverged() == nil {
+		t.Fatal("Diverged() should report")
+	}
+	if r.Steps() == 0 {
+		t.Fatal("Steps()")
+	}
+	_ = fmt.Sprintf("%v", rep)
+}

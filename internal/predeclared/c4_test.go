@@ -1,0 +1,274 @@
+package predeclared
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestExample2GraphShape(t *testing.T) {
+	s := Example2Scheduler(Config{})
+	g := s.Graph()
+	if !g.HasArc(Ex2A, Ex2B) || !g.HasArc(Ex2A, Ex2C) {
+		t.Fatalf("Fig. 4 arcs missing:\n%s", g.String())
+	}
+	if g.NumArcs() != 2 {
+		t.Fatalf("arcs = %d, want 2:\n%s", g.NumArcs(), g.String())
+	}
+	if s.Status(Ex2A) != model.StatusActive {
+		t.Fatal("A must still be active")
+	}
+	if r := s.Txn(Ex2A).RemainingEntities(); len(r) != 1 || r[0] != Ex2Y {
+		t.Fatalf("A's remaining = %v, want [y]", r)
+	}
+}
+
+func TestExample2BViolatesC4(t *testing.T) {
+	s := Example2Scheduler(Config{})
+	ok, viol := s.CheckC4(Ex2B)
+	if ok {
+		t.Fatal("B must violate C4 (paper, Example 2)")
+	}
+	if viol.Tj != Ex2A {
+		t.Fatalf("violating predecessor = T%d, want A", viol.Tj)
+	}
+	if viol.Y != Ex2Y {
+		t.Fatalf("clause-2 witness entity = %d, want y", viol.Y)
+	}
+}
+
+func TestExample2CSatisfiesC4(t *testing.T) {
+	s := Example2Scheduler(Config{})
+	if ok, viol := s.CheckC4(Ex2C); !ok {
+		t.Fatalf("C must satisfy C4 via clause 2 (B read y): %v", viol)
+	}
+	if !s.DeleteIfSafe(Ex2C) {
+		t.Fatal("C should delete")
+	}
+	if s.DeleteIfSafe(Ex2B) {
+		t.Fatal("B must not delete")
+	}
+}
+
+// TestExample2NecessityForB demonstrates why deleting B is unsafe,
+// following Theorem 7's necessity construction: a new transaction D that
+// declares (and performs) a write of y before A's read of y. With B in
+// the graph, Rule 1 adds B→D and D's write of y is DELAYED (it would
+// create the cycle D→A→B→D... precisely: arc D→A plus path A→...→D).
+// Without B, D's write executes and the accepted schedule is non-CSR.
+func TestExample2NecessityForB(t *testing.T) {
+	// Full world.
+	full := Example2Scheduler(Config{})
+	res, err := full.Begin(50, Decl{Writes: []model.Entity{Ex2Y}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Graph().HasArc(Ex2B, 50) {
+		t.Fatal("Rule 1 must add B->D (B read y, D will write y)")
+	}
+	res, err = full.Write(50, Ex2Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Blocked {
+		t.Fatal("full scheduler must DELAY D's write of y")
+	}
+	// A's read of y proceeds, then D's write unblocks afterwards.
+	res, err = full.Read(Ex2A, Ex2Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Executed || len(res.Unblocked) != 1 {
+		t.Fatalf("A's read should execute and release D: %+v", res)
+	}
+
+	// Reduced world: B deleted (unsafely).
+	reduced := Example2Scheduler(Config{})
+	if err := reduced.Delete(Ex2B); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reduced.Begin(50, Decl{Writes: []model.Entity{Ex2Y}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = reduced.Write(50, Ex2Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Executed {
+		t.Fatal("reduced scheduler executes D's write: the divergence")
+	}
+	// Now A reads y AFTER D wrote it: in the true conflict graph this is
+	// D->A plus A->...->D — a cycle the reduced graph cannot see.
+	res, err = reduced.Read(Ex2A, Ex2Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Executed {
+		t.Fatal("reduced scheduler accepts A's read (non-CSR accepted)")
+	}
+}
+
+func TestC4ActiveNotDeletable(t *testing.T) {
+	s := Example2Scheduler(Config{})
+	if ok, _ := s.CheckC4(Ex2A); ok {
+		t.Fatal("active transaction must not satisfy C4")
+	}
+	if ok, _ := s.CheckC4(99); ok {
+		t.Fatal("unknown transaction")
+	}
+}
+
+func TestC4Clause1Witness(t *testing.T) {
+	// A active reads x (performed), will read w.
+	// T2 writes x, completes (arc A->T2).
+	// T3 writes x, completes (arcs A->T3, T2->T3).
+	// T2's clause 1: successor T3 of A wrote x: holds for x.
+	s := NewScheduler(Config{})
+	exec(t)(s.Begin(1, Decl{Reads: []model.Entity{0, 7}}))
+	exec(t)(s.Read(1, 0))
+	exec(t)(s.Begin(2, Decl{Writes: []model.Entity{0}}))
+	exec(t)(s.Write(2, 0))
+	exec(t)(s.Begin(3, Decl{Writes: []model.Entity{0}}))
+	exec(t)(s.Write(3, 0))
+	if ok, viol := s.CheckC4(2); !ok {
+		t.Fatalf("T2 should pass via clause 1 (T3 wrote x): %v", viol)
+	}
+	// T3: clause 1 fails (T2 is ALSO a successor... yes T2 is a successor
+	// of A and wrote x — so T3 passes too; dual of Example 1).
+	if ok, _ := s.CheckC4(3); !ok {
+		t.Fatal("T3 should pass via clause 1 (T2 wrote x)")
+	}
+	// After deleting T2, T3's clause 1 loses its witness; clause 2 needs
+	// A's future read of w covered — nobody accessed w: fail.
+	if !s.DeleteIfSafe(2) {
+		t.Fatal("delete T2")
+	}
+	if ok, _ := s.CheckC4(3); ok {
+		t.Fatal("after deleting T2, T3 must violate C4 (Example 1 analogue)")
+	}
+}
+
+func TestC4Clause2FutureWriteNeverCoverable(t *testing.T) {
+	// A active: performed read of x(0), future WRITE of w(7). T2 writes x
+	// and completes (arc A->T2). Clause 1 for (A, x): no other successor
+	// wrote x. Clause 2: A's future WRITE of w would need a successor
+	// that wrote w — which the predeclared rules make impossible (such a
+	// write conflicts with A's own future write and would be delayed
+	// behind it). So T2 must violate C4 with clause-2 entity w.
+	s := NewScheduler(Config{})
+	exec(t)(s.Begin(1, Decl{Reads: []model.Entity{0}, Writes: []model.Entity{7}}))
+	exec(t)(s.Read(1, 0))
+	exec(t)(s.Begin(2, Decl{Writes: []model.Entity{0}}))
+	exec(t)(s.Write(2, 0))
+	ok, viol := s.CheckC4(2)
+	if ok {
+		t.Fatal("T2 must violate C4: x has no clause-1 witness and A's future write blocks clause 2")
+	}
+	if viol.Y != 7 {
+		t.Fatalf("clause-2 entity = %d, want w", viol.Y)
+	}
+	// A successor attempting to access w is DELAYED, confirming why
+	// clause 2 is uncoverable for future writes.
+	exec(t)(s.Begin(3, Decl{Reads: []model.Entity{7}, Writes: []model.Entity{0}}))
+	res, err := s.Write(3, 0) // make T3 a successor of A first
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Executed {
+		t.Fatal("T3's write of x should run")
+	}
+	res, err = s.Read(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Blocked {
+		t.Fatal("successor's read of w must be delayed behind A's future write")
+	}
+}
+
+func TestC4Clause2ReadWitness(t *testing.T) {
+	// A active: performed reads of x(0) and v(1), future READ of w(7).
+	// T2 writes x, completes. T3 reads w and writes v, completes.
+	// T2's clause 1 for (A, x) fails (no other writer of x), but clause 2
+	// holds: A's only future access is a READ of w, and successor T3 has
+	// read w. So T2 is deletable.
+	s := NewScheduler(Config{})
+	exec(t)(s.Begin(1, Decl{Reads: []model.Entity{0, 1, 7}}))
+	exec(t)(s.Read(1, 0))
+	exec(t)(s.Read(1, 1))
+	exec(t)(s.Begin(2, Decl{Writes: []model.Entity{0}}))
+	exec(t)(s.Write(2, 0))
+	exec(t)(s.Begin(3, Decl{Reads: []model.Entity{7}, Writes: []model.Entity{1}}))
+	exec(t)(s.Read(3, 7)) // read-read with A's future read: no conflict
+	exec(t)(s.Write(3, 1))
+	if ok, viol := s.CheckC4(2); !ok {
+		t.Fatalf("T2 should pass via clause 2 (T3 read w): %v", viol)
+	}
+	// Control: without T3's read of w, T2 violates.
+	s2 := NewScheduler(Config{})
+	exec(t)(s2.Begin(1, Decl{Reads: []model.Entity{0, 1, 7}}))
+	exec(t)(s2.Read(1, 0))
+	exec(t)(s2.Read(1, 1))
+	exec(t)(s2.Begin(2, Decl{Writes: []model.Entity{0}}))
+	exec(t)(s2.Write(2, 0))
+	exec(t)(s2.Begin(3, Decl{Writes: []model.Entity{1}}))
+	exec(t)(s2.Write(3, 1))
+	ok, viol := s2.CheckC4(2)
+	if ok {
+		t.Fatal("without the w reader, T2 must violate C4")
+	}
+	if viol.Y != 7 {
+		t.Fatalf("clause-2 entity = %d, want w", viol.Y)
+	}
+}
+
+func TestGreedyC4PolicySweep(t *testing.T) {
+	var deleted []model.TxnID
+	s := NewScheduler(Config{GC: true, OnDelete: func(id model.TxnID) { deleted = append(deleted, id) }})
+	// Serial unrelated transactions: everything should be collected.
+	for id := model.TxnID(1); id <= 4; id++ {
+		if _, err := s.Begin(id, Decl{Writes: []model.Entity{model.Entity(id)}}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Write(id, model.Entity(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(s.Completed()); got != 0 {
+		t.Fatalf("GC should collect all isolated completed txns; %d retained", got)
+	}
+	if len(deleted) != 4 {
+		t.Fatalf("deleted = %v", deleted)
+	}
+	if s.Stats().Deleted != 4 {
+		t.Fatalf("stats.Deleted = %d", s.Stats().Deleted)
+	}
+}
+
+func TestGreedyC4OnExample2(t *testing.T) {
+	s := Example2Scheduler(Config{GC: true})
+	// GC must have deleted C but kept B.
+	if s.Txn(Ex2C) != nil {
+		t.Fatal("C should have been collected")
+	}
+	if s.Txn(Ex2B) == nil {
+		t.Fatal("B must be retained")
+	}
+}
+
+func TestDeleteErrors(t *testing.T) {
+	s := Example2Scheduler(Config{})
+	if err := s.Delete(Ex2A); err == nil {
+		t.Fatal("active delete must error")
+	}
+	if err := s.Delete(99); err == nil {
+		t.Fatal("unknown delete must error")
+	}
+}
+
+func TestC4ViolationError(t *testing.T) {
+	v := &C4Violation{Ti: 1, Tj: 2, X: 3, Strength: model.WriteAccess, Y: 4}
+	if v.Error() == "" {
+		t.Fatal("empty error")
+	}
+}

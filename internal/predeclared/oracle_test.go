@@ -1,0 +1,229 @@
+package predeclared
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// pdAction is one submitted predeclared action (begin or access).
+type pdAction struct {
+	begin  bool
+	id     model.TxnID
+	decl   Decl
+	entity model.Entity
+	access model.Access
+}
+
+// randomPDActions materializes a random predeclared workload as a fixed
+// action sequence: the SAME submissions go to both schedulers, with each
+// scheduler deferring blocked transactions internally.
+func randomPDActions(seed int64, txns, entities, maxActive int) []pdAction {
+	rng := rand.New(rand.NewSource(seed))
+	var out []pdAction
+	type script struct {
+		id   model.TxnID
+		todo []pdAction
+	}
+	var live []*script
+	next := model.TxnID(1)
+	issued := 0
+	for issued < txns || len(live) > 0 {
+		if issued < txns && (len(live) == 0 || (len(live) < maxActive && rng.Intn(3) == 0)) {
+			d := Decl{}
+			seenR := map[model.Entity]bool{}
+			for i := 0; i < 1+rng.Intn(3); i++ {
+				x := model.Entity(rng.Intn(entities))
+				if !seenR[x] {
+					seenR[x] = true
+					d.Reads = append(d.Reads, x)
+				}
+			}
+			seenW := map[model.Entity]bool{}
+			for i := 0; i < 1+rng.Intn(2); i++ {
+				x := model.Entity(rng.Intn(entities))
+				if !seenW[x] {
+					seenW[x] = true
+					d.Writes = append(d.Writes, x)
+				}
+			}
+			sc := &script{id: next}
+			next++
+			issued++
+			out = append(out, pdAction{begin: true, id: sc.id, decl: d})
+			for _, x := range d.Reads {
+				sc.todo = append(sc.todo, pdAction{id: sc.id, entity: x, access: model.ReadAccess})
+			}
+			for _, x := range d.Writes {
+				sc.todo = append(sc.todo, pdAction{id: sc.id, entity: x, access: model.WriteAccess})
+			}
+			rng.Shuffle(len(sc.todo), func(i, j int) { sc.todo[i], sc.todo[j] = sc.todo[j], sc.todo[i] })
+			live = append(live, sc)
+			continue
+		}
+		i := rng.Intn(len(live))
+		sc := live[i]
+		out = append(out, sc.todo[0])
+		sc.todo = sc.todo[1:]
+		if len(sc.todo) == 0 {
+			live = append(live[:i], live[i+1:]...)
+		}
+	}
+	return out
+}
+
+// runPD drives the actions through one scheduler. A submission for a
+// transaction that is currently blocked is deferred and resubmitted after
+// the next executed step — both schedulers use the same deterministic
+// deferral rule, so their decision streams are comparable. It returns the
+// sequence of per-access outcomes in submission order plus a log of the
+// EXECUTED schedule for offline CSR checking.
+func runPD(t *testing.T, s *Scheduler, actions []pdAction) ([]Outcome, *trace.Log) {
+	t.Helper()
+	log := trace.NewLog()
+	var outcomes []Outcome
+	var deferred []pdAction
+	record := func(res Result) {
+		if res.Outcome == Executed {
+			log.Append(res.Step, true)
+		}
+		for _, st := range res.Unblocked {
+			log.Append(st, true)
+		}
+	}
+	submit := func(a pdAction) {
+		if a.begin {
+			res, err := s.Begin(a.id, a.decl)
+			if err != nil {
+				t.Fatalf("begin T%d: %v", a.id, err)
+			}
+			record(res)
+			return
+		}
+		if s.IsBlocked(a.id) {
+			deferred = append(deferred, a)
+			return
+		}
+		res, err := s.Do(a.id, a.entity, a.access)
+		if err != nil {
+			t.Fatalf("T%d access %v(%d): %v", a.id, a.access, a.entity, err)
+		}
+		outcomes = append(outcomes, res.Outcome)
+		record(res)
+		if res.Outcome == Executed && len(deferred) > 0 {
+			// Retry deferred submissions whose transactions unblocked.
+			pending := deferred
+			deferred = nil
+			for _, d := range pending {
+				if s.IsBlocked(d.id) {
+					deferred = append(deferred, d)
+					continue
+				}
+				res, err := s.Do(d.id, d.entity, d.access)
+				if err != nil {
+					t.Fatalf("deferred T%d: %v", d.id, err)
+				}
+				outcomes = append(outcomes, res.Outcome)
+				record(res)
+			}
+		}
+	}
+	for _, a := range actions {
+		submit(a)
+	}
+	// Drain the remaining deferred submissions.
+	for guard := 0; len(deferred) > 0; guard++ {
+		if guard > 10000 {
+			t.Fatal("deferred queue never drained (deadlock?)")
+		}
+		pending := deferred
+		deferred = nil
+		progress := false
+		for _, d := range pending {
+			if s.IsBlocked(d.id) {
+				deferred = append(deferred, d)
+				continue
+			}
+			res, err := s.Do(d.id, d.entity, d.access)
+			if err != nil {
+				t.Fatalf("drain T%d: %v", d.id, err)
+			}
+			outcomes = append(outcomes, res.Outcome)
+			record(res)
+			progress = true
+		}
+		if !progress && len(deferred) > 0 {
+			t.Fatalf("stalled with %d deferred submissions", len(deferred))
+		}
+	}
+	return outcomes, log
+}
+
+// TestGreedyC4LockstepEquivalence: the predeclared scheduler with greedy
+// C4 deletion must block/execute exactly like the never-deleting one, and
+// both executed schedules must be CSR (Theorem 7 + the rule-agnostic
+// Theorem 2).
+func TestGreedyC4LockstepEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		actions := randomPDActions(seed, 30, 5, 4)
+		full := NewScheduler(Config{})
+		reduced := NewScheduler(Config{GC: true})
+		fo, flog := runPD(t, full, actions)
+		ro, rlog := runPD(t, reduced, actions)
+		if len(fo) != len(ro) {
+			t.Fatalf("seed %d: outcome streams differ in length: %d vs %d", seed, len(fo), len(ro))
+		}
+		for i := range fo {
+			if fo[i] != ro[i] {
+				t.Fatalf("seed %d: divergence at outcome %d: full=%v reduced=%v", seed, i, fo[i], ro[i])
+			}
+		}
+		if err := flog.CheckAcceptedCSR(); err != nil {
+			t.Fatalf("seed %d (full): %v", seed, err)
+		}
+		if err := rlog.CheckAcceptedCSR(); err != nil {
+			t.Fatalf("seed %d (reduced): %v", seed, err)
+		}
+		if reduced.Stats().Deleted == 0 {
+			t.Fatalf("seed %d: GC never deleted anything", seed)
+		}
+		// Everyone completes in both worlds (no aborts in this model).
+		if got := full.Active(); len(got) != 0 {
+			t.Fatalf("seed %d: still active in full: %v", seed, got)
+		}
+		if got := reduced.Active(); len(got) != 0 {
+			t.Fatalf("seed %d: still active in reduced: %v", seed, got)
+		}
+	}
+}
+
+// TestUnsafePDDeletionDiverges: force-deleting a C4 VIOLATOR makes the
+// reduced predeclared scheduler execute a step the full one delays —
+// Example 2's B, driven by the oracle machinery.
+func TestUnsafePDDeletionDiverges(t *testing.T) {
+	full := Example2Scheduler(Config{})
+	reduced := Example2Scheduler(Config{})
+	if err := reduced.Delete(Ex2B); err != nil {
+		t.Fatal(err)
+	}
+	// New transaction D writes y.
+	if _, err := full.Begin(50, Decl{Writes: []model.Entity{Ex2Y}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reduced.Begin(50, Decl{Writes: []model.Entity{Ex2Y}}); err != nil {
+		t.Fatal(err)
+	}
+	fres, err := full.Write(50, Ex2Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rres, err := reduced.Write(50, Ex2Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fres.Outcome == rres.Outcome {
+		t.Fatalf("expected divergence: full=%v reduced=%v", fres.Outcome, rres.Outcome)
+	}
+}

@@ -1,0 +1,441 @@
+// Package predeclared implements the paper's Section 5 predeclared-
+// transactions model: every transaction declares its full read and write
+// sets at BEGIN time, which lets the conflict scheduler add arcs as soon
+// as the FIRST of two conflicting steps takes place and prevent future
+// cycles by DELAYING steps instead of aborting transactions.
+//
+// Rules (paper, Section 5):
+//
+//	Rule 1. When a new transaction Ti starts, a node is added, plus an arc
+//	Tj→Ti for every Tj that has already executed a step conflicting with a
+//	future step of Ti.
+//
+//	Rules 2&3. When Ti wants to read or write x: for every other Tk that
+//	WILL perform a conflicting step on x in the future, add an arc Ti→Tk —
+//	provided no cycle forms; if it would, Ti waits for Tk to execute its
+//	conflicting step.
+//
+// There is no deadlock: Ti waits for Tk only when the graph has a path
+// Tk→...→Ti, and the graph is acyclic at all times, so the waits-for
+// relation is acyclic too (verified by tests).
+//
+// The model subsumes multiple writes; because nothing ever aborts, there
+// are no cascading aborts and a transaction commits at completion.
+// Deleting a completed transaction is governed by condition C4
+// (Theorem 7), which is polynomial — see c4.go.
+package predeclared
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// Decl is a transaction's predeclared access sets. An entity may appear
+// in both (read-modify-write); each declared access is performed exactly
+// once.
+type Decl struct {
+	Reads  []model.Entity
+	Writes []model.Entity
+}
+
+// remAccess tracks which declared accesses are still outstanding.
+type remAccess struct {
+	read, write bool
+}
+
+// strongestRemaining returns the strongest outstanding access.
+func (r remAccess) strongest() model.Access {
+	switch {
+	case r.write:
+		return model.WriteAccess
+	case r.read:
+		return model.ReadAccess
+	default:
+		return model.NoAccess
+	}
+}
+
+// TxnState records one predeclared transaction.
+type TxnState struct {
+	ID        model.TxnID
+	Status    model.Status
+	Performed model.AccessSet
+	remaining map[model.Entity]remAccess
+	// blocked is non-nil while the transaction has a delayed step.
+	blocked *pendingStep
+}
+
+// RemainingAccess returns the strongest outstanding declared access on x.
+func (t *TxnState) RemainingAccess(x model.Entity) model.Access {
+	return t.remaining[x].strongest()
+}
+
+// RemainingEntities lists entities with outstanding accesses, ascending.
+func (t *TxnState) RemainingEntities() []model.Entity {
+	var out []model.Entity
+	for x := range t.remaining {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+type pendingStep struct {
+	txn    model.TxnID
+	entity model.Entity
+	access model.Access
+}
+
+// Outcome of one Apply call.
+type Outcome uint8
+
+const (
+	// Executed means the step ran (possibly unblocking others).
+	Executed Outcome = iota
+	// Blocked means the step was delayed; it will execute automatically
+	// once its conflicting steps have run.
+	Blocked
+)
+
+// Result reports one step's effect.
+type Result struct {
+	Step    model.Step
+	Outcome Outcome
+	// Unblocked lists previously-delayed steps executed as a consequence
+	// of this step, in execution order.
+	Unblocked []model.Step
+	// Completed lists transactions that completed (the acting one and/or
+	// unblocked ones).
+	Completed []model.TxnID
+	// Deleted lists transactions removed by the GC sweep.
+	Deleted []model.TxnID
+}
+
+// Config configures the scheduler.
+type Config struct {
+	// GC enables the greedy C4 deletion policy after every executed step.
+	GC bool
+	// OnDelete is invoked per deleted transaction.
+	OnDelete func(model.TxnID)
+}
+
+// Stats counts activity.
+type Stats struct {
+	Begins    int64
+	Steps     int64 // executed read/write steps
+	BlockedEv int64 // times a step was delayed
+	Completed int64
+	Deleted   int64
+	PeakNodes int
+}
+
+// Scheduler is the predeclared conflict-graph scheduler.
+type Scheduler struct {
+	g    *graph.Graph
+	txns map[model.TxnID]*TxnState
+	// waiting holds delayed steps in arrival order.
+	waiting []*pendingStep
+	cfg     Config
+	stats   Stats
+}
+
+// NewScheduler returns an empty predeclared scheduler.
+func NewScheduler(cfg Config) *Scheduler {
+	return &Scheduler{
+		g:    graph.New(),
+		txns: make(map[model.TxnID]*TxnState),
+		cfg:  cfg,
+	}
+}
+
+// Graph returns the current graph (read-only).
+func (s *Scheduler) Graph() *graph.Graph { return s.g }
+
+// Stats returns a snapshot.
+func (s *Scheduler) Stats() Stats { return s.stats }
+
+// Txn returns the record for id (nil if unknown or deleted).
+func (s *Scheduler) Txn(id model.TxnID) *TxnState { return s.txns[id] }
+
+// Status implements the StateView convention.
+func (s *Scheduler) Status(id model.TxnID) model.Status {
+	if t, ok := s.txns[id]; ok {
+		return t.Status
+	}
+	return model.StatusAborted
+}
+
+// Access returns performed accesses (the StateView convention).
+func (s *Scheduler) Access(id model.TxnID) model.AccessSet {
+	if t, ok := s.txns[id]; ok {
+		return t.Performed
+	}
+	return nil
+}
+
+// Active returns active transaction IDs, ascending.
+func (s *Scheduler) Active() []model.TxnID { return s.byStatus(model.StatusActive) }
+
+// Completed returns completed transaction IDs, ascending.
+func (s *Scheduler) Completed() []model.TxnID { return s.byStatus(model.StatusCompleted) }
+
+func (s *Scheduler) byStatus(st model.Status) []model.TxnID {
+	var out []model.TxnID
+	for id, t := range s.txns {
+		if t.Status == st {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IsBlocked reports whether id has a delayed step pending.
+func (s *Scheduler) IsBlocked(id model.TxnID) bool {
+	t, ok := s.txns[id]
+	return ok && t.blocked != nil
+}
+
+// Begin starts a transaction with its declaration (Rule 1).
+func (s *Scheduler) Begin(id model.TxnID, d Decl) (Result, error) {
+	if _, ok := s.txns[id]; ok {
+		return Result{}, fmt.Errorf("predeclared: duplicate BEGIN for T%d", id)
+	}
+	t := &TxnState{
+		ID:        id,
+		Status:    model.StatusActive,
+		Performed: make(model.AccessSet),
+		remaining: make(map[model.Entity]remAccess),
+	}
+	for _, x := range d.Reads {
+		r := t.remaining[x]
+		r.read = true
+		t.remaining[x] = r
+	}
+	for _, x := range d.Writes {
+		r := t.remaining[x]
+		r.write = true
+		t.remaining[x] = r
+	}
+	s.g.AddNode(id)
+	// Rule 1 arcs: from transactions whose PERFORMED accesses conflict
+	// with a FUTURE access of id. Arcs enter the fresh node: no cycle.
+	for _, other := range s.txnList() {
+		if other.ID == id {
+			continue
+		}
+		for x, rem := range t.remaining {
+			if other.Performed.Get(x).Conflicts(rem.strongest()) {
+				s.g.AddArc(other.ID, id)
+				break
+			}
+		}
+	}
+	s.txns[id] = t
+	s.stats.Begins++
+	if n := s.g.NumNodes(); n > s.stats.PeakNodes {
+		s.stats.PeakNodes = n
+	}
+	res := Result{Step: model.Begin(id), Outcome: Executed}
+	if len(t.remaining) == 0 {
+		// Degenerate empty transaction: completes immediately.
+		t.Status = model.StatusCompleted
+		s.stats.Completed++
+		res.Completed = append(res.Completed, id)
+	}
+	s.sweep(&res)
+	return res, nil
+}
+
+// Do performs (or delays) the next declared access of id on x.
+func (s *Scheduler) Do(id model.TxnID, x model.Entity, a model.Access) (Result, error) {
+	t, ok := s.txns[id]
+	if !ok {
+		return Result{}, fmt.Errorf("predeclared: step for unknown transaction T%d", id)
+	}
+	if t.Status != model.StatusActive {
+		return Result{}, fmt.Errorf("predeclared: step for %v transaction T%d", t.Status, id)
+	}
+	if t.blocked != nil {
+		return Result{}, fmt.Errorf("predeclared: T%d already has a delayed step", id)
+	}
+	rem := t.remaining[x]
+	switch a {
+	case model.ReadAccess:
+		if !rem.read {
+			return Result{}, fmt.Errorf("predeclared: T%d did not declare (or already performed) a read of entity %d", id, x)
+		}
+	case model.WriteAccess:
+		if !rem.write {
+			return Result{}, fmt.Errorf("predeclared: T%d did not declare (or already performed) a write of entity %d", id, x)
+		}
+	default:
+		return Result{}, fmt.Errorf("predeclared: invalid access %v", a)
+	}
+	res := Result{Step: stepFor(id, x, a)}
+	p := &pendingStep{txn: id, entity: x, access: a}
+	if s.tryExecute(p, &res) {
+		res.Outcome = Executed
+		s.drainWaiting(&res)
+	} else {
+		res.Outcome = Blocked
+		t.blocked = p
+		s.waiting = append(s.waiting, p)
+		s.stats.BlockedEv++
+	}
+	s.sweep(&res)
+	return res, nil
+}
+
+// Read performs/delays a declared read.
+func (s *Scheduler) Read(id model.TxnID, x model.Entity) (Result, error) {
+	return s.Do(id, x, model.ReadAccess)
+}
+
+// Write performs/delays a declared write.
+func (s *Scheduler) Write(id model.TxnID, x model.Entity) (Result, error) {
+	return s.Do(id, x, model.WriteAccess)
+}
+
+func stepFor(id model.TxnID, x model.Entity, a model.Access) model.Step {
+	if a == model.WriteAccess {
+		return model.Write(id, x)
+	}
+	return model.Read(id, x)
+}
+
+// tryExecute attempts to run a pending step. On success it records the
+// access, adds the Rule 2&3 arcs, and appends completion info to res.
+func (s *Scheduler) tryExecute(p *pendingStep, res *Result) bool {
+	t := s.txns[p.txn]
+	// Arcs to every transaction with a REMAINING conflicting access on x.
+	heads := make(graph.NodeSet)
+	for _, other := range s.txnList() {
+		if other.ID == p.txn {
+			continue
+		}
+		if other.RemainingAccess(p.entity).Conflicts(p.access) {
+			heads.Add(other.ID)
+		}
+	}
+	// Cycle iff any head reaches the actor.
+	if s.g.AnyReaches(heads, p.txn) {
+		return false
+	}
+	for h := range heads {
+		s.g.AddArc(p.txn, h)
+	}
+	t.Performed.Note(p.entity, p.access)
+	rem := t.remaining[p.entity]
+	if p.access == model.WriteAccess {
+		rem.write = false
+	} else {
+		rem.read = false
+	}
+	if rem.read || rem.write {
+		t.remaining[p.entity] = rem
+	} else {
+		delete(t.remaining, p.entity)
+	}
+	s.stats.Steps++
+	if len(t.remaining) == 0 {
+		t.Status = model.StatusCompleted
+		s.stats.Completed++
+		res.Completed = append(res.Completed, p.txn)
+	}
+	return true
+}
+
+// drainWaiting retries delayed steps (FIFO) until a fixpoint.
+func (s *Scheduler) drainWaiting(res *Result) {
+	for {
+		progress := false
+		for i := 0; i < len(s.waiting); i++ {
+			p := s.waiting[i]
+			if s.tryExecute(p, res) {
+				s.txns[p.txn].blocked = nil
+				res.Unblocked = append(res.Unblocked, stepFor(p.txn, p.entity, p.access))
+				s.waiting = append(s.waiting[:i], s.waiting[i+1:]...)
+				i--
+				progress = true
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// sweep runs the greedy C4 policy if enabled.
+func (s *Scheduler) sweep(res *Result) {
+	if !s.cfg.GC {
+		return
+	}
+	for {
+		progress := false
+		for _, id := range s.Completed() {
+			if ok, _ := s.CheckC4(id); ok {
+				if err := s.Delete(id); err == nil {
+					res.Deleted = append(res.Deleted, id)
+					progress = true
+				}
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// Delete removes a completed transaction with the reduction splice,
+// forgetting its access information. Safety (C4) is the caller's
+// responsibility.
+func (s *Scheduler) Delete(id model.TxnID) error {
+	t, ok := s.txns[id]
+	if !ok {
+		return fmt.Errorf("predeclared: delete of unknown transaction T%d", id)
+	}
+	if t.Status != model.StatusCompleted {
+		return fmt.Errorf("predeclared: delete of %v transaction T%d", t.Status, id)
+	}
+	s.g.Reduce(id)
+	delete(s.txns, id)
+	s.stats.Deleted++
+	if s.cfg.OnDelete != nil {
+		s.cfg.OnDelete(id)
+	}
+	return nil
+}
+
+func (s *Scheduler) txnList() []*TxnState {
+	out := make([]*TxnState, 0, len(s.txns))
+	for _, t := range s.txns {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// WaitsFor returns the transactions whose remaining conflicting accesses
+// are blocking id's delayed step (empty if id is not blocked). Used by
+// the deadlock-freedom tests.
+func (s *Scheduler) WaitsFor(id model.TxnID) []model.TxnID {
+	t, ok := s.txns[id]
+	if !ok || t.blocked == nil {
+		return nil
+	}
+	var out []model.TxnID
+	for _, other := range s.txnList() {
+		if other.ID == id {
+			continue
+		}
+		if other.RemainingAccess(t.blocked.entity).Conflicts(t.blocked.access) &&
+			s.g.Reachable(other.ID, id) {
+			out = append(out, other.ID)
+		}
+	}
+	return out
+}

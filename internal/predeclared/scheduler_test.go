@@ -1,0 +1,307 @@
+package predeclared
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func exec(t *testing.T) func(Result, error) Result {
+	return func(res Result, err error) Result {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outcome != Executed {
+			t.Fatalf("step %v unexpectedly blocked", res.Step)
+		}
+		return res
+	}
+}
+
+func TestRule1ArcsAtBegin(t *testing.T) {
+	s := NewScheduler(Config{})
+	exec(t)(s.Begin(1, Decl{Reads: []model.Entity{0}}))
+	exec(t)(s.Read(1, 0)) // performed read of x
+	// T2 declares a write of x: Rule 1 must add arc T1->T2 at BEGIN.
+	exec(t)(s.Begin(2, Decl{Writes: []model.Entity{0}}))
+	if !s.Graph().HasArc(1, 2) {
+		t.Fatal("Rule 1 arc from performed-conflicting T1 missing")
+	}
+}
+
+func TestRule1NoArcForReadRead(t *testing.T) {
+	s := NewScheduler(Config{})
+	exec(t)(s.Begin(1, Decl{Reads: []model.Entity{0}}))
+	exec(t)(s.Read(1, 0))
+	exec(t)(s.Begin(2, Decl{Reads: []model.Entity{0}}))
+	if s.Graph().NumArcs() != 0 {
+		t.Fatal("read-read must not conflict")
+	}
+}
+
+func TestRule23FutureConflictArcs(t *testing.T) {
+	s := NewScheduler(Config{})
+	exec(t)(s.Begin(1, Decl{Reads: []model.Entity{0}}))
+	exec(t)(s.Begin(2, Decl{Writes: []model.Entity{0}}))
+	// T1 reads x while T2's write is still in the future: arc T1->T2.
+	exec(t)(s.Read(1, 0))
+	if !s.Graph().HasArc(1, 2) {
+		t.Fatal("arc to future-conflicting T2 missing")
+	}
+	// T2 then writes x; T1 has no remaining access: no new arcs.
+	res := exec(t)(s.Write(2, 0))
+	if s.Graph().HasArc(2, 1) {
+		t.Fatal("no reverse arc expected")
+	}
+	if len(res.Completed) != 1 || res.Completed[0] != 2 {
+		t.Fatalf("T2 should complete: %v", res.Completed)
+	}
+}
+
+func TestDelayInsteadOfAbort(t *testing.T) {
+	// T1 declares read x, write y. T2 declares read y, write x.
+	// T1 reads x: arc T1->T2 (T2's future write of x).
+	// T2 reads y: wants arc T2->T1 (T1's future write of y): cycle -> T2
+	// must WAIT (not abort).
+	s := NewScheduler(Config{})
+	exec(t)(s.Begin(1, Decl{Reads: []model.Entity{0}, Writes: []model.Entity{1}}))
+	exec(t)(s.Begin(2, Decl{Reads: []model.Entity{1}, Writes: []model.Entity{0}}))
+	exec(t)(s.Read(1, 0))
+	res, err := s.Read(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Blocked {
+		t.Fatal("T2's read of y must be delayed")
+	}
+	if !s.IsBlocked(2) {
+		t.Fatal("IsBlocked")
+	}
+	if got := s.WaitsFor(2); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("WaitsFor(2) = %v, want [1]", got)
+	}
+	// T1 writes y: T2's delayed read must auto-execute.
+	res = exec(t)(s.Write(1, 1))
+	if len(res.Unblocked) != 1 || res.Unblocked[0].Txn != 2 {
+		t.Fatalf("Unblocked = %v", res.Unblocked)
+	}
+	if s.IsBlocked(2) {
+		t.Fatal("T2 should be unblocked")
+	}
+	// Completion: T1 done; T2 still must write x.
+	if s.Status(1) != model.StatusCompleted {
+		t.Fatalf("T1 = %v", s.Status(1))
+	}
+	exec(t)(s.Write(2, 0))
+	if s.Status(2) != model.StatusCompleted {
+		t.Fatalf("T2 = %v", s.Status(2))
+	}
+}
+
+func TestBlockedTxnRejectsFurtherSteps(t *testing.T) {
+	s := NewScheduler(Config{})
+	exec(t)(s.Begin(1, Decl{Reads: []model.Entity{0}, Writes: []model.Entity{1}}))
+	exec(t)(s.Begin(2, Decl{Reads: []model.Entity{1, 2}, Writes: []model.Entity{0}}))
+	exec(t)(s.Read(1, 0))
+	if res, err := s.Read(2, 1); err != nil || res.Outcome != Blocked {
+		t.Fatalf("setup: %v %v", res, err)
+	}
+	if _, err := s.Read(2, 2); err == nil {
+		t.Fatal("steps while blocked must error")
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	s := NewScheduler(Config{})
+	exec(t)(s.Begin(1, Decl{Reads: []model.Entity{0}}))
+	if _, err := s.Begin(1, Decl{}); err == nil {
+		t.Fatal("duplicate BEGIN")
+	}
+	if _, err := s.Read(9, 0); err == nil {
+		t.Fatal("unknown txn")
+	}
+	if _, err := s.Write(1, 0); err == nil {
+		t.Fatal("undeclared write")
+	}
+	if _, err := s.Read(1, 5); err == nil {
+		t.Fatal("undeclared entity")
+	}
+	exec(t)(s.Read(1, 0))
+	if _, err := s.Read(1, 0); err == nil {
+		t.Fatal("already-performed access")
+	}
+	if _, err := s.Read(1, 0); err == nil {
+		t.Fatal("step after completion")
+	}
+}
+
+func TestReadModifyWriteSameEntity(t *testing.T) {
+	s := NewScheduler(Config{})
+	exec(t)(s.Begin(1, Decl{Reads: []model.Entity{0}, Writes: []model.Entity{0}}))
+	exec(t)(s.Read(1, 0))
+	if s.Status(1) != model.StatusActive {
+		t.Fatal("write still outstanding")
+	}
+	exec(t)(s.Write(1, 0))
+	if s.Status(1) != model.StatusCompleted {
+		t.Fatal("should complete after both accesses")
+	}
+	if s.Graph().NumArcs() != 0 {
+		t.Fatal("self-conflicts must not create arcs")
+	}
+}
+
+func TestEmptyDeclarationCompletesAtBegin(t *testing.T) {
+	s := NewScheduler(Config{})
+	res, err := s.Begin(1, Decl{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Completed) != 1 || s.Status(1) != model.StatusCompleted {
+		t.Fatal("empty transaction must complete immediately")
+	}
+}
+
+func TestNoDeadlockRandomized(t *testing.T) {
+	// Random declared transactions driven to completion; progress must
+	// never stall (the paper's no-deadlock claim), and the waits-for
+	// relation must stay acyclic.
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewScheduler(Config{})
+		type script struct {
+			id   model.TxnID
+			todo []model.Step
+		}
+		var scripts []*script
+		next := model.TxnID(1)
+		spawn := func() {
+			d := Decl{}
+			for i := 0; i < 1+rng.Intn(3); i++ {
+				d.Reads = append(d.Reads, model.Entity(rng.Intn(4)))
+			}
+			for i := 0; i < 1+rng.Intn(2); i++ {
+				d.Writes = append(d.Writes, model.Entity(rng.Intn(4)))
+			}
+			// Dedup declarations (each access performed once).
+			d.Reads = dedup(d.Reads)
+			d.Writes = dedup(d.Writes)
+			id := next
+			next++
+			if _, err := s.Begin(id, d); err != nil {
+				t.Fatal(err)
+			}
+			sc := &script{id: id}
+			for _, x := range d.Reads {
+				sc.todo = append(sc.todo, model.Read(id, x))
+			}
+			for _, x := range d.Writes {
+				sc.todo = append(sc.todo, model.Write(id, x))
+			}
+			// Shuffle access order.
+			rng.Shuffle(len(sc.todo), func(i, j int) { sc.todo[i], sc.todo[j] = sc.todo[j], sc.todo[i] })
+			scripts = append(scripts, sc)
+		}
+		for i := 0; i < 4; i++ {
+			spawn()
+		}
+		spawned := 4
+		stall := 0
+		for len(scripts) > 0 {
+			progress := false
+			for i := 0; i < len(scripts); i++ {
+				sc := scripts[i]
+				if s.IsBlocked(sc.id) {
+					continue
+				}
+				if len(sc.todo) == 0 {
+					scripts = append(scripts[:i], scripts[i+1:]...)
+					i--
+					progress = true
+					continue
+				}
+				st := sc.todo[0]
+				var a model.Access = model.ReadAccess
+				if st.Kind == model.KindWrite {
+					a = model.WriteAccess
+				}
+				res, err := s.Do(sc.id, st.Entity, a)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				sc.todo = sc.todo[1:]
+				if res.Outcome == Executed || res.Outcome == Blocked {
+					progress = true
+				}
+			}
+			// Waits-for acyclicity invariant.
+			for _, sc := range scripts {
+				for _, w := range s.WaitsFor(sc.id) {
+					if ws := s.WaitsFor(w); len(ws) > 0 {
+						for _, w2 := range ws {
+							if w2 == sc.id {
+								t.Fatalf("seed %d: waits-for cycle %d <-> %d", seed, sc.id, w)
+							}
+						}
+					}
+				}
+			}
+			if !progress {
+				stall++
+				if stall > 1 {
+					t.Fatalf("seed %d: stalled with %d scripts outstanding", seed, len(scripts))
+				}
+			} else {
+				stall = 0
+			}
+			if spawned < 10 && rng.Intn(3) == 0 {
+				spawn()
+				spawned++
+			}
+		}
+		// All transactions must have completed.
+		if got := s.Active(); len(got) != 0 {
+			t.Fatalf("seed %d: still active: %v", seed, got)
+		}
+		if !s.Graph().Acyclic() {
+			t.Fatalf("seed %d: graph cyclic", seed)
+		}
+	}
+}
+
+func dedup(xs []model.Entity) []model.Entity {
+	seen := map[model.Entity]bool{}
+	out := xs[:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func TestStatsAndListings(t *testing.T) {
+	s := Example2Scheduler(Config{})
+	if got := s.Active(); len(got) != 1 || got[0] != Ex2A {
+		t.Fatalf("Active = %v", got)
+	}
+	if got := s.Completed(); len(got) != 2 {
+		t.Fatalf("Completed = %v", got)
+	}
+	st := s.Stats()
+	if st.Begins != 3 || st.Completed != 2 || st.Steps != 6 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if s.Txn(Ex2A) == nil || s.Txn(99) != nil {
+		t.Fatal("Txn lookup")
+	}
+	if s.Status(99) != model.StatusAborted {
+		t.Fatal("unknown status convention")
+	}
+	if s.Access(Ex2B).Get(Ex2U) != model.WriteAccess {
+		t.Fatal("performed access of B")
+	}
+}

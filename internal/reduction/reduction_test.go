@@ -1,0 +1,337 @@
+package reduction
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/sat"
+	"repro/internal/setcover"
+)
+
+// --- Theorem 5: Set Cover ---------------------------------------------
+
+func TestSetCoverGadgetStructure(t *testing.T) {
+	in := &setcover.Instance{N: 3, Sets: [][]int{{0, 1}, {1, 2}, {2}}}
+	gad, err := BuildSetCover(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gad.Sched.Graph()
+	// T0 -> every set transaction and T0 -> TLast.
+	for _, ti := range gad.TSet {
+		if !g.HasArc(gad.T0, ti) {
+			t.Fatalf("missing arc T0->T%d", ti)
+		}
+	}
+	if !g.HasArc(gad.T0, gad.TLast) {
+		t.Fatal("missing arc T0->TLast (entity y)")
+	}
+	if gad.Sched.Status(gad.T0) != model.StatusActive {
+		t.Fatal("T0 must stay active")
+	}
+	if gad.Sched.Status(gad.TLast) != model.StatusCompleted {
+		t.Fatal("TLast must be completed")
+	}
+}
+
+func TestSetCoverNothingDeletableBeforeLastStep(t *testing.T) {
+	// Replay the gadget's steps except the final write and assert that no
+	// transaction satisfies C1 — the theorem's property (1).
+	in := &setcover.Instance{N: 3, Sets: [][]int{{0, 1}, {1, 2}, {0, 2}}}
+	gad, err := BuildSetCover(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.NewScheduler(core.Config{})
+	for _, st := range gad.Steps[:len(gad.Steps)-1] {
+		if res := s.MustApply(st); !res.Accepted {
+			t.Fatalf("prefix step rejected: %v", st)
+		}
+	}
+	if got := core.C1Candidates(s, s.Graph(), s.CompletedTxns()); len(got) != 0 {
+		t.Fatalf("no transaction may be deletable before the last step; got %v", got)
+	}
+}
+
+func TestSetCoverTLastNeverDeletable(t *testing.T) {
+	in := &setcover.Instance{N: 2, Sets: [][]int{{0}, {1}}}
+	gad, err := BuildSetCover(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := core.CheckC1(gad.Sched, gad.Sched.Graph(), gad.TLast); ok {
+		t.Fatal("T_{m+1} wrote y with no other writer: must not be deletable")
+	}
+}
+
+func TestSetCoverDeletableIffOthersCover(t *testing.T) {
+	// S1={0,1}, S2={1,2}, S3={0,2}: every element in exactly 2 sets, so
+	// each Ti individually satisfies C1 after the last step.
+	in := &setcover.Instance{N: 3, Sets: [][]int{{0, 1}, {1, 2}, {0, 2}}}
+	gad, err := BuildSetCover(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := gad.DeletableNow(); len(got) != 3 {
+		t.Fatalf("deletable = %v, want all three set transactions", got)
+	}
+	// S1={0}: element 0 only in S1 → T1 not individually deletable.
+	in2 := &setcover.Instance{N: 2, Sets: [][]int{{0}, {1}, {1}}}
+	gad2, err := BuildSetCover(in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := gad2.DeletableNow()
+	for _, id := range got {
+		if id == gad2.TSet[0] {
+			t.Fatal("T1 covers element 0 alone; it must not be deletable")
+		}
+	}
+}
+
+func TestTheorem5Correspondence(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + rng.Intn(4)
+		m := 3 + rng.Intn(4)
+		in := setcover.Random(rng, n, m)
+		gad, err := BuildSetCover(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := gad.PredictedMaxDeletable()
+		got := gad.MaxDeletable(0)
+		if got != want {
+			t.Fatalf("trial %d: max deletable = %d, want m - minCover = %d (instance %+v)",
+				trial, got, want, in)
+		}
+	}
+}
+
+func TestTheorem5KeptSetIsCover(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 15; trial++ {
+		in := setcover.Random(rng, 3+rng.Intn(4), 3+rng.Intn(4))
+		gad, err := BuildSetCover(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := core.MaxSafeSet(gad.Sched, gad.Sched.Graph(), gad.Sched.CompletedTxns(), 0)
+		// The kept set transactions must form a cover.
+		cover := gad.CoverFromKept(best)
+		if !in.IsCover(cover) {
+			t.Fatalf("trial %d: kept sets %v are not a cover of %+v", trial, cover, in)
+		}
+	}
+}
+
+func TestSetCoverGadgetRejectsBadInstance(t *testing.T) {
+	if _, err := BuildSetCover(&setcover.Instance{N: 2, Sets: [][]int{{0}}}); err == nil {
+		t.Fatal("uncoverable instance must be rejected")
+	}
+}
+
+// --- Theorem 6: 3-SAT --------------------------------------------------
+
+func fml(nvars int, clauses ...[3]int) *sat.Formula {
+	f := &sat.Formula{NumVars: nvars}
+	for _, c := range clauses {
+		f.Clauses = append(f.Clauses, sat.Clause{sat.Literal(c[0]), sat.Literal(c[1]), sat.Literal(c[2])})
+	}
+	return f
+}
+
+func TestThreeSATGadgetStructure(t *testing.T) {
+	f := fml(3, [3]int{1, 2, 3})
+	gad, err := BuildThreeSAT(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := gad.Sched
+	// Statuses per Fig. 3.
+	if s.Status(gad.A) != model.StatusActive {
+		t.Fatal("A must be active")
+	}
+	for i := 0; i < 3; i++ {
+		if s.Status(gad.PosAct[i]) != model.StatusActive || s.Status(gad.NegAct[i]) != model.StatusActive {
+			t.Fatalf("A_%d/Ā_%d must be active", i, i)
+		}
+		if s.Status(gad.PosLit[i]) != model.StatusFinished || s.Status(gad.NegLit[i]) != model.StatusFinished {
+			t.Fatalf("x_%d/x̄_%d must be finished (F): %v %v", i, i, s.Status(gad.PosLit[i]), s.Status(gad.NegLit[i]))
+		}
+	}
+	for k := 0; k < 3; k++ {
+		if s.Status(gad.Clause[0][k]) != model.StatusFinished {
+			t.Fatalf("c_1%d must be F", k)
+		}
+	}
+	for _, id := range []model.TxnID{gad.B, gad.C, gad.D} {
+		if s.Status(id) != model.StatusCommitted {
+			t.Fatalf("B/C/D must be committed; T%d is %v", id, s.Status(id))
+		}
+	}
+	// Key arcs.
+	g := s.Graph()
+	if !g.HasArc(gad.A, gad.PosLit[0]) || !g.HasArc(gad.A, gad.NegLit[0]) {
+		t.Fatal("chain start arcs missing")
+	}
+	if !g.HasArc(gad.PosLit[2], gad.B) || !g.HasArc(gad.B, gad.C) {
+		t.Fatal("chain end arcs missing")
+	}
+	if !g.HasArc(gad.Clause[0][2], gad.D) {
+		t.Fatal("clause path end missing")
+	}
+	if !g.HasArc(gad.PosAct[0], gad.D) {
+		t.Fatal("A_i -> D missing")
+	}
+	// Dependencies: literal transactions depend on their actives.
+	if got := s.DependsOn(gad.PosLit[1]); len(got) != 1 || got[0] != gad.PosAct[1] {
+		t.Fatalf("x_2 deps = %v", got)
+	}
+}
+
+func TestTheorem6BAndDNeverDeletable(t *testing.T) {
+	f := fml(3, [3]int{1, -2, 3})
+	gad, err := BuildThreeSAT(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []model.TxnID{gad.B, gad.D} {
+		ok, _, err := gad.Sched.CheckC3(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatalf("T%d wrote a private entity: must not be deletable", id)
+		}
+	}
+}
+
+func TestTheorem6Satisfiable(t *testing.T) {
+	// (x1 ∨ x2 ∨ x3): trivially satisfiable → C NOT deletable.
+	f := fml(3, [3]int{1, 2, 3})
+	gad, err := BuildThreeSAT(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, viol, err := gad.CDeletable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("satisfiable formula: C must NOT be deletable")
+	}
+	// The violating M must decode to a satisfying assignment.
+	a := gad.AssignmentFromViolation(viol)
+	if !f.Satisfies(a) {
+		t.Fatalf("extracted assignment %v does not satisfy %v", a, f)
+	}
+}
+
+func TestTheorem6Unsatisfiable(t *testing.T) {
+	// All eight sign patterns over three variables: unsatisfiable.
+	f := fml(3,
+		[3]int{1, 2, 3}, [3]int{1, 2, -3}, [3]int{1, -2, 3}, [3]int{1, -2, -3},
+		[3]int{-1, 2, 3}, [3]int{-1, 2, -3}, [3]int{-1, -2, 3}, [3]int{-1, -2, -3})
+	if _, satisfiable := sat.Solve(f); satisfiable {
+		t.Fatal("precondition: formula must be unsat")
+	}
+	gad, err := BuildThreeSAT(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, viol, err := gad.CDeletable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("unsatisfiable formula: C must be deletable; violation %v", viol)
+	}
+}
+
+func TestTheorem6RandomCorrespondence(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	satCount, unsatCount := 0, 0
+	for trial := 0; trial < 12; trial++ {
+		n := 3
+		m := 2 + rng.Intn(12) // spans SAT and UNSAT densities
+		f := sat.Random3CNF(rng, n, m)
+		_, satisfiable := sat.Solve(f)
+		gad, err := BuildThreeSAT(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deletable, viol, err := gad.CDeletable()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if deletable == satisfiable {
+			t.Fatalf("trial %d: deletable=%v but satisfiable=%v for %v", trial, deletable, satisfiable, f)
+		}
+		if satisfiable {
+			satCount++
+			if a := gad.AssignmentFromViolation(viol); !f.Satisfies(a) {
+				t.Fatalf("trial %d: violation does not decode to a model", trial)
+			}
+		} else {
+			unsatCount++
+		}
+	}
+	if satCount == 0 || unsatCount == 0 {
+		t.Skipf("poor mix: %d sat, %d unsat; widen densities", satCount, unsatCount)
+	}
+}
+
+func TestMFromAssignmentBlocksADPath(t *testing.T) {
+	// For a satisfying assignment, aborting M must break every A→D clause
+	// path while keeping an FC-path A→C — the proof's forward direction.
+	f := fml(3, [3]int{1, -2, 3}, [3]int{-1, 2, -3})
+	a, satisfiable := sat.Solve(f)
+	if !satisfiable {
+		t.Fatal("precondition")
+	}
+	gad, err := BuildThreeSAT(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := gad.MFromAssignment(a)
+	seed := make(graph.NodeSet)
+	for _, id := range m {
+		seed.Add(id)
+	}
+	removed := gad.Sched.DependentsClosure(seed)
+	// Removed must contain, for each clause, at least one occurrence node.
+	for j := range f.Clauses {
+		hit := false
+		for k := 0; k < 3; k++ {
+			if removed.Has(gad.Clause[j][k]) {
+				hit = true
+			}
+		}
+		if !hit {
+			t.Fatalf("clause %d path not broken by M", j)
+		}
+	}
+	// And for each variable, exactly one literal node removed.
+	for i := 0; i < f.NumVars; i++ {
+		pos := removed.Has(gad.PosLit[i])
+		neg := removed.Has(gad.NegLit[i])
+		if pos == neg {
+			t.Fatalf("variable %d: exactly one of x/x̄ must be removed (pos=%v neg=%v)", i, pos, neg)
+		}
+	}
+}
+
+func TestThreeSATRejectsNon3CNF(t *testing.T) {
+	f := &sat.Formula{NumVars: 2, Clauses: []sat.Clause{{1, 2}}}
+	if _, err := BuildThreeSAT(f); err == nil {
+		t.Fatal("non-3 clause must be rejected")
+	}
+	bad := &sat.Formula{NumVars: 1, Clauses: []sat.Clause{{1, 1, 5}}}
+	if _, err := BuildThreeSAT(bad); err == nil {
+		t.Fatal("invalid literal must be rejected")
+	}
+}

@@ -1,0 +1,135 @@
+// Package reduction builds the paper's two NP-completeness gadgets as
+// *actual schedules* fed through the real schedulers:
+//
+//   - Theorem 5: Set Cover → a basic-model schedule in which the maximum
+//     safely-deletable subset has size m − (minimum cover size).
+//   - Theorem 6 (Fig. 3): 3-SAT → a multiple-write-model schedule in
+//     which committed transaction C is safely deletable iff the formula
+//     is unsatisfiable.
+//
+// Both builders return handles that map gadget roles back to transaction
+// IDs and entities, so tests can cross-validate against the independent
+// set-cover and SAT solvers.
+package reduction
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/setcover"
+)
+
+// SetCoverGadget is the realized Theorem 5 construction.
+type SetCoverGadget struct {
+	// Instance is the source set-cover instance (n elements, m sets).
+	Instance *setcover.Instance
+	// Sched holds the schedule's final state (T0 still active).
+	Sched *core.Scheduler
+	// T0 is the active reader; TSet[i] is the transaction of set i;
+	// TLast is T_{m+1}.
+	T0    model.TxnID
+	TSet  []model.TxnID
+	TLast model.TxnID
+	// Steps is the full schedule p that was applied.
+	Steps []model.Step
+}
+
+// Entity layout: elements x_e = e; y = n; z_i = n+1+i.
+func scEntity(e int) model.Entity   { return model.Entity(e) }
+func scY(n int) model.Entity        { return model.Entity(n) }
+func scZ(n int, i int) model.Entity { return model.Entity(n + 1 + i) }
+
+// BuildSetCover realizes Theorem 5's schedule for the instance:
+//
+//	"Transaction T0 reads y and all elements of X. Transaction Ti with
+//	1 ≤ i ≤ m reads z_i and writes the elements of S_i. Finally, T_{m+1}
+//	reads z_1, ..., z_m and writes y."
+//
+// After the last step, a subset N of {T1..Tm} is safely deletable iff the
+// remaining sets form a cover; hence max deletable = m − min cover.
+func BuildSetCover(in *setcover.Instance) (*SetCoverGadget, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n, m := in.N, len(in.Sets)
+	gad := &SetCoverGadget{
+		Instance: in,
+		T0:       0,
+		TLast:    model.TxnID(m + 1),
+	}
+	for i := 0; i < m; i++ {
+		gad.TSet = append(gad.TSet, model.TxnID(i+1))
+	}
+	var steps []model.Step
+	// T0 reads y and all of X, and stays active.
+	steps = append(steps, model.Begin(gad.T0), model.Read(gad.T0, scY(n)))
+	for e := 0; e < n; e++ {
+		steps = append(steps, model.Read(gad.T0, scEntity(e)))
+	}
+	// T1..Tm execute to completion serially.
+	for i := 0; i < m; i++ {
+		ti := gad.TSet[i]
+		steps = append(steps, model.Begin(ti), model.Read(ti, scZ(n, i)))
+		var ws []model.Entity
+		for _, e := range in.Sets[i] {
+			ws = append(ws, scEntity(e))
+		}
+		steps = append(steps, model.WriteFinal(ti, ws...))
+	}
+	// T_{m+1} reads all z_i and writes y (the triggering last step).
+	steps = append(steps, model.Begin(gad.TLast))
+	for i := 0; i < m; i++ {
+		steps = append(steps, model.Read(gad.TLast, scZ(n, i)))
+	}
+	steps = append(steps, model.WriteFinal(gad.TLast, scY(n)))
+
+	s := core.NewScheduler(core.Config{})
+	for _, st := range steps {
+		res, err := s.Apply(st)
+		if err != nil {
+			return nil, fmt.Errorf("reduction: set-cover gadget: %v", err)
+		}
+		if !res.Accepted {
+			return nil, fmt.Errorf("reduction: set-cover gadget rejected step %v (construction bug)", st)
+		}
+	}
+	gad.Sched = s
+	gad.Steps = steps
+	return gad, nil
+}
+
+// DeletableNow returns the set transactions currently satisfying C1.
+func (g *SetCoverGadget) DeletableNow() []model.TxnID {
+	return core.C1Candidates(g.Sched, g.Sched.Graph(), g.Sched.CompletedTxns())
+}
+
+// MaxDeletable computes the maximum safely-deletable subset via the exact
+// solver and returns its size.
+func (g *SetCoverGadget) MaxDeletable(budget int) int {
+	best := core.MaxSafeSet(g.Sched, g.Sched.Graph(), g.Sched.CompletedTxns(), budget)
+	return len(best)
+}
+
+// CoverFromKept translates a safely-deletable set N into the cover the
+// theorem promises: the KEPT set transactions (those not in N).
+func (g *SetCoverGadget) CoverFromKept(deleted graph.NodeSet) []int {
+	var cover []int
+	for i, ti := range g.TSet {
+		if !deleted.Has(ti) {
+			cover = append(cover, i)
+		}
+	}
+	return cover
+}
+
+// PredictedMaxDeletable returns m − (minimum cover size) from the exact
+// set-cover solver — the value Theorem 5 says MaxDeletable must equal.
+func (g *SetCoverGadget) PredictedMaxDeletable() int {
+	mc := setcover.MinCover(g.Instance)
+	if mc == nil {
+		return 0
+	}
+	return len(g.Instance.Sets) - len(mc)
+}

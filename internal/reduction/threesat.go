@@ -1,0 +1,255 @@
+// Theorem 6 (Fig. 3): 3-SAT → multiple-write-model conflict graph in
+// which committed transaction C is safely deletable iff the formula is
+// unsatisfiable.
+package reduction
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/multiwrite"
+	"repro/internal/sat"
+)
+
+// ThreeSATGadget is the realized Fig. 3 construction.
+type ThreeSATGadget struct {
+	Formula *sat.Formula
+	Sched   *multiwrite.Scheduler
+	Steps   []model.Step
+
+	// Role → transaction ID maps. Pos/NegLit are the type-F literal
+	// transactions x_i / x̄_i; Pos/NegAct the type-A transactions A_i / Ā_i;
+	// Clause[j][k] the type-F literal-occurrence transactions c_jk.
+	PosLit, NegLit []model.TxnID
+	PosAct, NegAct []model.TxnID
+	Clause         [][3]model.TxnID
+	A, B, C, D     model.TxnID
+
+	// Y is the entity read by C and D.
+	Y model.Entity
+}
+
+// arcKind distinguishes Fig. 3's solid (write-write) and dashed
+// (write-read, i.e. dependency) arcs.
+type arcKind uint8
+
+const (
+	arcWW arcKind = iota
+	arcWR
+)
+
+type specArc struct {
+	from, to model.TxnID
+	kind     arcKind
+}
+
+// BuildThreeSAT realizes the Fig. 3 graph for f as an actual schedule fed
+// through the multiwrite scheduler: every arc is labeled with a distinct
+// entity accessed only by its endpoints; every transaction except C also
+// writes a private entity; C and D read the shared entity y. Transactions
+// execute serially in topological order; A, A_i, Ā_i never finish (type
+// A), the literal and clause transactions finish but depend on their
+// variable's active transaction (type F), and B, C, D commit (type C).
+func BuildThreeSAT(f *sat.Formula) (*ThreeSATGadget, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	for i, c := range f.Clauses {
+		if len(c) != 3 {
+			return nil, fmt.Errorf("reduction: clause %d has %d literals; need exactly 3", i, len(c))
+		}
+	}
+	n, m := f.NumVars, len(f.Clauses)
+	g := &ThreeSATGadget{Formula: f}
+
+	// Allocate transaction IDs densely.
+	next := model.TxnID(0)
+	alloc := func() model.TxnID { id := next; next++; return id }
+	g.A = alloc()
+	for i := 0; i < n; i++ {
+		g.PosAct = append(g.PosAct, alloc())
+		g.NegAct = append(g.NegAct, alloc())
+		g.PosLit = append(g.PosLit, alloc())
+		g.NegLit = append(g.NegLit, alloc())
+	}
+	for j := 0; j < m; j++ {
+		var c [3]model.TxnID
+		for k := 0; k < 3; k++ {
+			c[k] = alloc()
+		}
+		g.Clause = append(g.Clause, c)
+	}
+	g.B = alloc()
+	g.C = alloc()
+	g.D = alloc()
+
+	// Spec arcs per Fig. 3.
+	var arcs []specArc
+	ww := func(u, v model.TxnID) { arcs = append(arcs, specArc{u, v, arcWW}) }
+	wr := func(u, v model.TxnID) { arcs = append(arcs, specArc{u, v, arcWR}) }
+	// Chain: A → x_1, x̄_1; x_i, x̄_i → x_{i+1}, x̄_{i+1}; x_n, x̄_n → B → C.
+	ww(g.A, g.PosLit[0])
+	ww(g.A, g.NegLit[0])
+	for i := 0; i+1 < n; i++ {
+		ww(g.PosLit[i], g.PosLit[i+1])
+		ww(g.PosLit[i], g.NegLit[i+1])
+		ww(g.NegLit[i], g.PosLit[i+1])
+		ww(g.NegLit[i], g.NegLit[i+1])
+	}
+	ww(g.PosLit[n-1], g.B)
+	ww(g.NegLit[n-1], g.B)
+	ww(g.B, g.C)
+	// A_i, Ā_i → D for all i.
+	for i := 0; i < n; i++ {
+		ww(g.PosAct[i], g.D)
+		ww(g.NegAct[i], g.D)
+	}
+	// Clause paths A → c_j1 → c_j2 → c_j3 → D.
+	for j := 0; j < m; j++ {
+		ww(g.A, g.Clause[j][0])
+		ww(g.Clause[j][0], g.Clause[j][1])
+		ww(g.Clause[j][1], g.Clause[j][2])
+		ww(g.Clause[j][2], g.D)
+	}
+	// Dependencies (write-read): A_i → x_i, Ā_i → x̄_i; literal occurrences
+	// depend on their variable's transaction of matching sign.
+	for i := 0; i < n; i++ {
+		wr(g.PosAct[i], g.PosLit[i])
+		wr(g.NegAct[i], g.NegLit[i])
+	}
+	for j, cl := range f.Clauses {
+		for k, lit := range cl {
+			if lit.Positive() {
+				wr(g.PosAct[lit.Var()], g.Clause[j][k])
+			} else {
+				wr(g.NegAct[lit.Var()], g.Clause[j][k])
+			}
+		}
+	}
+
+	// Entity layout: one distinct entity per arc; then one private entity
+	// per transaction except C; then y.
+	entity := model.Entity(0)
+	arcEnt := make([]model.Entity, len(arcs))
+	for i := range arcs {
+		arcEnt[i] = entity
+		entity++
+	}
+	private := make(map[model.TxnID]model.Entity)
+	for id := model.TxnID(0); id < next; id++ {
+		if id == g.C {
+			continue
+		}
+		private[id] = entity
+		entity++
+	}
+	g.Y = entity
+
+	// Realize the schedule: serial topological order. Group arcs by
+	// endpoint for step emission.
+	outArcs := make(map[model.TxnID][]int)
+	inArcs := make(map[model.TxnID][]int)
+	for i, a := range arcs {
+		outArcs[a.from] = append(outArcs[a.from], i)
+		inArcs[a.to] = append(inArcs[a.to], i)
+	}
+	// Topological order of the spec: actives first, then literal levels,
+	// then clause nodes, then B, C, D. (Clause node c_j1 must follow A;
+	// all actives have no in-arcs.)
+	var order []model.TxnID
+	order = append(order, g.A)
+	for i := 0; i < n; i++ {
+		order = append(order, g.PosAct[i], g.NegAct[i])
+	}
+	for i := 0; i < n; i++ {
+		order = append(order, g.PosLit[i], g.NegLit[i])
+	}
+	for j := 0; j < m; j++ {
+		order = append(order, g.Clause[j][0], g.Clause[j][1], g.Clause[j][2])
+	}
+	order = append(order, g.B, g.C, g.D)
+
+	isActive := map[model.TxnID]bool{g.A: true}
+	for i := 0; i < n; i++ {
+		isActive[g.PosAct[i]] = true
+		isActive[g.NegAct[i]] = true
+	}
+
+	var steps []model.Step
+	for _, id := range order {
+		steps = append(steps, model.Begin(id))
+		// Incoming arcs: this transaction is the later accessor.
+		for _, ai := range inArcs[id] {
+			a := arcs[ai]
+			if a.kind == arcWW {
+				steps = append(steps, model.Write(id, arcEnt[ai]))
+			} else {
+				steps = append(steps, model.Read(id, arcEnt[ai]))
+			}
+		}
+		// Outgoing arcs: this transaction writes first (both ww and wr
+		// arcs have a WRITE at the tail).
+		for _, ai := range outArcs[id] {
+			steps = append(steps, model.Write(id, arcEnt[ai]))
+		}
+		if p, ok := private[id]; ok {
+			steps = append(steps, model.Write(id, p))
+		}
+		if id == g.C || id == g.D {
+			steps = append(steps, model.Read(id, g.Y))
+		}
+		if !isActive[id] {
+			steps = append(steps, model.Finish(id))
+		}
+	}
+
+	s := multiwrite.NewScheduler()
+	for _, st := range steps {
+		res, err := s.Apply(st)
+		if err != nil {
+			return nil, fmt.Errorf("reduction: 3-SAT gadget: %v", err)
+		}
+		if !res.Accepted {
+			return nil, fmt.Errorf("reduction: 3-SAT gadget rejected step %v (construction bug)", st)
+		}
+	}
+	g.Sched = s
+	g.Steps = steps
+	return g, nil
+}
+
+// CDeletable runs the exponential C3 check on transaction C.
+func (g *ThreeSATGadget) CDeletable() (bool, *multiwrite.C3Violation, error) {
+	return g.Sched.CheckC3(g.C)
+}
+
+// AssignmentFromViolation converts a violating set M into the satisfying
+// truth assignment Theorem 6's proof extracts: x_i is true iff A_i ∈ M
+// (variables with neither transaction in M default to false, which the
+// proof shows is consistent).
+func (g *ThreeSATGadget) AssignmentFromViolation(viol *multiwrite.C3Violation) sat.Assignment {
+	inM := make(graph.NodeSet)
+	for _, id := range viol.M {
+		inM.Add(id)
+	}
+	a := make(sat.Assignment, g.Formula.NumVars)
+	for i := 0; i < g.Formula.NumVars; i++ {
+		a[i] = inM.Has(g.PosAct[i])
+	}
+	return a
+}
+
+// MFromAssignment builds the violating set M the proof uses for a
+// satisfying assignment: A_i for true variables, Ā_i for false ones.
+func (g *ThreeSATGadget) MFromAssignment(a sat.Assignment) []model.TxnID {
+	var m []model.TxnID
+	for i := 0; i < g.Formula.NumVars; i++ {
+		if a[i] {
+			m = append(m, g.PosAct[i])
+		} else {
+			m = append(m, g.NegAct[i])
+		}
+	}
+	return m
+}

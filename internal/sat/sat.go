@@ -1,0 +1,279 @@
+// Package sat implements 3-SAT solving for Theorem 6's NP-completeness
+// reduction: a DPLL solver with unit propagation and pure-literal
+// elimination, a brute-force reference, and random 3-CNF generation.
+//
+// A literal is encoded ±(v+1) for variable index v (DIMACS style):
+// +3 means variable 2 is true, -3 means variable 2 is false.
+package sat
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Literal is a signed, 1-based variable reference.
+type Literal int
+
+// Var returns the 0-based variable index.
+func (l Literal) Var() int {
+	if l < 0 {
+		return int(-l) - 1
+	}
+	return int(l) - 1
+}
+
+// Positive reports whether the literal is positive.
+func (l Literal) Positive() bool { return l > 0 }
+
+// Neg returns the negation.
+func (l Literal) Neg() Literal { return -l }
+
+// Clause is a disjunction of literals.
+type Clause []Literal
+
+// Formula is a CNF formula.
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// Validate checks literal ranges and clause non-emptiness.
+func (f *Formula) Validate() error {
+	for i, c := range f.Clauses {
+		if len(c) == 0 {
+			return fmt.Errorf("sat: clause %d empty", i)
+		}
+		for _, l := range c {
+			if l == 0 || l.Var() >= f.NumVars {
+				return fmt.Errorf("sat: clause %d has invalid literal %d", i, l)
+			}
+		}
+	}
+	return nil
+}
+
+// Assignment maps 0-based variables to truth values.
+type Assignment []bool
+
+// Satisfies reports whether the assignment satisfies the formula.
+func (f *Formula) Satisfies(a Assignment) bool {
+	if len(a) < f.NumVars {
+		return false
+	}
+	for _, c := range f.Clauses {
+		sat := false
+		for _, l := range c {
+			if a[l.Var()] == l.Positive() {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// value is the three-valued assignment state inside the solver.
+type value int8
+
+const (
+	unassigned value = iota
+	vTrue
+	vFalse
+)
+
+// Solve runs DPLL with unit propagation and pure-literal elimination.
+// It returns (assignment, true) if satisfiable, (nil, false) otherwise.
+func Solve(f *Formula) (Assignment, bool) {
+	if err := f.Validate(); err != nil {
+		return nil, false
+	}
+	assign := make([]value, f.NumVars)
+	if !dpll(f, assign) {
+		return nil, false
+	}
+	out := make(Assignment, f.NumVars)
+	for i, v := range assign {
+		out[i] = v == vTrue
+	}
+	if !f.Satisfies(out) {
+		// Unassigned variables default to false; Satisfies re-validates.
+		// dpll only returns true when every clause is satisfied, so this
+		// cannot fail; keep the check as an internal invariant.
+		panic("sat: solver returned non-satisfying assignment")
+	}
+	return out, true
+}
+
+// clauseState classifies a clause under the current partial assignment.
+func clauseState(c Clause, assign []value) (satisfied bool, unassignedLits []Literal) {
+	for _, l := range c {
+		switch assign[l.Var()] {
+		case unassigned:
+			unassignedLits = append(unassignedLits, l)
+		case vTrue:
+			if l.Positive() {
+				return true, nil
+			}
+		case vFalse:
+			if !l.Positive() {
+				return true, nil
+			}
+		}
+	}
+	return false, unassignedLits
+}
+
+func dpll(f *Formula, assign []value) bool {
+	// Unit propagation + conflict detection, to fixpoint.
+	type trailEntry struct{ v int }
+	var trail []trailEntry
+	undo := func() {
+		for _, e := range trail {
+			assign[e.v] = unassigned
+		}
+	}
+	setLit := func(l Literal) {
+		if l.Positive() {
+			assign[l.Var()] = vTrue
+		} else {
+			assign[l.Var()] = vFalse
+		}
+		trail = append(trail, trailEntry{l.Var()})
+	}
+	for {
+		changed := false
+		for _, c := range f.Clauses {
+			sat, un := clauseState(c, assign)
+			if sat {
+				continue
+			}
+			switch len(un) {
+			case 0:
+				undo()
+				return false // conflict
+			case 1:
+				setLit(un[0])
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Pure literal elimination.
+	seenPos := make([]bool, f.NumVars)
+	seenNeg := make([]bool, f.NumVars)
+	for _, c := range f.Clauses {
+		sat, un := clauseState(c, assign)
+		if sat {
+			continue
+		}
+		for _, l := range un {
+			if l.Positive() {
+				seenPos[l.Var()] = true
+			} else {
+				seenNeg[l.Var()] = true
+			}
+		}
+	}
+	for v := 0; v < f.NumVars; v++ {
+		if assign[v] != unassigned {
+			continue
+		}
+		if seenPos[v] && !seenNeg[v] {
+			setLit(Literal(v + 1))
+		} else if seenNeg[v] && !seenPos[v] {
+			setLit(Literal(-(v + 1)))
+		}
+	}
+	// Check whether everything is satisfied; pick a branch variable from
+	// the shortest unsatisfied clause (a cheap MOM heuristic).
+	branch := Literal(0)
+	shortest := 1 << 30
+	allSat := true
+	for _, c := range f.Clauses {
+		sat, un := clauseState(c, assign)
+		if sat {
+			continue
+		}
+		allSat = false
+		if len(un) == 0 {
+			undo()
+			return false
+		}
+		if len(un) < shortest {
+			shortest = len(un)
+			branch = un[0]
+		}
+	}
+	if allSat {
+		return true
+	}
+	// Branch.
+	setLit(branch)
+	if dpll(f, assign) {
+		return true
+	}
+	assign[branch.Var()] = unassigned
+	trail = trail[:len(trail)-1]
+	setLit(branch.Neg())
+	if dpll(f, assign) {
+		return true
+	}
+	undo()
+	return false
+}
+
+// BruteForce enumerates all 2^n assignments (reference for tests).
+func BruteForce(f *Formula) (Assignment, bool) {
+	n := f.NumVars
+	if n > 24 {
+		panic("sat: brute force limited to 24 variables")
+	}
+	a := make(Assignment, n)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		for i := 0; i < n; i++ {
+			a[i] = mask&(1<<uint(i)) != 0
+		}
+		if f.Satisfies(a) {
+			out := make(Assignment, n)
+			copy(out, a)
+			return out, true
+		}
+	}
+	return nil, false
+}
+
+// Random3CNF generates a random 3-CNF with n variables and m clauses,
+// each clause having three literals over distinct variables.
+func Random3CNF(rng *rand.Rand, n, m int) *Formula {
+	if n < 3 {
+		n = 3
+	}
+	f := &Formula{NumVars: n}
+	for i := 0; i < m; i++ {
+		vars := rng.Perm(n)[:3]
+		var c Clause
+		for _, v := range vars {
+			l := Literal(v + 1)
+			if rng.Intn(2) == 0 {
+				l = -l
+			}
+			c = append(c, l)
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f
+}
+
+// String renders the formula in a compact DIMACS-like form.
+func (f *Formula) String() string {
+	s := fmt.Sprintf("cnf(%d vars)", f.NumVars)
+	for _, c := range f.Clauses {
+		s += fmt.Sprintf(" (%v)", []Literal(c))
+	}
+	return s
+}

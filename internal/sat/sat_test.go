@@ -1,0 +1,135 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLiteralBasics(t *testing.T) {
+	l := Literal(3)
+	if l.Var() != 2 || !l.Positive() {
+		t.Fatalf("Literal(3): var=%d pos=%v", l.Var(), l.Positive())
+	}
+	n := l.Neg()
+	if n.Var() != 2 || n.Positive() {
+		t.Fatalf("Neg: var=%d pos=%v", n.Var(), n.Positive())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := &Formula{NumVars: 2, Clauses: []Clause{{1, -2}}}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (&Formula{NumVars: 1, Clauses: []Clause{{}}}).Validate(); err == nil {
+		t.Fatal("empty clause must fail")
+	}
+	if err := (&Formula{NumVars: 1, Clauses: []Clause{{5}}}).Validate(); err == nil {
+		t.Fatal("out-of-range literal must fail")
+	}
+	if err := (&Formula{NumVars: 1, Clauses: []Clause{{0}}}).Validate(); err == nil {
+		t.Fatal("zero literal must fail")
+	}
+}
+
+func TestSolveTrivial(t *testing.T) {
+	f := &Formula{NumVars: 1, Clauses: []Clause{{1}}}
+	a, ok := Solve(f)
+	if !ok || !a[0] {
+		t.Fatalf("x1 must be satisfiable with x1=true: %v %v", a, ok)
+	}
+	f2 := &Formula{NumVars: 1, Clauses: []Clause{{1}, {-1}}}
+	if _, ok := Solve(f2); ok {
+		t.Fatal("x1 AND NOT x1 is unsat")
+	}
+}
+
+func TestSolveUnitPropagationChain(t *testing.T) {
+	// x1; x1->x2; x2->x3  encoded as (x1)(¬x1∨x2)(¬x2∨x3); then ¬x3 unsat.
+	f := &Formula{NumVars: 3, Clauses: []Clause{{1}, {-1, 2}, {-2, 3}}}
+	a, ok := Solve(f)
+	if !ok || !a[0] || !a[1] || !a[2] {
+		t.Fatalf("chain: %v %v", a, ok)
+	}
+	f.Clauses = append(f.Clauses, Clause{-3})
+	if _, ok := Solve(f); ok {
+		t.Fatal("chain + ¬x3 is unsat")
+	}
+}
+
+func TestSolvePigeonholeUnsat(t *testing.T) {
+	// 3 pigeons, 2 holes: var p*2+h means pigeon p in hole h.
+	v := func(p, h int) Literal { return Literal(p*2 + h + 1) }
+	f := &Formula{NumVars: 6}
+	for p := 0; p < 3; p++ {
+		f.Clauses = append(f.Clauses, Clause{v(p, 0), v(p, 1)})
+	}
+	for h := 0; h < 2; h++ {
+		for p1 := 0; p1 < 3; p1++ {
+			for p2 := p1 + 1; p2 < 3; p2++ {
+				f.Clauses = append(f.Clauses, Clause{-v(p1, h), -v(p2, h)})
+			}
+		}
+	}
+	if _, ok := Solve(f); ok {
+		t.Fatal("pigeonhole PHP(3,2) must be unsat")
+	}
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 120; trial++ {
+		n := 3 + rng.Intn(6)
+		m := 1 + rng.Intn(4*n) // spans under- and over-constrained
+		f := Random3CNF(rng, n, m)
+		_, wantSat := BruteForce(f)
+		a, gotSat := Solve(f)
+		if gotSat != wantSat {
+			t.Fatalf("trial %d: Solve=%v brute=%v for %v", trial, gotSat, wantSat, f)
+		}
+		if gotSat && !f.Satisfies(a) {
+			t.Fatalf("trial %d: assignment does not satisfy", trial)
+		}
+	}
+}
+
+func TestSatisfiesShortAssignment(t *testing.T) {
+	f := &Formula{NumVars: 2, Clauses: []Clause{{1, 2}}}
+	if f.Satisfies(Assignment{true}) {
+		t.Fatal("short assignment must not satisfy")
+	}
+}
+
+func TestRandom3CNFShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := Random3CNF(rng, 8, 20)
+	if f.NumVars != 8 || len(f.Clauses) != 20 {
+		t.Fatalf("shape: %d vars %d clauses", f.NumVars, len(f.Clauses))
+	}
+	for _, c := range f.Clauses {
+		if len(c) != 3 {
+			t.Fatalf("clause size %d", len(c))
+		}
+		vars := map[int]bool{}
+		for _, l := range c {
+			if vars[l.Var()] {
+				t.Fatalf("repeated variable in clause %v", c)
+			}
+			vars[l.Var()] = true
+		}
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.String() == "" {
+		t.Fatal("String()")
+	}
+}
+
+func TestRandom3CNFMinVars(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := Random3CNF(rng, 1, 2) // fewer than 3 vars requested
+	if f.NumVars < 3 {
+		t.Fatalf("NumVars = %d; 3-CNF needs at least 3", f.NumVars)
+	}
+}

@@ -1,0 +1,249 @@
+// Package setcover implements the Set Cover problem used by Theorem 5's
+// NP-completeness reduction: exact minimum cover via branch-and-bound,
+// the greedy ln(n)-approximation, and random instance generation.
+package setcover
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Instance is a family of subsets over the universe {0, ..., N-1}.
+type Instance struct {
+	// N is the universe size.
+	N int
+	// Sets lists the subsets; Sets[i] holds element indices in [0, N).
+	Sets [][]int
+}
+
+// Validate checks element ranges and that a cover exists at all.
+func (in *Instance) Validate() error {
+	if in.N < 0 {
+		return fmt.Errorf("setcover: negative universe")
+	}
+	covered := make([]bool, in.N)
+	for i, s := range in.Sets {
+		for _, e := range s {
+			if e < 0 || e >= in.N {
+				return fmt.Errorf("setcover: set %d has out-of-range element %d", i, e)
+			}
+			covered[e] = true
+		}
+	}
+	for e, ok := range covered {
+		if !ok {
+			return fmt.Errorf("setcover: element %d not covered by any set", e)
+		}
+	}
+	return nil
+}
+
+// IsCover reports whether the chosen set indexes cover the universe.
+func (in *Instance) IsCover(chosen []int) bool {
+	covered := make([]bool, in.N)
+	for _, i := range chosen {
+		if i < 0 || i >= len(in.Sets) {
+			return false
+		}
+		for _, e := range in.Sets[i] {
+			covered[e] = true
+		}
+	}
+	for _, ok := range covered {
+		if !ok {
+			return false
+		}
+	}
+	return in.N >= 0
+}
+
+// masks converts the sets to bitmasks (N ≤ 64 fast path) or returns nil.
+func (in *Instance) masks() []uint64 {
+	if in.N > 64 {
+		return nil
+	}
+	out := make([]uint64, len(in.Sets))
+	for i, s := range in.Sets {
+		for _, e := range s {
+			out[i] |= 1 << uint(e)
+		}
+	}
+	return out
+}
+
+// Greedy returns the classic greedy cover (pick the set covering the most
+// uncovered elements until done), or nil if no cover exists.
+func Greedy(in *Instance) []int {
+	covered := make([]bool, in.N)
+	remaining := in.N
+	var chosen []int
+	for remaining > 0 {
+		best, bestGain := -1, 0
+		for i, s := range in.Sets {
+			gain := 0
+			for _, e := range s {
+				if !covered[e] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		chosen = append(chosen, best)
+		for _, e := range in.Sets[best] {
+			if !covered[e] {
+				covered[e] = true
+				remaining--
+			}
+		}
+	}
+	sort.Ints(chosen)
+	return chosen
+}
+
+// MinCover returns a minimum-cardinality cover, or nil if none exists.
+// Branch-and-bound with greedy incumbent and most-constrained-element
+// branching; exact for the instance sizes the reduction experiments use
+// (N ≤ 64).
+func MinCover(in *Instance) []int {
+	if in.N == 0 {
+		return []int{}
+	}
+	if err := in.Validate(); err != nil {
+		return nil
+	}
+	ms := in.masks()
+	if ms == nil {
+		// Large universe: fall back to greedy (documented approximation).
+		return Greedy(in)
+	}
+	full := uint64(1)<<uint(in.N) - 1
+	greedy := Greedy(in)
+	best := append([]int{}, greedy...)
+
+	// coverers[e] = sets containing element e, largest first.
+	coverers := make([][]int, in.N)
+	for i, m := range ms {
+		for e := 0; e < in.N; e++ {
+			if m&(1<<uint(e)) != 0 {
+				coverers[e] = append(coverers[e], i)
+			}
+		}
+	}
+	for e := range coverers {
+		sort.Slice(coverers[e], func(a, b int) bool {
+			return popcount(ms[coverers[e][a]]) > popcount(ms[coverers[e][b]])
+		})
+	}
+
+	var chosen []int
+	var rec func(covered uint64)
+	rec = func(covered uint64) {
+		if covered == full {
+			if len(chosen) < len(best) {
+				best = append(best[:0:0], chosen...)
+			}
+			return
+		}
+		if len(chosen)+1 >= len(best) {
+			// Even one more set cannot beat the incumbent unless it
+			// finishes the cover; lower bound prune below handles that.
+			if len(chosen)+1 > len(best) {
+				return
+			}
+		}
+		// Lower bound: remaining elements / max set size.
+		remaining := popcount(full &^ covered)
+		maxSize := 0
+		for _, m := range ms {
+			if c := popcount(m &^ covered); c > maxSize {
+				maxSize = c
+			}
+		}
+		if maxSize == 0 {
+			return
+		}
+		lb := (remaining + maxSize - 1) / maxSize
+		if len(chosen)+lb >= len(best) {
+			return
+		}
+		// Branch on the uncovered element with fewest coverers.
+		branchE, branchCnt := -1, 1<<30
+		for e := 0; e < in.N; e++ {
+			if covered&(1<<uint(e)) != 0 {
+				continue
+			}
+			cnt := 0
+			for _, i := range coverers[e] {
+				if ms[i]&^covered != 0 {
+					cnt++
+				}
+			}
+			if cnt < branchCnt {
+				branchE, branchCnt = e, cnt
+			}
+		}
+		for _, i := range coverers[branchE] {
+			chosen = append(chosen, i)
+			rec(covered | ms[i])
+			chosen = chosen[:len(chosen)-1]
+		}
+	}
+	rec(0)
+	sort.Ints(best)
+	return best
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Random generates a random instance with n elements and m sets, each
+// element appearing in at least one set (so a cover exists).
+func Random(rng *rand.Rand, n, m int) *Instance {
+	in := &Instance{N: n, Sets: make([][]int, m)}
+	for i := range in.Sets {
+		size := 1 + rng.Intn(maxInt(1, n/2))
+		seen := map[int]bool{}
+		for j := 0; j < size; j++ {
+			e := rng.Intn(n)
+			if !seen[e] {
+				seen[e] = true
+				in.Sets[i] = append(in.Sets[i], e)
+			}
+		}
+		sort.Ints(in.Sets[i])
+	}
+	// Guarantee coverage: sprinkle missing elements into random sets.
+	covered := make([]bool, n)
+	for _, s := range in.Sets {
+		for _, e := range s {
+			covered[e] = true
+		}
+	}
+	for e, ok := range covered {
+		if !ok {
+			i := rng.Intn(m)
+			in.Sets[i] = append(in.Sets[i], e)
+			sort.Ints(in.Sets[i])
+		}
+	}
+	return in
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

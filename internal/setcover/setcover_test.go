@@ -1,0 +1,157 @@
+package setcover
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	ok := &Instance{N: 3, Sets: [][]int{{0, 1}, {2}}}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Instance{N: 3, Sets: [][]int{{0, 5}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("out-of-range element must fail")
+	}
+	uncov := &Instance{N: 3, Sets: [][]int{{0, 1}}}
+	if err := uncov.Validate(); err == nil {
+		t.Fatal("uncoverable universe must fail")
+	}
+}
+
+func TestIsCover(t *testing.T) {
+	in := &Instance{N: 3, Sets: [][]int{{0, 1}, {2}, {1, 2}}}
+	if !in.IsCover([]int{0, 1}) {
+		t.Fatal("{0,1} covers")
+	}
+	if in.IsCover([]int{0}) {
+		t.Fatal("{0} does not cover")
+	}
+	if in.IsCover([]int{0, 99}) {
+		t.Fatal("invalid index")
+	}
+}
+
+func TestGreedyCovers(t *testing.T) {
+	in := &Instance{N: 5, Sets: [][]int{{0, 1, 2}, {2, 3}, {3, 4}, {4}}}
+	g := Greedy(in)
+	if !in.IsCover(g) {
+		t.Fatalf("greedy result %v is not a cover", g)
+	}
+}
+
+func TestMinCoverSmallExact(t *testing.T) {
+	// Universe {0..3}; {0,1},{2,3} is the optimal 2-cover even though
+	// greedy might pick the size-3 set first.
+	in := &Instance{N: 4, Sets: [][]int{{0, 1, 2}, {0, 1}, {2, 3}}}
+	mc := MinCover(in)
+	if len(mc) != 2 || !in.IsCover(mc) {
+		t.Fatalf("MinCover = %v, want a 2-cover", mc)
+	}
+}
+
+func TestMinCoverSingleSet(t *testing.T) {
+	in := &Instance{N: 3, Sets: [][]int{{0, 1, 2}, {0}, {1}}}
+	mc := MinCover(in)
+	if len(mc) != 1 || mc[0] != 0 {
+		t.Fatalf("MinCover = %v", mc)
+	}
+}
+
+func TestMinCoverEmptyUniverse(t *testing.T) {
+	in := &Instance{N: 0}
+	if mc := MinCover(in); len(mc) != 0 || mc == nil {
+		t.Fatalf("empty universe needs the empty cover, got %v", mc)
+	}
+}
+
+func TestMinCoverInfeasible(t *testing.T) {
+	in := &Instance{N: 2, Sets: [][]int{{0}}}
+	if mc := MinCover(in); mc != nil {
+		t.Fatalf("infeasible instance must return nil, got %v", mc)
+	}
+}
+
+// bruteMin enumerates all subsets of sets.
+func bruteMin(in *Instance) int {
+	m := len(in.Sets)
+	best := -1
+	for mask := 0; mask < 1<<uint(m); mask++ {
+		var chosen []int
+		for i := 0; i < m; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				chosen = append(chosen, i)
+			}
+		}
+		if in.IsCover(chosen) && (best < 0 || len(chosen) < best) {
+			best = len(chosen)
+		}
+	}
+	return best
+}
+
+func TestMinCoverMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(6)
+		m := 3 + rng.Intn(6)
+		in := Random(rng, n, m)
+		want := bruteMin(in)
+		got := MinCover(in)
+		if want < 0 {
+			if got != nil {
+				t.Fatalf("trial %d: expected infeasible", trial)
+			}
+			continue
+		}
+		if len(got) != want {
+			t.Fatalf("trial %d: MinCover=%d brute=%d (instance %+v)", trial, len(got), want, in)
+		}
+		if !in.IsCover(got) {
+			t.Fatalf("trial %d: result is not a cover", trial)
+		}
+	}
+}
+
+func TestMinCoverNeverWorseThanGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 30; trial++ {
+		in := Random(rng, 4+rng.Intn(20), 4+rng.Intn(10))
+		g := Greedy(in)
+		mc := MinCover(in)
+		if len(mc) > len(g) {
+			t.Fatalf("exact %d worse than greedy %d", len(mc), len(g))
+		}
+	}
+}
+
+func TestRandomAlwaysCoverable(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		in := Random(rng, 5+rng.Intn(10), 2+rng.Intn(8))
+		if err := in.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Sets must be sorted and duplicate-free per construction.
+		for _, s := range in.Sets {
+			if !sort.IntsAreSorted(s) {
+				t.Fatalf("unsorted set %v", s)
+			}
+			for i := 1; i < len(s); i++ {
+				if s[i] == s[i-1] {
+					t.Fatalf("duplicate element in %v", s)
+				}
+			}
+		}
+	}
+}
+
+func TestMinCoverResultSorted(t *testing.T) {
+	in := &Instance{N: 4, Sets: [][]int{{3}, {0, 1}, {2}}}
+	mc := MinCover(in)
+	if !sort.IntsAreSorted(mc) {
+		t.Fatalf("result not sorted: %v", mc)
+	}
+}

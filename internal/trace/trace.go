@@ -1,0 +1,130 @@
+// Package trace records schedules and checks conflict serializability
+// offline. It is the independent referee for the equivalence oracle: the
+// accepted subschedule of a correct scheduler must always be CSR
+// (Lemma 2 / Theorem 2), and trace verifies that from scratch, without
+// trusting any scheduler's incremental graph.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// Event is one submitted step and its outcome.
+type Event struct {
+	Seq      int64
+	Step     model.Step
+	Accepted bool
+}
+
+// Log records every submitted step of a run.
+type Log struct {
+	events  []Event
+	aborted graph.NodeSet
+	seq     int64
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log {
+	return &Log{aborted: make(graph.NodeSet)}
+}
+
+// Append records a step and whether the scheduler accepted it. A rejected
+// step marks its transaction aborted.
+func (l *Log) Append(step model.Step, accepted bool) {
+	l.seq++
+	l.events = append(l.events, Event{Seq: l.seq, Step: step, Accepted: accepted})
+	if !accepted {
+		l.aborted.Add(step.Txn)
+	}
+}
+
+// MarkAborted records an abort that did not come from a rejected step
+// (cascading aborts in the multiple-write model).
+func (l *Log) MarkAborted(id model.TxnID) { l.aborted.Add(id) }
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int { return len(l.events) }
+
+// Events returns the recorded events (caller must not mutate).
+func (l *Log) Events() []Event { return l.events }
+
+// AcceptedSubschedule returns the paper's "accepted subschedule": the
+// accepted steps of transactions that never aborted, in submission order.
+func (l *Log) AcceptedSubschedule() []model.Step {
+	var out []model.Step
+	for _, ev := range l.events {
+		if ev.Accepted && !l.aborted.Has(ev.Step.Txn) {
+			out = append(out, ev.Step)
+		}
+	}
+	return out
+}
+
+// ConflictGraphOf builds, from scratch, the conflict graph of a schedule:
+// nodes are the transactions appearing in it and there is an arc Ti→Tj iff
+// a step of Ti precedes a conflicting step of Tj. It understands both the
+// basic model (KindWriteFinal) and the multiple-write model (KindWrite);
+// KindBegin and KindFinish contribute nodes/nothing.
+func ConflictGraphOf(steps []model.Step) *graph.Graph {
+	g := graph.New()
+	// Access history per entity, in order.
+	type acc struct {
+		txn model.TxnID
+		a   model.Access
+	}
+	hist := make(map[model.Entity][]acc)
+	note := func(t model.TxnID, x model.Entity, a model.Access) {
+		g.AddNode(t)
+		for _, prev := range hist[x] {
+			if prev.txn != t && prev.a.Conflicts(a) {
+				g.AddArc(prev.txn, t)
+			}
+		}
+		hist[x] = append(hist[x], acc{t, a})
+	}
+	for _, st := range steps {
+		switch st.Kind {
+		case model.KindBegin, model.KindFinish:
+			g.AddNode(st.Txn)
+		case model.KindRead:
+			note(st.Txn, st.Entity, model.ReadAccess)
+		case model.KindWrite:
+			note(st.Txn, st.Entity, model.WriteAccess)
+		case model.KindWriteFinal:
+			for _, x := range st.Entities {
+				note(st.Txn, x, model.WriteAccess)
+			}
+		}
+	}
+	return g
+}
+
+// IsCSR reports whether the schedule is conflict serializable (acyclic
+// conflict graph).
+func IsCSR(steps []model.Step) bool {
+	return ConflictGraphOf(steps).Acyclic()
+}
+
+// SerialOrder returns a serialization order (topological order of the
+// conflict graph) or an error if the schedule is not CSR.
+func SerialOrder(steps []model.Step) ([]model.TxnID, error) {
+	order := ConflictGraphOf(steps).TopoOrder()
+	if order == nil {
+		return nil, fmt.Errorf("trace: schedule is not conflict serializable")
+	}
+	return order, nil
+}
+
+// CheckAcceptedCSR verifies the log's accepted subschedule is CSR,
+// returning a descriptive error otherwise. This is condition (3) of the
+// paper's Lemma 2.
+func (l *Log) CheckAcceptedCSR() error {
+	steps := l.AcceptedSubschedule()
+	if !IsCSR(steps) {
+		return fmt.Errorf("trace: accepted subschedule of %d steps is NOT conflict serializable", len(steps))
+	}
+	return nil
+}

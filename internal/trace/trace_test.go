@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestConflictGraphSerial(t *testing.T) {
+	steps := []model.Step{
+		model.Begin(1), model.Read(1, 0), model.WriteFinal(1, 0),
+		model.Begin(2), model.Read(2, 0), model.WriteFinal(2, 0),
+	}
+	g := ConflictGraphOf(steps)
+	if !g.HasArc(1, 2) || g.HasArc(2, 1) {
+		t.Fatalf("serial order must give 1->2 only:\n%s", g.String())
+	}
+	if !IsCSR(steps) {
+		t.Fatal("serial schedule is CSR")
+	}
+}
+
+func TestConflictGraphNonCSR(t *testing.T) {
+	// r1(x) r2(y) w1(y) w2(x): T2->T1 (y) and T1->T2 (x) — a cycle.
+	steps := []model.Step{
+		model.Begin(1), model.Begin(2),
+		model.Read(1, 0), model.Read(2, 1),
+		model.WriteFinal(1, 1), model.WriteFinal(2, 0),
+	}
+	if IsCSR(steps) {
+		t.Fatal("classic non-CSR interleaving must be rejected")
+	}
+	if _, err := SerialOrder(steps); err == nil {
+		t.Fatal("SerialOrder must fail on non-CSR")
+	}
+}
+
+func TestConflictGraphReadReadNoArc(t *testing.T) {
+	steps := []model.Step{
+		model.Begin(1), model.Read(1, 0), model.WriteFinal(1),
+		model.Begin(2), model.Read(2, 0), model.WriteFinal(2),
+	}
+	g := ConflictGraphOf(steps)
+	if g.NumArcs() != 0 {
+		t.Fatal("read-read must not conflict")
+	}
+}
+
+func TestConflictGraphMultiwriteSteps(t *testing.T) {
+	steps := []model.Step{
+		model.Begin(1), model.Write(1, 0), model.Finish(1),
+		model.Begin(2), model.Read(2, 0), model.Write(2, 0), model.Finish(2),
+	}
+	g := ConflictGraphOf(steps)
+	if !g.HasArc(1, 2) {
+		t.Fatal("w1(x) before r2(x)/w2(x) must give 1->2")
+	}
+	if g.HasArc(2, 1) {
+		t.Fatal("no reverse arc")
+	}
+}
+
+func TestSerialOrderRespectsArcs(t *testing.T) {
+	steps := []model.Step{
+		model.Begin(2), model.WriteFinal(2, 0),
+		model.Begin(1), model.Read(1, 0), model.WriteFinal(1, 1),
+	}
+	order, err := SerialOrder(steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[model.TxnID]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	if pos[2] > pos[1] {
+		t.Fatalf("T2 wrote before T1 read: order %v wrong", order)
+	}
+}
+
+func TestLogAcceptedSubschedule(t *testing.T) {
+	l := NewLog()
+	l.Append(model.Begin(1), true)
+	l.Append(model.Read(1, 0), true)
+	l.Append(model.Begin(2), true)
+	l.Append(model.WriteFinal(2, 0), false) // T2 aborts
+	l.Append(model.WriteFinal(1, 0), true)
+	sub := l.AcceptedSubschedule()
+	for _, st := range sub {
+		if st.Txn == 2 {
+			t.Fatalf("aborted T2 must be projected out: %v", sub)
+		}
+	}
+	if len(sub) != 3 {
+		t.Fatalf("subschedule = %v", sub)
+	}
+	if err := l.CheckAcceptedCSR(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 5 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if len(l.Events()) != 5 {
+		t.Fatal("Events length")
+	}
+}
+
+func TestLogMarkAborted(t *testing.T) {
+	l := NewLog()
+	l.Append(model.Begin(1), true)
+	l.Append(model.Write(1, 0), true)
+	l.MarkAborted(1) // cascading abort, not from a rejected step
+	if got := l.AcceptedSubschedule(); len(got) != 0 {
+		t.Fatalf("all steps belong to aborted T1: %v", got)
+	}
+}
+
+func TestCheckAcceptedCSRFailure(t *testing.T) {
+	l := NewLog()
+	// Log a non-CSR pair as if both were accepted.
+	l.Append(model.Begin(1), true)
+	l.Append(model.Begin(2), true)
+	l.Append(model.Read(1, 0), true)
+	l.Append(model.Read(2, 1), true)
+	l.Append(model.WriteFinal(1, 1), true)
+	l.Append(model.WriteFinal(2, 0), true)
+	if err := l.CheckAcceptedCSR(); err == nil {
+		t.Fatal("non-CSR accepted subschedule must be reported")
+	}
+}

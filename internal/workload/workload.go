@@ -1,0 +1,326 @@
+// Package workload generates synthetic basic-model step streams: the
+// paper's transactions (BEGIN, reads, one final atomic write) arriving
+// interleaved. Generators are deterministic given a seed, and react to
+// scheduler aborts by discarding (or optionally restarting) the rest of an
+// aborted transaction.
+//
+// The paper has no testbed; these generators realize the workload shapes
+// its introduction motivates: uniform access, skewed (hotspot/zipf)
+// access, and the long-running reader ("straggler") that keeps completed
+// transactions pinned in the conflict graph.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// Generator produces steps for a scheduler driver.
+type Generator interface {
+	// Next returns the next step, or ok=false when the workload is
+	// exhausted (all transactions issued and finished).
+	Next() (step model.Step, ok bool)
+	// NotifyAbort tells the generator the scheduler aborted id, so it
+	// must discard the transaction's remaining steps (and, if configured,
+	// reissue the same plan under a fresh ID).
+	NotifyAbort(id model.TxnID)
+}
+
+// Config parameterizes the standard generator.
+type Config struct {
+	// Entities is the database size e.
+	Entities int
+	// Txns is the number of transactions to issue (restarts not counted).
+	Txns int
+	// MaxActive bounds concurrent active transactions (the paper's a).
+	MaxActive int
+	// ReadsMin/ReadsMax bound the number of read steps per transaction.
+	ReadsMin, ReadsMax int
+	// WritesMin/WritesMax bound the final write set size (0 allows
+	// read-only transactions, which complete with an empty final write).
+	WritesMin, WritesMax int
+	// HotFrac in (0,1] sends HotProb of accesses to the first
+	// HotFrac*Entities entities (hotspot skew); 0 disables.
+	HotFrac float64
+	// HotProb is the probability of picking from the hot set (default 0.8
+	// when HotFrac > 0).
+	HotProb float64
+	// ZipfS > 1 draws entities from a Zipf distribution with parameter s
+	// instead (overrides HotFrac).
+	ZipfS float64
+	// Straggler, if > 0, starts one long-running transaction at the
+	// beginning that performs Straggler reads spread across the whole
+	// run before finally committing (read-only). This is the motivating
+	// adversary: an old active transaction is a tight predecessor of
+	// everything that touches what it read.
+	Straggler int
+	// RestartAborted reissues an aborted transaction's plan under a new
+	// ID (like a real system retrying).
+	RestartAborted bool
+	// BeginBias is the probability of beginning a new transaction when
+	// below MaxActive rather than advancing an active one (default 0.3).
+	BeginBias float64
+	// Seed makes the stream deterministic.
+	Seed int64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Entities <= 0 {
+		out.Entities = 32
+	}
+	if out.Txns <= 0 {
+		out.Txns = 100
+	}
+	if out.MaxActive <= 0 {
+		out.MaxActive = 4
+	}
+	if out.ReadsMax < out.ReadsMin {
+		out.ReadsMax = out.ReadsMin
+	}
+	if out.ReadsMax == 0 && out.ReadsMin == 0 {
+		out.ReadsMin, out.ReadsMax = 1, 4
+	}
+	if out.WritesMax < out.WritesMin {
+		out.WritesMax = out.WritesMin
+	}
+	if out.WritesMax == 0 && out.WritesMin == 0 {
+		out.WritesMin, out.WritesMax = 1, 2
+	}
+	if out.HotFrac > 0 && out.HotProb == 0 {
+		out.HotProb = 0.8
+	}
+	if out.BeginBias == 0 {
+		out.BeginBias = 0.3
+	}
+	return out
+}
+
+// script is one planned transaction: steps not yet emitted.
+type script struct {
+	id    model.TxnID
+	steps []model.Step // remaining steps (BEGIN excluded; emitted at birth)
+	plan  planned      // original plan, for restarts
+}
+
+type planned struct {
+	reads  []model.Entity
+	writes []model.Entity
+	// straggler plans interleave reads lazily instead.
+	straggler bool
+}
+
+// Gen is the standard generator.
+type Gen struct {
+	cfg     Config
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	active  map[model.TxnID]*script
+	order   []model.TxnID // active IDs in begin order, for deterministic picks
+	issued  int
+	nextID  model.TxnID
+	aborted int
+	// stragglerID is the long-running reader, NoTxn if none/finished.
+	stragglerID    model.TxnID
+	stragglerLeft  int
+	stragglerEvery int
+	sinceStraggler int
+	// pending holds plans of aborted transactions awaiting reissue.
+	pending []planned
+}
+
+var _ Generator = (*Gen)(nil)
+
+// New returns a generator for cfg.
+func New(cfg Config) *Gen {
+	c := cfg.withDefaults()
+	g := &Gen{
+		cfg:         c,
+		rng:         rand.New(rand.NewSource(c.Seed)),
+		active:      make(map[model.TxnID]*script),
+		stragglerID: model.NoTxn,
+	}
+	if c.ZipfS > 1 {
+		g.zipf = rand.NewZipf(g.rng, c.ZipfS, 1, uint64(c.Entities-1))
+	}
+	return g
+}
+
+// Aborts returns how many aborts the generator has been notified of.
+func (g *Gen) Aborts() int { return g.aborted }
+
+// Issued returns how many transactions have been issued (including
+// restarts).
+func (g *Gen) Issued() int { return g.issued }
+
+func (g *Gen) pickEntity() model.Entity {
+	switch {
+	case g.zipf != nil:
+		return model.Entity(g.zipf.Uint64())
+	case g.cfg.HotFrac > 0:
+		hot := int(g.cfg.HotFrac * float64(g.cfg.Entities))
+		if hot < 1 {
+			hot = 1
+		}
+		if g.rng.Float64() < g.cfg.HotProb {
+			return model.Entity(g.rng.Intn(hot))
+		}
+		if hot >= g.cfg.Entities {
+			return model.Entity(g.rng.Intn(g.cfg.Entities))
+		}
+		return model.Entity(hot + g.rng.Intn(g.cfg.Entities-hot))
+	default:
+		return model.Entity(g.rng.Intn(g.cfg.Entities))
+	}
+}
+
+func (g *Gen) pickDistinct(n int) []model.Entity {
+	if n <= 0 {
+		return nil
+	}
+	seen := make(map[model.Entity]bool, n)
+	out := make([]model.Entity, 0, n)
+	for tries := 0; len(out) < n && tries < 16*n+16; tries++ {
+		x := g.pickEntity()
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func (g *Gen) intBetween(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + g.rng.Intn(hi-lo+1)
+}
+
+func (g *Gen) newPlan() planned {
+	nr := g.intBetween(g.cfg.ReadsMin, g.cfg.ReadsMax)
+	nw := g.intBetween(g.cfg.WritesMin, g.cfg.WritesMax)
+	return planned{reads: g.pickDistinct(nr), writes: g.pickDistinct(nw)}
+}
+
+func (g *Gen) beginScript(plan planned, fresh bool) model.Step {
+	id := g.nextID
+	g.nextID++
+	sc := &script{id: id, plan: plan}
+	for _, x := range plan.reads {
+		sc.steps = append(sc.steps, model.Read(id, x))
+	}
+	sc.steps = append(sc.steps, model.WriteFinal(id, plan.writes...))
+	g.active[id] = sc
+	g.order = append(g.order, id)
+	if fresh {
+		g.issued++
+	}
+	return model.Begin(id)
+}
+
+// Next implements Generator.
+func (g *Gen) Next() (model.Step, bool) {
+	// Launch the straggler first, if configured.
+	if g.cfg.Straggler > 0 && g.stragglerID == model.NoTxn && g.issued == 0 {
+		id := g.nextID
+		g.nextID++
+		g.issued++
+		g.stragglerID = id
+		g.stragglerLeft = g.cfg.Straggler
+		// Spread the straggler's reads across the expected run length.
+		expected := g.cfg.Txns * (1 + (g.cfg.ReadsMin+g.cfg.ReadsMax)/2)
+		g.stragglerEvery = expected / (g.cfg.Straggler + 1)
+		if g.stragglerEvery < 1 {
+			g.stragglerEvery = 1
+		}
+		return model.Begin(id), true
+	}
+	// Straggler read due?
+	if g.stragglerID != model.NoTxn && g.stragglerLeft > 0 {
+		g.sinceStraggler++
+		if g.sinceStraggler >= g.stragglerEvery {
+			g.sinceStraggler = 0
+			g.stragglerLeft--
+			return model.Read(g.stragglerID, g.pickEntity()), true
+		}
+	}
+	// Reissue aborted plans first.
+	if len(g.pending) > 0 && len(g.active) < g.cfg.MaxActive {
+		plan := g.pending[0]
+		g.pending = g.pending[1:]
+		return g.beginScript(plan, false), true
+	}
+	canBegin := g.issued < g.cfg.Txns+g.stragglerIssued() && len(g.active) < g.cfg.MaxActive
+	mustBegin := len(g.active) == 0
+	if canBegin && (mustBegin || g.rng.Float64() < g.cfg.BeginBias) {
+		return g.beginScript(g.newPlan(), true), true
+	}
+	if len(g.order) > 0 {
+		// Advance a random active script.
+		i := g.rng.Intn(len(g.order))
+		id := g.order[i]
+		sc := g.active[id]
+		st := sc.steps[0]
+		sc.steps = sc.steps[1:]
+		if len(sc.steps) == 0 {
+			g.dropActive(id)
+		}
+		return st, true
+	}
+	// No active scripts; wind down the straggler.
+	if g.stragglerID != model.NoTxn {
+		if g.stragglerLeft > 0 {
+			g.stragglerLeft--
+			return model.Read(g.stragglerID, g.pickEntity()), true
+		}
+		id := g.stragglerID
+		g.stragglerID = model.NoTxn
+		return model.WriteFinal(id), true // read-only: empty write set
+	}
+	return model.Step{}, false
+}
+
+func (g *Gen) stragglerIssued() int {
+	if g.cfg.Straggler > 0 {
+		return 1
+	}
+	return 0
+}
+
+func (g *Gen) dropActive(id model.TxnID) {
+	delete(g.active, id)
+	for i, o := range g.order {
+		if o == id {
+			g.order = append(g.order[:i], g.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// NotifyAbort implements Generator.
+func (g *Gen) NotifyAbort(id model.TxnID) {
+	g.aborted++
+	if id == g.stragglerID {
+		g.stragglerID = model.NoTxn
+		g.stragglerLeft = 0
+		return
+	}
+	sc, ok := g.active[id]
+	if ok {
+		g.dropActive(id)
+	}
+	if g.cfg.RestartAborted && sc != nil {
+		// Reissue the same plan under a fresh ID at the next opportunity.
+		g.pending = append(g.pending, sc.plan)
+	}
+}
+
+// String describes the generator configuration.
+func (g *Gen) String() string {
+	return fmt.Sprintf("workload{e=%d txns=%d a=%d reads=[%d,%d] writes=[%d,%d] hot=%.2f zipf=%.2f straggler=%d seed=%d}",
+		g.cfg.Entities, g.cfg.Txns, g.cfg.MaxActive, g.cfg.ReadsMin, g.cfg.ReadsMax,
+		g.cfg.WritesMin, g.cfg.WritesMax, g.cfg.HotFrac, g.cfg.ZipfS, g.cfg.Straggler, g.cfg.Seed)
+}

@@ -1,0 +1,261 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func drain(g *Gen, max int) []model.Step {
+	var out []model.Step
+	for i := 0; i < max; i++ {
+		st, ok := g.Next()
+		if !ok {
+			break
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Entities: 16, Txns: 50, MaxActive: 4, Seed: 7}
+	a := drain(New(cfg), 10000)
+	b := drain(New(cfg), 10000)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("step %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := drain(New(Config{Entities: 16, Txns: 50, Seed: 1}), 10000)
+	b := drain(New(Config{Entities: 16, Txns: 50, Seed: 2}), 10000)
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i].String() != b[i].String() {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// checkWellFormed verifies per-transaction step structure: BEGIN, then
+// reads, then exactly one final write, and nothing after.
+func checkWellFormed(t *testing.T, steps []model.Step) map[model.TxnID]bool {
+	t.Helper()
+	began := map[model.TxnID]bool{}
+	done := map[model.TxnID]bool{}
+	for _, st := range steps {
+		switch st.Kind {
+		case model.KindBegin:
+			if began[st.Txn] {
+				t.Fatalf("duplicate BEGIN for T%d", st.Txn)
+			}
+			began[st.Txn] = true
+		case model.KindRead:
+			if !began[st.Txn] || done[st.Txn] {
+				t.Fatalf("read out of order for T%d", st.Txn)
+			}
+		case model.KindWriteFinal:
+			if !began[st.Txn] || done[st.Txn] {
+				t.Fatalf("final write out of order for T%d", st.Txn)
+			}
+			done[st.Txn] = true
+		default:
+			t.Fatalf("unexpected step kind %v", st.Kind)
+		}
+	}
+	return done
+}
+
+func TestWellFormedStreams(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := New(Config{Entities: 8, Txns: 40, MaxActive: 5, Seed: seed})
+		steps := drain(g, 100000)
+		done := checkWellFormed(t, steps)
+		if len(done) != 40 {
+			t.Fatalf("seed %d: %d transactions completed, want 40", seed, len(done))
+		}
+	}
+}
+
+func TestMaxActiveRespected(t *testing.T) {
+	g := New(Config{Entities: 8, Txns: 60, MaxActive: 3, Seed: 5})
+	active := 0
+	peak := 0
+	for {
+		st, ok := g.Next()
+		if !ok {
+			break
+		}
+		switch st.Kind {
+		case model.KindBegin:
+			active++
+		case model.KindWriteFinal:
+			active--
+		}
+		if active > peak {
+			peak = active
+		}
+	}
+	if peak > 3 {
+		t.Fatalf("peak active = %d exceeds MaxActive=3", peak)
+	}
+}
+
+func TestEntityRangeRespected(t *testing.T) {
+	g := New(Config{Entities: 4, Txns: 50, Seed: 9, ZipfS: 1.5})
+	for _, st := range drain(g, 100000) {
+		check := func(x model.Entity) {
+			if x < 0 || int(x) >= 4 {
+				t.Fatalf("entity %d out of range", x)
+			}
+		}
+		if st.Kind == model.KindRead {
+			check(st.Entity)
+		}
+		for _, x := range st.Entities {
+			check(x)
+		}
+	}
+}
+
+func TestHotspotSkew(t *testing.T) {
+	g := New(Config{Entities: 100, Txns: 300, Seed: 3, HotFrac: 0.1, HotProb: 0.9,
+		ReadsMin: 2, ReadsMax: 4})
+	hot, cold := 0, 0
+	for _, st := range drain(g, 1000000) {
+		if st.Kind == model.KindRead {
+			if st.Entity < 10 {
+				hot++
+			} else {
+				cold++
+			}
+		}
+	}
+	if hot <= cold {
+		t.Fatalf("hotspot skew not visible: hot=%d cold=%d", hot, cold)
+	}
+}
+
+func TestNotifyAbortDiscards(t *testing.T) {
+	g := New(Config{Entities: 8, Txns: 10, MaxActive: 2, Seed: 4})
+	var victim model.TxnID = -1
+	for {
+		st, ok := g.Next()
+		if !ok {
+			break
+		}
+		if st.Kind == model.KindBegin && victim == -1 {
+			victim = st.Txn
+			g.NotifyAbort(victim)
+			continue
+		}
+		if st.Txn == victim {
+			t.Fatalf("step %v for aborted transaction", st)
+		}
+	}
+	if g.Aborts() != 1 {
+		t.Fatalf("Aborts = %d", g.Aborts())
+	}
+}
+
+func TestRestartAbortedReissuesPlan(t *testing.T) {
+	g := New(Config{Entities: 8, Txns: 5, MaxActive: 2, Seed: 4, RestartAborted: true})
+	// Abort the first transaction right after its BEGIN; a new BEGIN with
+	// a fresh ID must appear later.
+	first, ok := g.Next()
+	if !ok || first.Kind != model.KindBegin {
+		t.Fatalf("first step should be a BEGIN, got %v", first)
+	}
+	g.NotifyAbort(first.Txn)
+	reissued := false
+	ids := map[model.TxnID]bool{}
+	for {
+		st, ok := g.Next()
+		if !ok {
+			break
+		}
+		if st.Kind == model.KindBegin {
+			if st.Txn == first.Txn {
+				t.Fatal("IDs must not be reused")
+			}
+			ids[st.Txn] = true
+		}
+	}
+	// 5 fresh txns: the aborted one plus 4 others, plus 1 reissue = 5
+	// distinct BEGINs after the first.
+	if len(ids) != 5 {
+		t.Fatalf("got %d subsequent BEGINs, want 5 (4 fresh + 1 reissue)", len(ids))
+	}
+	reissued = len(ids) == 5
+	if !reissued {
+		t.Fatal("aborted plan was not reissued")
+	}
+}
+
+func TestStragglerSpansRun(t *testing.T) {
+	g := New(Config{Entities: 8, Txns: 30, MaxActive: 3, Seed: 11, Straggler: 10})
+	steps := drain(g, 100000)
+	if len(steps) == 0 {
+		t.Fatal("no steps")
+	}
+	// First step is the straggler's BEGIN; find its final write.
+	stragglerID := steps[0].Txn
+	if steps[0].Kind != model.KindBegin {
+		t.Fatalf("first step %v", steps[0])
+	}
+	finalIdx := -1
+	reads := 0
+	for i, st := range steps {
+		if st.Txn == stragglerID {
+			switch st.Kind {
+			case model.KindRead:
+				reads++
+			case model.KindWriteFinal:
+				finalIdx = i
+			}
+		}
+	}
+	if finalIdx != len(steps)-1 {
+		t.Fatalf("straggler must finish last (at %d of %d)", finalIdx, len(steps)-1)
+	}
+	if reads != 10 {
+		t.Fatalf("straggler reads = %d, want 10", reads)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	g := New(Config{})
+	steps := drain(g, 10000000)
+	if len(steps) == 0 {
+		t.Fatal("defaults should produce a runnable workload")
+	}
+	checkWellFormed(t, steps)
+	if g.String() == "" {
+		t.Fatal("String()")
+	}
+	if g.Issued() == 0 {
+		t.Fatal("Issued()")
+	}
+}
+
+func TestExhaustionReturnsFalseForever(t *testing.T) {
+	g := New(Config{Entities: 4, Txns: 2, Seed: 1})
+	drain(g, 1000000)
+	for i := 0; i < 3; i++ {
+		if _, ok := g.Next(); ok {
+			t.Fatal("exhausted generator must keep returning false")
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package txdel_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/txdel"
+)
+
+// Example demonstrates the quick-start flow: schedule three transactions
+// and watch the GreedyC1 policy forget the deletable one.
+func Example() {
+	s := txdel.NewScheduler(txdel.Config{Policy: txdel.GreedyC1{}})
+	// A long-running reader of entity 0...
+	s.MustApply(txdel.Begin(1))
+	s.MustApply(txdel.Read(1, 0))
+	// ...and two read-modify-write transactions of entity 0 (Example 1).
+	for id := txdel.TxnID(2); id <= 3; id++ {
+		s.MustApply(txdel.Begin(id))
+		s.MustApply(txdel.Read(id, 0))
+		s.MustApply(txdel.WriteFinal(id, 0))
+	}
+	fmt.Println("completed retained:", s.NumCompleted())
+	fmt.Println("graph nodes:", s.Graph().NumNodes())
+	// Output:
+	// completed retained: 1
+	// graph nodes: 2
+}
+
+func TestFacadeBasicFlow(t *testing.T) {
+	s := txdel.NewScheduler(txdel.Config{Policy: txdel.GreedyC1{}})
+	log := txdel.NewLog()
+	gen := txdel.NewWorkload(txdel.WorkloadConfig{Entities: 8, Txns: 40, MaxActive: 4, Seed: 3})
+	for {
+		st, ok := gen.Next()
+		if !ok {
+			break
+		}
+		res, err := s.Apply(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		log.Append(st, res.Accepted)
+		if !res.Accepted {
+			gen.NotifyAbort(st.Txn)
+		}
+	}
+	if err := log.CheckAcceptedCSR(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().Deleted == 0 {
+		t.Fatal("policy never deleted anything")
+	}
+}
+
+func TestFacadeConditionCheckers(t *testing.T) {
+	s := txdel.NewScheduler(txdel.Config{})
+	s.MustApply(txdel.Begin(1))
+	s.MustApply(txdel.Read(1, 0))
+	s.MustApply(txdel.Begin(2))
+	s.MustApply(txdel.Read(2, 0))
+	s.MustApply(txdel.WriteFinal(2, 0))
+	s.MustApply(txdel.Begin(3))
+	s.MustApply(txdel.Read(3, 0))
+	s.MustApply(txdel.WriteFinal(3, 0))
+	if ok, _ := txdel.CheckC1(s, 2); !ok {
+		t.Fatal("T2 deletable")
+	}
+	if ok, _ := txdel.CheckC2(s, txdel.NodeSet{2: {}, 3: {}}); ok {
+		t.Fatal("pair not deletable")
+	}
+	if got := txdel.MaxSafeSet(s, 0); len(got) != 1 {
+		t.Fatalf("MaxSafeSet = %v", got)
+	}
+}
+
+func TestFacadeMultiwrite(t *testing.T) {
+	s := txdel.NewMWScheduler()
+	s.MustApply(txdel.Begin(1))
+	s.MustApply(txdel.Write(1, 0))
+	s.MustApply(txdel.Begin(2))
+	s.MustApply(txdel.Read(2, 0))
+	s.MustApply(txdel.Finish(2))
+	if s.Status(2) != txdel.StatusFinished {
+		t.Fatalf("T2 = %v, want finished (depends on active T1)", s.Status(2))
+	}
+	res := s.MustApply(txdel.Finish(1))
+	if len(res.Committed) != 2 {
+		t.Fatalf("commit propagation: %v", res.Committed)
+	}
+}
+
+func TestFacadePredeclared(t *testing.T) {
+	s := txdel.NewPDScheduler(txdel.PDConfig{GC: true})
+	if _, err := s.Begin(1, txdel.Decl{Writes: []txdel.Entity{0}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Write(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != txdel.Executed {
+		t.Fatal("write should execute")
+	}
+	if len(s.Completed()) != 0 {
+		t.Fatal("isolated completed transaction should have been collected")
+	}
+}
+
+func TestFacadeIsCSR(t *testing.T) {
+	good := []txdel.Step{
+		txdel.Begin(1), txdel.Read(1, 0), txdel.WriteFinal(1, 0),
+		txdel.Begin(2), txdel.Read(2, 0), txdel.WriteFinal(2, 0),
+	}
+	if !txdel.IsCSR(good) {
+		t.Fatal("serial schedule is CSR")
+	}
+	bad := []txdel.Step{
+		txdel.Begin(1), txdel.Begin(2),
+		txdel.Read(1, 0), txdel.Read(2, 1),
+		txdel.WriteFinal(1, 1), txdel.WriteFinal(2, 0),
+	}
+	if txdel.IsCSR(bad) {
+		t.Fatal("classic non-CSR interleaving")
+	}
+}
+
+func TestFacadeCertifier(t *testing.T) {
+	c := txdel.NewCertifier()
+	if _, err := c.Apply(txdel.Begin(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Apply(txdel.Read(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Apply(txdel.WriteFinal(1, 0))
+	if err != nil || !res.Accepted {
+		t.Fatalf("certification: %v %v", res, err)
+	}
+}
