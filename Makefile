@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: all build vet test race ci bench
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+ci: build vet race
+
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchtime 3000x ./internal/engine/

@@ -1,0 +1,283 @@
+// Command txgc-serve runs the sharded conflict-graph engine as a
+// JSON-lines transaction service: clients submit begin/read/write steps
+// and receive accept/reject/abort outcomes as the engine schedules (and
+// garbage-collects) in real time.
+//
+// One request per line, one response per line:
+//
+//	{"op":"begin","txn":1,"footprint":[0,5,9]}   → {"txn":1,"outcome":"accepted"}
+//	{"op":"read","txn":1,"entity":5}             → {"txn":1,"outcome":"accepted"}
+//	{"op":"write","txn":1,"entities":[5,9]}      → {"txn":1,"outcome":"accepted","completed":true}
+//	{"op":"abort","txn":1}                       → {"txn":1,"outcome":"aborted"}
+//	{"op":"stats"}                               → {"outcome":"ok","stats":{...}}
+//
+// A begin footprint spanning several partitions (entity mod shards) marks
+// the transaction cross-partition: its steps answer "buffered" until the
+// final write applies the whole transaction atomically through the
+// coordinator. A rejected outcome means the transaction aborted (conflict
+// cycle, partition misroute, or it was killed at a cross-partition
+// barrier).
+//
+// Usage:
+//
+//	txgc-serve                          # serve stdin/stdout
+//	txgc-serve -addr :7433              # serve TCP, one session per conn
+//	txgc-serve -shards 8 -policy greedy-c1 -sweep-every 16 -verify
+//
+// With -verify the server keeps a full trace and, at shutdown (stdin EOF
+// or SIGINT/SIGTERM), replays the accepted subschedule through the offline
+// CSR referee, reporting the verdict on stderr.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+type request struct {
+	Op        string  `json:"op"`
+	Txn       int64   `json:"txn"`
+	Entity    *int32  `json:"entity,omitempty"`
+	Entities  []int32 `json:"entities,omitempty"`
+	Footprint []int32 `json:"footprint,omitempty"`
+}
+
+// response uses pointers for txn and aborted so that transaction ID 0 (a
+// perfectly valid ID) still serializes instead of vanishing to omitempty.
+type response struct {
+	Txn       *int64        `json:"txn,omitempty"`
+	Outcome   string        `json:"outcome"`
+	Completed bool          `json:"completed,omitempty"`
+	Aborted   *int64        `json:"aborted,omitempty"`
+	Error     string        `json:"error,omitempty"`
+	Stats     *engine.Stats `json:"stats,omitempty"`
+}
+
+func ref(v int64) *int64 { return &v }
+
+func policyFactory(name string) (func() core.Policy, error) {
+	switch name {
+	case "nogc", "none":
+		return nil, nil
+	case "lemma1":
+		return func() core.Policy { return core.Lemma1Policy{} }, nil
+	case "greedy-c1":
+		return func() core.Policy { return core.GreedyC1{} }, nil
+	case "greedy-c1-newest":
+		return func() core.Policy { return core.GreedyC1{NewestFirst: true} }, nil
+	case "noncurrent-safe":
+		return func() core.Policy { return core.NoncurrentSafe{} }, nil
+	case "max-safe":
+		return func() core.Policy { return core.MaxSafeExact{} }, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q (nogc, lemma1, greedy-c1, greedy-c1-newest, noncurrent-safe, max-safe)", name)
+	}
+}
+
+func entities(xs []int32) []model.Entity {
+	out := make([]model.Entity, len(xs))
+	for i, x := range xs {
+		out[i] = model.Entity(x)
+	}
+	return out
+}
+
+// session serves one client stream. It tracks the transactions begun on
+// this stream so a disconnect aborts whatever the client left active.
+type session struct {
+	eng *engine.Engine
+	mu  sync.Mutex
+	own map[model.TxnID]bool
+}
+
+func (s *session) track(id model.TxnID)   { s.mu.Lock(); s.own[id] = true; s.mu.Unlock() }
+func (s *session) untrack(id model.TxnID) { s.mu.Lock(); delete(s.own, id); s.mu.Unlock() }
+
+func (s *session) cleanup() {
+	s.mu.Lock()
+	ids := make([]model.TxnID, 0, len(s.own))
+	for id := range s.own {
+		ids = append(ids, id)
+	}
+	s.own = map[model.TxnID]bool{}
+	s.mu.Unlock()
+	for _, id := range ids {
+		s.eng.Abort(id)
+	}
+}
+
+func (s *session) handle(req request) response {
+	id := model.TxnID(req.Txn)
+	switch req.Op {
+	case "begin":
+		res := s.eng.Submit(model.BeginDeclared(id, entities(req.Footprint)...))
+		if res.Outcome == engine.OutcomeAccepted || res.Outcome == engine.OutcomeBuffered {
+			s.track(id)
+		}
+		return s.fromResult(req.Txn, res)
+	case "read":
+		if req.Entity == nil {
+			return response{Txn: ref(req.Txn), Outcome: "error", Error: "read needs an entity"}
+		}
+		return s.fromResult(req.Txn, s.eng.Submit(model.Read(id, model.Entity(*req.Entity))))
+	case "write":
+		return s.fromResult(req.Txn, s.eng.Submit(model.WriteFinal(id, entities(req.Entities)...)))
+	case "abort":
+		s.untrack(id)
+		if !s.eng.Abort(id) {
+			return response{Txn: ref(req.Txn), Outcome: "error", Error: "unknown transaction"}
+		}
+		return response{Txn: ref(req.Txn), Outcome: "aborted", Aborted: ref(req.Txn)}
+	case "stats":
+		st := s.eng.Stats()
+		return response{Outcome: "ok", Stats: &st}
+	default:
+		return response{Txn: ref(req.Txn), Outcome: "error", Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+func (s *session) fromResult(txn int64, res engine.Result) response {
+	out := response{Txn: ref(txn)}
+	switch res.Outcome {
+	case engine.OutcomeAccepted:
+		out.Outcome = "accepted"
+	case engine.OutcomeBuffered:
+		out.Outcome = "buffered"
+	case engine.OutcomeRejected:
+		out.Outcome = "rejected"
+	case engine.OutcomeError:
+		out.Outcome = "error"
+	}
+	if res.CompletedTxn != model.NoTxn {
+		out.Completed = true
+		s.untrack(res.CompletedTxn)
+	}
+	if res.Aborted != model.NoTxn {
+		out.Aborted = ref(int64(res.Aborted))
+		s.untrack(res.Aborted)
+	}
+	if res.Err != nil {
+		out.Error = res.Err.Error()
+	}
+	return out
+}
+
+func (s *session) serve(r io.Reader, w io.Writer) {
+	defer s.cleanup()
+	in := bufio.NewScanner(r)
+	in.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	out := bufio.NewWriter(w)
+	enc := json.NewEncoder(out)
+	for in.Scan() {
+		line := in.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req request
+		var resp response
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp = response{Outcome: "error", Error: "bad request: " + err.Error()}
+		} else {
+			resp = s.handle(req)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+		if err := out.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", "", "TCP listen address (empty: serve stdin/stdout)")
+		shards     = flag.Int("shards", 4, "number of entity partitions / scheduler goroutines")
+		policyName = flag.String("policy", "greedy-c1", "deletion policy per shard")
+		batch      = flag.Int("batch", 64, "max steps a shard applies between GC opportunities")
+		queue      = flag.Int("queue", 1024, "per-shard submission queue depth")
+		sweepEvery = flag.Int("sweep-every", 8, "sweep after this many completions per shard")
+		verify     = flag.Bool("verify", false, "trace the run and check the accepted subschedule is CSR at shutdown")
+	)
+	flag.Parse()
+
+	factory, err := policyFactory(*policyName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "txgc-serve:", err)
+		os.Exit(2)
+	}
+	cfg := engine.Config{
+		Shards:                *shards,
+		Policy:                factory,
+		BatchSize:             *batch,
+		QueueDepth:            *queue,
+		SweepEveryCompletions: *sweepEvery,
+	}
+	var log *trace.SafeLog
+	if *verify {
+		log = trace.NewSafeLog()
+		cfg.Log = log
+	}
+	eng := engine.New(cfg)
+
+	shutdown := func(code int) {
+		st := eng.Stats()
+		fmt.Fprintf(os.Stderr, "txgc-serve: %d submitted, %d accepted, %d completed, %d deleted by GC, %d cross, %d barrier kills\n",
+			st.Submitted, st.Accepted, st.Completed, st.Deleted, st.CrossTxns, st.BarrierKills)
+		if log != nil {
+			if err := log.CheckAcceptedCSR(); err != nil {
+				fmt.Fprintln(os.Stderr, "txgc-serve: VERIFY FAILED:", err)
+				code = 1
+			} else {
+				fmt.Fprintf(os.Stderr, "txgc-serve: verify OK: accepted subschedule of %d steps is CSR\n",
+					len(log.AcceptedSubschedule()))
+			}
+		}
+		os.Exit(code)
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		shutdown(0)
+	}()
+
+	if *addr == "" {
+		s := &session{eng: eng, own: map[model.TxnID]bool{}}
+		s.serve(os.Stdin, os.Stdout)
+		shutdown(0)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "txgc-serve:", err)
+		os.Exit(2)
+	}
+	fmt.Fprintln(os.Stderr, "txgc-serve: listening on", ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "txgc-serve:", err)
+			shutdown(1)
+		}
+		go func(c net.Conn) {
+			defer c.Close()
+			s := &session{eng: eng, own: map[model.TxnID]bool{}}
+			s.serve(c, c)
+		}(conn)
+	}
+}

@@ -49,6 +49,27 @@ func (s *Stats) AvgKept() float64 {
 	return float64(s.KeptSum) / float64(s.KeptSample)
 }
 
+// Merge adds o's counters into s. The Peak* fields add too, which makes a
+// merged snapshot report an upper bound on the true global peak (per-shard
+// peaks need not be simultaneous); exact global peaks would require a
+// synchronized clock across shards.
+func (s *Stats) Merge(o Stats) {
+	s.Begins += o.Begins
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.Accepted += o.Accepted
+	s.Rejected += o.Rejected
+	s.Aborts += o.Aborts
+	s.Completed += o.Completed
+	s.Deleted += o.Deleted
+	s.Sweeps += o.Sweeps
+	s.PeakNodes += o.PeakNodes
+	s.PeakArcs += o.PeakArcs
+	s.PeakKept += o.PeakKept
+	s.KeptSum += o.KeptSum
+	s.KeptSample += o.KeptSample
+}
+
 // TxnState is the scheduler's record of one transaction. Deleting the
 // transaction erases this record: that is the storage the paper's
 // conditions let us reclaim.
@@ -75,6 +96,12 @@ type Config struct {
 	// so neither can create a new active-tight-predecessor relationship or
 	// a new completed witness, hence cannot change any C1 verdict.
 	SweepEveryStep bool
+	// SweepManual disables the automatic post-step sweeps entirely: the
+	// policy runs only when the owner calls SweepNow. Engines use this to
+	// amortize GC off the hot path (sweeping between batches instead of
+	// after every completion). Safe for any correct policy: C1/C2 are
+	// evaluated on the graph as it stands whenever the sweep runs.
+	SweepManual bool
 	// OnDelete, if non-nil, is invoked for every node the policy deletes.
 	OnDelete func(model.TxnID)
 	// MaxSafeBudget bounds the branch-and-bound search of MaxSafeExact
@@ -412,7 +439,7 @@ func (s *Scheduler) deleteTxn(id model.TxnID) error {
 // sweepEvent is true for the events after which a C1 verdict can change
 // (a completion or an abort); see Config.SweepEveryStep.
 func (s *Scheduler) afterStep(res *Result, sweepEvent bool) {
-	if s.cfg.Policy != nil && (sweepEvent || s.cfg.SweepEveryStep) {
+	if s.cfg.Policy != nil && !s.cfg.SweepManual && (sweepEvent || s.cfg.SweepEveryStep) {
 		sw := &Sweep{s: s, justCompleted: res.CompletedTxn}
 		s.cfg.Policy.Sweep(sw)
 		res.Deleted = sw.deleted
@@ -490,6 +517,44 @@ func (s *Scheduler) CheckC2(set graph.NodeSet) (bool, *C2Violation) {
 // and must never be used by deletion policies.
 func (s *Scheduler) ForceDelete(id model.TxnID) error {
 	return s.deleteTxn(id)
+}
+
+// SweepNow runs the configured deletion policy once, outside the normal
+// post-step hook, and returns the transactions it deleted. Owners that set
+// Config.SweepManual call this between batches so GC cost is amortized off
+// the per-step path. It is a no-op without a policy.
+func (s *Scheduler) SweepNow() []model.TxnID {
+	if s.cfg.Policy == nil {
+		return nil
+	}
+	sw := &Sweep{s: s, justCompleted: model.NoTxn}
+	s.cfg.Policy.Sweep(sw)
+	s.stats.Sweeps++
+	return sw.deleted
+}
+
+// AbortTxn aborts an active transaction as if one of its steps had been
+// rejected: the node, its arcs, and its access information are removed.
+// Removing an active node never un-breaks a cycle check already passed and
+// erases only arcs into/out of a transaction that will never commit, so it
+// is always safe. Engines use it to clear actives at a cross-partition
+// barrier and to clean up after disconnected clients.
+func (s *Scheduler) AbortTxn(id model.TxnID) error {
+	t, ok := s.txns[id]
+	if !ok {
+		return fmt.Errorf("core: abort of unknown transaction T%d", id)
+	}
+	if t.Status != model.StatusActive {
+		return fmt.Errorf("core: abort of %v transaction T%d", t.Status, id)
+	}
+	s.forget(id)
+	s.g.RemoveNode(id)
+	t.Status = model.StatusAborted
+	delete(s.txns, id)
+	s.stats.Aborts++
+	res := Result{Accepted: false, Aborted: id, CompletedTxn: model.NoTxn}
+	s.afterStep(&res, true)
+	return nil
 }
 
 // DeleteIfSafe deletes id iff C1 holds, returning whether it deleted.

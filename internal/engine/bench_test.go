@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// BenchmarkEngineThroughput sweeps shard count × deletion policy under
+// partition-local traffic from GOMAXPROCS submitter goroutines. Each
+// iteration is one whole transaction (BEGIN + 3 reads + final write = 5
+// steps); steps/s is reported as a metric. Under nogc the per-shard graphs
+// grow without bound, so sharding pays even on one core (smaller graphs →
+// cheaper conflict checks); with a GC policy the graphs stay small and the
+// benchmark measures the engine's plumbing overhead instead. Regenerate
+// BENCH_engine.json with:
+//
+//	go test -run '^$' -bench BenchmarkEngineThroughput -benchtime 3000x ./internal/engine/
+func BenchmarkEngineThroughput(b *testing.B) {
+	const entities = 1 << 12
+	policies := []struct {
+		name    string
+		factory func() core.Policy
+	}{
+		{"nogc", nil},
+		{"greedy-c1", func() core.Policy { return core.GreedyC1{} }},
+		{"lemma1", func() core.Policy { return core.Lemma1Policy{} }},
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, pol := range policies {
+			b.Run(fmt.Sprintf("shards=%d/policy=%s", shards, pol.name), func(b *testing.B) {
+				eng := New(Config{Shards: shards, Policy: pol.factory})
+				defer eng.Close()
+				var nextID atomic.Int64
+				perPart := entities / shards
+				b.ReportAllocs()
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					rng := rand.New(rand.NewSource(nextID.Add(1)))
+					fp := make([]model.Entity, 4)
+					for pb.Next() {
+						id := model.TxnID(nextID.Add(1))
+						p := rng.Intn(shards)
+						for i := range fp {
+							fp[i] = model.Entity(p + shards*rng.Intn(perPart))
+						}
+						eng.Submit(model.BeginDeclared(id, fp...))
+						for _, x := range fp[:3] {
+							eng.Submit(model.Read(id, x))
+						}
+						eng.Submit(model.WriteFinal(id, fp[3]))
+					}
+				})
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)*5/b.Elapsed().Seconds(), "steps/s")
+			})
+		}
+	}
+}
+
+// BenchmarkEngineCrossFrac measures the cost of the coordinator path:
+// fixed 4 shards, greedy-c1, sweeping the cross-partition fraction.
+func BenchmarkEngineCrossFrac(b *testing.B) {
+	const entities = 1 << 12
+	const shards = 4
+	for _, crossPct := range []int{0, 1, 10} {
+		b.Run(fmt.Sprintf("cross=%d%%", crossPct), func(b *testing.B) {
+			eng := New(Config{Shards: shards, Policy: func() core.Policy { return core.GreedyC1{} }})
+			defer eng.Close()
+			var nextID atomic.Int64
+			perPart := entities / shards
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(nextID.Add(1)))
+				for pb.Next() {
+					id := model.TxnID(nextID.Add(1))
+					p := rng.Intn(shards)
+					x := model.Entity(p + shards*rng.Intn(perPart))
+					fp := []model.Entity{x}
+					if crossPct > 0 && rng.Intn(100) < crossPct {
+						q := (p + 1) % shards
+						fp = append(fp, model.Entity(q+shards*rng.Intn(perPart)))
+					}
+					eng.Submit(model.BeginDeclared(id, fp...))
+					for _, e := range fp {
+						eng.Submit(model.Read(id, e))
+					}
+					eng.Submit(model.WriteFinal(id, fp[0]))
+				}
+			})
+			b.StopTimer()
+			s := eng.Stats()
+			b.ReportMetric(float64(s.Quiesces)/float64(b.N), "quiesces/op")
+		})
+	}
+}

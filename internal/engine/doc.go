@@ -1,0 +1,66 @@
+// Package engine is the concurrent, sharded transaction-processing engine:
+// the paper's conflict-graph scheduler with online deletion (packages core
+// and graph) lifted from single-threaded library code to a thread-safe
+// service that absorbs sustained traffic from many client goroutines.
+//
+// # Architecture
+//
+// The entity space is hash-partitioned: entity x belongs to partition
+// x mod N. Each of the N shards is owned by exactly one goroutine (the
+// single-writer discipline) running its own core.Scheduler with its own
+// conflict graph and deletion policy. Clients call Submit, which routes the
+// step to its shard over a buffered channel; the shard goroutine drains
+// steps in batches, applies them, replies, and runs the deletion-policy
+// sweep between batches (amortized GC off the per-step path, cadence set
+// by Config.SweepEveryCompletions).
+//
+// A transaction declares its entity footprint on BEGIN
+// (model.BeginDeclared). A footprint inside one partition routes the
+// transaction to that shard for its whole life; the engine enforces the
+// partition discipline by rejecting (and aborting) any later step that
+// touches a foreign partition. A footprint spanning partitions marks the
+// transaction cross-partition: its steps are buffered and acknowledged as
+// OutcomeBuffered, and when its final write arrives the whole transaction
+// is applied atomically through the shard-0 coordinator path described
+// below.
+//
+// # Why per-shard acyclicity is global CSR
+//
+// Two transactions conflict only if they access a common entity. Local
+// transactions of different shards touch disjoint entity sets, so every
+// conflict between local transactions is between two transactions of the
+// same shard, and that shard's scheduler sees both: the global conflict
+// graph restricted to local transactions is the *disjoint union* of the
+// per-shard graphs. A disjoint union of acyclic graphs is acyclic, so
+// per-shard acceptance (each shard accepts only acyclic extensions, the
+// paper's Rules 1–3) is exactly global conflict serializability — no
+// cross-shard bookkeeping needed.
+//
+// Cross-partition transactions would break that argument (one node with
+// arcs in two shard graphs can close a cycle no single shard sees), so the
+// coordinator path restores it by brute force: the coordinator closes the
+// admission gate (new BEGINs park at their shard), aborts every active
+// transaction on every shard (removing an active node is always safe — it
+// can only discard arcs of a transaction that will never commit), and only
+// then applies the buffered transaction's steps back-to-back on shard 0's
+// scheduler. At that instant no other transaction is active anywhere and
+// nothing else can be accepted until the gate reopens, so the cross
+// transaction occupies a contiguous atomic block of the global accepted
+// schedule: every other transaction's steps lie entirely before or
+// entirely after it, giving only one-directional conflict arcs and hence
+// no cycles through the cross node. The offline referee
+// (trace.CheckAcceptedCSR) verifies this end to end in the oracle test.
+//
+// The price is that a cross-partition commit kills every concurrent active
+// transaction (counted in Stats.BarrierKills) — correct but expensive,
+// which is precisely the motivation for the cross-shard 2PC follow-on in
+// the ROADMAP.
+//
+// # Deletion under sharding
+//
+// Each shard garbage-collects its own graph with its own policy instance
+// (C1/C2 are properties of a scheduler's reduced graph, so they apply
+// per shard unchanged). Sweeps run between batches via
+// core.Scheduler.SweepNow with Config.SweepManual set, so deletion cost is
+// amortized and never added to an individual Submit's latency.
+package engine

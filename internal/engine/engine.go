@@ -1,0 +1,484 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Shards is the number of entity partitions / scheduler goroutines
+	// (default 1).
+	Shards int
+	// Policy builds the deletion policy for one shard; each shard gets its
+	// own instance. nil means never delete (NoGC).
+	Policy func() core.Policy
+	// BatchSize caps how many queued steps a shard applies between GC
+	// opportunities (default 64).
+	BatchSize int
+	// QueueDepth is the per-shard submission buffer (default 1024).
+	QueueDepth int
+	// SweepEveryCompletions is the GC cadence: a shard sweeps once it has
+	// accumulated this many completions/aborts since the last sweep
+	// (default 8). Lower is tighter memory, higher is faster.
+	SweepEveryCompletions int
+	// Log, if non-nil, records every applied step for offline refereeing
+	// (trace.CheckAcceptedCSR).
+	Log *trace.SafeLog
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.SweepEveryCompletions <= 0 {
+		c.SweepEveryCompletions = 8
+	}
+	return c
+}
+
+// Outcome classifies the engine-level result of one submission.
+type Outcome uint8
+
+const (
+	// OutcomeAccepted: the step was applied and accepted.
+	OutcomeAccepted Outcome = iota
+	// OutcomeRejected: the step was refused and Aborted names the victim
+	// (cycle rejection, misroute, or step for an unknown/killed
+	// transaction).
+	OutcomeRejected
+	// OutcomeBuffered: the step belongs to a cross-partition transaction
+	// and is queued for atomic application at its final write.
+	OutcomeBuffered
+	// OutcomeError: protocol violation (duplicate BEGIN, step after the
+	// final write, unsupported kind); Err explains. State is unchanged.
+	OutcomeError
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeAccepted:
+		return "accepted"
+	case OutcomeRejected:
+		return "rejected"
+	case OutcomeBuffered:
+		return "buffered"
+	case OutcomeError:
+		return "error"
+	default:
+		return fmt.Sprintf("Outcome(%d)", uint8(o))
+	}
+}
+
+// Result reports the engine-level effect of one submission.
+type Result struct {
+	Step    model.Step
+	Outcome Outcome
+	// Aborted is the transaction aborted by this submission (NoTxn
+	// otherwise).
+	Aborted model.TxnID
+	// CompletedTxn is set when the submission completed its transaction
+	// (for a cross transaction, that is its final write's atomic apply).
+	CompletedTxn model.TxnID
+	Err          error
+}
+
+// Accepted reports whether the step was applied and accepted.
+func (r Result) Accepted() bool { return r.Outcome == OutcomeAccepted }
+
+// Errors returned in Result.Err (wrapped with context).
+var (
+	// ErrClosed: the engine has been closed.
+	ErrClosed = errors.New("engine: closed")
+	// ErrUnknownTxn: step for a transaction that never began, already
+	// finished, aborted, or was killed at a cross-partition barrier.
+	ErrUnknownTxn = errors.New("engine: unknown transaction")
+	// ErrMisroute: a partition-local transaction touched an entity owned
+	// by another shard.
+	ErrMisroute = errors.New("engine: entity outside the transaction's partition")
+)
+
+// Stats is a point-in-time aggregate of engine counters. The scalar fields
+// are maintained as lock-free atomics on the submit path; the per-shard
+// scheduler stats are fetched by a snapshot request through each shard's
+// queue.
+type Stats struct {
+	Submitted    int64 // Submit calls
+	Accepted     int64 // steps applied and accepted
+	Rejected     int64 // steps refused (cycle, misroute, unknown txn)
+	Buffered     int64 // cross-partition steps queued
+	Completed    int64 // transactions completed
+	Aborted      int64 // transactions aborted, all causes
+	Deleted      int64 // nodes reclaimed by deletion-policy sweeps
+	Sweeps       int64 // amortized GC sweeps executed
+	CrossTxns    int64 // cross-partition transactions begun
+	Quiesces     int64 // coordinator barriers executed
+	BarrierKills int64 // active transactions killed at barriers
+	Misroutes    int64 // partition-discipline violations
+
+	// PerShard are the underlying scheduler counters, indexed by shard.
+	PerShard []core.Stats
+	// Merged is the sum of PerShard (peaks add; see core.Stats.Merge).
+	Merged core.Stats
+}
+
+type routeKind uint8
+
+const (
+	routeLocal routeKind = iota
+	routeCross
+)
+
+// route is the engine's record of where a live transaction executes.
+type route struct {
+	kind  routeKind
+	shard int
+	ct    *crossTxn
+}
+
+// crossTxn buffers a cross-partition transaction's steps until its final
+// write triggers the atomic coordinator apply.
+type crossTxn struct {
+	mu    sync.Mutex
+	id    model.TxnID
+	steps []model.Step
+	done  bool
+}
+
+// Engine is the concurrent sharded scheduler. Submit may be called from
+// any number of goroutines; Close must not race in-flight Submits.
+type Engine struct {
+	cfg    Config
+	shards []*shard
+	// routes maps live TxnID → *route.
+	routes sync.Map
+	// coordMu serializes cross-partition coordinators.
+	coordMu sync.Mutex
+	// gateMu guards gateClosed, the BEGIN admission gate.
+	gateMu     sync.Mutex
+	gateClosed bool
+	closed     atomic.Bool
+
+	submitted, accepted, rejected, buffered atomic.Int64
+	completed, aborted, deleted, sweeps     atomic.Int64
+	crossTxns, quiesces, kills, misroutes   atomic.Int64
+}
+
+// New starts an engine with cfg's shard goroutines running.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{cfg: cfg}
+	e.shards = make([]*shard, cfg.Shards)
+	for i := range e.shards {
+		var pol core.Policy
+		if cfg.Policy != nil {
+			pol = cfg.Policy()
+		}
+		sh := &shard{
+			idx:   i,
+			eng:   e,
+			sched: core.NewScheduler(core.Config{Policy: pol, SweepManual: true}),
+			ch:    make(chan request, cfg.QueueDepth),
+			done:  make(chan struct{}),
+		}
+		e.shards[i] = sh
+		go sh.run()
+	}
+	return e
+}
+
+// NumShards returns the number of shards.
+func (e *Engine) NumShards() int { return len(e.shards) }
+
+// partitionOf returns the shard owning entity x.
+func (e *Engine) partitionOf(x model.Entity) int {
+	return int(uint32(x)) % len(e.shards)
+}
+
+// partitionsOf returns the sorted distinct partitions of a footprint.
+func (e *Engine) partitionsOf(xs []model.Entity) []int {
+	seen := make(map[int]bool, len(xs))
+	var out []int
+	for _, x := range xs {
+		p := e.partitionOf(x)
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Submit routes one step to its shard and returns the engine-level result.
+// Steps of one transaction must be submitted sequentially (each after the
+// previous one's Result), as a real client session would.
+func (e *Engine) Submit(step model.Step) Result {
+	if e.closed.Load() {
+		return Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: ErrClosed}
+	}
+	e.submitted.Add(1)
+	switch step.Kind {
+	case model.KindBegin:
+		return e.submitBegin(step)
+	case model.KindRead:
+		return e.submitAccess(step, step.Entity)
+	case model.KindWriteFinal:
+		return e.submitFinal(step)
+	default:
+		return Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn,
+			Err: fmt.Errorf("engine: step kind %v not part of the basic model", step.Kind)}
+	}
+}
+
+func (e *Engine) submitBegin(step model.Step) Result {
+	parts := e.partitionsOf(step.Entities)
+	if len(parts) > 1 {
+		ct := &crossTxn{id: step.Txn, steps: []model.Step{step}}
+		if _, dup := e.routes.LoadOrStore(step.Txn, &route{kind: routeCross, ct: ct}); dup {
+			return Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn,
+				Err: fmt.Errorf("engine: duplicate BEGIN for T%d", step.Txn)}
+		}
+		e.crossTxns.Add(1)
+		e.buffered.Add(1)
+		return Result{Step: step, Outcome: OutcomeBuffered, Aborted: model.NoTxn, CompletedTxn: model.NoTxn}
+	}
+	// Single-partition (or undeclared) footprint: partition-local. An
+	// undeclared footprint falls back to hashing the transaction ID; such
+	// a transaction must then happen to stay inside that partition or its
+	// first foreign access will misroute-abort it.
+	home := int(uint64(step.Txn) % uint64(len(e.shards)))
+	if len(parts) == 1 {
+		home = parts[0]
+	}
+	if _, dup := e.routes.LoadOrStore(step.Txn, &route{kind: routeLocal, shard: home}); dup {
+		return Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn,
+			Err: fmt.Errorf("engine: duplicate BEGIN for T%d", step.Txn)}
+	}
+	res := e.doStep(home, step)
+	if res.Outcome == OutcomeError {
+		// The scheduler refused to start the transaction (e.g. its ID
+		// collides with a retained completed transaction): drop the route
+		// we just created, or the ID stays poisoned forever.
+		e.routes.Delete(step.Txn)
+	}
+	return res
+}
+
+// doStep runs one step on a shard, mapping a lost request (Close raced the
+// caller) to ErrClosed.
+func (e *Engine) doStep(shard int, step model.Step) Result {
+	rep, ok := e.shards[shard].do(request{kind: reqStep, step: step})
+	if !ok {
+		return Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: ErrClosed}
+	}
+	return rep.res
+}
+
+func (e *Engine) lookup(step model.Step) (*route, Result, bool) {
+	v, ok := e.routes.Load(step.Txn)
+	if !ok {
+		e.rejected.Add(1)
+		return nil, Result{Step: step, Outcome: OutcomeRejected, Aborted: step.Txn, CompletedTxn: model.NoTxn, Err: ErrUnknownTxn}, false
+	}
+	return v.(*route), Result{}, true
+}
+
+func (e *Engine) submitAccess(step model.Step, x model.Entity) Result {
+	r, res, ok := e.lookup(step)
+	if !ok {
+		return res
+	}
+	if r.kind == routeLocal {
+		if e.partitionOf(x) != r.shard {
+			return e.misroute(step, r)
+		}
+		return e.doStep(r.shard, step)
+	}
+	return e.bufferCross(step, r.ct)
+}
+
+func (e *Engine) submitFinal(step model.Step) Result {
+	r, res, ok := e.lookup(step)
+	if !ok {
+		return res
+	}
+	if r.kind == routeLocal {
+		for _, x := range step.Entities {
+			if e.partitionOf(x) != r.shard {
+				return e.misroute(step, r)
+			}
+		}
+		return e.doStep(r.shard, step)
+	}
+	return e.bufferCross(step, r.ct)
+}
+
+// bufferCross queues a cross-partition transaction's step; the final write
+// triggers the coordinator path.
+func (e *Engine) bufferCross(step model.Step, ct *crossTxn) Result {
+	ct.mu.Lock()
+	if ct.done {
+		ct.mu.Unlock()
+		return Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn,
+			Err: fmt.Errorf("engine: step for T%d after its final write", ct.id)}
+	}
+	ct.steps = append(ct.steps, step)
+	final := step.Kind == model.KindWriteFinal
+	if final {
+		ct.done = true
+	}
+	ct.mu.Unlock()
+	if !final {
+		e.buffered.Add(1)
+		return Result{Step: step, Outcome: OutcomeBuffered, Aborted: model.NoTxn, CompletedTxn: model.NoTxn}
+	}
+	res := e.runCross(ct)
+	e.routes.Delete(ct.id)
+	return res
+}
+
+// misroute aborts a partition-local transaction that touched a foreign
+// entity: the partition discipline is what makes per-shard acyclicity
+// equal global CSR, so it must be enforced, not trusted.
+func (e *Engine) misroute(step model.Step, r *route) Result {
+	e.misroutes.Add(1)
+	e.rejected.Add(1)
+	if e.cfg.Log != nil {
+		// A rejected step marks the transaction aborted in the trace.
+		e.cfg.Log.Append(step, false)
+	}
+	e.shards[r.shard].do(request{kind: reqAbortOne, step: step})
+	e.routes.Delete(step.Txn)
+	return Result{Step: step, Outcome: OutcomeRejected, Aborted: step.Txn, CompletedTxn: model.NoTxn, Err: ErrMisroute}
+}
+
+// Abort aborts a live transaction (e.g. on client disconnect). It returns
+// false if the transaction is unknown.
+func (e *Engine) Abort(id model.TxnID) bool {
+	v, ok := e.routes.Load(id)
+	if !ok {
+		return false
+	}
+	r := v.(*route)
+	if r.kind == routeCross {
+		// Nothing was applied; dropping the buffer is the whole abort.
+		e.routes.Delete(id)
+		e.aborted.Add(1)
+		if e.cfg.Log != nil {
+			e.cfg.Log.MarkAborted(id)
+		}
+		return true
+	}
+	e.shards[r.shard].do(request{kind: reqAbortOne, step: model.Step{Txn: id}})
+	e.routes.Delete(id)
+	if e.cfg.Log != nil {
+		e.cfg.Log.MarkAborted(id)
+	}
+	return true
+}
+
+// runCross executes the shard-0 coordinator path: gate BEGINs, kill every
+// active transaction on every shard, apply the buffered transaction
+// atomically on shard 0, reopen. See the package documentation for the
+// soundness argument.
+func (e *Engine) runCross(ct *crossTxn) Result {
+	e.coordMu.Lock()
+	defer e.coordMu.Unlock()
+	e.quiesces.Add(1)
+	e.setGate(true)
+	for _, sh := range e.shards {
+		rep, ok := sh.do(request{kind: reqAbortAll})
+		if !ok {
+			e.setGate(false)
+			return Result{Step: ct.steps[len(ct.steps)-1], Outcome: OutcomeError,
+				Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: ErrClosed}
+		}
+		e.kills.Add(int64(len(rep.killed)))
+	}
+	rep, ok := e.shards[0].do(request{kind: reqCross, ct: ct})
+	e.setGate(false)
+	for _, sh := range e.shards {
+		select {
+		case sh.ch <- request{kind: reqKick}:
+		case <-sh.done:
+		}
+	}
+	if !ok {
+		return Result{Step: ct.steps[len(ct.steps)-1], Outcome: OutcomeError,
+			Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: ErrClosed}
+	}
+	return rep.res
+}
+
+func (e *Engine) setGate(closed bool) {
+	e.gateMu.Lock()
+	e.gateClosed = closed
+	e.gateMu.Unlock()
+}
+
+func (e *Engine) gateIsClosed() bool {
+	e.gateMu.Lock()
+	defer e.gateMu.Unlock()
+	return e.gateClosed
+}
+
+// Stats returns a snapshot of the aggregate counters. It is safe to call
+// concurrently with Submits and after Close.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Submitted:    e.submitted.Load(),
+		Accepted:     e.accepted.Load(),
+		Rejected:     e.rejected.Load(),
+		Buffered:     e.buffered.Load(),
+		Completed:    e.completed.Load(),
+		Aborted:      e.aborted.Load(),
+		Deleted:      e.deleted.Load(),
+		Sweeps:       e.sweeps.Load(),
+		CrossTxns:    e.crossTxns.Load(),
+		Quiesces:     e.quiesces.Load(),
+		BarrierKills: e.kills.Load(),
+		Misroutes:    e.misroutes.Load(),
+	}
+	for _, sh := range e.shards {
+		var cs core.Stats
+		if rep, ok := sh.do(request{kind: reqStats}); ok {
+			cs = rep.stats
+		} else {
+			// The shard shut down (do only fails once done is closed, and
+			// final is written before that), so its last snapshot is valid.
+			cs = sh.final
+		}
+		s.PerShard = append(s.PerShard, cs)
+		s.Merged.Merge(cs)
+	}
+	return s
+}
+
+// Close stops the shard goroutines. Submits still in flight when Close is
+// called receive ErrClosed; callers should stop submitting first.
+func (e *Engine) Close() {
+	if !e.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for _, sh := range e.shards {
+		sh.ch <- request{kind: reqStop}
+	}
+	for _, sh := range e.shards {
+		<-sh.done
+	}
+}

@@ -1,0 +1,333 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// TestSingleShardSemantics pins the engine to the paper's scheduler
+// semantics on one shard: the classic two-transaction cycle is rejected.
+func TestSingleShardSemantics(t *testing.T) {
+	eng := New(Config{Shards: 1})
+	defer eng.Close()
+
+	mustOutcome := func(res Result, want Outcome) {
+		t.Helper()
+		if res.Outcome != want {
+			t.Fatalf("%v: outcome = %v (err=%v), want %v", res.Step, res.Outcome, res.Err, want)
+		}
+	}
+	// T1 reads x, T2 reads y, T2 writes x (T1→T2), then T1 writes y: cycle.
+	mustOutcome(eng.Submit(model.Begin(0)), OutcomeAccepted)
+	mustOutcome(eng.Submit(model.Begin(1)), OutcomeAccepted)
+	mustOutcome(eng.Submit(model.Read(0, 10)), OutcomeAccepted)
+	mustOutcome(eng.Submit(model.Read(1, 11)), OutcomeAccepted)
+	res := eng.Submit(model.WriteFinal(1, 10))
+	mustOutcome(res, OutcomeAccepted)
+	if res.CompletedTxn != 1 {
+		t.Fatalf("CompletedTxn = %v, want 1", res.CompletedTxn)
+	}
+	res = eng.Submit(model.WriteFinal(0, 11))
+	mustOutcome(res, OutcomeRejected)
+	if res.Aborted != 0 {
+		t.Fatalf("Aborted = %v, want 0", res.Aborted)
+	}
+	s := eng.Stats()
+	if s.Completed != 1 || s.Aborted != 1 {
+		t.Fatalf("stats = %+v, want 1 completed / 1 aborted", s)
+	}
+}
+
+// TestRoutingAndMisroute verifies the partition discipline: a declared
+// single-partition transaction is pinned to its shard and aborted the
+// moment it strays.
+func TestRoutingAndMisroute(t *testing.T) {
+	eng := New(Config{Shards: 4})
+	defer eng.Close()
+
+	// Footprint {0,4,8} is all partition 0.
+	if res := eng.Submit(model.BeginDeclared(1, 0, 4, 8)); res.Outcome != OutcomeAccepted {
+		t.Fatalf("begin: %v (%v)", res.Outcome, res.Err)
+	}
+	if res := eng.Submit(model.Read(1, 8)); res.Outcome != OutcomeAccepted {
+		t.Fatalf("in-partition read: %v (%v)", res.Outcome, res.Err)
+	}
+	// Entity 3 belongs to partition 3: misroute, transaction aborted.
+	res := eng.Submit(model.Read(1, 3))
+	if res.Outcome != OutcomeRejected || !errors.Is(res.Err, ErrMisroute) {
+		t.Fatalf("foreign read: %v (%v), want rejected/ErrMisroute", res.Outcome, res.Err)
+	}
+	// The transaction is gone now.
+	res = eng.Submit(model.Read(1, 8))
+	if res.Outcome != OutcomeRejected || !errors.Is(res.Err, ErrUnknownTxn) {
+		t.Fatalf("post-abort read: %v (%v), want rejected/ErrUnknownTxn", res.Outcome, res.Err)
+	}
+	if s := eng.Stats(); s.Misroutes != 1 {
+		t.Fatalf("Misroutes = %d, want 1", s.Misroutes)
+	}
+}
+
+// TestCrossPartitionAtomicApply drives one cross-partition transaction and
+// checks the coordinator path: reads are buffered, the final write commits
+// atomically, and concurrent actives are killed at the barrier.
+func TestCrossPartitionAtomicApply(t *testing.T) {
+	log := trace.NewSafeLog()
+	eng := New(Config{Shards: 4, Log: log})
+	defer eng.Close()
+
+	// A local active on shard 1 that will be killed at the barrier.
+	if res := eng.Submit(model.BeginDeclared(7, 1)); !res.Accepted() {
+		t.Fatalf("victim begin: %v (%v)", res.Outcome, res.Err)
+	}
+	if res := eng.Submit(model.Read(7, 1)); !res.Accepted() {
+		t.Fatalf("victim read: %v (%v)", res.Outcome, res.Err)
+	}
+
+	// Cross transaction spanning partitions 0 and 2.
+	if res := eng.Submit(model.BeginDeclared(9, 0, 2)); res.Outcome != OutcomeBuffered {
+		t.Fatalf("cross begin: %v (%v)", res.Outcome, res.Err)
+	}
+	if res := eng.Submit(model.Read(9, 0)); res.Outcome != OutcomeBuffered {
+		t.Fatalf("cross read: %v (%v)", res.Outcome, res.Err)
+	}
+	res := eng.Submit(model.WriteFinal(9, 2))
+	if res.Outcome != OutcomeAccepted || res.CompletedTxn != 9 {
+		t.Fatalf("cross final: %v (%v), CompletedTxn=%v", res.Outcome, res.Err, res.CompletedTxn)
+	}
+
+	s := eng.Stats()
+	if s.CrossTxns != 1 || s.Quiesces != 1 {
+		t.Fatalf("stats = %+v, want 1 cross txn / 1 quiesce", s)
+	}
+	if s.BarrierKills != 1 {
+		t.Fatalf("BarrierKills = %d, want 1 (the shard-1 active)", s.BarrierKills)
+	}
+	// The victim's next step is rejected as unknown.
+	if res := eng.Submit(model.WriteFinal(7)); res.Outcome != OutcomeRejected {
+		t.Fatalf("victim final after kill: %v (%v)", res.Outcome, res.Err)
+	}
+	// The referee agrees with everything that was accepted.
+	if err := log.CheckAcceptedCSR(); err != nil {
+		t.Fatal(err)
+	}
+	// The killed victim's steps are excluded from the accepted subschedule.
+	for _, st := range log.AcceptedSubschedule() {
+		if st.Txn == 7 {
+			t.Fatalf("barrier victim's step %v survived in the accepted subschedule", st)
+		}
+	}
+}
+
+// TestDuplicateBeginAndBadKinds covers protocol errors.
+func TestDuplicateBeginAndBadKinds(t *testing.T) {
+	eng := New(Config{Shards: 2})
+	defer eng.Close()
+	if res := eng.Submit(model.BeginDeclared(1, 0)); !res.Accepted() {
+		t.Fatalf("begin: %v", res.Outcome)
+	}
+	if res := eng.Submit(model.BeginDeclared(1, 0)); res.Outcome != OutcomeError {
+		t.Fatalf("duplicate begin: %v, want error", res.Outcome)
+	}
+	if res := eng.Submit(model.Write(1, 0)); res.Outcome != OutcomeError {
+		t.Fatalf("multiwrite step: %v, want error", res.Outcome)
+	}
+	if res := eng.Submit(model.Read(99, 0)); res.Outcome != OutcomeRejected {
+		t.Fatalf("read without begin: %v, want rejected", res.Outcome)
+	}
+}
+
+// TestClientAbort exercises Engine.Abort for both route kinds.
+func TestClientAbort(t *testing.T) {
+	eng := New(Config{Shards: 2})
+	defer eng.Close()
+	eng.Submit(model.BeginDeclared(1, 0))
+	if !eng.Abort(1) {
+		t.Fatal("abort of live local txn returned false")
+	}
+	if eng.Abort(1) {
+		t.Fatal("second abort returned true")
+	}
+	eng.Submit(model.BeginDeclared(2, 0, 1)) // cross, buffered
+	if !eng.Abort(2) {
+		t.Fatal("abort of buffered cross txn returned false")
+	}
+	if res := eng.Submit(model.Read(2, 0)); res.Outcome != OutcomeRejected {
+		t.Fatalf("read after cross abort: %v", res.Outcome)
+	}
+}
+
+// TestGCDeletesUnderLoad runs sequential partition-local traffic with
+// GreedyC1 and checks that amortized sweeps actually reclaim nodes and the
+// retained graph stays far below the transaction count.
+func TestGCDeletesUnderLoad(t *testing.T) {
+	eng := New(Config{
+		Shards:                2,
+		Policy:                func() core.Policy { return core.GreedyC1{} },
+		SweepEveryCompletions: 4,
+	})
+	defer eng.Close()
+	const txns = 400
+	for i := 0; i < txns; i++ {
+		id := model.TxnID(i)
+		p := i % 2
+		x := model.Entity(p + 2*(i%50))
+		if res := eng.Submit(model.BeginDeclared(id, x)); !res.Accepted() {
+			t.Fatalf("begin %d: %v (%v)", i, res.Outcome, res.Err)
+		}
+		eng.Submit(model.Read(id, x))
+		eng.Submit(model.WriteFinal(id, x))
+	}
+	s := eng.Stats()
+	if s.Deleted == 0 || s.Sweeps == 0 {
+		t.Fatalf("no GC happened: %+v", s)
+	}
+	if kept := s.Merged.PeakKept; kept > txns/4 {
+		t.Fatalf("peak retained completed = %d, want far below %d", kept, txns)
+	}
+	if s.Deleted != s.Merged.Deleted {
+		t.Fatalf("engine Deleted=%d != scheduler Deleted=%d", s.Deleted, s.Merged.Deleted)
+	}
+}
+
+// TestConcurrentSubmitRace hammers the engine from many goroutines with a
+// mix of local and cross transactions; run under -race. Outcomes are
+// whatever they are (kills and rejections included) — the assertions are
+// the internal consistency of the counters.
+func TestConcurrentSubmitRace(t *testing.T) {
+	eng := New(Config{
+		Shards:                4,
+		Policy:                func() core.Policy { return core.GreedyC1{} },
+		SweepEveryCompletions: 4,
+		BatchSize:             8,
+	})
+	defer eng.Close()
+
+	const workers = 8
+	const txnsPerWorker = 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < txnsPerWorker; i++ {
+				id := model.TxnID(w*txnsPerWorker + i)
+				p := (w + i) % 4
+				x := model.Entity(p + 4*(i%25))
+				var fp []model.Entity
+				if i%10 == 9 { // every tenth transaction is cross
+					y := model.Entity((p+1)%4 + 4*(i%25))
+					fp = []model.Entity{x, y}
+				} else {
+					fp = []model.Entity{x}
+				}
+				if res := eng.Submit(model.BeginDeclared(id, fp...)); res.Outcome == OutcomeError {
+					t.Errorf("begin %d: %v", id, res.Err)
+					return
+				}
+				for _, e := range fp {
+					eng.Submit(model.Read(id, e))
+				}
+				eng.Submit(model.WriteFinal(id, fp[0]))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	s := eng.Stats()
+	if s.Accepted != s.Merged.Accepted {
+		t.Fatalf("engine Accepted=%d != scheduler Accepted=%d", s.Accepted, s.Merged.Accepted)
+	}
+	if s.Completed != s.Merged.Completed {
+		t.Fatalf("engine Completed=%d != scheduler Completed=%d", s.Completed, s.Merged.Completed)
+	}
+	if s.CrossTxns == 0 {
+		t.Fatal("no cross transactions ran")
+	}
+	if s.Completed+s.Aborted == 0 {
+		t.Fatal("nothing finished")
+	}
+}
+
+// TestStatsAfterClose verifies final per-shard stats survive Close.
+func TestStatsAfterClose(t *testing.T) {
+	eng := New(Config{Shards: 2})
+	eng.Submit(model.BeginDeclared(1, 0))
+	eng.Submit(model.WriteFinal(1, 0))
+	eng.Close()
+	eng.Close() // idempotent
+	s := eng.Stats()
+	if s.Merged.Completed != 1 {
+		t.Fatalf("after close: Merged.Completed = %d, want 1", s.Merged.Completed)
+	}
+	if res := eng.Submit(model.Begin(2)); !errors.Is(res.Err, ErrClosed) {
+		t.Fatalf("submit after close: %v, want ErrClosed", res.Err)
+	}
+}
+
+// TestReusedIDDoesNotPoisonRoute: a BEGIN whose ID collides with a
+// retained completed transaction must fail cleanly without leaving a stale
+// route behind (regression: the route used to stay forever).
+func TestReusedIDDoesNotPoisonRoute(t *testing.T) {
+	eng := New(Config{Shards: 2}) // nogc: completed txns stay retained
+	defer eng.Close()
+	eng.Submit(model.BeginDeclared(4, 0))
+	eng.Submit(model.WriteFinal(4, 0))
+	if res := eng.Submit(model.BeginDeclared(4, 0)); res.Outcome != OutcomeError {
+		t.Fatalf("reused begin: %v, want error", res.Outcome)
+	}
+	// Without a lingering route, this is rejected at the engine (unknown
+	// txn), not routed to the shard as if T4 were live.
+	res := eng.Submit(model.Read(4, 0))
+	if res.Outcome != OutcomeRejected || !errors.Is(res.Err, ErrUnknownTxn) {
+		t.Fatalf("read after failed reuse: %v (%v), want rejected/ErrUnknownTxn", res.Outcome, res.Err)
+	}
+}
+
+// TestCrossReuseKeepsOriginalInTrace: a cross-partition transaction reusing
+// the ID of a retained committed transaction must fail without marking the
+// *original* transaction aborted in the trace (regression: MarkAborted used
+// to erase the committed transaction's steps from the referee's input).
+func TestCrossReuseKeepsOriginalInTrace(t *testing.T) {
+	log := trace.NewSafeLog()
+	eng := New(Config{Shards: 2, Log: log}) // nogc keeps T1 retained on shard 0
+	defer eng.Close()
+	eng.Submit(model.BeginDeclared(1, 0))
+	eng.Submit(model.WriteFinal(1, 0))
+	// Reuse ID 1 for a cross transaction; its atomic apply hits a
+	// duplicate-BEGIN protocol error on shard 0.
+	eng.Submit(model.BeginDeclared(1, 0, 1))
+	res := eng.Submit(model.WriteFinal(1, 1))
+	if res.Outcome != OutcomeError {
+		t.Fatalf("cross reuse final: %v (%v), want error", res.Outcome, res.Err)
+	}
+	var got int
+	for _, st := range log.AcceptedSubschedule() {
+		if st.Txn == 1 {
+			got++
+		}
+	}
+	if got != 2 {
+		t.Fatalf("original T1 has %d steps in the accepted subschedule, want 2 (begin+write)", got)
+	}
+}
+
+// TestStatsCloseRace: Stats must return (not hang) when racing Close.
+func TestStatsCloseRace(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		eng := New(Config{Shards: 2})
+		eng.Submit(model.BeginDeclared(1, 0))
+		eng.Submit(model.WriteFinal(1, 0))
+		done := make(chan Stats, 1)
+		go func() { done <- eng.Stats() }()
+		eng.Close()
+		s := <-done
+		if s.Merged.Completed != 1 {
+			t.Fatalf("iter %d: Merged.Completed = %d, want 1", i, s.Merged.Completed)
+		}
+	}
+}

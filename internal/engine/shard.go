@@ -1,0 +1,289 @@
+package engine
+
+import (
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+type reqKind uint8
+
+const (
+	// reqStep applies one step to the shard's scheduler.
+	reqStep reqKind = iota
+	// reqStats snapshots the shard's scheduler counters.
+	reqStats
+	// reqCross atomically applies a buffered cross-partition transaction
+	// (shard 0 only, sent by the coordinator with the gate closed).
+	reqCross
+	// reqAbortAll kills every active transaction (coordinator barrier).
+	reqAbortAll
+	// reqAbortOne kills one active transaction (misroute / client abort).
+	reqAbortOne
+	// reqKick re-examines parked BEGINs after the gate reopened.
+	reqKick
+	// reqStop shuts the shard down.
+	reqStop
+)
+
+type request struct {
+	kind  reqKind
+	step  model.Step
+	ct    *crossTxn
+	reply chan reply
+}
+
+type reply struct {
+	res    Result
+	stats  core.Stats
+	killed []model.TxnID
+}
+
+// shard is one entity partition: a single-writer goroutine owning one
+// core.Scheduler. All scheduler access happens on that goroutine.
+type shard struct {
+	idx   int
+	eng   *Engine
+	sched *core.Scheduler
+	ch    chan request
+	done  chan struct{}
+	// parked holds BEGIN requests deferred while the admission gate is
+	// closed; their clients block in Submit until the gate reopens.
+	parked []request
+	// sinceSweep counts completions/aborts since the last GC sweep.
+	sinceSweep int
+	// final is the scheduler's last Stats, published via close(done).
+	final core.Stats
+}
+
+// do sends a request and waits for its reply. ok=false means the shard
+// shut down without serving the request (Close raced the caller).
+func (sh *shard) do(req request) (reply, bool) {
+	req.reply = make(chan reply, 1)
+	select {
+	case sh.ch <- req:
+	case <-sh.done:
+		return reply{}, false
+	}
+	select {
+	case r := <-req.reply:
+		return r, true
+	case <-sh.done:
+		// The shard exited. shutdown drains the queue and fails pending
+		// requests, so a reply may still have been posted — but a request
+		// enqueued after that drain is simply lost.
+		select {
+		case r := <-req.reply:
+			return r, true
+		default:
+			return reply{}, false
+		}
+	}
+}
+
+// run is the shard goroutine: drain a batch, apply it, then sweep.
+func (sh *shard) run() {
+	defer close(sh.done)
+	for {
+		req, ok := <-sh.ch
+		if !ok {
+			return
+		}
+		stop := sh.handle(req)
+		for n := 1; n < sh.eng.cfg.BatchSize && !stop; n++ {
+			select {
+			case r := <-sh.ch:
+				stop = sh.handle(r)
+			default:
+				n = sh.eng.cfg.BatchSize
+			}
+		}
+		// Amortized GC between batches: replies are already out, so sweep
+		// cost never lands on an individual submission's latency.
+		sh.maybeSweep()
+		if stop {
+			sh.shutdown()
+			return
+		}
+	}
+}
+
+func (sh *shard) handle(req request) (stop bool) {
+	switch req.kind {
+	case reqStep:
+		if req.step.Kind == model.KindBegin && sh.eng.gateIsClosed() {
+			sh.parked = append(sh.parked, req)
+			return false
+		}
+		sh.applyStep(req)
+	case reqStats:
+		req.reply <- reply{stats: sh.sched.Stats()}
+	case reqCross:
+		req.reply <- reply{res: sh.applyCross(req.ct)}
+	case reqAbortAll:
+		req.reply <- reply{killed: sh.abortAll()}
+	case reqAbortOne:
+		if err := sh.sched.AbortTxn(req.step.Txn); err == nil {
+			sh.eng.aborted.Add(1)
+			sh.sinceSweep++
+		}
+		req.reply <- reply{}
+	case reqKick:
+		sh.unpark()
+	case reqStop:
+		return true
+	}
+	return false
+}
+
+// applyStep runs one step on the scheduler and replies with the
+// engine-level result.
+func (sh *shard) applyStep(req request) {
+	eng := sh.eng
+	res, err := sh.sched.Apply(req.step)
+	if err != nil {
+		req.reply <- reply{res: Result{Step: req.step, Outcome: OutcomeError,
+			Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: err}}
+		return
+	}
+	if eng.cfg.Log != nil {
+		eng.cfg.Log.Append(req.step, res.Accepted)
+	}
+	out := Result{Step: req.step, Aborted: res.Aborted, CompletedTxn: res.CompletedTxn}
+	if res.Accepted {
+		out.Outcome = OutcomeAccepted
+		eng.accepted.Add(1)
+	} else {
+		out.Outcome = OutcomeRejected
+		eng.rejected.Add(1)
+	}
+	if res.CompletedTxn != model.NoTxn {
+		eng.completed.Add(1)
+		eng.routes.Delete(res.CompletedTxn)
+		sh.sinceSweep++
+	}
+	if res.Aborted != model.NoTxn {
+		eng.aborted.Add(1)
+		eng.routes.Delete(res.Aborted)
+		sh.sinceSweep++
+	}
+	req.reply <- reply{res: out}
+}
+
+// applyCross applies a buffered cross-partition transaction back-to-back.
+// The coordinator guarantees no transaction is active on any shard and the
+// gate is closed, so these steps form an atomic block of the global
+// schedule.
+func (sh *shard) applyCross(ct *crossTxn) Result {
+	eng := sh.eng
+	out := Result{Step: ct.steps[len(ct.steps)-1], Aborted: model.NoTxn, CompletedTxn: model.NoTxn}
+	applied := false
+	for _, st := range ct.steps {
+		res, err := sh.sched.Apply(st)
+		if err != nil {
+			// Protocol violation (e.g. a reused ID whose original is still
+			// retained): undo any partial application to restore the
+			// no-actives invariant. Only a transaction we actually started
+			// may be marked aborted — ct.id could name a *different*,
+			// committed transaction whose accepted steps must stay in the
+			// accepted subschedule.
+			if applied && sh.sched.Status(ct.id) == model.StatusActive {
+				_ = sh.sched.AbortTxn(ct.id)
+				if eng.cfg.Log != nil {
+					eng.cfg.Log.MarkAborted(ct.id)
+				}
+				eng.aborted.Add(1)
+				sh.sinceSweep++
+				out.Aborted = ct.id
+			}
+			out.Outcome = OutcomeError
+			out.Err = err
+			return out
+		}
+		applied = true
+		if eng.cfg.Log != nil {
+			eng.cfg.Log.Append(st, res.Accepted)
+		}
+		if !res.Accepted {
+			eng.rejected.Add(1)
+			eng.aborted.Add(1)
+			sh.sinceSweep++
+			out.Outcome = OutcomeRejected
+			out.Aborted = ct.id
+			return out
+		}
+		eng.accepted.Add(1)
+	}
+	eng.completed.Add(1)
+	sh.sinceSweep++
+	out.Outcome = OutcomeAccepted
+	out.CompletedTxn = ct.id
+	return out
+}
+
+// abortAll kills every active transaction on this shard (coordinator
+// barrier). Removing active nodes is always safe; the victims' accepted
+// steps are excluded from the accepted subschedule via MarkAborted.
+func (sh *shard) abortAll() []model.TxnID {
+	ids := sh.sched.ActiveTxns()
+	for _, id := range ids {
+		_ = sh.sched.AbortTxn(id)
+		if sh.eng.cfg.Log != nil {
+			sh.eng.cfg.Log.MarkAborted(id)
+		}
+		sh.eng.routes.Delete(id)
+		sh.eng.aborted.Add(1)
+		sh.sinceSweep++
+	}
+	return ids
+}
+
+// unpark re-examines parked BEGINs once the gate reopens. If the gate
+// closed again in the meantime they simply park again.
+func (sh *shard) unpark() {
+	parked := sh.parked
+	sh.parked = nil
+	for i, req := range parked {
+		if sh.eng.gateIsClosed() {
+			sh.parked = append(sh.parked, parked[i:]...)
+			return
+		}
+		sh.applyStep(req)
+	}
+}
+
+func (sh *shard) maybeSweep() {
+	if sh.eng.cfg.Policy == nil || sh.sinceSweep < sh.eng.cfg.SweepEveryCompletions {
+		return
+	}
+	deleted := sh.sched.SweepNow()
+	sh.eng.deleted.Add(int64(len(deleted)))
+	sh.eng.sweeps.Add(1)
+	sh.sinceSweep = 0
+}
+
+// shutdown fails parked and still-queued requests so no client blocks
+// forever, publishes final stats, and returns.
+func (sh *shard) shutdown() {
+	sh.final = sh.sched.Stats()
+	fail := func(req request) {
+		if req.reply == nil {
+			return
+		}
+		// A drained stats request can still be answered truthfully; every
+		// other kind is refused.
+		req.reply <- reply{stats: sh.final, res: Result{Step: req.step, Outcome: OutcomeError,
+			Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: ErrClosed}}
+	}
+	for _, req := range sh.parked {
+		fail(req)
+	}
+	sh.parked = nil
+	for {
+		select {
+		case req := <-sh.ch:
+			fail(req)
+		default:
+			return
+		}
+	}
+}

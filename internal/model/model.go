@@ -164,6 +164,14 @@ type Step struct {
 // Begin constructs a BEGIN step.
 func Begin(t TxnID) Step { return Step{Kind: KindBegin, Txn: t} }
 
+// BeginDeclared constructs a BEGIN step carrying the transaction's declared
+// entity footprint in Entities (in the spirit of Section 6's predeclared
+// model). Schedulers ignore the footprint; sharded engines use it to route
+// the transaction to the shard owning its partition.
+func BeginDeclared(t TxnID, xs ...Entity) Step {
+	return Step{Kind: KindBegin, Txn: t, Entities: xs}
+}
+
 // Read constructs a read step.
 func Read(t TxnID, x Entity) Step { return Step{Kind: KindRead, Txn: t, Entity: x} }
 

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"sync"
+
+	"repro/internal/model"
+)
+
+// SafeLog is a mutex-guarded Log for concurrent schedulers: engine shards
+// append the steps they apply, in apply order, from several goroutines at
+// once. The lock gives the referee a single total order of applied steps —
+// exactly the "schedule" the paper's definitions are stated over — without
+// trusting any shard's local view.
+type SafeLog struct {
+	mu sync.Mutex
+	l  *Log
+}
+
+// NewSafeLog returns an empty thread-safe log.
+func NewSafeLog() *SafeLog {
+	return &SafeLog{l: NewLog()}
+}
+
+// Append records a step and whether the scheduler accepted it.
+func (s *SafeLog) Append(step model.Step, accepted bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.l.Append(step, accepted)
+}
+
+// MarkAborted records an abort that did not come from a rejected step
+// (e.g. a transaction killed at a cross-partition barrier).
+func (s *SafeLog) MarkAborted(id model.TxnID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.l.MarkAborted(id)
+}
+
+// Len returns the number of recorded events.
+func (s *SafeLog) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.l.Len()
+}
+
+// Snapshot returns a deep copy of the underlying log, safe to inspect
+// while appends continue.
+func (s *SafeLog) Snapshot() *Log {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := NewLog()
+	out.seq = s.l.seq
+	out.events = append(out.events, s.l.events...)
+	for id := range s.l.aborted {
+		out.aborted.Add(id)
+	}
+	return out
+}
+
+// AcceptedSubschedule returns the accepted subschedule of a snapshot.
+func (s *SafeLog) AcceptedSubschedule() []model.Step {
+	return s.Snapshot().AcceptedSubschedule()
+}
+
+// CheckAcceptedCSR verifies the accepted subschedule is CSR (Lemma 2's
+// condition (3)) against a snapshot of the log.
+func (s *SafeLog) CheckAcceptedCSR() error {
+	return s.Snapshot().CheckAcceptedCSR()
+}

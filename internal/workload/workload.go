@@ -59,6 +59,24 @@ type Config struct {
 	// RestartAborted reissues an aborted transaction's plan under a new
 	// ID (like a real system retrying).
 	RestartAborted bool
+	// Shards > 1 makes the generator partition-aware for the sharded
+	// engine: entity x belongs to partition x mod Shards, and each
+	// transaction draws its accesses from a single home partition (chosen
+	// through the configured skew) except for a CrossFrac fraction that
+	// deliberately span two partitions.
+	Shards int
+	// CrossFrac in [0,1] is the fraction of transactions whose footprint
+	// spans two partitions (cross-partition traffic). Only meaningful with
+	// Shards > 1.
+	CrossFrac float64
+	// BaseTxnID offsets allocated transaction IDs so several generators
+	// (one per driver goroutine) can feed one engine with disjoint ID
+	// spaces.
+	BaseTxnID model.TxnID
+	// DeclareFootprint emits BEGIN steps carrying the transaction's entity
+	// footprint (model.BeginDeclared), which the sharded engine uses for
+	// routing.
+	DeclareFootprint bool
 	// BeginBias is the probability of beginning a new transaction when
 	// below MaxActive rather than advancing an active one (default 0.3).
 	BeginBias float64
@@ -94,6 +112,15 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.BeginBias == 0 {
 		out.BeginBias = 0.3
+	}
+	if out.Shards > out.Entities {
+		out.Shards = out.Entities
+	}
+	if out.CrossFrac < 0 {
+		out.CrossFrac = 0
+	}
+	if out.CrossFrac > 1 {
+		out.CrossFrac = 1
 	}
 	return out
 }
@@ -141,6 +168,7 @@ func New(cfg Config) *Gen {
 		rng:         rand.New(rand.NewSource(c.Seed)),
 		active:      make(map[model.TxnID]*script),
 		stragglerID: model.NoTxn,
+		nextID:      c.BaseTxnID,
 	}
 	if c.ZipfS > 1 {
 		g.zipf = rand.NewZipf(g.rng, c.ZipfS, 1, uint64(c.Entities-1))
@@ -177,19 +205,33 @@ func (g *Gen) pickEntity() model.Entity {
 }
 
 func (g *Gen) pickDistinct(n int) []model.Entity {
+	return g.pickDistinctFrom(n, g.pickEntity)
+}
+
+func (g *Gen) pickDistinctFrom(n int, pick func() model.Entity) []model.Entity {
 	if n <= 0 {
 		return nil
 	}
 	seen := make(map[model.Entity]bool, n)
 	out := make([]model.Entity, 0, n)
 	for tries := 0; len(out) < n && tries < 16*n+16; tries++ {
-		x := g.pickEntity()
+		x := pick()
 		if !seen[x] {
 			seen[x] = true
 			out = append(out, x)
 		}
 	}
 	return out
+}
+
+// partitionOf returns the engine partition of x (x mod Shards).
+func (g *Gen) partitionOf(x model.Entity) int { return int(x) % g.cfg.Shards }
+
+// pickInPartition draws uniformly from partition p's entities
+// (those ≡ p mod Shards and < Entities).
+func (g *Gen) pickInPartition(p int) model.Entity {
+	count := (g.cfg.Entities - p + g.cfg.Shards - 1) / g.cfg.Shards
+	return model.Entity(p + g.cfg.Shards*g.rng.Intn(count))
 }
 
 func (g *Gen) intBetween(lo, hi int) int {
@@ -202,7 +244,57 @@ func (g *Gen) intBetween(lo, hi int) int {
 func (g *Gen) newPlan() planned {
 	nr := g.intBetween(g.cfg.ReadsMin, g.cfg.ReadsMax)
 	nw := g.intBetween(g.cfg.WritesMin, g.cfg.WritesMax)
+	if g.cfg.Shards > 1 {
+		return g.newPartitionPlan(nr, nw)
+	}
 	return planned{reads: g.pickDistinct(nr), writes: g.pickDistinct(nw)}
+}
+
+// newPartitionPlan draws a partition-local plan, or with probability
+// CrossFrac a plan guaranteed to span two partitions.
+func (g *Gen) newPartitionPlan(nr, nw int) planned {
+	// The home partition inherits the configured skew through pickEntity.
+	home := g.partitionOf(g.pickEntity())
+	if g.rng.Float64() >= g.cfg.CrossFrac {
+		pick := func() model.Entity { return g.pickInPartition(home) }
+		return planned{
+			reads:  g.pickDistinctFrom(nr, pick),
+			writes: g.pickDistinctFrom(nw, pick),
+		}
+	}
+	other := (home + 1 + g.rng.Intn(g.cfg.Shards-1)) % g.cfg.Shards
+	pick := func() model.Entity {
+		p := home
+		if g.rng.Intn(2) == 0 {
+			p = other
+		}
+		return g.pickInPartition(p)
+	}
+	pl := planned{
+		reads:  g.pickDistinctFrom(nr, pick),
+		writes: g.pickDistinctFrom(nw, pick),
+	}
+	// Guarantee the footprint really spans both partitions so the engine
+	// routes the transaction through the coordinator path.
+	for _, p := range []int{home, other} {
+		covered := false
+		for _, x := range pl.reads {
+			if g.partitionOf(x) == p {
+				covered = true
+				break
+			}
+		}
+		for _, x := range pl.writes {
+			if g.partitionOf(x) == p {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			pl.reads = append(pl.reads, g.pickInPartition(p))
+		}
+	}
+	return pl
 }
 
 func (g *Gen) beginScript(plan planned, fresh bool) model.Step {
@@ -218,7 +310,25 @@ func (g *Gen) beginScript(plan planned, fresh bool) model.Step {
 	if fresh {
 		g.issued++
 	}
+	if g.cfg.DeclareFootprint {
+		return model.BeginDeclared(id, footprintOf(plan)...)
+	}
 	return model.Begin(id)
+}
+
+// footprintOf returns the deduplicated union of a plan's reads and writes.
+func footprintOf(plan planned) []model.Entity {
+	seen := make(map[model.Entity]bool, len(plan.reads)+len(plan.writes))
+	out := make([]model.Entity, 0, len(plan.reads)+len(plan.writes))
+	for _, xs := range [][]model.Entity{plan.reads, plan.writes} {
+		for _, x := range xs {
+			if !seen[x] {
+				seen[x] = true
+				out = append(out, x)
+			}
+		}
+	}
+	return out
 }
 
 // Next implements Generator.
@@ -235,6 +345,19 @@ func (g *Gen) Next() (model.Step, bool) {
 		g.stragglerEvery = expected / (g.cfg.Straggler + 1)
 		if g.stragglerEvery < 1 {
 			g.stragglerEvery = 1
+		}
+		if g.cfg.DeclareFootprint {
+			// The straggler reads anywhere, so under sharding it must be
+			// declared cross-partition: one entity per partition.
+			n := g.cfg.Shards
+			if n < 1 {
+				n = 1
+			}
+			fp := make([]model.Entity, n)
+			for i := range fp {
+				fp[i] = model.Entity(i)
+			}
+			return model.BeginDeclared(id, fp...), true
 		}
 		return model.Begin(id), true
 	}

@@ -259,3 +259,88 @@ func TestExhaustionReturnsFalseForever(t *testing.T) {
 		}
 	}
 }
+
+func TestPartitionAwareness(t *testing.T) {
+	const shards = 4
+	cfg := Config{
+		Entities: 64, Txns: 200, MaxActive: 4, Shards: shards,
+		CrossFrac: 0.3, DeclareFootprint: true, Seed: 11,
+	}
+	steps := drain(New(cfg), 100000)
+	// Reconstruct per-transaction entity footprints from the stream.
+	touched := make(map[model.TxnID]map[int]bool)
+	declared := make(map[model.TxnID]map[int]bool)
+	note := func(m map[model.TxnID]map[int]bool, id model.TxnID, x model.Entity) {
+		if m[id] == nil {
+			m[id] = make(map[int]bool)
+		}
+		m[id][int(x)%shards] = true
+	}
+	for _, st := range steps {
+		switch st.Kind {
+		case model.KindBegin:
+			if len(st.Entities) == 0 {
+				t.Fatalf("DeclareFootprint set but BEGIN %v carries no footprint", st)
+			}
+			for _, x := range st.Entities {
+				note(declared, st.Txn, x)
+			}
+		case model.KindRead:
+			note(touched, st.Txn, st.Entity)
+		case model.KindWriteFinal:
+			for _, x := range st.Entities {
+				note(touched, st.Txn, x)
+			}
+		}
+	}
+	var local, cross int
+	for id, parts := range declared {
+		switch len(parts) {
+		case 1:
+			local++
+		default:
+			cross++
+		}
+		// Every touched partition must have been declared.
+		for p := range touched[id] {
+			if !parts[p] {
+				t.Fatalf("T%d touched undeclared partition %d", id, p)
+			}
+		}
+	}
+	if local == 0 || cross == 0 {
+		t.Fatalf("want a mix of local and cross transactions, got %d local / %d cross", local, cross)
+	}
+	frac := float64(cross) / float64(local+cross)
+	if frac < 0.1 || frac > 0.6 {
+		t.Fatalf("cross fraction %.2f wildly off CrossFrac=0.3", frac)
+	}
+}
+
+func TestBaseTxnID(t *testing.T) {
+	steps := drain(New(Config{Entities: 16, Txns: 20, BaseTxnID: 5000, Seed: 3}), 10000)
+	for _, st := range steps {
+		if st.Txn < 5000 {
+			t.Fatalf("step %v below BaseTxnID", st)
+		}
+	}
+}
+
+func TestStragglerDeclaredCross(t *testing.T) {
+	cfg := Config{
+		Entities: 32, Txns: 30, Shards: 4, DeclareFootprint: true,
+		Straggler: 5, Seed: 9,
+	}
+	steps := drain(New(cfg), 100000)
+	first := steps[0]
+	if first.Kind != model.KindBegin {
+		t.Fatalf("first step %v is not the straggler's BEGIN", first)
+	}
+	parts := make(map[int]bool)
+	for _, x := range first.Entities {
+		parts[int(x)%4] = true
+	}
+	if len(parts) < 2 {
+		t.Fatalf("straggler footprint %v does not span partitions", first.Entities)
+	}
+}
