@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race ci bench
+.PHONY: all build vet test race ci bench bench-check
 
 all: ci
 
@@ -19,4 +19,8 @@ race:
 ci: build vet race
 
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchtime 3000x ./internal/engine/
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchtime 3000x -benchmem ./internal/engine/
+
+# Fails if the engine hot path's allocs/op regresses above bench_budget.txt.
+bench-check:
+	./scripts/check_bench_budget.sh

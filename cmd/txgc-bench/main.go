@@ -8,12 +8,14 @@
 //	txgc-bench -exp E4,E5      # run selected experiments
 //	txgc-bench -quick          # shrunken sweeps
 //	txgc-bench -seed 7 -csv    # change the seed; emit CSV instead of text
+//	txgc-bench -cpuprofile cpu.pprof -exp E4   # profile the hot path
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/bench"
@@ -21,13 +23,30 @@ import (
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
-		seed    = flag.Int64("seed", 1, "random seed for all experiments")
-		quick   = flag.Bool("quick", false, "shrink sweeps for a fast run")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		list    = flag.Bool("list", false, "list experiments and exit")
+		expFlag    = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		seed       = flag.Int64("seed", 1, "random seed for all experiments")
+		quick      = flag.Bool("quick", false, "shrink sweeps for a fast run")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "txgc-bench:", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "txgc-bench:", err)
+			os.Exit(2)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	if *list {
 		for _, e := range bench.All() {

@@ -11,6 +11,17 @@
 //	{"op":"abort","txn":1}                       → {"txn":1,"outcome":"aborted"}
 //	{"op":"stats"}                               → {"outcome":"ok","stats":{...}}
 //
+// The batch op pipelines several begin/read/write steps through a single
+// engine submission (consecutive same-shard steps cost one queue hop
+// instead of one each), answering with one result per step:
+//
+//	{"op":"batch","steps":[{"op":"begin","txn":1,"footprint":[0,4]},
+//	                       {"op":"read","txn":1,"entity":4},
+//	                       {"op":"write","txn":1,"entities":[0]}]}
+//	→ {"outcome":"ok","results":[{"txn":1,"outcome":"accepted"},
+//	                             {"txn":1,"outcome":"accepted"},
+//	                             {"txn":1,"outcome":"accepted","completed":true}]}
+//
 // A begin footprint spanning several partitions (entity mod shards) marks
 // the transaction cross-partition: its steps answer "buffered" until the
 // final write applies the whole transaction atomically through the
@@ -53,6 +64,9 @@ type request struct {
 	Entity    *int32  `json:"entity,omitempty"`
 	Entities  []int32 `json:"entities,omitempty"`
 	Footprint []int32 `json:"footprint,omitempty"`
+	// Steps carries the sub-requests of a batch op (begin/read/write
+	// only); the whole pipeline is submitted in one engine call.
+	Steps []request `json:"steps,omitempty"`
 }
 
 // response uses pointers for txn and aborted so that transaction ID 0 (a
@@ -64,6 +78,8 @@ type response struct {
 	Aborted   *int64        `json:"aborted,omitempty"`
 	Error     string        `json:"error,omitempty"`
 	Stats     *engine.Stats `json:"stats,omitempty"`
+	// Results holds one response per step of a batch op.
+	Results []response `json:"results,omitempty"`
 }
 
 func ref(v int64) *int64 { return &v }
@@ -119,9 +135,55 @@ func (s *session) cleanup() {
 	}
 }
 
+// stepOf translates one batchable sub-request into a scheduler step.
+func stepOf(sub request) (model.Step, error) {
+	id := model.TxnID(sub.Txn)
+	switch sub.Op {
+	case "begin":
+		return model.BeginDeclared(id, entities(sub.Footprint)...), nil
+	case "read":
+		if sub.Entity == nil {
+			return model.Step{}, fmt.Errorf("read needs an entity")
+		}
+		return model.Read(id, model.Entity(*sub.Entity)), nil
+	case "write":
+		return model.WriteFinal(id, entities(sub.Entities)...), nil
+	default:
+		return model.Step{}, fmt.Errorf("op %q cannot appear in a batch", sub.Op)
+	}
+}
+
+// handleBatch submits a pipeline of steps through one engine batch call,
+// answering with one result per step.
+func (s *session) handleBatch(req request) response {
+	if len(req.Steps) == 0 {
+		return response{Outcome: "error", Error: "batch needs steps"}
+	}
+	steps := make([]model.Step, len(req.Steps))
+	for i, sub := range req.Steps {
+		st, err := stepOf(sub)
+		if err != nil {
+			return response{Outcome: "error", Error: fmt.Sprintf("batch step %d: %v", i, err)}
+		}
+		steps[i] = st
+	}
+	results := s.eng.SubmitBatch(steps)
+	out := response{Outcome: "ok", Results: make([]response, len(results))}
+	for i, res := range results {
+		if steps[i].Kind == model.KindBegin &&
+			(res.Outcome == engine.OutcomeAccepted || res.Outcome == engine.OutcomeBuffered) {
+			s.track(steps[i].Txn)
+		}
+		out.Results[i] = s.fromResult(int64(steps[i].Txn), res)
+	}
+	return out
+}
+
 func (s *session) handle(req request) response {
 	id := model.TxnID(req.Txn)
 	switch req.Op {
+	case "batch":
+		return s.handleBatch(req)
 	case "begin":
 		res := s.eng.Submit(model.BeginDeclared(id, entities(req.Footprint)...))
 		if res.Outcome == engine.OutcomeAccepted || res.Outcome == engine.OutcomeBuffered {

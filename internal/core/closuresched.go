@@ -234,11 +234,18 @@ func (s *ClosureScheduler) sweep(res *Result) {
 		return
 	}
 	for {
-		progress := false
+		// Scan candidates in ascending ID order, matching GreedyC1 on the
+		// DFS scheduler: greedy deletion is order-sensitive, so a random
+		// map order would (rarely) retain a different set.
+		var ids []model.TxnID
 		for id, t := range s.txns {
-			if t.Status != model.StatusCompleted {
-				continue
+			if t.Status == model.StatusCompleted {
+				ids = append(ids, id)
 			}
+		}
+		sortTxns(ids)
+		progress := false
+		for _, id := range ids {
 			if s.CheckC1(id) {
 				s.forget(id)
 				s.c.DeleteNode(id)

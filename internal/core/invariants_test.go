@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/graph"
 	"repro/internal/model"
 )
 
@@ -29,20 +30,31 @@ func checkInvariants(t *testing.T, s *Scheduler) {
 			t.Fatalf("invariant: record T%d has no node", id)
 		}
 	}
-	// Index ⊆ access sets.
-	for x, set := range s.readers {
-		for id := range set {
+	// Index ⊆ access sets. The indexes hold arena slots; every entry must
+	// resolve to a live record whose cached ref matches the slot.
+	hasRef := func(list []graph.Ref, r graph.Ref) bool {
+		for _, v := range list {
+			if v == r {
+				return true
+			}
+		}
+		return false
+	}
+	for x, list := range s.readers {
+		for _, r := range list {
+			id := s.g.IDOf(r)
 			tr := s.txns[id]
-			if tr == nil || tr.Access.Get(x) == model.NoAccess {
-				t.Fatalf("invariant: stale reader index entry (T%d, %d)", id, x)
+			if tr == nil || tr.ref != r || tr.Access.Get(x) == model.NoAccess {
+				t.Fatalf("invariant: stale reader index entry (slot %d → T%d, %d)", r, id, x)
 			}
 		}
 	}
-	for x, set := range s.writers {
-		for id := range set {
+	for x, list := range s.writers {
+		for _, r := range list {
+			id := s.g.IDOf(r)
 			tr := s.txns[id]
-			if tr == nil || tr.Access.Get(x) != model.WriteAccess {
-				t.Fatalf("invariant: stale writer index entry (T%d, %d)", id, x)
+			if tr == nil || tr.ref != r || tr.Access.Get(x) != model.WriteAccess {
+				t.Fatalf("invariant: stale writer index entry (slot %d → T%d, %d)", r, id, x)
 			}
 		}
 	}
@@ -50,10 +62,10 @@ func checkInvariants(t *testing.T, s *Scheduler) {
 	for id, tr := range s.txns {
 		for x, a := range tr.Access {
 			if a == model.WriteAccess {
-				if !s.writers[x].Has(id) {
+				if !hasRef(s.writers[x], tr.ref) {
 					t.Fatalf("invariant: writer (T%d, %d) missing from index", id, x)
 				}
-			} else if !s.readers[x].Has(id) {
+			} else if !hasRef(s.readers[x], tr.ref) {
 				t.Fatalf("invariant: reader (T%d, %d) missing from index", id, x)
 			}
 		}

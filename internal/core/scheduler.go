@@ -72,7 +72,9 @@ func (s *Stats) Merge(o Stats) {
 
 // TxnState is the scheduler's record of one transaction. Deleting the
 // transaction erases this record: that is the storage the paper's
-// conditions let us reclaim.
+// conditions let us reclaim. Records are pooled: once a transaction is
+// deleted or aborted its TxnState (and maps) are recycled for a future
+// BEGIN, so steady-state churn allocates nothing.
 type TxnState struct {
 	ID     model.TxnID
 	Status model.Status
@@ -83,6 +85,9 @@ type TxnState struct {
 	accessSeq map[model.Entity]int64
 	BeginSeq  int64
 	EndSeq    int64
+	// ref is the transaction's slot in the graph arena, valid while the
+	// node is present (active or retained completed).
+	ref graph.Ref
 }
 
 // Config configures a Scheduler.
@@ -129,9 +134,11 @@ type Scheduler struct {
 	// readers[x] and writers[x] index the transactions currently in the
 	// graph that have read/written x — the information Rules 2 and 3
 	// consult. Deleting a transaction removes it from these indexes: its
-	// access sets are forgotten.
-	readers map[model.Entity]graph.NodeSet
-	writers map[model.Entity]graph.NodeSet
+	// access sets are forgotten. The indexes hold arena slots (graph.Ref),
+	// not IDs, so the per-step cycle test never touches the id→slot map;
+	// empty entries keep their capacity for the next occupant.
+	readers map[model.Entity][]graph.Ref
+	writers map[model.Entity][]graph.Ref
 	// lastWriteSeq and lastWriter track the schedule-level current value
 	// per entity (for Corollary 1's noncurrent rule); lastWriter may name
 	// a deleted transaction, which is precisely what makes the naive
@@ -141,6 +148,13 @@ type Scheduler struct {
 	seq          int64
 	cfg          Config
 	stats        Stats
+	// numCompleted and numActive are maintained incrementally so the
+	// per-step bookkeeping in afterStep never scans txns.
+	numCompleted int
+	numActive    int
+	// statePool recycles TxnState records (with their maps) across
+	// delete/abort → begin.
+	statePool []*TxnState
 }
 
 // NewScheduler returns an empty scheduler with the given configuration.
@@ -148,8 +162,8 @@ func NewScheduler(cfg Config) *Scheduler {
 	return &Scheduler{
 		g:            graph.New(),
 		txns:         make(map[model.TxnID]*TxnState),
-		readers:      make(map[model.Entity]graph.NodeSet),
-		writers:      make(map[model.Entity]graph.NodeSet),
+		readers:      make(map[model.Entity][]graph.Ref),
+		writers:      make(map[model.Entity][]graph.Ref),
 		lastWriteSeq: make(map[model.Entity]int64),
 		lastWriter:   make(map[model.Entity]model.TxnID),
 		cfg:          cfg,
@@ -212,26 +226,11 @@ func (s *Scheduler) CompletedTxns() []model.TxnID {
 }
 
 // NumCompleted returns the number of retained completed transactions.
-func (s *Scheduler) NumCompleted() int {
-	n := 0
-	for _, t := range s.txns {
-		if t.Status == model.StatusCompleted {
-			n++
-		}
-	}
-	return n
-}
+// The count is maintained incrementally, so this is O(1).
+func (s *Scheduler) NumCompleted() int { return s.numCompleted }
 
-// NumActive returns the number of active transactions.
-func (s *Scheduler) NumActive() int {
-	n := 0
-	for _, t := range s.txns {
-		if t.Status == model.StatusActive {
-			n++
-		}
-	}
-	return n
-}
+// NumActive returns the number of active transactions, O(1).
+func (s *Scheduler) NumActive() int { return s.numActive }
 
 // Apply processes one step, returning its Result. A protocol violation
 // (unknown transaction, duplicate BEGIN, step after completion, a
@@ -267,14 +266,8 @@ func (s *Scheduler) begin(step model.Step) (Result, error) {
 	}
 	s.seq++
 	// Rule 1: add an isolated node. A fresh node can never create a cycle.
-	s.g.AddNode(id)
-	s.txns[id] = &TxnState{
-		ID:        id,
-		Status:    model.StatusActive,
-		Access:    make(model.AccessSet),
-		accessSeq: make(map[model.Entity]int64),
-		BeginSeq:  s.seq,
-	}
+	s.txns[id] = s.acquireState(id, s.g.AddNodeRef(id))
+	s.numActive++
 	s.stats.Begins++
 	s.stats.Accepted++
 	res := Result{Step: step, Accepted: true, Aborted: model.NoTxn, CompletedTxn: model.NoTxn}
@@ -290,19 +283,18 @@ func (s *Scheduler) read(step model.Step) (Result, error) {
 	s.seq++
 	x := step.Entity
 	// Rule 2: arcs from every node that has written x into the reader.
-	tails := make(graph.NodeSet)
-	for w := range s.writers[x] {
-		if w != t.ID {
-			tails.Add(w)
+	g := s.g
+	g.ResetTargets()
+	for _, w := range s.writers[x] {
+		if w != t.ref {
+			g.MarkTarget(w)
 		}
 	}
 	// A cycle appears iff the reader already reaches one of the tails.
-	if s.g.ReachesAny(t.ID, tails) {
+	if g.ReachesAnyTarget(t.ref) {
 		return s.reject(step, t), nil
 	}
-	for w := range tails {
-		s.g.AddArc(w, t.ID)
-	}
+	g.LinkTargetsTo(t.ref)
 	s.noteAccess(t, x, model.ReadAccess)
 	s.stats.Reads++
 	s.stats.Accepted++
@@ -319,25 +311,24 @@ func (s *Scheduler) writeFinal(step model.Step) (Result, error) {
 	s.seq++
 	// Rule 3: for every written entity, arcs from every prior reader or
 	// writer of it into the writer.
-	tails := make(graph.NodeSet)
+	g := s.g
+	g.ResetTargets()
 	for _, x := range step.Entities {
-		for r := range s.readers[x] {
-			if r != t.ID {
-				tails.Add(r)
+		for _, r := range s.readers[x] {
+			if r != t.ref {
+				g.MarkTarget(r)
 			}
 		}
-		for w := range s.writers[x] {
-			if w != t.ID {
-				tails.Add(w)
+		for _, w := range s.writers[x] {
+			if w != t.ref {
+				g.MarkTarget(w)
 			}
 		}
 	}
-	if s.g.ReachesAny(t.ID, tails) {
+	if g.ReachesAnyTarget(t.ref) {
 		return s.reject(step, t), nil
 	}
-	for u := range tails {
-		s.g.AddArc(u, t.ID)
-	}
+	g.LinkTargetsTo(t.ref)
 	for _, x := range step.Entities {
 		s.noteAccess(t, x, model.WriteAccess)
 		s.lastWriteSeq[x] = s.seq
@@ -345,6 +336,8 @@ func (s *Scheduler) writeFinal(step model.Step) (Result, error) {
 	}
 	t.Status = model.StatusCompleted
 	t.EndSeq = s.seq
+	s.numActive--
+	s.numCompleted++
 	s.stats.Writes++
 	s.stats.Accepted++
 	s.stats.Completed++
@@ -364,28 +357,63 @@ func (s *Scheduler) activeTxn(id model.TxnID) (*TxnState, error) {
 	return t, nil
 }
 
+// acquireState returns a fresh-or-recycled TxnState for a BEGIN at the
+// current sequence number.
+func (s *Scheduler) acquireState(id model.TxnID, ref graph.Ref) *TxnState {
+	var t *TxnState
+	if n := len(s.statePool); n > 0 {
+		t = s.statePool[n-1]
+		s.statePool = s.statePool[:n-1]
+	} else {
+		t = &TxnState{
+			Access:    make(model.AccessSet),
+			accessSeq: make(map[model.Entity]int64),
+		}
+	}
+	t.ID = id
+	t.Status = model.StatusActive
+	t.BeginSeq = s.seq
+	t.EndSeq = 0
+	t.ref = ref
+	return t
+}
+
+// releaseState recycles a TxnState that has been removed from txns. The
+// maps are cleared here, at release time: no live code may retain an
+// AccessSet of a deleted/aborted transaction.
+func (s *Scheduler) releaseState(t *TxnState) {
+	clear(t.Access)
+	clear(t.accessSeq)
+	t.ref = graph.NoRef
+	s.statePool = append(s.statePool, t)
+}
+
 func (s *Scheduler) noteAccess(t *TxnState, x model.Entity, a model.Access) {
-	t.Access.Note(x, a)
+	prev := t.Access[x]
+	if a > prev {
+		t.Access[x] = a
+	}
 	t.accessSeq[x] = s.seq
-	idx := s.readers
+	// First read of x indexes t as a reader; a (final) write indexes it
+	// as a writer even if it read x before — Rule 3 consults both.
 	if a == model.WriteAccess {
-		idx = s.writers
+		if prev < model.WriteAccess {
+			s.writers[x] = append(s.writers[x], t.ref)
+		}
+	} else if prev == model.NoAccess {
+		s.readers[x] = append(s.readers[x], t.ref)
 	}
-	set, ok := idx[x]
-	if !ok {
-		set = make(graph.NodeSet)
-		idx[x] = set
-	}
-	set.Add(t.ID)
 }
 
 // reject aborts the acting transaction: the step is refused and the node,
 // its arcs, and all its access information are removed.
 func (s *Scheduler) reject(step model.Step, t *TxnState) Result {
-	s.forget(t.ID)
-	s.g.RemoveNode(t.ID)
+	s.forget(t)
+	s.g.RemoveRef(t.ref)
 	t.Status = model.StatusAborted
 	delete(s.txns, t.ID)
+	s.numActive--
+	s.releaseState(t)
 	s.stats.Rejected++
 	s.stats.Aborts++
 	res := Result{Step: step, Accepted: false, Aborted: t.ID, CompletedTxn: model.NoTxn}
@@ -394,20 +422,23 @@ func (s *Scheduler) reject(step model.Step, t *TxnState) Result {
 }
 
 // forget erases the transaction from the per-entity indexes. Its graph
-// node is handled separately (RemoveNode on abort, Reduce on deletion).
-func (s *Scheduler) forget(id model.TxnID) {
-	t := s.txns[id]
-	if t == nil {
-		return
-	}
+// node is handled separately (RemoveRef on abort, ReduceRef on deletion).
+// An entry whose last occupant leaves is deleted outright — the paper's
+// storage-reclamation point applies to the entity indexes too, and a
+// long-lived server reading a wide sparse keyspace must not retain a
+// slice per entity it ever saw. Hot entities keep a non-empty slice, so
+// the steady-state append path stays allocation-free.
+func (s *Scheduler) forget(t *TxnState) {
 	for x, a := range t.Access {
-		delete(s.readers[x], id)
-		if len(s.readers[x]) == 0 {
+		if rs := graph.DropRef(s.readers[x], t.ref); len(rs) > 0 {
+			s.readers[x] = rs
+		} else {
 			delete(s.readers, x)
 		}
 		if a == model.WriteAccess {
-			delete(s.writers[x], id)
-			if len(s.writers[x]) == 0 {
+			if ws := graph.DropRef(s.writers[x], t.ref); len(ws) > 0 {
+				s.writers[x] = ws
+			} else {
 				delete(s.writers, x)
 			}
 		}
@@ -425,9 +456,11 @@ func (s *Scheduler) deleteTxn(id model.TxnID) error {
 	if t.Status != model.StatusCompleted {
 		return fmt.Errorf("core: delete of %v transaction T%d", t.Status, id)
 	}
-	s.forget(id)
-	s.g.Reduce(id)
+	s.forget(t)
+	s.g.ReduceRef(t.ref)
 	delete(s.txns, id)
+	s.numCompleted--
+	s.releaseState(t)
 	s.stats.Deleted++
 	if s.cfg.OnDelete != nil {
 		s.cfg.OnDelete(id)
@@ -451,7 +484,7 @@ func (s *Scheduler) afterStep(res *Result, sweepEvent bool) {
 	if a := s.g.NumArcs(); a > s.stats.PeakArcs {
 		s.stats.PeakArcs = a
 	}
-	kept := s.NumCompleted()
+	kept := s.numCompleted
 	if kept > s.stats.PeakKept {
 		s.stats.PeakKept = kept
 	}
@@ -547,10 +580,12 @@ func (s *Scheduler) AbortTxn(id model.TxnID) error {
 	if t.Status != model.StatusActive {
 		return fmt.Errorf("core: abort of %v transaction T%d", t.Status, id)
 	}
-	s.forget(id)
-	s.g.RemoveNode(id)
+	s.forget(t)
+	s.g.RemoveRef(t.ref)
 	t.Status = model.StatusAborted
 	delete(s.txns, id)
+	s.numActive--
+	s.releaseState(t)
 	s.stats.Aborts++
 	res := Result{Accepted: false, Aborted: id, CompletedTxn: model.NoTxn}
 	s.afterStep(&res, true)

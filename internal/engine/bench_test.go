@@ -13,13 +13,15 @@ import (
 // BenchmarkEngineThroughput sweeps shard count × deletion policy under
 // partition-local traffic from GOMAXPROCS submitter goroutines. Each
 // iteration is one whole transaction (BEGIN + 3 reads + final write = 5
-// steps); steps/s is reported as a metric. Under nogc the per-shard graphs
-// grow without bound, so sharding pays even on one core (smaller graphs →
-// cheaper conflict checks); with a GC policy the graphs stay small and the
+// steps) pipelined through SubmitBatch — one shard round-trip per
+// transaction, the way a real client session drives the engine; steps/s
+// is reported as a metric. Under nogc the per-shard graphs grow without
+// bound, so sharding pays even on one core (smaller graphs → cheaper
+// conflict checks); with a GC policy the graphs stay small and the
 // benchmark measures the engine's plumbing overhead instead. Regenerate
 // BENCH_engine.json with:
 //
-//	go test -run '^$' -bench BenchmarkEngineThroughput -benchtime 3000x ./internal/engine/
+//	go test -run '^$' -bench BenchmarkEngineThroughput -benchtime 3000x -benchmem ./internal/engine/
 func BenchmarkEngineThroughput(b *testing.B) {
 	const entities = 1 << 12
 	policies := []struct {
@@ -42,17 +44,20 @@ func BenchmarkEngineThroughput(b *testing.B) {
 				b.RunParallel(func(pb *testing.PB) {
 					rng := rand.New(rand.NewSource(nextID.Add(1)))
 					fp := make([]model.Entity, 4)
+					steps := make([]model.Step, 0, 5)
+					results := make([]Result, 0, 5)
 					for pb.Next() {
 						id := model.TxnID(nextID.Add(1))
 						p := rng.Intn(shards)
 						for i := range fp {
 							fp[i] = model.Entity(p + shards*rng.Intn(perPart))
 						}
-						eng.Submit(model.BeginDeclared(id, fp...))
+						steps = append(steps[:0], model.BeginDeclared(id, fp...))
 						for _, x := range fp[:3] {
-							eng.Submit(model.Read(id, x))
+							steps = append(steps, model.Read(id, x))
 						}
-						eng.Submit(model.WriteFinal(id, fp[3]))
+						steps = append(steps, model.WriteFinal(id, fp[3]))
+						results = eng.SubmitBatchInto(results[:0], steps)
 					}
 				})
 				b.StopTimer()

@@ -3,7 +3,6 @@ package engine
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -130,6 +129,12 @@ type Stats struct {
 	BarrierKills int64 // active transactions killed at barriers
 	Misroutes    int64 // partition-discipline violations
 
+	// QueueDepth is the instantaneous per-shard submission backlog
+	// (requests enqueued or blocked enqueuing, not yet picked up by the
+	// shard goroutine), indexed by shard. Maintained as a cheap atomic on
+	// the submit path; groundwork for admission control and load shedding.
+	QueueDepth []int64
+
 	// PerShard are the underlying scheduler counters, indexed by shard.
 	PerShard []core.Stats
 	// Merged is the sum of PerShard (peaks add; see core.Stats.Merge).
@@ -176,12 +181,20 @@ type Engine struct {
 	submitted, accepted, rejected, buffered atomic.Int64
 	completed, aborted, deleted, sweeps     atomic.Int64
 	crossTxns, quiesces, kills, misroutes   atomic.Int64
+
+	// replyPool recycles the one-slot reply channels of shard round-trips;
+	// resBufPool recycles SubmitBatch result buffers. Both keep the steady
+	// state submit path free of allocations.
+	replyPool  sync.Pool
+	resBufPool sync.Pool
 }
 
 // New starts an engine with cfg's shard goroutines running.
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	e := &Engine{cfg: cfg}
+	e.replyPool.New = func() any { return make(chan reply, 1) }
+	e.resBufPool.New = func() any { b := make([]Result, 0, 64); return &b }
 	e.shards = make([]*shard, cfg.Shards)
 	for i := range e.shards {
 		var pol core.Policy
@@ -209,19 +222,25 @@ func (e *Engine) partitionOf(x model.Entity) int {
 	return int(uint32(x)) % len(e.shards)
 }
 
-// partitionsOf returns the sorted distinct partitions of a footprint.
-func (e *Engine) partitionsOf(xs []model.Entity) []int {
-	seen := make(map[int]bool, len(xs))
-	var out []int
-	for _, x := range xs {
-		p := e.partitionOf(x)
-		if !seen[p] {
-			seen[p] = true
-			out = append(out, p)
+// beginRoute classifies a BEGIN's declared footprint without allocating:
+// home is the owning shard of a partition-local footprint (or the ID-hash
+// fallback for an undeclared one) and cross reports a footprint spanning
+// more than one partition.
+func (e *Engine) beginRoute(step model.Step) (home int, cross bool) {
+	xs := step.Entities
+	if len(xs) == 0 {
+		// Undeclared footprint: hash the transaction ID; the transaction
+		// must then happen to stay inside that partition or its first
+		// foreign access will misroute-abort it.
+		return int(uint64(step.Txn) % uint64(len(e.shards))), false
+	}
+	home = e.partitionOf(xs[0])
+	for _, x := range xs[1:] {
+		if e.partitionOf(x) != home {
+			return home, true
 		}
 	}
-	sort.Ints(out)
-	return out
+	return home, false
 }
 
 // Submit routes one step to its shard and returns the engine-level result.
@@ -236,7 +255,7 @@ func (e *Engine) Submit(step model.Step) Result {
 	case model.KindBegin:
 		return e.submitBegin(step)
 	case model.KindRead:
-		return e.submitAccess(step, step.Entity)
+		return e.submitAccess(step)
 	case model.KindWriteFinal:
 		return e.submitFinal(step)
 	default:
@@ -245,31 +264,170 @@ func (e *Engine) Submit(step model.Step) Result {
 	}
 }
 
-func (e *Engine) submitBegin(step model.Step) Result {
-	parts := e.partitionsOf(step.Entities)
-	if len(parts) > 1 {
+// registerBegin routes a BEGIN: a cross-partition footprint buffers the
+// transaction client-side (direct result), a duplicate ID errors (direct
+// result), and a partition-local BEGIN registers its route and reports the
+// home shard the step must be applied on.
+func (e *Engine) registerBegin(step model.Step) (home int, direct bool, res Result) {
+	h, cross := e.beginRoute(step)
+	if cross {
 		ct := &crossTxn{id: step.Txn, steps: []model.Step{step}}
 		if _, dup := e.routes.LoadOrStore(step.Txn, &route{kind: routeCross, ct: ct}); dup {
-			return Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn,
+			return 0, true, Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn,
 				Err: fmt.Errorf("engine: duplicate BEGIN for T%d", step.Txn)}
 		}
 		e.crossTxns.Add(1)
 		e.buffered.Add(1)
-		return Result{Step: step, Outcome: OutcomeBuffered, Aborted: model.NoTxn, CompletedTxn: model.NoTxn}
+		return 0, true, Result{Step: step, Outcome: OutcomeBuffered, Aborted: model.NoTxn, CompletedTxn: model.NoTxn}
 	}
-	// Single-partition (or undeclared) footprint: partition-local. An
-	// undeclared footprint falls back to hashing the transaction ID; such
-	// a transaction must then happen to stay inside that partition or its
-	// first foreign access will misroute-abort it.
-	home := int(uint64(step.Txn) % uint64(len(e.shards)))
-	if len(parts) == 1 {
-		home = parts[0]
-	}
-	if _, dup := e.routes.LoadOrStore(step.Txn, &route{kind: routeLocal, shard: home}); dup {
-		return Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn,
+	if _, dup := e.routes.LoadOrStore(step.Txn, &route{kind: routeLocal, shard: h}); dup {
+		return 0, true, Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn,
 			Err: fmt.Errorf("engine: duplicate BEGIN for T%d", step.Txn)}
 	}
-	res := e.doStep(home, step)
+	return h, false, Result{}
+}
+
+// SubmitBatch submits a client's steps in order and returns one Result per
+// step. Consecutive steps bound for the same shard are pipelined through a
+// single shard round-trip, so a whole partition-local transaction (BEGIN,
+// reads, final write) costs one queue hop instead of one per step. The
+// ordering contract is Submit's: steps of one transaction must appear in
+// order, and a client must not submit a transaction's next step elsewhere
+// before the batch returns. Within one batch, a step pipelined behind its
+// own transaction's final write or failed BEGIN is answered with the
+// scheduler's protocol error rather than the engine's unknown-transaction
+// rejection (per-step clients never see that window); either way the
+// client learns the transaction is dead, and route bookkeeping is
+// restored by the time the batch returns.
+func (e *Engine) SubmitBatch(steps []model.Step) []Result {
+	return e.SubmitBatchInto(make([]Result, 0, len(steps)), steps)
+}
+
+// SubmitBatchInto is SubmitBatch appending into dst (pass a reused buffer
+// with spare capacity to keep the submit path allocation-free).
+func (e *Engine) SubmitBatchInto(dst []Result, steps []model.Step) []Result {
+	if len(steps) == 0 {
+		return dst
+	}
+	if e.closed.Load() {
+		for _, st := range steps {
+			dst = append(dst, Result{Step: st, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: ErrClosed})
+		}
+		return dst
+	}
+	// run is the current span of consecutive steps bound for one shard.
+	runStart, runShard := -1, -1
+	flush := func(end int) {
+		if runStart >= 0 {
+			dst = e.flushRun(dst, runShard, steps[runStart:end])
+			runStart = -1
+		}
+	}
+	extend := func(i, shard int) {
+		if runStart >= 0 && shard != runShard {
+			flush(i)
+		}
+		if runStart < 0 {
+			runStart, runShard = i, shard
+		}
+	}
+	for i, st := range steps {
+		e.submitted.Add(1)
+		switch st.Kind {
+		case model.KindBegin:
+			if _, live := e.routes.Load(st.Txn); live {
+				// The pending run may complete/abort this very ID; apply
+				// it first so duplicate detection sees the final state.
+				flush(i)
+			}
+			home, direct, res := e.registerBegin(st)
+			if direct {
+				flush(i)
+				dst = append(dst, res)
+				continue
+			}
+			extend(i, home)
+		case model.KindRead, model.KindWriteFinal:
+			v, ok := e.routes.Load(st.Txn)
+			if !ok {
+				flush(i)
+				e.rejected.Add(1)
+				dst = append(dst, Result{Step: st, Outcome: OutcomeRejected, Aborted: st.Txn, CompletedTxn: model.NoTxn, Err: ErrUnknownTxn})
+				continue
+			}
+			r := v.(*route)
+			if r.kind == routeCross {
+				// Buffered client-side; the final write runs the
+				// coordinator, so the pending run must land first.
+				flush(i)
+				dst = append(dst, e.bufferCross(st, r.ct))
+				continue
+			}
+			if foreign := e.misroutedStep(st, r.shard); foreign {
+				flush(i)
+				dst = append(dst, e.misroute(st, r))
+				continue
+			}
+			extend(i, r.shard)
+		default:
+			flush(i)
+			dst = append(dst, Result{Step: st, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn,
+				Err: fmt.Errorf("engine: step kind %v not part of the basic model", st.Kind)})
+		}
+	}
+	flush(len(steps))
+	return dst
+}
+
+// misroutedStep reports whether a partition-local transaction's step
+// touches an entity outside its home shard.
+func (e *Engine) misroutedStep(st model.Step, home int) bool {
+	if st.Kind == model.KindRead {
+		return e.partitionOf(st.Entity) != home
+	}
+	for _, x := range st.Entities {
+		if e.partitionOf(x) != home {
+			return true
+		}
+	}
+	return false
+}
+
+// flushRun applies one same-shard span through a single reqBatch
+// round-trip, appending its results to dst.
+func (e *Engine) flushRun(dst []Result, shardIdx int, steps []model.Step) []Result {
+	bufp := e.resBufPool.Get().(*[]Result)
+	rep, ok := e.shards[shardIdx].do(request{kind: reqBatch, steps: steps, done: (*bufp)[:0]})
+	if !ok {
+		// Lost request (Close raced us). The buffer may still be written
+		// by the shutdown drain — abandon it rather than recycle.
+		for _, st := range steps {
+			if st.Kind == model.KindBegin {
+				e.routes.Delete(st.Txn)
+			}
+			dst = append(dst, Result{Step: st, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: ErrClosed})
+		}
+		return dst
+	}
+	dst = append(dst, rep.results...)
+	// Mirror submitBegin: a BEGIN the scheduler refused must drop the
+	// route we registered, or the ID stays poisoned forever.
+	for i, st := range steps {
+		if st.Kind == model.KindBegin && i < len(rep.results) && rep.results[i].Outcome == OutcomeError {
+			e.routes.Delete(st.Txn)
+		}
+	}
+	*bufp = rep.results[:0]
+	e.resBufPool.Put(bufp)
+	return dst
+}
+
+func (e *Engine) submitBegin(step model.Step) Result {
+	home, direct, res := e.registerBegin(step)
+	if direct {
+		return res
+	}
+	res = e.doStep(home, step)
 	if res.Outcome == OutcomeError {
 		// The scheduler refused to start the transaction (e.g. its ID
 		// collides with a retained completed transaction): drop the route
@@ -298,13 +456,13 @@ func (e *Engine) lookup(step model.Step) (*route, Result, bool) {
 	return v.(*route), Result{}, true
 }
 
-func (e *Engine) submitAccess(step model.Step, x model.Entity) Result {
+func (e *Engine) submitAccess(step model.Step) Result {
 	r, res, ok := e.lookup(step)
 	if !ok {
 		return res
 	}
 	if r.kind == routeLocal {
-		if e.partitionOf(x) != r.shard {
+		if e.misroutedStep(step, r.shard) {
 			return e.misroute(step, r)
 		}
 		return e.doStep(r.shard, step)
@@ -318,10 +476,8 @@ func (e *Engine) submitFinal(step model.Step) Result {
 		return res
 	}
 	if r.kind == routeLocal {
-		for _, x := range step.Entities {
-			if e.partitionOf(x) != r.shard {
-				return e.misroute(step, r)
-			}
+		if e.misroutedStep(step, r.shard) {
+			return e.misroute(step, r)
 		}
 		return e.doStep(r.shard, step)
 	}
@@ -413,10 +569,7 @@ func (e *Engine) runCross(ct *crossTxn) Result {
 	rep, ok := e.shards[0].do(request{kind: reqCross, ct: ct})
 	e.setGate(false)
 	for _, sh := range e.shards {
-		select {
-		case sh.ch <- request{kind: reqKick}:
-		case <-sh.done:
-		}
+		sh.trySend(request{kind: reqKick})
 	}
 	if !ok {
 		return Result{Step: ct.steps[len(ct.steps)-1], Outcome: OutcomeError,
@@ -465,6 +618,15 @@ func (e *Engine) Stats() Stats {
 		}
 		s.PerShard = append(s.PerShard, cs)
 		s.Merged.Merge(cs)
+		// A shard that shut down serves nothing: its backlog is dead, and
+		// its gauge may hold a phantom +1 from a submit that raced the
+		// shutdown drain, so report zero rather than the stale counter.
+		select {
+		case <-sh.done:
+			s.QueueDepth = append(s.QueueDepth, 0)
+		default:
+			s.QueueDepth = append(s.QueueDepth, sh.depth.Load())
+		}
 	}
 	return s
 }
@@ -476,7 +638,7 @@ func (e *Engine) Close() {
 		return
 	}
 	for _, sh := range e.shards {
-		sh.ch <- request{kind: reqStop}
+		sh.trySend(request{kind: reqStop})
 	}
 	for _, sh := range e.shards {
 		<-sh.done

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"sync/atomic"
+
 	"repro/internal/core"
 	"repro/internal/model"
 )
@@ -10,6 +12,8 @@ type reqKind uint8
 const (
 	// reqStep applies one step to the shard's scheduler.
 	reqStep reqKind = iota
+	// reqBatch applies a run of steps in one round-trip (SubmitBatch).
+	reqBatch
 	// reqStats snapshots the shard's scheduler counters.
 	reqStats
 	// reqCross atomically applies a buffered cross-partition transaction
@@ -26,16 +30,22 @@ const (
 )
 
 type request struct {
-	kind  reqKind
-	step  model.Step
+	kind reqKind
+	step model.Step
+	// steps is a reqBatch's remaining pipeline; it aliases the caller's
+	// input (the caller blocks until the reply, so the shard owns it).
+	steps []model.Step
+	// done accumulates a reqBatch's results, surviving a mid-batch park.
+	done  []Result
 	ct    *crossTxn
 	reply chan reply
 }
 
 type reply struct {
-	res    Result
-	stats  core.Stats
-	killed []model.TxnID
+	res     Result
+	results []Result
+	stats   core.Stats
+	killed  []model.TxnID
 }
 
 // shard is one entity partition: a single-writer goroutine owning one
@@ -46,8 +56,13 @@ type shard struct {
 	sched *core.Scheduler
 	ch    chan request
 	done  chan struct{}
-	// parked holds BEGIN requests deferred while the admission gate is
-	// closed; their clients block in Submit until the gate reopens.
+	// depth counts requests enqueued (or blocked enqueuing) and not yet
+	// picked up by the shard goroutine — the submission backlog surfaced
+	// in Stats.QueueDepth for admission-control decisions.
+	depth atomic.Int64
+	// parked holds requests deferred while the admission gate is closed
+	// (BEGIN steps, or batches whose next step is a BEGIN); their clients
+	// block in Submit/SubmitBatch until the gate reopens.
 	parked []request
 	// sinceSweep counts completions/aborts since the last GC sweep.
 	sinceSweep int
@@ -55,26 +70,52 @@ type shard struct {
 	final core.Stats
 }
 
+// trySend enqueues a fire-and-forget request (no reply expected), keeping
+// the depth gauge consistent. It reports false if the shard already shut
+// down.
+func (sh *shard) trySend(req request) bool {
+	sh.depth.Add(1)
+	select {
+	case sh.ch <- req:
+		return true
+	case <-sh.done:
+		sh.depth.Add(-1)
+		return false
+	}
+}
+
 // do sends a request and waits for its reply. ok=false means the shard
 // shut down without serving the request (Close raced the caller).
+// Reply channels come from a pool; a channel is only returned to the pool
+// on paths where no late reply can still be posted to it.
 func (sh *shard) do(req request) (reply, bool) {
-	req.reply = make(chan reply, 1)
+	c := sh.eng.replyPool.Get().(chan reply)
+	req.reply = c
+	sh.depth.Add(1)
 	select {
 	case sh.ch <- req:
 	case <-sh.done:
+		sh.depth.Add(-1)
+		// Never enqueued: nothing can write to c, safe to recycle.
+		sh.eng.replyPool.Put(c)
 		return reply{}, false
 	}
 	select {
-	case r := <-req.reply:
+	case r := <-c:
+		sh.eng.replyPool.Put(c)
 		return r, true
 	case <-sh.done:
 		// The shard exited. shutdown drains the queue and fails pending
 		// requests, so a reply may still have been posted — but a request
 		// enqueued after that drain is simply lost.
 		select {
-		case r := <-req.reply:
+		case r := <-c:
+			sh.eng.replyPool.Put(c)
 			return r, true
 		default:
+			// A late reply from the shutdown drain may still arrive on c;
+			// abandon the channel rather than risk a stale read by a
+			// future user.
 			return reply{}, false
 		}
 	}
@@ -88,10 +129,12 @@ func (sh *shard) run() {
 		if !ok {
 			return
 		}
+		sh.depth.Add(-1)
 		stop := sh.handle(req)
 		for n := 1; n < sh.eng.cfg.BatchSize && !stop; n++ {
 			select {
 			case r := <-sh.ch:
+				sh.depth.Add(-1)
 				stop = sh.handle(r)
 			default:
 				n = sh.eng.cfg.BatchSize
@@ -114,7 +157,9 @@ func (sh *shard) handle(req request) (stop bool) {
 			sh.parked = append(sh.parked, req)
 			return false
 		}
-		sh.applyStep(req)
+		req.reply <- reply{res: sh.applyOne(req.step)}
+	case reqBatch:
+		sh.handleBatch(req)
 	case reqStats:
 		req.reply <- reply{stats: sh.sched.Stats()}
 	case reqCross:
@@ -135,20 +180,36 @@ func (sh *shard) handle(req request) (stop bool) {
 	return false
 }
 
-// applyStep runs one step on the scheduler and replies with the
-// engine-level result.
-func (sh *shard) applyStep(req request) {
+// handleBatch pipelines a run of same-shard steps through the scheduler.
+// If the admission gate closes in front of a BEGIN mid-batch, the batch
+// parks with its partial results and resumes on the next kick, exactly
+// like a parked single-step BEGIN (the client stays blocked meanwhile).
+func (sh *shard) handleBatch(req request) {
+	for len(req.steps) > 0 {
+		st := req.steps[0]
+		if st.Kind == model.KindBegin && sh.eng.gateIsClosed() {
+			sh.parked = append(sh.parked, req)
+			return
+		}
+		req.done = append(req.done, sh.applyOne(st))
+		req.steps = req.steps[1:]
+	}
+	req.reply <- reply{results: req.done}
+}
+
+// applyOne runs one step on the scheduler and returns the engine-level
+// result, updating the engine counters and route table.
+func (sh *shard) applyOne(step model.Step) Result {
 	eng := sh.eng
-	res, err := sh.sched.Apply(req.step)
+	res, err := sh.sched.Apply(step)
 	if err != nil {
-		req.reply <- reply{res: Result{Step: req.step, Outcome: OutcomeError,
-			Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: err}}
-		return
+		return Result{Step: step, Outcome: OutcomeError,
+			Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: err}
 	}
 	if eng.cfg.Log != nil {
-		eng.cfg.Log.Append(req.step, res.Accepted)
+		eng.cfg.Log.Append(step, res.Accepted)
 	}
-	out := Result{Step: req.step, Aborted: res.Aborted, CompletedTxn: res.CompletedTxn}
+	out := Result{Step: step, Aborted: res.Aborted, CompletedTxn: res.CompletedTxn}
 	if res.Accepted {
 		out.Outcome = OutcomeAccepted
 		eng.accepted.Add(1)
@@ -166,7 +227,7 @@ func (sh *shard) applyStep(req request) {
 		eng.routes.Delete(res.Aborted)
 		sh.sinceSweep++
 	}
-	req.reply <- reply{res: out}
+	return out
 }
 
 // applyCross applies a buffered cross-partition transaction back-to-back.
@@ -237,7 +298,7 @@ func (sh *shard) abortAll() []model.TxnID {
 	return ids
 }
 
-// unpark re-examines parked BEGINs once the gate reopens. If the gate
+// unpark re-examines parked requests once the gate reopens. If the gate
 // closed again in the meantime they simply park again.
 func (sh *shard) unpark() {
 	parked := sh.parked
@@ -247,7 +308,12 @@ func (sh *shard) unpark() {
 			sh.parked = append(sh.parked, parked[i:]...)
 			return
 		}
-		sh.applyStep(req)
+		switch req.kind {
+		case reqBatch:
+			sh.handleBatch(req) // may re-park itself
+		default:
+			req.reply <- reply{res: sh.applyOne(req.step)}
+		}
 	}
 }
 
@@ -269,6 +335,16 @@ func (sh *shard) shutdown() {
 		if req.reply == nil {
 			return
 		}
+		if req.kind == reqBatch {
+			// Remaining steps of a parked/queued batch fail; results
+			// already computed are delivered as-is.
+			for _, st := range req.steps {
+				req.done = append(req.done, Result{Step: st, Outcome: OutcomeError,
+					Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: ErrClosed})
+			}
+			req.reply <- reply{results: req.done, stats: sh.final}
+			return
+		}
 		// A drained stats request can still be answered truthfully; every
 		// other kind is refused.
 		req.reply <- reply{stats: sh.final, res: Result{Step: req.step, Outcome: OutcomeError,
@@ -281,6 +357,7 @@ func (sh *shard) shutdown() {
 	for {
 		select {
 		case req := <-sh.ch:
+			sh.depth.Add(-1)
 			fail(req)
 		default:
 			return

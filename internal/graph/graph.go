@@ -15,6 +15,21 @@
 //
 // Nodes are model.TxnID values. The graph never stores parallel arcs or
 // self-loops.
+//
+// # Dense node arena
+//
+// Internally nodes live in a dense arena: each node gets a small
+// contiguous slot index (a Ref), recycled through a free list when the
+// node is removed. Adjacency is slot-indexed slices ([][]Ref), and
+// traversals mark visited slots in an epoch-stamped array, so the hot
+// operations (ReachesAnyTarget, LinkTargetsTo, ReduceRef) allocate
+// nothing in steady state. The map-flavored API (NodeSet in, NodeSet out)
+// is preserved on top as thin views for the oracle, the deletion
+// conditions, and the NP-solver.
+//
+// Traversal methods share per-graph scratch state (the visited array and
+// DFS stack): predicates and yield callbacks passed to them must not call
+// other traversal methods on the same graph.
 package graph
 
 import (
@@ -49,109 +64,190 @@ type Arc struct {
 	From, To model.TxnID
 }
 
+// Ref is a node's slot index in the graph's arena. Refs are dense small
+// integers recycled through a free list: a Ref is valid only between the
+// AddNodeRef that returned it and the RemoveRef/ReduceRef that frees it,
+// after which the same Ref may name a different node. Schedulers cache
+// the Ref of each live transaction to stay off the id→slot map on the
+// hot path.
+type Ref = int32
+
+// NoRef is the sentinel for "no slot".
+const NoRef Ref = -1
+
 // Graph is a mutable directed graph over transaction IDs.
 // The zero value is not usable; call New.
 type Graph struct {
-	out map[model.TxnID]NodeSet
-	in  map[model.TxnID]NodeSet
-	// arcs counts directed edges (each stored once).
-	arcs int
+	idx map[model.TxnID]Ref // id → slot
+	ids []model.TxnID       // slot → id (model.NoTxn when the slot is free)
+	out [][]Ref             // slot → successor slots (unordered)
+	in  [][]Ref             // slot → predecessor slots (unordered)
+	// free lists recycled slots; adjacency slices keep their capacity
+	// across reuse so steady-state churn allocates nothing.
+	free  []Ref
+	nodes int
+	arcs  int // directed edges (each stored once)
+
+	// Epoch-stamped traversal scratch: visited[s] == epoch means slot s
+	// was seen by the current traversal; bumping the epoch resets the
+	// whole array in O(1).
+	visited []uint32
+	epoch   uint32
+	stack   []Ref
+
+	// Target scratch for the schedulers' cycle test: tmark[s] == tepoch
+	// marks slot s as a candidate arc tail, tlist records the marked
+	// slots for LinkTargetsTo.
+	tmark  []uint32
+	tepoch uint32
+	tlist  []Ref
 }
 
 // New returns an empty graph.
 func New() *Graph {
-	return &Graph{
-		out: make(map[model.TxnID]NodeSet),
-		in:  make(map[model.TxnID]NodeSet),
-	}
+	return &Graph{idx: make(map[model.TxnID]Ref)}
 }
 
-// Clone deep-copies the graph.
+// Clone deep-copies the graph. The clone's slot assignment is compacted,
+// so Refs are not portable between a graph and its clone.
 func (g *Graph) Clone() *Graph {
 	c := New()
-	c.arcs = g.arcs
-	for id, succs := range g.out {
-		ns := make(NodeSet, len(succs))
-		for s := range succs {
-			ns.Add(s)
-		}
-		c.out[id] = ns
+	for id := range g.idx {
+		c.AddNode(id)
 	}
-	for id, preds := range g.in {
-		ns := make(NodeSet, len(preds))
-		for p := range preds {
-			ns.Add(p)
+	for from, r := range g.idx {
+		for _, s := range g.out[r] {
+			c.AddArc(from, g.ids[s])
 		}
-		c.in[id] = ns
 	}
 	return c
 }
 
 // AddNode inserts a node with no arcs. Adding an existing node is a no-op.
-func (g *Graph) AddNode(id model.TxnID) {
-	if _, ok := g.out[id]; ok {
-		return
+func (g *Graph) AddNode(id model.TxnID) { g.AddNodeRef(id) }
+
+// AddNodeRef inserts a node (idempotent) and returns its slot.
+func (g *Graph) AddNodeRef(id model.TxnID) Ref {
+	if r, ok := g.idx[id]; ok {
+		return r
 	}
-	g.out[id] = make(NodeSet)
-	g.in[id] = make(NodeSet)
+	var r Ref
+	if n := len(g.free); n > 0 {
+		r = g.free[n-1]
+		g.free = g.free[:n-1]
+		g.ids[r] = id
+	} else {
+		r = Ref(len(g.ids))
+		g.ids = append(g.ids, id)
+		g.out = append(g.out, nil)
+		g.in = append(g.in, nil)
+		g.visited = append(g.visited, 0)
+		g.tmark = append(g.tmark, 0)
+	}
+	g.idx[id] = r
+	g.nodes++
+	return r
 }
+
+// Ref returns the slot of id, or NoRef if absent.
+func (g *Graph) Ref(id model.TxnID) Ref {
+	if r, ok := g.idx[id]; ok {
+		return r
+	}
+	return NoRef
+}
+
+// IDOf returns the transaction occupying slot r.
+func (g *Graph) IDOf(r Ref) model.TxnID { return g.ids[r] }
 
 // HasNode reports whether id is present.
 func (g *Graph) HasNode(id model.TxnID) bool {
-	_, ok := g.out[id]
+	_, ok := g.idx[id]
 	return ok
 }
 
 // NumNodes returns the node count.
-func (g *Graph) NumNodes() int { return len(g.out) }
+func (g *Graph) NumNodes() int { return g.nodes }
 
 // NumArcs returns the arc count.
 func (g *Graph) NumArcs() int { return g.arcs }
 
 // Nodes returns all node IDs in ascending order.
 func (g *Graph) Nodes() []model.TxnID {
-	out := make([]model.TxnID, 0, len(g.out))
-	for id := range g.out {
+	out := make([]model.TxnID, 0, len(g.idx))
+	for id := range g.idx {
 		out = append(out, id)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
+// hasArcRef reports whether the arc from→to exists, scanning the shorter
+// of the two incidence lists.
+func (g *Graph) hasArcRef(from, to Ref) bool {
+	if len(g.out[from]) <= len(g.in[to]) {
+		for _, s := range g.out[from] {
+			if s == to {
+				return true
+			}
+		}
+		return false
+	}
+	for _, p := range g.in[to] {
+		if p == from {
+			return true
+		}
+	}
+	return false
+}
+
+// addArcRef inserts from→to by slot, ignoring self-loops and duplicates.
+func (g *Graph) addArcRef(from, to Ref) {
+	if from == to || g.hasArcRef(from, to) {
+		return
+	}
+	g.out[from] = append(g.out[from], to)
+	g.in[to] = append(g.in[to], from)
+	g.arcs++
+}
+
 // AddArc inserts from→to. Self-loops and duplicate arcs are ignored; both
 // endpoints must already be nodes (it panics otherwise — schedulers always
 // add nodes first, so a violation is a programming error).
 func (g *Graph) AddArc(from, to model.TxnID) {
-	if from == to {
-		return
-	}
-	succ, ok := g.out[from]
+	f, ok := g.idx[from]
 	if !ok {
 		panic(fmt.Sprintf("graph: AddArc from missing node T%d", from))
 	}
-	pred, ok := g.in[to]
+	t, ok := g.idx[to]
 	if !ok {
 		panic(fmt.Sprintf("graph: AddArc to missing node T%d", to))
 	}
-	if succ.Has(to) {
-		return
-	}
-	succ.Add(to)
-	pred.Add(from)
-	g.arcs++
+	g.addArcRef(f, t)
 }
 
 // HasArc reports whether from→to exists.
 func (g *Graph) HasArc(from, to model.TxnID) bool {
-	succ, ok := g.out[from]
-	return ok && succ.Has(to)
+	f, ok := g.idx[from]
+	if !ok {
+		return false
+	}
+	t, ok := g.idx[to]
+	if !ok {
+		return false
+	}
+	return g.hasArcRef(f, t)
 }
 
 // Succs calls yield for each immediate successor of id until yield returns
 // false. Iteration order is unspecified.
 func (g *Graph) Succs(id model.TxnID, yield func(model.TxnID) bool) {
-	for s := range g.out[id] {
-		if !yield(s) {
+	r, ok := g.idx[id]
+	if !ok {
+		return
+	}
+	for _, s := range g.out[r] {
+		if !yield(g.ids[s]) {
 			return
 		}
 	}
@@ -160,42 +256,100 @@ func (g *Graph) Succs(id model.TxnID, yield func(model.TxnID) bool) {
 // Preds calls yield for each immediate predecessor of id until yield
 // returns false.
 func (g *Graph) Preds(id model.TxnID, yield func(model.TxnID) bool) {
-	for p := range g.in[id] {
-		if !yield(p) {
+	r, ok := g.idx[id]
+	if !ok {
+		return
+	}
+	for _, p := range g.in[r] {
+		if !yield(g.ids[p]) {
 			return
 		}
 	}
 }
 
+func (g *Graph) idList(refs []Ref) []model.TxnID {
+	out := make([]model.TxnID, len(refs))
+	for i, r := range refs {
+		out[i] = g.ids[r]
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // SuccList returns the immediate successors of id, sorted.
-func (g *Graph) SuccList(id model.TxnID) []model.TxnID { return g.out[id].Sorted() }
+func (g *Graph) SuccList(id model.TxnID) []model.TxnID {
+	r, ok := g.idx[id]
+	if !ok {
+		return nil
+	}
+	return g.idList(g.out[r])
+}
 
 // PredList returns the immediate predecessors of id, sorted.
-func (g *Graph) PredList(id model.TxnID) []model.TxnID { return g.in[id].Sorted() }
+func (g *Graph) PredList(id model.TxnID) []model.TxnID {
+	r, ok := g.idx[id]
+	if !ok {
+		return nil
+	}
+	return g.idList(g.in[r])
+}
 
 // OutDegree returns the number of immediate successors of id.
-func (g *Graph) OutDegree(id model.TxnID) int { return len(g.out[id]) }
+func (g *Graph) OutDegree(id model.TxnID) int {
+	r, ok := g.idx[id]
+	if !ok {
+		return 0
+	}
+	return len(g.out[r])
+}
 
 // InDegree returns the number of immediate predecessors of id.
-func (g *Graph) InDegree(id model.TxnID) int { return len(g.in[id]) }
+func (g *Graph) InDegree(id model.TxnID) int {
+	r, ok := g.idx[id]
+	if !ok {
+		return 0
+	}
+	return len(g.in[r])
+}
+
+// DropRef removes the first occurrence of x from list by swap-remove
+// (order is not preserved). It is the shared primitive for slice-backed
+// Ref sets — the graph's incidence lists and the schedulers' per-entity
+// reader/writer indexes.
+func DropRef(list []Ref, x Ref) []Ref {
+	for i, v := range list {
+		if v == x {
+			list[i] = list[len(list)-1]
+			return list[:len(list)-1]
+		}
+	}
+	return list
+}
 
 // RemoveNode deletes id and all incident arcs (an *abort*: paths through
 // the node are lost on purpose). Removing a missing node is a no-op.
 func (g *Graph) RemoveNode(id model.TxnID) {
-	succs, ok := g.out[id]
-	if !ok {
-		return
+	if r, ok := g.idx[id]; ok {
+		g.RemoveRef(r)
 	}
-	for s := range succs {
-		delete(g.in[s], id)
+}
+
+// RemoveRef is RemoveNode by slot; r must be a live slot.
+func (g *Graph) RemoveRef(r Ref) {
+	for _, s := range g.out[r] {
+		g.in[s] = DropRef(g.in[s], r)
 		g.arcs--
 	}
-	for p := range g.in[id] {
-		delete(g.out[p], id)
+	for _, p := range g.in[r] {
+		g.out[p] = DropRef(g.out[p], r)
 		g.arcs--
 	}
-	delete(g.out, id)
-	delete(g.in, id)
+	g.out[r] = g.out[r][:0]
+	g.in[r] = g.in[r][:0]
+	delete(g.idx, g.ids[r])
+	g.ids[r] = model.NoTxn
+	g.free = append(g.free, r)
+	g.nodes--
 }
 
 // Reduce deletes id and splices arcs from every immediate predecessor to
@@ -204,23 +358,36 @@ func (g *Graph) RemoveNode(id model.TxnID) {
 // deleted and arcs to and from it replaced by arcs from all its immediate
 // predecessors to all its immediate successors."
 func (g *Graph) Reduce(id model.TxnID) {
-	succs, ok := g.out[id]
-	if !ok {
-		return
+	if r, ok := g.idx[id]; ok {
+		g.ReduceRef(r)
 	}
-	preds := g.in[id]
-	for p := range preds {
-		for s := range succs {
-			if p == s {
-				// A pred that is also a succ would mean a cycle through id;
-				// reduced graphs are acyclic so this cannot happen, but be
-				// defensive: never create a self-loop.
-				continue
-			}
-			g.AddArc(p, s)
+}
+
+// ReduceRef is Reduce by slot; r must be a live slot. The splice iterates
+// the incidence lists in place: no sorting, no materialized sets.
+func (g *Graph) ReduceRef(r Ref) {
+	// The splice appends to out[p] and in[s] for p, s ≠ r, never to the
+	// lists of r itself, so iterating them directly is safe.
+	for _, p := range g.in[r] {
+		for _, s := range g.out[r] {
+			// A pred that is also a succ would mean a cycle through r;
+			// reduced graphs are acyclic so this cannot happen, but be
+			// defensive: addArcRef never creates a self-loop.
+			g.addArcRef(p, s)
 		}
 	}
-	g.RemoveNode(id)
+	g.RemoveRef(r)
+}
+
+// bumpEpoch starts a new traversal epoch, resetting the visited array in
+// O(1) (and in O(V) once every 2^32 traversals, at wraparound).
+func (g *Graph) bumpEpoch() uint32 {
+	g.epoch++
+	if g.epoch == 0 {
+		clear(g.visited)
+		g.epoch = 1
+	}
+	return g.epoch
 }
 
 // Reachable reports whether there is a (possibly empty) path from src to
@@ -229,81 +396,164 @@ func (g *Graph) Reachable(src, dst model.TxnID) bool {
 	if src == dst {
 		return g.HasNode(src)
 	}
-	if !g.HasNode(src) || !g.HasNode(dst) {
+	sr, ok := g.idx[src]
+	if !ok {
 		return false
 	}
-	seen := NodeSet{src: {}}
-	stack := []model.TxnID{src}
+	dr, ok := g.idx[dst]
+	if !ok {
+		return false
+	}
+	ep := g.bumpEpoch()
+	g.visited[sr] = ep
+	stack := append(g.stack[:0], sr)
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for s := range g.out[n] {
-			if s == dst {
+		for _, s := range g.out[n] {
+			if s == dr {
+				g.stack = stack
 				return true
 			}
-			if !seen.Has(s) {
-				seen.Add(s)
+			if g.visited[s] != ep {
+				g.visited[s] = ep
 				stack = append(stack, s)
 			}
 		}
 	}
+	g.stack = stack
 	return false
+}
+
+// ResetTargets begins a new target set for the slot-level cycle test.
+// The typical scheduler step is:
+//
+//	g.ResetTargets()
+//	for each conflicting transaction w { g.MarkTarget(wRef) }
+//	if g.ReachesAnyTarget(actingRef) { reject }
+//	g.LinkTargetsTo(actingRef)
+//
+// None of the four calls allocates in steady state.
+func (g *Graph) ResetTargets() {
+	g.tepoch++
+	if g.tepoch == 0 {
+		clear(g.tmark)
+		g.tepoch = 1
+	}
+	g.tlist = g.tlist[:0]
+}
+
+// MarkTarget adds a live slot to the current target set (idempotent).
+func (g *Graph) MarkTarget(r Ref) {
+	if g.tmark[r] == g.tepoch {
+		return
+	}
+	g.tmark[r] = g.tepoch
+	g.tlist = append(g.tlist, r)
+}
+
+// NumTargets returns the size of the current target set.
+func (g *Graph) NumTargets() int { return len(g.tlist) }
+
+// ReachesAnyTarget reports whether src reaches any marked target by a
+// path of length ≥ 1, or length 0 if src itself is marked. It is the
+// scheduler's cycle test: a step adds arcs tail→src for each marked tail,
+// so a cycle appears iff src already reaches some tail.
+func (g *Graph) ReachesAnyTarget(src Ref) bool {
+	if len(g.tlist) == 0 {
+		return false
+	}
+	if g.tmark[src] == g.tepoch {
+		return true
+	}
+	ep := g.bumpEpoch()
+	g.visited[src] = ep
+	stack := append(g.stack[:0], src)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.out[n] {
+			if g.tmark[s] == g.tepoch {
+				g.stack = stack
+				return true
+			}
+			if g.visited[s] != ep {
+				g.visited[s] = ep
+				stack = append(stack, s)
+			}
+		}
+	}
+	g.stack = stack
+	return false
+}
+
+// LinkTargetsTo adds an arc tail→head for every marked target (self-loops
+// and duplicates ignored). Callers run ReachesAnyTarget first, so the new
+// arcs cannot create a cycle.
+func (g *Graph) LinkTargetsTo(head Ref) {
+	for _, t := range g.tlist {
+		g.addArcRef(t, head)
+	}
 }
 
 // ReachesAny reports whether src reaches any member of targets by a
 // non-empty path... more precisely by any path of length >= 1, or length 0
-// if src itself is in targets. It is the scheduler's cycle test: a step
-// adds arcs tail→src for each tail in targets, so a cycle appears iff src
-// already reaches some tail.
+// if src itself is in targets. This is the map-flavored compatibility
+// wrapper over the target machinery; it clobbers the current target set.
 func (g *Graph) ReachesAny(src model.TxnID, targets NodeSet) bool {
-	if len(targets) == 0 || !g.HasNode(src) {
+	sr, ok := g.idx[src]
+	if !ok || len(targets) == 0 {
 		return false
 	}
 	if targets.Has(src) {
 		return true
 	}
-	seen := NodeSet{src: {}}
-	stack := []model.TxnID{src}
-	for len(stack) > 0 {
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for s := range g.out[n] {
-			if targets.Has(s) {
-				return true
-			}
-			if !seen.Has(s) {
-				seen.Add(s)
-				stack = append(stack, s)
-			}
+	g.ResetTargets()
+	for id := range targets {
+		if r, ok := g.idx[id]; ok {
+			g.MarkTarget(r)
 		}
 	}
-	return false
+	return g.ReachesAnyTarget(sr)
 }
 
 // AnyReaches reports whether any member of sources reaches dst.
 func (g *Graph) AnyReaches(sources NodeSet, dst model.TxnID) bool {
-	if len(sources) == 0 || !g.HasNode(dst) {
+	dr, ok := g.idx[dst]
+	if !ok || len(sources) == 0 {
 		return false
 	}
 	if sources.Has(dst) {
 		return true
 	}
+	g.ResetTargets()
+	for id := range sources {
+		if r, ok := g.idx[id]; ok {
+			g.MarkTarget(r)
+		}
+	}
+	if len(g.tlist) == 0 {
+		return false
+	}
 	// Search backwards from dst.
-	seen := NodeSet{dst: {}}
-	stack := []model.TxnID{dst}
+	ep := g.bumpEpoch()
+	g.visited[dr] = ep
+	stack := append(g.stack[:0], dr)
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for p := range g.in[n] {
-			if sources.Has(p) {
+		for _, p := range g.in[n] {
+			if g.tmark[p] == g.tepoch {
+				g.stack = stack
 				return true
 			}
-			if !seen.Has(p) {
-				seen.Add(p)
+			if g.visited[p] != ep {
+				g.visited[p] = ep
 				stack = append(stack, p)
 			}
 		}
 	}
+	g.stack = stack
 	return false
 }
 
@@ -313,51 +563,39 @@ func (g *Graph) AnyReaches(sources NodeSet, dst model.TxnID) bool {
 // acyclic in our uses). Endpoints are unconstrained: this matches the
 // paper's "tight successor" when through selects completed transactions.
 func (g *Graph) ForwardClosure(src model.TxnID, through func(model.TxnID) bool) NodeSet {
-	out := make(NodeSet)
-	if !g.HasNode(src) {
-		return out
-	}
-	// expanded marks nodes whose successors we have pushed.
-	expanded := NodeSet{src: {}}
-	stack := []model.TxnID{src}
-	for len(stack) > 0 {
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for s := range g.out[n] {
-			if !out.Has(s) && s != src {
-				out.Add(s)
-			}
-			if !expanded.Has(s) && through(s) {
-				expanded.Add(s)
-				stack = append(stack, s)
-			}
-		}
-	}
-	return out
+	return g.closure(src, through, g.out)
 }
 
 // BackwardClosure is ForwardClosure on the reversed graph: every node that
 // reaches src by a non-empty path whose intermediate nodes satisfy through.
 func (g *Graph) BackwardClosure(src model.TxnID, through func(model.TxnID) bool) NodeSet {
+	return g.closure(src, through, g.in)
+}
+
+func (g *Graph) closure(src model.TxnID, through func(model.TxnID) bool, adj [][]Ref) NodeSet {
 	out := make(NodeSet)
-	if !g.HasNode(src) {
+	sr, ok := g.idx[src]
+	if !ok {
 		return out
 	}
-	expanded := NodeSet{src: {}}
-	stack := []model.TxnID{src}
+	// visited marks nodes whose neighbors we have pushed ("expanded").
+	ep := g.bumpEpoch()
+	g.visited[sr] = ep
+	stack := append(g.stack[:0], sr)
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for p := range g.in[n] {
-			if !out.Has(p) && p != src {
-				out.Add(p)
+		for _, s := range adj[n] {
+			if s != sr {
+				out.Add(g.ids[s])
 			}
-			if !expanded.Has(p) && through(p) {
-				expanded.Add(p)
-				stack = append(stack, p)
+			if g.visited[s] != ep && through(g.ids[s]) {
+				g.visited[s] = ep
+				stack = append(stack, s)
 			}
 		}
 	}
+	g.stack = stack
 	return out
 }
 
@@ -372,10 +610,11 @@ func (g *Graph) Ancestors(src model.TxnID) NodeSet {
 }
 
 // WouldCycle reports whether tentatively adding arcs would create a
-// directed cycle. It mutates nothing. The general algorithm inserts the
-// arcs into a scratch overlay and runs a DFS from each arc head looking for
-// any arc tail; schedulers with single-endpoint batches should prefer
-// ReachesAny/AnyReaches, but the certification variant needs this form.
+// directed cycle. It mutates nothing, and tolerates arc endpoints that are
+// not (yet) nodes of the graph — the certification variant tests the
+// candidate transaction's arcs before inserting its node. Schedulers with
+// single-endpoint batches should prefer the target machinery; this general
+// form is off the hot path and may allocate.
 func (g *Graph) WouldCycle(arcs []Arc) bool {
 	if len(arcs) == 0 {
 		return false
@@ -388,49 +627,37 @@ func (g *Graph) WouldCycle(arcs []Arc) bool {
 		}
 		extra[a.From] = append(extra[a.From], a.To)
 	}
-	// A new cycle must use at least one new arc; equivalently some head
-	// reaches some tail in graph+overlay. Search once from the set of heads.
-	tails := make(NodeSet, len(arcs))
-	heads := make(NodeSet, len(arcs))
-	for _, a := range arcs {
-		tails.Add(a.From)
-		heads.Add(a.To)
-	}
-	seen := make(NodeSet)
-	stack := make([]model.TxnID, 0, len(heads))
-	for h := range heads {
-		if !seen.Has(h) {
-			seen.Add(h)
-			stack = append(stack, h)
-		}
-	}
-	// BFS/DFS through union of existing arcs and overlay arcs. Finding a
-	// tail t reachable from a head is necessary but not sufficient (the
-	// path must continue from t through ITS new arc back to a head, which
-	// the overlay traversal handles automatically since overlay arcs are
-	// included). So: cycle iff the traversal, which includes overlay arcs,
-	// revisits a node already on the stack? Simpler and correct: a cycle
-	// exists in graph+overlay iff DFS from all nodes finds a back edge. We
-	// bound work to nodes reachable from heads, which must contain any new
-	// cycle. Run a coloring DFS over graph+overlay restricted to that set.
-	reach := seen
-	for len(stack) > 0 {
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for s := range g.out[n] {
-			if !reach.Has(s) {
-				reach.Add(s)
-				stack = append(stack, s)
+	succs := func(n model.TxnID, yield func(model.TxnID)) {
+		if r, ok := g.idx[n]; ok {
+			for _, s := range g.out[r] {
+				yield(g.ids[s])
 			}
 		}
 		for _, s := range extra[n] {
+			yield(s)
+		}
+	}
+	// A new cycle must use at least one new arc, so it lives entirely in
+	// the subgraph reachable from the arc heads. Collect that subgraph,
+	// then run a coloring DFS over graph+overlay restricted to it.
+	reach := make(NodeSet, len(arcs))
+	var stack []model.TxnID
+	for _, a := range arcs {
+		if !reach.Has(a.To) {
+			reach.Add(a.To)
+			stack = append(stack, a.To)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		succs(n, func(s model.TxnID) {
 			if !reach.Has(s) {
 				reach.Add(s)
 				stack = append(stack, s)
 			}
-		}
+		})
 	}
-	// Coloring DFS for cycle detection on the reachable subgraph.
 	const (
 		white = 0
 		gray  = 1
@@ -443,16 +670,11 @@ func (g *Graph) WouldCycle(arcs []Arc) bool {
 	}
 	neighbors := func(n model.TxnID) []model.TxnID {
 		var ns []model.TxnID
-		for s := range g.out[n] {
+		succs(n, func(s model.TxnID) {
 			if reach.Has(s) {
 				ns = append(ns, s)
 			}
-		}
-		for _, s := range extra[n] {
-			if reach.Has(s) {
-				ns = append(ns, s)
-			}
-		}
+		})
 		return ns
 	}
 	for start := range reach {
@@ -485,14 +707,12 @@ func (g *Graph) WouldCycle(arcs []Arc) bool {
 // Acyclic reports whether the whole graph is acyclic (used by tests and
 // the offline CSR checker).
 func (g *Graph) Acyclic() bool {
-	indeg := make(map[model.TxnID]int, len(g.out))
-	for id := range g.out {
-		indeg[id] = len(g.in[id])
-	}
-	queue := make([]model.TxnID, 0, len(g.out))
-	for id, d := range indeg {
-		if d == 0 {
-			queue = append(queue, id)
+	indeg := make([]int, len(g.ids))
+	queue := make([]Ref, 0, g.nodes)
+	for _, r := range g.idx {
+		indeg[r] = len(g.in[r])
+		if indeg[r] == 0 {
+			queue = append(queue, r)
 		}
 	}
 	seen := 0
@@ -500,47 +720,46 @@ func (g *Graph) Acyclic() bool {
 		n := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		seen++
-		for s := range g.out[n] {
+		for _, s := range g.out[n] {
 			indeg[s]--
 			if indeg[s] == 0 {
 				queue = append(queue, s)
 			}
 		}
 	}
-	return seen == len(g.out)
+	return seen == g.nodes
 }
 
 // TopoOrder returns the nodes in a topological order, or nil if the graph
 // has a cycle.
 func (g *Graph) TopoOrder() []model.TxnID {
-	indeg := make(map[model.TxnID]int, len(g.out))
-	for id := range g.out {
-		indeg[id] = len(g.in[id])
-	}
+	indeg := make([]int, len(g.ids))
 	// Deterministic order: seed the queue sorted.
 	var queue []model.TxnID
-	for id, d := range indeg {
-		if d == 0 {
+	for id, r := range g.idx {
+		indeg[r] = len(g.in[r])
+		if indeg[r] == 0 {
 			queue = append(queue, id)
 		}
 	}
 	sort.Slice(queue, func(i, j int) bool { return queue[i] < queue[j] })
-	order := make([]model.TxnID, 0, len(g.out))
+	order := make([]model.TxnID, 0, g.nodes)
 	for len(queue) > 0 {
 		n := queue[0]
 		queue = queue[1:]
 		order = append(order, n)
 		var next []model.TxnID
-		for s := range g.out[n] {
-			indeg[s]--
-			if indeg[s] == 0 {
-				next = append(next, s)
+		for _, s := range g.out[g.idx[n]] {
+			sr := s
+			indeg[sr]--
+			if indeg[sr] == 0 {
+				next = append(next, g.ids[sr])
 			}
 		}
 		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
 		queue = append(queue, next...)
 	}
-	if len(order) != len(g.out) {
+	if len(order) != g.nodes {
 		return nil
 	}
 	return order
@@ -550,9 +769,9 @@ func (g *Graph) TopoOrder() []model.TxnID {
 // rendering; O(E log E).
 func (g *Graph) Arcs() []Arc {
 	out := make([]Arc, 0, g.arcs)
-	for from, succs := range g.out {
-		for to := range succs {
-			out = append(out, Arc{from, to})
+	for from, r := range g.idx {
+		for _, s := range g.out[r] {
+			out = append(out, Arc{from, g.ids[s]})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -566,16 +785,17 @@ func (g *Graph) Arcs() []Arc {
 
 // Equal reports whether two graphs have identical node and arc sets.
 func (g *Graph) Equal(o *Graph) bool {
-	if len(g.out) != len(o.out) || g.arcs != o.arcs {
+	if g.nodes != o.nodes || g.arcs != o.arcs {
 		return false
 	}
-	for id, succs := range g.out {
-		osuccs, ok := o.out[id]
-		if !ok || len(succs) != len(osuccs) {
+	for id, r := range g.idx {
+		or, ok := o.idx[id]
+		if !ok || len(g.out[r]) != len(o.out[or]) {
 			return false
 		}
-		for s := range succs {
-			if !osuccs.Has(s) {
+		for _, s := range g.out[r] {
+			os, ok := o.idx[g.ids[s]]
+			if !ok || !o.hasArcRef(or, os) {
 				return false
 			}
 		}

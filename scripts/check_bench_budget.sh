@@ -1,0 +1,21 @@
+#!/bin/sh
+# Runs the engine throughput benchmark (greedy-c1, 4 shards) with -benchmem
+# and fails if allocs/op regresses above the budget in bench_budget.txt.
+set -eu
+cd "$(dirname "$0")/.."
+
+budget=$(awk '/^max_allocs_per_op/ {print $2}' bench_budget.txt)
+[ -n "$budget" ] || { echo "check_bench_budget: no max_allocs_per_op in bench_budget.txt" >&2; exit 2; }
+
+out=$(go test -run '^$' -bench 'BenchmarkEngineThroughput/shards=4/policy=greedy-c1$' \
+	-benchtime 3000x -benchmem ./internal/engine/)
+echo "$out"
+
+allocs=$(echo "$out" | awk '/policy=greedy-c1/ {for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i-1)}' | head -1)
+[ -n "$allocs" ] || { echo "check_bench_budget: could not parse allocs/op from benchmark output" >&2; exit 2; }
+
+if [ "$allocs" -gt "$budget" ]; then
+	echo "check_bench_budget: FAIL: $allocs allocs/op exceeds budget of $budget" >&2
+	exit 1
+fi
+echo "check_bench_budget: OK: $allocs allocs/op within budget of $budget"
