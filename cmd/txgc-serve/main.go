@@ -23,11 +23,18 @@
 //	                             {"txn":1,"outcome":"accepted","completed":true}]}
 //
 // A begin footprint spanning several partitions (entity mod shards) marks
-// the transaction cross-partition: its steps answer "buffered" until the
-// final write applies the whole transaction atomically through the
-// coordinator. A rejected outcome means the transaction aborted (conflict
-// cycle, partition misroute, or it was killed at a cross-partition
-// barrier).
+// the transaction cross-partition: it runs as one sub-transaction per
+// participating shard (all sharing the transaction ID), its reads apply
+// immediately on their owning shards, and the final write commits through
+// the cross-shard two-phase protocol — PREPARE votes on every participant,
+// then COMMIT or ABORT. Concurrent transactions on other shards (and on
+// the participants) are never disturbed. A rejected outcome means the
+// transaction aborted: a conflict cycle on one shard, a cycle spanning
+// shard graphs caught by the cross-arc registry at prepare time, or a
+// partition misroute. The "buffered" outcome of pre-2PC servers is no
+// longer produced. The stats op additionally reports Prepares,
+// CrossAborts, and PreparedByShard (prepared-but-undecided
+// sub-transactions pinned per shard).
 //
 // Usage:
 //
@@ -297,8 +304,8 @@ func main() {
 
 	shutdown := func(code int) {
 		st := eng.Stats()
-		fmt.Fprintf(os.Stderr, "txgc-serve: %d submitted, %d accepted, %d completed, %d deleted by GC, %d cross, %d barrier kills\n",
-			st.Submitted, st.Accepted, st.Completed, st.Deleted, st.CrossTxns, st.BarrierKills)
+		fmt.Fprintf(os.Stderr, "txgc-serve: %d submitted, %d accepted, %d completed, %d deleted by GC, %d cross (%d prepares, %d cross aborts), %d barrier kills\n",
+			st.Submitted, st.Accepted, st.Completed, st.Deleted, st.CrossTxns, st.Prepares, st.CrossAborts, st.BarrierKills)
 		if log != nil {
 			if err := log.CheckAcceptedCSR(); err != nil {
 				fmt.Fprintln(os.Stderr, "txgc-serve: VERIFY FAILED:", err)

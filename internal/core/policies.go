@@ -54,8 +54,30 @@ func (sw *Sweep) Scheduler() *Scheduler { return sw.s }
 // or NoTxn.
 func (sw *Sweep) JustCompleted() model.TxnID { return sw.justCompleted }
 
-// Completed returns the retained completed transactions, ascending.
-func (sw *Sweep) Completed() []model.TxnID { return sw.s.CompletedTxns() }
+// Completed returns the retained completed transactions that a policy may
+// consider for deletion, ascending. Under a cross-shard engine this
+// excludes pinned (prepared-but-undecided) sub-transactions, sub-
+// transactions whose logical transaction the cross-arc registry still
+// tracks, and nodes carrying live cross-ancestor labels — deleting any of
+// those could hide an inter-shard arc (see subtxn.go). Purely local
+// schedulers get the plain completed set.
+func (sw *Sweep) Completed() []model.TxnID {
+	ids := sw.s.CompletedTxns()
+	// Fast path: a shard that has never seen a cross transaction (no
+	// sub-nodes, no labels, no pins) filters nothing, even when a tracker
+	// is configured — the cross-free GC path stays identical to a plain
+	// local scheduler's.
+	if !sw.s.crossEnabled() && sw.s.g.NumPinned() == 0 {
+		return ids
+	}
+	kept := ids[:0]
+	for _, id := range ids {
+		if sw.s.policyDeletable(id) {
+			kept = append(kept, id)
+		}
+	}
+	return kept
+}
 
 // CheckC1 tests condition C1 for id on the current graph.
 func (sw *Sweep) CheckC1(id model.TxnID) bool {
@@ -69,9 +91,14 @@ func (sw *Sweep) CheckC2(set graph.NodeSet) bool {
 	return ok
 }
 
-// Delete removes id unconditionally (the policy is responsible for
-// safety). It returns false if id is not a retained completed transaction.
+// Delete removes id unconditionally with respect to C1/C2 (the policy is
+// responsible for that safety), but never a node the engine has gated
+// (pinned, registry-tracked, or live-labeled — see Completed). It returns
+// false if id is not a deletable retained completed transaction.
 func (sw *Sweep) Delete(id model.TxnID) bool {
+	if !sw.s.policyDeletable(id) {
+		return false
+	}
 	if err := sw.s.deleteTxn(id); err != nil {
 		return false
 	}
@@ -79,11 +106,16 @@ func (sw *Sweep) Delete(id model.TxnID) bool {
 	return true
 }
 
-// DeleteSet removes every member of set, in ascending order.
-func (sw *Sweep) DeleteSet(set graph.NodeSet) {
+// DeleteSet removes every member of set, in ascending order, returning how
+// many were actually deleted (gated members are skipped).
+func (sw *Sweep) DeleteSet(set graph.NodeSet) int {
+	n := 0
 	for _, id := range set.Sorted() {
-		sw.Delete(id)
+		if sw.Delete(id) {
+			n++
+		}
 	}
+	return n
 }
 
 // Deleted returns the transactions deleted so far in this sweep.
@@ -116,7 +148,7 @@ func (Lemma1Policy) Sweep(sw *Sweep) {
 	s := sw.s
 	for {
 		progress := false
-		for _, id := range s.CompletedTxns() {
+		for _, id := range sw.Completed() {
 			if !HasActivePredecessor(s, s.g, id) {
 				if sw.Delete(id) {
 					progress = true
@@ -157,7 +189,7 @@ func (p GreedyC1) Name() string {
 func (p GreedyC1) Sweep(sw *Sweep) {
 	s := sw.s
 	for {
-		ids := s.CompletedTxns()
+		ids := sw.Completed()
 		if p.NewestFirst {
 			sort.Slice(ids, func(i, j int) bool { return ids[i] > ids[j] })
 		}
@@ -194,11 +226,10 @@ func (MaxSafeExact) Name() string { return "max-safe" }
 func (p MaxSafeExact) Sweep(sw *Sweep) {
 	s := sw.s
 	for {
-		best := MaxSafeSet(s, s.g, s.CompletedTxns(), p.Budget)
-		if len(best) == 0 {
+		best := MaxSafeSet(s, s.g, sw.Completed(), p.Budget)
+		if len(best) == 0 || sw.DeleteSet(best) == 0 {
 			return
 		}
-		sw.DeleteSet(best)
 	}
 }
 
@@ -223,15 +254,14 @@ func (NoncurrentSafe) Sweep(sw *Sweep) {
 	s := sw.s
 	for {
 		batch := make(graph.NodeSet)
-		for _, id := range s.CompletedTxns() {
+		for _, id := range sw.Completed() {
 			if s.Noncurrent(id) && s.CurrentWriterPresent(id) {
 				batch.Add(id)
 			}
 		}
-		if len(batch) == 0 {
+		if len(batch) == 0 || sw.DeleteSet(batch) == 0 {
 			return
 		}
-		sw.DeleteSet(batch)
 	}
 }
 
@@ -306,14 +336,13 @@ func (NoncurrentNaive) Sweep(sw *Sweep) {
 	s := sw.s
 	for {
 		batch := make(graph.NodeSet)
-		for _, id := range s.CompletedTxns() {
+		for _, id := range sw.Completed() {
 			if s.Noncurrent(id) {
 				batch.Add(id)
 			}
 		}
-		if len(batch) == 0 {
+		if len(batch) == 0 || sw.DeleteSet(batch) == 0 {
 			return
 		}
-		sw.DeleteSet(batch)
 	}
 }

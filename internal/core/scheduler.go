@@ -88,6 +88,10 @@ type TxnState struct {
 	// ref is the transaction's slot in the graph arena, valid while the
 	// node is present (active or retained completed).
 	ref graph.Ref
+	// isCross marks a sub-transaction of a logical cross-shard transaction
+	// (see subtxn.go); prepared marks it voted-yes-but-undecided.
+	isCross  bool
+	prepared bool
 }
 
 // Config configures a Scheduler.
@@ -112,6 +116,10 @@ type Config struct {
 	// MaxSafeBudget bounds the branch-and-bound search of MaxSafeExact
 	// (nodes explored); 0 means DefaultMaxSafeBudget.
 	MaxSafeBudget int
+	// Cross, if non-nil, enables sub-transactions on this scheduler and
+	// names the engine's cross-arc registry (see subtxn.go). Purely local
+	// schedulers leave it nil and pay nothing.
+	Cross CrossTracker
 }
 
 // Result reports the effect of one step.
@@ -155,6 +163,19 @@ type Scheduler struct {
 	// statePool recycles TxnState records (with their maps) across
 	// delete/abort → begin.
 	statePool []*TxnState
+
+	// Cross-shard bookkeeping (subtxn.go), all indexed by arena slot.
+	// crossID names the logical cross transaction occupying a slot as a
+	// sub-transaction (NoTxn otherwise); labels holds each slot's
+	// cross-ancestor label set. numCross and numLabeled gate the hot path:
+	// both zero means no label work can be needed.
+	crossID    []model.TxnID
+	labels     [][]model.TxnID
+	numCross   int
+	numLabeled int
+	// inLabels and crossStack are propagation scratch.
+	inLabels   []model.TxnID
+	crossStack []graph.Ref
 }
 
 // NewScheduler returns an empty scheduler with the given configuration.
@@ -294,8 +315,16 @@ func (s *Scheduler) read(step model.Step) (Result, error) {
 	if g.ReachesAnyTarget(t.ref) {
 		return s.reject(step, t), nil
 	}
+	// Cross-shard cycle test: labels arriving at a sub-node are inter-shard
+	// arcs; a registry veto rejects the read like a local cycle.
+	if !s.crossCollect(t) {
+		return s.reject(step, t), nil
+	}
 	g.LinkTargetsTo(t.ref)
 	s.noteAccess(t, x, model.ReadAccess)
+	if !s.crossFlood(t) {
+		return s.reject(step, t), nil
+	}
 	s.stats.Reads++
 	s.stats.Accepted++
 	res := Result{Step: step, Accepted: true, Aborted: model.NoTxn, CompletedTxn: model.NoTxn}
@@ -328,7 +357,19 @@ func (s *Scheduler) writeFinal(step model.Step) (Result, error) {
 	if g.ReachesAnyTarget(t.ref) {
 		return s.reject(step, t), nil
 	}
+	if !s.crossCollect(t) {
+		return s.reject(step, t), nil
+	}
 	g.LinkTargetsTo(t.ref)
+	if !s.crossFlood(t) {
+		// The write's new arcs pushed a label into a cross sub-node and the
+		// registry vetoed: the step would close a cycle spanning shard
+		// graphs. Reject it before any access bookkeeping lands — in
+		// particular lastWriteSeq/lastWriter must never name a write that
+		// failed, or Corollary 1's noncurrency test would see a phantom
+		// overwrite.
+		return s.reject(step, t), nil
+	}
 	for _, x := range step.Entities {
 		s.noteAccess(t, x, model.WriteAccess)
 		s.lastWriteSeq[x] = s.seq
@@ -354,6 +395,9 @@ func (s *Scheduler) activeTxn(id model.TxnID) (*TxnState, error) {
 	if t.Status != model.StatusActive {
 		return nil, fmt.Errorf("core: step for %v transaction T%d", t.Status, id)
 	}
+	if t.prepared {
+		return nil, fmt.Errorf("core: step for prepared transaction T%d", id)
+	}
 	return t, nil
 }
 
@@ -375,6 +419,8 @@ func (s *Scheduler) acquireState(id model.TxnID, ref graph.Ref) *TxnState {
 	t.BeginSeq = s.seq
 	t.EndSeq = 0
 	t.ref = ref
+	t.isCross = false
+	t.prepared = false
 	return t
 }
 
@@ -409,6 +455,7 @@ func (s *Scheduler) noteAccess(t *TxnState, x model.Entity, a model.Access) {
 // its arcs, and all its access information are removed.
 func (s *Scheduler) reject(step model.Step, t *TxnState) Result {
 	s.forget(t)
+	s.clearCross(t)
 	s.g.RemoveRef(t.ref)
 	t.Status = model.StatusAborted
 	delete(s.txns, t.ID)
@@ -457,6 +504,7 @@ func (s *Scheduler) deleteTxn(id model.TxnID) error {
 		return fmt.Errorf("core: delete of %v transaction T%d", t.Status, id)
 	}
 	s.forget(t)
+	s.clearCross(t)
 	s.g.ReduceRef(t.ref)
 	delete(s.txns, id)
 	s.numCompleted--
@@ -570,8 +618,9 @@ func (s *Scheduler) SweepNow() []model.TxnID {
 // rejected: the node, its arcs, and its access information are removed.
 // Removing an active node never un-breaks a cycle check already passed and
 // erases only arcs into/out of a transaction that will never commit, so it
-// is always safe. Engines use it to clear actives at a cross-partition
-// barrier and to clean up after disconnected clients.
+// is always safe. Engines use it for the ABORT decision of a cross-shard
+// two-phase commit (a prepared sub-transaction's pin is released with its
+// node) and to clean up after disconnected clients.
 func (s *Scheduler) AbortTxn(id model.TxnID) error {
 	t, ok := s.txns[id]
 	if !ok {
@@ -581,6 +630,7 @@ func (s *Scheduler) AbortTxn(id model.TxnID) error {
 		return fmt.Errorf("core: abort of %v transaction T%d", t.Status, id)
 	}
 	s.forget(t)
+	s.clearCross(t)
 	s.g.RemoveRef(t.ref)
 	t.Status = model.StatusAborted
 	delete(s.txns, id)

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+type reachArc struct{ src, dst model.TxnID }
+
+// fakeTracker is a scriptable CrossTracker: it records reported reach-arcs
+// and vetoes the ones listed in veto. Every id is live unless retired.
+type fakeTracker struct {
+	arcs    []reachArc
+	retired map[model.TxnID]bool
+	veto    map[reachArc]bool
+}
+
+func (f *fakeTracker) OnCrossReach(src, dst model.TxnID) bool {
+	if f.veto[reachArc{src, dst}] {
+		return false
+	}
+	f.arcs = append(f.arcs, reachArc{src, dst})
+	return true
+}
+
+func (f *fakeTracker) LabelLive(id model.TxnID) bool { return !f.retired[id] }
+
+// TestSubTxnLifecycle drives one sub-transaction through begin, reads,
+// prepare (pin), and commit, checking status and pin transitions.
+func TestSubTxnLifecycle(t *testing.T) {
+	tr := &fakeTracker{retired: map[model.TxnID]bool{}, veto: map[reachArc]bool{}}
+	s := NewScheduler(Config{Cross: tr})
+	if _, err := s.BeginCross(model.Begin(1)); err != nil {
+		t.Fatal(err)
+	}
+	if res := s.MustApply(model.Read(1, 10)); !res.Accepted {
+		t.Fatal("sub-txn read rejected")
+	}
+	vote, err := s.PrepareFinal(model.WriteFinal(1, 11))
+	if err != nil || vote != VoteYes {
+		t.Fatalf("prepare: vote=%v err=%v", vote, err)
+	}
+	if !s.Prepared(1) {
+		t.Fatal("Prepared(1) = false after VoteYes")
+	}
+	ts := s.Txn(1)
+	if ts.Status != model.StatusActive || !s.Graph().PinnedRef(ts.ref) {
+		t.Fatalf("prepared sub-txn: status=%v pinned=%v, want active+pinned", ts.Status, s.Graph().PinnedRef(ts.ref))
+	}
+	// No further steps while prepared.
+	if _, err := s.Apply(model.Read(1, 12)); err == nil {
+		t.Fatal("read of prepared transaction succeeded")
+	}
+	res, err := s.CommitPrepared(1)
+	if err != nil || res.CompletedTxn != 1 {
+		t.Fatalf("commit: %+v err=%v", res, err)
+	}
+	if s.Graph().NumPinned() != 0 {
+		t.Fatal("pin survived commit")
+	}
+	if st := s.Status(1); st != model.StatusCompleted {
+		t.Fatalf("status after commit = %v", st)
+	}
+	if s.NumActive() != 0 || s.NumCompleted() != 1 {
+		t.Fatalf("counts: active=%d completed=%d", s.NumActive(), s.NumCompleted())
+	}
+}
+
+// TestSubTxnAbortReleasesPin aborts a prepared sub-transaction and checks
+// node, pin, and indexes are gone (the ID becomes reusable).
+func TestSubTxnAbortReleasesPin(t *testing.T) {
+	tr := &fakeTracker{retired: map[model.TxnID]bool{}, veto: map[reachArc]bool{}}
+	s := NewScheduler(Config{Cross: tr})
+	s.MustBeginCross(t, 1)
+	s.MustApply(model.Read(1, 10))
+	if vote, err := s.PrepareFinal(model.WriteFinal(1, 11)); err != nil || vote != VoteYes {
+		t.Fatalf("prepare: %v %v", vote, err)
+	}
+	if err := s.AbortTxn(1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Graph().NumPinned() != 0 || s.Graph().NumNodes() != 0 {
+		t.Fatalf("abort left pins=%d nodes=%d", s.Graph().NumPinned(), s.Graph().NumNodes())
+	}
+	// ID reusable.
+	if _, err := s.BeginCross(model.Begin(1)); err != nil {
+		t.Fatalf("reuse after abort: %v", err)
+	}
+}
+
+// MustBeginCross is a test helper.
+func (s *Scheduler) MustBeginCross(t *testing.T, id model.TxnID) {
+	t.Helper()
+	if _, err := s.BeginCross(model.Begin(id)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLabelPropagation checks the reaches-invariant end to end: a label
+// flows from a cross sub-node through a chain of local transactions into a
+// second cross sub-node, reporting the inter-shard reach-arc exactly once —
+// including when the connecting arc arrives *after* the label (late
+// propagation through an existing path).
+func TestLabelPropagation(t *testing.T) {
+	tr := &fakeTracker{retired: map[model.TxnID]bool{}, veto: map[reachArc]bool{}}
+	s := NewScheduler(Config{Cross: tr})
+	// Cross sub-txn 100 writes x via prepare; local 1 reads x afterwards →
+	// arc 100→1 and label 100 on T1.
+	s.MustBeginCross(t, 100)
+	if vote, _ := s.PrepareFinal(model.WriteFinal(100, 7)); vote != VoteYes {
+		t.Fatalf("prepare vote: %v", vote)
+	}
+	if _, err := s.CommitPrepared(100); err != nil {
+		t.Fatal(err)
+	}
+	s.MustApply(model.Begin(1))
+	s.MustApply(model.Read(1, 7)) // arc 100→1, label 100 arrives at T1
+	s.MustApply(model.WriteFinal(1, 8))
+	// Cross sub-txn 200 reads y=8 → arc 1→200, and label 100 must arrive
+	// at 200: reach-arc 100→200.
+	s.MustBeginCross(t, 200)
+	if res := s.MustApply(model.Read(200, 8)); !res.Accepted {
+		t.Fatal("read rejected")
+	}
+	want := []reachArc{{100, 200}}
+	if len(tr.arcs) != 1 || tr.arcs[0] != want[0] {
+		t.Fatalf("reported arcs = %v, want %v", tr.arcs, want)
+	}
+}
+
+// TestLabelLatePropagation covers the late case: the connecting arc into a
+// cross sub-node exists first, and the label arrives afterwards at an
+// upstream node — it must flood through the existing arc and still report
+// the reach-arc.
+func TestLabelLatePropagation(t *testing.T) {
+	tr := &fakeTracker{retired: map[model.TxnID]bool{}, veto: map[reachArc]bool{}}
+	s := NewScheduler(Config{Cross: tr})
+	// Active local 1 reads 5; cross 200's prepared write of 5 creates the
+	// arc 1→200 (no labels yet: T1 carries none).
+	s.MustApply(model.Begin(1))
+	s.MustApply(model.Read(1, 5))
+	s.MustBeginCross(t, 200)
+	if vote, _ := s.PrepareFinal(model.WriteFinal(200, 5)); vote != VoteYes {
+		t.Fatal("prepare 200")
+	}
+	if _, err := s.CommitPrepared(200); err != nil {
+		t.Fatal(err)
+	}
+	// Cross 300 writes 9 and commits; then still-active 1 reads 9: label
+	// 300 arrives at T1 and must flood through the *existing* arc 1→200,
+	// reporting 300→200.
+	s.MustBeginCross(t, 300)
+	if vote, _ := s.PrepareFinal(model.WriteFinal(300, 9)); vote != VoteYes {
+		t.Fatal("prepare 300")
+	}
+	if _, err := s.CommitPrepared(300); err != nil {
+		t.Fatal(err)
+	}
+	if res := s.MustApply(model.Read(1, 9)); !res.Accepted {
+		t.Fatal("read of 9 rejected")
+	}
+	found := false
+	for _, a := range tr.arcs {
+		if a == (reachArc{300, 200}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("late reach-arc 300→200 not reported; arcs = %v", tr.arcs)
+	}
+}
+
+// TestPrepareVetoAtCollect: a veto on the incoming labels of a prepare
+// leaves the graph unmutated (VoteCrossCycle before any arc lands).
+func TestPrepareVetoAtCollect(t *testing.T) {
+	tr := &fakeTracker{retired: map[model.TxnID]bool{}, veto: map[reachArc]bool{}}
+	s := NewScheduler(Config{Cross: tr})
+	s.MustBeginCross(t, 100)
+	if vote, _ := s.PrepareFinal(model.WriteFinal(100, 7)); vote != VoteYes {
+		t.Fatal("prepare 100")
+	}
+	if _, err := s.CommitPrepared(100); err != nil {
+		t.Fatal(err)
+	}
+	s.MustBeginCross(t, 200)
+	s.MustApply(model.Read(200, 7)) // arc 100→200 reported and allowed
+	arcsBefore := s.Graph().NumArcs()
+	// A fresh cross sub-txn 300 reading 7 would report reach-arc 100→300;
+	// script the tracker to veto exactly that and the read must be
+	// rejected with no graph mutation.
+	tr.veto[reachArc{100, 300}] = true
+	s.MustBeginCross(t, 300)
+	res := s.MustApply(model.Read(300, 7))
+	if res.Accepted || res.Aborted != 300 {
+		t.Fatalf("vetoed read: %+v, want rejection aborting 300", res)
+	}
+	if s.Graph().NumArcs() != arcsBefore {
+		t.Fatalf("vetoed read changed arcs: %d → %d", arcsBefore, s.Graph().NumArcs())
+	}
+	if s.Status(300) != model.StatusAborted {
+		t.Fatalf("status(300) = %v", s.Status(300))
+	}
+}
+
+// TestDeletionGatedByLabels: a completed local transaction carrying a live
+// cross label is not deletable; once the label's transaction retires it
+// becomes deletable again.
+func TestDeletionGatedByLabels(t *testing.T) {
+	tr := &fakeTracker{retired: map[model.TxnID]bool{}, veto: map[reachArc]bool{}}
+	s := NewScheduler(Config{Policy: GreedyC1{}, SweepManual: true, Cross: tr})
+	// Cross 100 writes 7; local 1 reads 7 (label 100), writes 8, completes.
+	s.MustBeginCross(t, 100)
+	if vote, _ := s.PrepareFinal(model.WriteFinal(100, 7)); vote != VoteYes {
+		t.Fatal("prepare 100")
+	}
+	if _, err := s.CommitPrepared(100); err != nil {
+		t.Fatal(err)
+	}
+	s.MustApply(model.Begin(1))
+	s.MustApply(model.Read(1, 7))
+	s.MustApply(model.WriteFinal(1, 8))
+	// Both are completed with no active predecessors: plain C1 would
+	// delete both, but the gate must refuse the labeled T1 and the
+	// sub-transaction 100 while the tracker keeps them live.
+	deleted := s.SweepNow()
+	if len(deleted) != 0 {
+		t.Fatalf("sweep deleted %v while labels live", deleted)
+	}
+	if s.policyDeletable(1) {
+		t.Fatal("labeled node reported deletable")
+	}
+	tr.retired[100] = true
+	deleted = s.SweepNow()
+	if len(deleted) != 2 {
+		t.Fatalf("sweep after retirement deleted %v, want both", deleted)
+	}
+}
+
+// TestPinnedNodeNotDeletable: pins gate deletion directly at the graph
+// level even without any label.
+func TestPinnedNodeNotDeletable(t *testing.T) {
+	s := NewScheduler(Config{Policy: GreedyC1{}, SweepManual: true})
+	s.MustApply(model.Begin(1))
+	s.MustApply(model.WriteFinal(1, 5))
+	ref := s.Graph().Ref(1)
+	s.Graph().PinRef(ref)
+	if got := s.SweepNow(); len(got) != 0 {
+		t.Fatalf("sweep deleted pinned node: %v", got)
+	}
+	s.Graph().UnpinRef(ref)
+	if got := s.SweepNow(); len(got) != 1 {
+		t.Fatalf("sweep after unpin deleted %v, want [1]", got)
+	}
+}
+
+// TestGraphPins pins the graph-level pin bookkeeping: idempotence, counts,
+// and automatic release when the slot is freed or recycled.
+func TestGraphPins(t *testing.T) {
+	g := graph.New()
+	r := g.AddNodeRef(1)
+	g.PinRef(r)
+	g.PinRef(r)
+	if !g.PinnedRef(r) || g.NumPinned() != 1 {
+		t.Fatalf("pin: pinned=%v count=%d", g.PinnedRef(r), g.NumPinned())
+	}
+	g.RemoveRef(r)
+	if g.NumPinned() != 0 {
+		t.Fatalf("pin survived RemoveRef: %d", g.NumPinned())
+	}
+	r2 := g.AddNodeRef(2) // recycles the slot
+	if g.PinnedRef(r2) {
+		t.Fatal("recycled slot inherited a pin")
+	}
+	g.PinRef(r2)
+	g.UnpinRef(r2)
+	g.UnpinRef(r2)
+	if g.NumPinned() != 0 {
+		t.Fatalf("unpin not idempotent: %d", g.NumPinned())
+	}
+}
+
+// TestAbortedPrepareLeavesNoPhantomWrite: an ABORTed prepare must not leave
+// lastWriteSeq/lastWriter claiming the entity was overwritten — otherwise
+// Corollary 1's noncurrency test (and, after client ID reuse, even the
+// presence guard) would let NoncurrentSafe delete the true current writer.
+func TestAbortedPrepareLeavesNoPhantomWrite(t *testing.T) {
+	tr := &fakeTracker{retired: map[model.TxnID]bool{}, veto: map[reachArc]bool{}}
+	s := NewScheduler(Config{Cross: tr})
+	// T10 writes entity 5 and completes: the current writer.
+	s.MustApply(model.Begin(10))
+	s.MustApply(model.WriteFinal(10, 5))
+	// Cross T50 prepares a write of 5, then the coordinator aborts it.
+	s.MustBeginCross(t, 50)
+	if vote, err := s.PrepareFinal(model.WriteFinal(50, 5)); err != nil || vote != VoteYes {
+		t.Fatalf("prepare: %v %v", vote, err)
+	}
+	if err := s.AbortTxn(50); err != nil {
+		t.Fatal(err)
+	}
+	// Entity 5 was never overwritten: T10 must not read as noncurrent.
+	if s.Noncurrent(10) {
+		t.Fatal("aborted prepare left a phantom overwrite: Noncurrent(10) = true")
+	}
+	// A prepare that actually commits does install the bookkeeping.
+	s.MustBeginCross(t, 60)
+	if vote, _ := s.PrepareFinal(model.WriteFinal(60, 5)); vote != VoteYes {
+		t.Fatal("prepare 60")
+	}
+	if _, err := s.CommitPrepared(60); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Noncurrent(10) {
+		t.Fatal("committed overwrite not reflected: Noncurrent(10) = false")
+	}
+}

@@ -67,12 +67,19 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	}
 }
 
-// BenchmarkEngineCrossFrac measures the cost of the coordinator path:
-// fixed 4 shards, greedy-c1, sweeping the cross-partition fraction.
+// BenchmarkEngineCrossFrac measures the cost of the cross-partition path:
+// fixed 4 shards, greedy-c1, sweeping the cross-partition fraction
+// (CrossFrac ∈ {0, 0.01, 0.05, 0.25}). Under the pre-2PC stop-the-world
+// coordinator, completed/op collapsed as cross traffic rose (every cross
+// commit killed all concurrent actives — kills/op); under 2PC kills/op is
+// zero by construction and completions stay at 1.0/op. Regenerate the
+// BENCH_engine.json record with:
+//
+//	go test -run '^$' -bench BenchmarkEngineCrossFrac -benchtime 30000x -benchmem -cpu 8 ./internal/engine/
 func BenchmarkEngineCrossFrac(b *testing.B) {
 	const entities = 1 << 12
 	const shards = 4
-	for _, crossPct := range []int{0, 1, 10} {
+	for _, crossPct := range []int{0, 1, 5, 25} {
 		b.Run(fmt.Sprintf("cross=%d%%", crossPct), func(b *testing.B) {
 			eng := New(Config{Shards: shards, Policy: func() core.Policy { return core.GreedyC1{} }})
 			defer eng.Close()
@@ -99,7 +106,12 @@ func BenchmarkEngineCrossFrac(b *testing.B) {
 			})
 			b.StopTimer()
 			s := eng.Stats()
-			b.ReportMetric(float64(s.Quiesces)/float64(b.N), "quiesces/op")
+			b.ReportMetric(float64(s.Prepares)/float64(b.N), "prepares/op")
+			b.ReportMetric(float64(s.Completed)/float64(b.N), "completed/op")
+			b.ReportMetric(float64(s.BarrierKills)/float64(b.N), "kills/op")
+			if s.BarrierKills != 0 {
+				b.Fatalf("BarrierKills = %d, want 0 under 2PC", s.BarrierKills)
+			}
 		})
 	}
 }

@@ -1,0 +1,577 @@
+// Cross-shard two-phase commit: the engine-side half of the protocol whose
+// shard-side half lives in core's sub-transactions (core/subtxn.go).
+//
+// A cross-partition transaction is split into one sub-transaction per
+// participating shard, all sharing the logical TxnID. BEGIN fans out
+// sub-begins; reads route to the owning shard and apply immediately, like
+// local steps; the final write runs the two-phase commit from the
+// submitting goroutine: PREPARE each participant (the shard votes on its
+// slice of the write set, pinning the sub-node on yes), then COMMIT or
+// ABORT everywhere. Non-participating shards never hear about any of it,
+// and participating shards keep serving other traffic between vote and
+// decision — the prepared pin, not a pause, is what freezes the
+// sub-transaction.
+//
+// The cross-arc registry below is the piece that restores global safety:
+// it records, per pair of cross transactions, whether one's sub-node
+// reaches the other's inside some shard graph (reported by the shards'
+// label propagation), and vetoes the step that would close a cycle among
+// those reach-arcs. See the package documentation for the full argument.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// crossTxn is the engine's record of a live cross-partition transaction.
+type crossTxn struct {
+	mu    sync.Mutex
+	id    model.TxnID
+	parts []int // participating shards, ascending
+	// done marks the decision (or a failed begin); committed distinguishes
+	// COMMIT from ABORT for late-arriving steps.
+	done      bool
+	committed bool
+}
+
+// participant reports whether shard p takes part in the transaction.
+func (ct *crossTxn) participant(p int) bool {
+	for _, q := range ct.parts {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// crossEntry is one cross transaction's registry record.
+type crossEntry struct {
+	parts   []int
+	decided bool
+	// clean[i] records that parts[i] reported the sub-node has no active
+	// ancestor there (monotone; see reportClean). cleanN counts them.
+	clean  []bool
+	cleanN int
+	// out/in are the inter-shard reach-arcs among registered transactions.
+	out map[model.TxnID]struct{}
+	in  map[model.TxnID]struct{}
+}
+
+// crossRegistry tracks live cross transactions and the inter-shard
+// reach-arcs among them. It implements core.CrossTracker for every shard
+// scheduler of the engine. All methods are safe for concurrent use.
+type crossRegistry struct {
+	mu   sync.Mutex
+	txns map[model.TxnID]*crossEntry
+	// size mirrors len(txns) so shards can skip clean-reporting without
+	// taking the lock; live mirrors the key set so LabelLive — called per
+	// label per node on every policy sweep of every shard — never touches
+	// the mutex. Both are updated under mu; a stale "live" read is
+	// conservative (labels only go live→dead).
+	size atomic.Int64
+	live sync.Map
+	// dirty records TxnIDs of dropped/retired cross transactions whose
+	// labels may still sit, unpruned, in shard graphs. Re-registering such
+	// an ID must purge those stale entries first (see register), or the new
+	// incarnation's flood would stop at them and hide real reach-paths.
+	dirty map[model.TxnID]struct{}
+	// cleanPending[p] counts decided entries still awaiting shard p's
+	// cleanliness report. shard.run's post-batch reportCrossClean scans
+	// the registry only while its shard's gauge is non-zero — and the
+	// decided-transition itself is delivered by the reqUpkeep kick the 2PC
+	// driver sends after decideCommit — so stalled *undecided*
+	// transactions and non-participant shards cost nothing. Invariant
+	// (under mu): for every decided entry e, each participant i with
+	// !e.clean[i] contributes 1 to cleanPending[e.parts[i]].
+	cleanPending []atomic.Int64
+}
+
+func newCrossRegistry(shards int) *crossRegistry {
+	return &crossRegistry{
+		txns:         make(map[model.TxnID]*crossEntry),
+		dirty:        make(map[model.TxnID]struct{}),
+		cleanPending: make([]atomic.Int64, shards),
+	}
+}
+
+var _ core.CrossTracker = (*crossRegistry)(nil)
+
+// register adds a cross transaction with its participant set. needsPurge
+// reports that the ID previously named a dropped/retired cross transaction
+// whose stale labels must be purged from every shard before any
+// sub-transaction of the new incarnation begins (the caller does the
+// purge; label work on the new incarnation cannot start until its
+// sub-nodes exist, so purging after register but before the sub-begins is
+// race-free — in the window, stale labels read as live, which is merely
+// conservative).
+func (r *crossRegistry) register(id model.TxnID, parts []int) (needsPurge bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.dirty[id]; ok {
+		delete(r.dirty, id)
+		needsPurge = true
+	}
+	r.txns[id] = &crossEntry{parts: parts, clean: make([]bool, len(parts))}
+	r.live.Store(id, struct{}{})
+	r.size.Store(int64(len(r.txns)))
+	return needsPurge
+}
+
+// removeLocked erases id and its arcs. Caller holds r.mu.
+func (r *crossRegistry) removeLocked(id model.TxnID) {
+	e, ok := r.txns[id]
+	if !ok {
+		return
+	}
+	for o := range e.out {
+		if oe, ok := r.txns[o]; ok {
+			delete(oe.in, id)
+		}
+	}
+	for i := range e.in {
+		if ie, ok := r.txns[i]; ok {
+			delete(ie.out, id)
+		}
+	}
+	delete(r.txns, id)
+	r.live.Delete(id)
+	r.dirty[id] = struct{}{}
+	if e.decided {
+		for i, p := range e.parts {
+			if !e.clean[i] {
+				r.cleanPending[p].Add(-1)
+			}
+		}
+	}
+	r.size.Store(int64(len(r.txns)))
+}
+
+// drop retires an aborted cross transaction immediately: its sub-nodes are
+// removed from every shard graph, so it can never be on a future cycle.
+// Labels it sourced die with it (pruned lazily by the shards). Dropping
+// its arcs may unblock successors' retirement.
+func (r *crossRegistry) drop(id model.TxnID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.txns[id]
+	if !ok {
+		return
+	}
+	succs := make([]model.TxnID, 0, len(e.out))
+	for s := range e.out {
+		succs = append(succs, s)
+	}
+	r.removeLocked(id)
+	for _, s := range succs {
+		r.maybeRetireLocked(s)
+	}
+}
+
+// decideCommit marks a committed transaction decided; see maybeRetireLocked
+// for when it actually leaves the registry.
+func (r *crossRegistry) decideCommit(id model.TxnID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.txns[id]
+	if !ok {
+		return
+	}
+	e.decided = true
+	for i, p := range e.parts {
+		if !e.clean[i] {
+			r.cleanPending[p].Add(1)
+		}
+	}
+	r.maybeRetireLocked(id)
+}
+
+// maybeRetireLocked retires id iff no future global cycle can pass through
+// it, which needs all three of:
+//
+//  1. decided — its own sub-nodes stop acting;
+//  2. clean on every participant — no active node reaches any sub-node, so
+//     (arcs only ever point into acting nodes) the logical node's ancestor
+//     set is frozen on every shard, and no *new* label can ever arrive at
+//     it (a node whose new label would flow in would itself be an active
+//     predecessor);
+//  3. registry in-degree zero — no live cross transaction reaches it even
+//     through *existing* paths. Without this, a cycle could close through
+//     id later without touching id at all: X→…→id and id→…→Y both already
+//     exist, and only the return path Y→…→X is new. Retiring id would have
+//     deleted exactly the two arcs that make that veto fire.
+//
+// Conditions 1+2 guarantee no new incoming paths, 3 guarantees no existing
+// incoming path from anything still alive; together nothing can ever
+// re-enter id, so its outgoing reach-arcs are dead weight and the entry can
+// go. Retirement cascades: removing id's out-arcs may zero a successor's
+// in-degree.
+func (r *crossRegistry) maybeRetireLocked(id model.TxnID) {
+	e, ok := r.txns[id]
+	if !ok {
+		return
+	}
+	if !e.decided || e.cleanN != len(e.parts) || len(e.in) != 0 {
+		return
+	}
+	succs := make([]model.TxnID, 0, len(e.out))
+	for s := range e.out {
+		succs = append(succs, s)
+	}
+	r.removeLocked(id)
+	for _, s := range succs {
+		r.maybeRetireLocked(s)
+	}
+}
+
+// pendingClean appends to buf the decided transactions for which shard has
+// not yet reported cleanliness, and returns it.
+func (r *crossRegistry) pendingClean(shard int, buf []model.TxnID) []model.TxnID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for id, e := range r.txns {
+		if !e.decided {
+			continue
+		}
+		for i, p := range e.parts {
+			if p == shard && !e.clean[i] {
+				buf = append(buf, id)
+				break
+			}
+		}
+	}
+	return buf
+}
+
+// reportClean records that id's sub-node on shard has no active ancestor.
+// The property is monotone — in the basic model arcs only ever point into
+// acting nodes, so once every path into a completed sub-node passes
+// through completed nodes only, its ancestor set is frozen — which is what
+// makes a one-shot report sound. When the last participant reports, the
+// transaction is retired from the registry.
+func (r *crossRegistry) reportClean(id model.TxnID, shard int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.txns[id]
+	if !ok {
+		return
+	}
+	for i, p := range e.parts {
+		if p == shard && !e.clean[i] {
+			e.clean[i] = true
+			e.cleanN++
+			if e.decided {
+				r.cleanPending[p].Add(-1)
+			}
+		}
+	}
+	r.maybeRetireLocked(id)
+}
+
+// reachableLocked reports whether from reaches to through registry arcs.
+// Caller holds r.mu; the registry graph is tiny (live cross transactions
+// only), so a straight DFS with a map is fine.
+func (r *crossRegistry) reachableLocked(from, to model.TxnID) bool {
+	if from == to {
+		return true
+	}
+	visited := map[model.TxnID]struct{}{from: {}}
+	stack := []model.TxnID{from}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		e, ok := r.txns[n]
+		if !ok {
+			continue
+		}
+		for s := range e.out {
+			if s == to {
+				return true
+			}
+			if _, seen := visited[s]; !seen {
+				visited[s] = struct{}{}
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// OnCrossReach implements core.CrossTracker: a shard discovered a path
+// src→…→dst inside its graph. Recording the reach-arc src→dst is refused
+// (false) iff dst already reaches src through the registry — then some
+// chain of shard-local paths dst→…→src exists across the other shards,
+// and accepting the acting step would close a global cycle.
+func (r *crossRegistry) OnCrossReach(src, dst model.TxnID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	se, sok := r.txns[src]
+	de, dok := r.txns[dst]
+	if !sok || !dok {
+		// One side is retired: it can no longer be on a future cycle, so
+		// the arc is irrelevant.
+		return true
+	}
+	if _, ok := se.out[dst]; ok {
+		return true
+	}
+	if r.reachableLocked(dst, src) {
+		return false
+	}
+	if se.out == nil {
+		se.out = make(map[model.TxnID]struct{})
+	}
+	if de.in == nil {
+		de.in = make(map[model.TxnID]struct{})
+	}
+	se.out[dst] = struct{}{}
+	de.in[src] = struct{}{}
+	return true
+}
+
+// LabelLive implements core.CrossTracker: a label stays relevant while its
+// transaction is registered. Lock-free (see the live mirror) because the
+// policy sweeps of every shard call it per label per retained node.
+func (r *crossRegistry) LabelLive(id model.TxnID) bool {
+	if r.size.Load() == 0 {
+		return false
+	}
+	_, ok := r.live.Load(id)
+	return ok
+}
+
+// ---------------------------------------------------------------------------
+// Engine-side protocol driver. All of these run on the submitting client's
+// goroutine with ct.mu held, doing plain round-trips to participant shards;
+// shards never block on each other, so concurrent two-phase commits (even
+// with overlapping participants) cannot deadlock.
+
+// participantsOf returns the sorted distinct shards owning the footprint.
+func (e *Engine) participantsOf(xs []model.Entity) []int {
+	parts := make([]int, 0, 4)
+	for _, x := range xs {
+		p := e.partitionOf(x)
+		dup := false
+		for _, q := range parts {
+			if q == p {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			parts = append(parts, p)
+		}
+	}
+	for i := 1; i < len(parts); i++ {
+		for j := i; j > 0 && parts[j] < parts[j-1]; j-- {
+			parts[j], parts[j-1] = parts[j-1], parts[j]
+		}
+	}
+	return parts
+}
+
+// beginCross fans a cross-partition BEGIN out as one sub-begin per
+// participating shard. On any failure (duplicate ID on some shard, or the
+// engine closing) the sub-transactions already begun are rolled back and
+// the logical transaction never existed.
+func (e *Engine) beginCross(step model.Step) Result {
+	ct := &crossTxn{id: step.Txn, parts: e.participantsOf(step.Entities)}
+	if _, dup := e.routes.LoadOrStore(step.Txn, &route{kind: routeCross, ct: ct}); dup {
+		return Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn,
+			Err: fmt.Errorf("engine: duplicate BEGIN for T%d", step.Txn)}
+	}
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	if ct.done {
+		// A concurrent Engine.Abort won the race after the route was
+		// published and already resolved the transaction (it deleted the
+		// route and counted the abort). Beginning sub-transactions now
+		// would resurrect it with no route left to ever finish them.
+		return Result{Step: step, Outcome: OutcomeRejected, Aborted: step.Txn, CompletedTxn: model.NoTxn, Err: ErrUnknownTxn}
+	}
+	if e.registry.register(step.Txn, ct.parts) {
+		// The ID is being reused after an earlier cross incarnation died:
+		// purge its stale labels everywhere before any sub-node exists.
+		for _, sh := range e.shards {
+			sh.do(request{kind: reqPurgeLabel, step: model.Step{Txn: step.Txn}})
+		}
+	}
+	for i, p := range ct.parts {
+		rep, ok := e.shards[p].do(request{kind: reqBeginSub, step: step})
+		if !ok || rep.res.Outcome != OutcomeAccepted {
+			for _, q := range ct.parts[:i] {
+				e.abortSub(step.Txn, q)
+			}
+			ct.done = true
+			e.registry.drop(step.Txn)
+			e.routes.Delete(step.Txn)
+			if !ok {
+				return Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: ErrClosed}
+			}
+			return rep.res
+		}
+	}
+	e.crossTxns.Add(1)
+	e.accepted.Add(1)
+	return Result{Step: step, Outcome: OutcomeAccepted, Aborted: model.NoTxn, CompletedTxn: model.NoTxn}
+}
+
+// crossStep handles a read or final write of a live cross transaction.
+func (e *Engine) crossStep(step model.Step, r *route) Result {
+	ct := r.ct
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	if ct.done {
+		if ct.committed {
+			return Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn,
+				Err: fmt.Errorf("engine: step for T%d after its final write", ct.id)}
+		}
+		e.rejected.Add(1)
+		return Result{Step: step, Outcome: OutcomeRejected, Aborted: step.Txn, CompletedTxn: model.NoTxn, Err: ErrUnknownTxn}
+	}
+	if step.Kind == model.KindRead {
+		p := e.partitionOf(step.Entity)
+		if !ct.participant(p) {
+			return e.crossMisroute(step, ct)
+		}
+		res := e.doStep(p, step)
+		if res.Outcome == OutcomeRejected && res.Aborted == ct.id {
+			// The shard rejected the read (local cycle, or the registry
+			// vetoed an inter-shard arc) and removed its sub-node; finish
+			// the logical abort on the siblings.
+			e.finishCrossAbort(ct, p)
+		}
+		return res
+	}
+	return e.commitCross(ct, step)
+}
+
+// crossMisroute aborts a cross transaction that touched an entity outside
+// its declared participant set. Caller holds ct.mu.
+func (e *Engine) crossMisroute(step model.Step, ct *crossTxn) Result {
+	e.misroutes.Add(1)
+	e.rejected.Add(1)
+	if e.cfg.Log != nil {
+		e.cfg.Log.Append(step, false)
+	}
+	e.finishCrossAbort(ct, -1)
+	return Result{Step: step, Outcome: OutcomeRejected, Aborted: ct.id, CompletedTxn: model.NoTxn, Err: ErrMisroute}
+}
+
+// finishCrossAbort aborts ct's sub-transactions on every participant except
+// skipShard (whose scheduler already removed its own sub-node), then
+// retires the logical transaction: route, registry entry, trace exclusion,
+// and the engine's logical abort counters. Caller holds ct.mu.
+func (e *Engine) finishCrossAbort(ct *crossTxn, skipShard int) {
+	for _, p := range ct.parts {
+		if p != skipShard {
+			e.abortSub(ct.id, p)
+		}
+	}
+	ct.done = true
+	e.registry.drop(ct.id)
+	e.routes.Delete(ct.id)
+	e.aborted.Add(1)
+	e.crossAborts.Add(1)
+	if e.cfg.Log != nil {
+		e.cfg.Log.MarkAborted(ct.id)
+	}
+}
+
+// abortSub releases one shard's sub-transaction (pin included), ignoring
+// shards that already lost it.
+func (e *Engine) abortSub(id model.TxnID, shard int) {
+	e.shards[shard].do(request{kind: reqAbortSub, step: model.Step{Txn: id}})
+}
+
+// writeSubsetFor carves the slice of the final write set owned by shard p.
+func (e *Engine) writeSubsetFor(final model.Step, p int) model.Step {
+	var xs []model.Entity
+	for _, x := range final.Entities {
+		if e.partitionOf(x) == p {
+			xs = append(xs, x)
+		}
+	}
+	return model.Step{Kind: model.KindWriteFinal, Txn: final.Txn, Entities: xs}
+}
+
+// commitCross is the two-phase commit of ct's final write. Caller holds
+// ct.mu. Every outcome — commit, local-cycle vote, registry veto, shard
+// shutdown — resolves the transaction deterministically on all
+// participants: a prepared-but-undecided sub-transaction never outlives
+// the decision, and its pins are released on every shard.
+func (e *Engine) commitCross(ct *crossTxn, final model.Step) Result {
+	for _, x := range final.Entities {
+		if !ct.participant(e.partitionOf(x)) {
+			return e.crossMisroute(final, ct)
+		}
+	}
+	for _, p := range ct.parts {
+		sub := e.writeSubsetFor(final, p)
+		rep, ok := e.shards[p].do(request{kind: reqPrepareSub, step: sub})
+		e.prepares.Add(1)
+		if !ok {
+			e.finishCrossAbort(ct, -1)
+			return Result{Step: final, Outcome: OutcomeError, Aborted: ct.id, CompletedTxn: model.NoTxn, Err: ErrClosed}
+		}
+		switch rep.res.Outcome {
+		case OutcomeAccepted:
+		case OutcomeRejected:
+			// A NO vote: either a local cycle on shard p or a registry veto
+			// (rep.res.Err == ErrCrossCycle). Abort everywhere — only this
+			// transaction dies; no bystander is touched.
+			e.finishCrossAbort(ct, -1)
+			e.rejected.Add(1)
+			return Result{Step: final, Outcome: OutcomeRejected, Aborted: ct.id, CompletedTxn: model.NoTxn, Err: rep.res.Err}
+		default:
+			e.finishCrossAbort(ct, -1)
+			return Result{Step: final, Outcome: OutcomeError, Aborted: ct.id, CompletedTxn: model.NoTxn, Err: rep.res.Err}
+		}
+	}
+	// Unanimous YES: commit everywhere. The write arcs are already in every
+	// participant's graph (placed at prepare), so the decision only flips
+	// sub-transactions to completed and releases pins.
+	for _, p := range ct.parts {
+		if _, ok := e.shards[p].do(request{kind: reqCommitSub, step: model.Step{Txn: ct.id}}); !ok {
+			// The engine is closing; surviving shards keep their prepared
+			// state only until their goroutines exit.
+			ct.done = true
+			e.registry.drop(ct.id)
+			e.routes.Delete(ct.id)
+			return Result{Step: final, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: ErrClosed}
+		}
+	}
+	ct.done = true
+	ct.committed = true
+	e.registry.decideCommit(ct.id)
+	// Wake the participants: a shard that checked its cleanPending gauge
+	// before decideCommit raised it may be blocked waiting for traffic;
+	// the kick makes it run reportCrossClean (a shard that is busy treats
+	// it as a no-op request).
+	for _, p := range ct.parts {
+		e.shards[p].trySend(request{kind: reqUpkeep})
+	}
+	e.routes.Delete(ct.id)
+	e.accepted.Add(1)
+	e.completed.Add(1)
+	return Result{Step: final, Outcome: OutcomeAccepted, Aborted: model.NoTxn, CompletedTxn: ct.id}
+}
+
+// crossClientAbort implements Engine.Abort for a cross transaction: it
+// releases the sub-transactions (pins included) on all participants,
+// whatever state the transaction is in — freshly begun, mid-reads, or
+// prepared-but-undecided (Abort then serializes after the decision via
+// ct.mu and reports false). Returns whether the abort took effect.
+func (e *Engine) crossClientAbort(ct *crossTxn) bool {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	if ct.done {
+		return false
+	}
+	e.finishCrossAbort(ct, -1)
+	return true
+}

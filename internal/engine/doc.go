@@ -19,48 +19,87 @@
 // transaction to that shard for its whole life; the engine enforces the
 // partition discipline by rejecting (and aborting) any later step that
 // touches a foreign partition. A footprint spanning partitions marks the
-// transaction cross-partition: its steps are buffered and acknowledged as
-// OutcomeBuffered, and when its final write arrives the whole transaction
-// is applied atomically through the shard-0 coordinator path described
-// below.
+// transaction cross-partition: it runs as one sub-transaction per
+// participating shard, all sharing the logical TxnID, and commits through
+// the two-phase protocol below.
 //
-// # Why per-shard acyclicity is global CSR
+// # Why per-shard acyclicity is global CSR — the 2PC argument
 //
 // Two transactions conflict only if they access a common entity. Local
-// transactions of different shards touch disjoint entity sets, so every
-// conflict between local transactions is between two transactions of the
-// same shard, and that shard's scheduler sees both: the global conflict
-// graph restricted to local transactions is the *disjoint union* of the
-// per-shard graphs. A disjoint union of acyclic graphs is acyclic, so
-// per-shard acceptance (each shard accepts only acyclic extensions, the
-// paper's Rules 1–3) is exactly global conflict serializability — no
-// cross-shard bookkeeping needed.
+// transactions of different shards touch disjoint entity sets, so the
+// global conflict graph restricted to local transactions is the disjoint
+// union of the per-shard graphs, and per-shard acceptance (each shard
+// accepts only acyclic extensions, the paper's Rules 1–3) is exactly
+// global conflict serializability for them.
 //
-// Cross-partition transactions would break that argument (one node with
-// arcs in two shard graphs can close a cycle no single shard sees), so the
-// coordinator path restores it by brute force: the coordinator closes the
-// admission gate (new BEGINs park at their shard), aborts every active
-// transaction on every shard (removing an active node is always safe — it
-// can only discard arcs of a transaction that will never commit), and only
-// then applies the buffered transaction's steps back-to-back on shard 0's
-// scheduler. At that instant no other transaction is active anywhere and
-// nothing else can be accepted until the gate reopens, so the cross
-// transaction occupies a contiguous atomic block of the global accepted
-// schedule: every other transaction's steps lie entirely before or
-// entirely after it, giving only one-directional conflict arcs and hence
-// no cycles through the cross node. The offline referee
-// (trace.CheckAcceptedCSR) verifies this end to end in the oracle test.
+// Cross-partition transactions break the disjointness: fold each logical
+// transaction's sub-nodes into one node and a global cycle can thread
+// through several shard graphs while every individual graph stays acyclic.
+// Three observations restore the argument without ever freezing the world:
 //
-// The price is that a cross-partition commit kills every concurrent active
-// transaction (counted in Stats.BarrierKills) — correct but expensive,
-// which is precisely the motivation for the cross-shard 2PC follow-on in
-// the ROADMAP.
+//  1. Any global cycle not contained in one shard graph must change shards
+//     at nodes present in more than one graph — cross transactions — and a
+//     simple cycle must pass through at least two distinct ones. So it
+//     decomposes into shard-local paths between sub-nodes of cross
+//     transactions.
 //
-// # Deletion under sharding
+//  2. Shard-local reachability from cross sub-nodes is tracked exactly, as
+//     it forms: every node carries the set of cross transactions whose
+//     sub-node reaches it within that shard (its cross-ancestor labels,
+//     core/subtxn.go), sourced at sub-nodes and flooded forward the moment
+//     an arc is added. When label X first lands on the sub-node of a
+//     different cross transaction Y, a shard-local path X→…→Y exists: an
+//     inter-shard reach-arc X→Y, reported to the engine's cross-arc
+//     registry (cross2pc.go).
 //
-// Each shard garbage-collects its own graph with its own policy instance
-// (C1/C2 are properties of a scheduler's reduced graph, so they apply
-// per shard unchanged). Sweeps run between batches via
-// core.Scheduler.SweepNow with Config.SweepManual set, so deletion cost is
-// amortized and never added to an individual Submit's latency.
+//  3. The registry keeps the reach-arcs among live cross transactions and
+//     refuses the one that would close a registry cycle — the acting step
+//     is rejected and only its own transaction aborts. By (1)+(2) every
+//     global cycle would have to complete a registry cycle first, so no
+//     accepted schedule contains one. The refusal lands wherever the last
+//     connecting arc appears: at PREPARE (the classic two-transaction case
+//     — the cross transaction itself aborts, voting no), or at a local
+//     step whose new arcs complete the last shard-local path (that local
+//     transaction aborts, exactly the paper's cycle-rejection semantics).
+//
+// The commit itself is a two-phase protocol driven from the submitting
+// goroutine: PREPARE each participant (the shard runs Rule 3 on its slice
+// of the write set, places the arcs, pins the sub-node, and votes), then
+// COMMIT or ABORT everywhere. Participants never pause — the prepared pin
+// freezes the sub-transaction, not the shard — and shards never wait on
+// each other, so concurrent two-phase commits cannot deadlock and
+// non-participants are untouched: Stats.BarrierKills stays zero by
+// construction, asserted across the test suite.
+//
+// # Deletion under sharding — C1/C2 lifted to logical transactions
+//
+// Each shard garbage-collects its own graph with its own policy instance;
+// C1/C2 are properties of a scheduler's reduced graph and apply per shard
+// unchanged — but per-shard C1 cannot see inter-shard paths, so deletion
+// is additionally gated (core.Sweep refuses) for:
+//
+//   - prepared-but-undecided sub-nodes (pinned in the graph arena);
+//   - sub-nodes of registry-tracked logical transactions;
+//   - any node carrying a live cross-ancestor label, since reducing it
+//     would stop the label from reaching future successors and hide a
+//     reach-arc from the registry.
+//
+// The registry retires a cross transaction T — unpinning all of the above
+// and letting plain per-shard C1/C2 resume — once (a) T is decided, (b)
+// every participant reports T's sub-node free of active ancestors, and (c)
+// no live cross transaction still reaches T (registry in-degree zero).
+// (a)+(b) freeze T's ancestor sets: arcs only ever point into acting
+// nodes, so a completed sub-node all of whose ancestors are completed can
+// never gain new ones, and no new label can arrive at it (its carrier
+// would already be an active ancestor). (c) covers cycles that would use
+// T's *existing* through-paths while only the return path is new: the
+// reach-arcs into and out of T must stay until nothing live can re-enter
+// it. Retirement cascades along out-arcs, so chains of decided
+// transactions drain as their predecessors expire.
+//
+// The offline referee (trace.CheckAcceptedCSR) closes the loop end to end:
+// sub-transactions log under the logical TxnID, so the referee rebuilds
+// the conflict graph over logical transactions from scratch and verifies
+// acyclicity in the randomized oracles, including the cross-heavy -race
+// oracle (TestOracleCrossHeavyCSR).
 package engine

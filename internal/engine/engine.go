@@ -29,7 +29,9 @@ type Config struct {
 	// (default 8). Lower is tighter memory, higher is faster.
 	SweepEveryCompletions int
 	// Log, if non-nil, records every applied step for offline refereeing
-	// (trace.CheckAcceptedCSR).
+	// (trace.CheckAcceptedCSR). Sub-transactions of a cross-partition
+	// transaction log under the logical TxnID, so the referee's conflict
+	// graph folds them into one logical node by construction.
 	Log *trace.SafeLog
 }
 
@@ -56,11 +58,13 @@ const (
 	// OutcomeAccepted: the step was applied and accepted.
 	OutcomeAccepted Outcome = iota
 	// OutcomeRejected: the step was refused and Aborted names the victim
-	// (cycle rejection, misroute, or step for an unknown/killed
-	// transaction).
+	// (cycle rejection — local or cross-shard, misroute, or step for an
+	// unknown/aborted transaction).
 	OutcomeRejected
-	// OutcomeBuffered: the step belongs to a cross-partition transaction
-	// and is queued for atomic application at its final write.
+	// OutcomeBuffered is retained for wire compatibility with pre-2PC
+	// engines, which buffered a cross-partition transaction's steps
+	// client-side until its final write. The 2PC engine applies cross
+	// steps immediately on their owning shards and never produces it.
 	OutcomeBuffered
 	// OutcomeError: protocol violation (duplicate BEGIN, step after the
 	// final write, unsupported kind); Err explains. State is unchanged.
@@ -91,7 +95,8 @@ type Result struct {
 	// otherwise).
 	Aborted model.TxnID
 	// CompletedTxn is set when the submission completed its transaction
-	// (for a cross transaction, that is its final write's atomic apply).
+	// (for a cross-partition transaction, that is its final write's
+	// two-phase commit reaching the COMMIT decision).
 	CompletedTxn model.TxnID
 	Err          error
 }
@@ -104,30 +109,59 @@ var (
 	// ErrClosed: the engine has been closed.
 	ErrClosed = errors.New("engine: closed")
 	// ErrUnknownTxn: step for a transaction that never began, already
-	// finished, aborted, or was killed at a cross-partition barrier.
+	// finished, or aborted.
 	ErrUnknownTxn = errors.New("engine: unknown transaction")
-	// ErrMisroute: a partition-local transaction touched an entity owned
-	// by another shard.
+	// ErrMisroute: a transaction touched an entity outside its declared
+	// partition (local) or participant set (cross).
 	ErrMisroute = errors.New("engine: entity outside the transaction's partition")
+	// ErrCrossCycle: the cross-arc registry vetoed a step — accepting it
+	// would close a cycle spanning two or more shard graphs.
+	ErrCrossCycle = errors.New("engine: would close a cycle across shard graphs")
 )
 
 // Stats is a point-in-time aggregate of engine counters. The scalar fields
 // are maintained as lock-free atomics on the submit path; the per-shard
 // scheduler stats are fetched by a snapshot request through each shard's
 // queue.
+//
+// The scalar step/transaction counters are logical: a cross-partition
+// transaction counts one BEGIN, one accepted final write, and one
+// completion no matter how many shards participate, while the PerShard
+// scheduler counters see one sub-transaction per participant. Merged
+// therefore over-counts relative to the logical fields whenever cross
+// traffic ran.
 type Stats struct {
-	Submitted    int64 // Submit calls
-	Accepted     int64 // steps applied and accepted
-	Rejected     int64 // steps refused (cycle, misroute, unknown txn)
-	Buffered     int64 // cross-partition steps queued
-	Completed    int64 // transactions completed
-	Aborted      int64 // transactions aborted, all causes
-	Deleted      int64 // nodes reclaimed by deletion-policy sweeps
-	Sweeps       int64 // amortized GC sweeps executed
-	CrossTxns    int64 // cross-partition transactions begun
-	Quiesces     int64 // coordinator barriers executed
-	BarrierKills int64 // active transactions killed at barriers
-	Misroutes    int64 // partition-discipline violations
+	Submitted int64 // Submit calls
+	Accepted  int64 // steps applied and accepted
+	Rejected  int64 // steps refused (cycle, cross-cycle, misroute, unknown txn)
+	Buffered  int64 // always 0 since 2PC (pre-2PC engines buffered cross steps)
+	Completed int64 // transactions completed
+	Aborted   int64 // transactions aborted, all causes
+	Deleted   int64 // nodes reclaimed by deletion-policy sweeps
+	Sweeps    int64 // amortized GC sweeps executed
+	CrossTxns int64 // cross-partition transactions begun
+
+	// Prepares counts PREPARE requests sent to participants (one per
+	// participating shard per cross-partition final write).
+	Prepares int64
+	// CrossAborts counts logical cross-partition transactions aborted:
+	// NO votes (local or cross-shard cycle at prepare), registry vetoes on
+	// reads, misroutes, and client aborts.
+	CrossAborts int64
+
+	// Quiesces and BarrierKills counted the pre-2PC stop-the-world
+	// coordinator (one global barrier per cross commit, killing every
+	// concurrent active transaction). The 2PC engine never quiesces and
+	// never kills a bystander, so both are retained at zero — and the
+	// engine tests assert exactly that.
+	Quiesces     int64
+	BarrierKills int64
+
+	Misroutes int64 // partition-discipline violations
+
+	// PreparedByShard is the instantaneous number of prepared-but-
+	// undecided sub-transactions pinned on each shard, indexed by shard.
+	PreparedByShard []int64
 
 	// QueueDepth is the instantaneous per-shard submission backlog
 	// (requests enqueued or blocked enqueuing, not yet picked up by the
@@ -155,15 +189,6 @@ type route struct {
 	ct    *crossTxn
 }
 
-// crossTxn buffers a cross-partition transaction's steps until its final
-// write triggers the atomic coordinator apply.
-type crossTxn struct {
-	mu    sync.Mutex
-	id    model.TxnID
-	steps []model.Step
-	done  bool
-}
-
 // Engine is the concurrent sharded scheduler. Submit may be called from
 // any number of goroutines; Close must not race in-flight Submits.
 type Engine struct {
@@ -171,16 +196,15 @@ type Engine struct {
 	shards []*shard
 	// routes maps live TxnID → *route.
 	routes sync.Map
-	// coordMu serializes cross-partition coordinators.
-	coordMu sync.Mutex
-	// gateMu guards gateClosed, the BEGIN admission gate.
-	gateMu     sync.Mutex
-	gateClosed bool
-	closed     atomic.Bool
+	// registry is the cross-arc registry consulted by every shard's
+	// scheduler (core.CrossTracker) and by the 2PC driver.
+	registry *crossRegistry
+	closed   atomic.Bool
 
-	submitted, accepted, rejected, buffered atomic.Int64
-	completed, aborted, deleted, sweeps     atomic.Int64
-	crossTxns, quiesces, kills, misroutes   atomic.Int64
+	submitted, accepted, rejected       atomic.Int64
+	completed, aborted, deleted, sweeps atomic.Int64
+	crossTxns, prepares, crossAborts    atomic.Int64
+	misroutes                           atomic.Int64
 
 	// replyPool recycles the one-slot reply channels of shard round-trips;
 	// resBufPool recycles SubmitBatch result buffers. Both keep the steady
@@ -192,7 +216,7 @@ type Engine struct {
 // New starts an engine with cfg's shard goroutines running.
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
-	e := &Engine{cfg: cfg}
+	e := &Engine{cfg: cfg, registry: newCrossRegistry(cfg.Shards)}
 	e.replyPool.New = func() any { return make(chan reply, 1) }
 	e.resBufPool.New = func() any { b := make([]Result, 0, 64); return &b }
 	e.shards = make([]*shard, cfg.Shards)
@@ -201,10 +225,16 @@ func New(cfg Config) *Engine {
 		if cfg.Policy != nil {
 			pol = cfg.Policy()
 		}
+		var tracker core.CrossTracker
+		if cfg.Shards > 1 {
+			// A single shard can never see a cross transaction; leaving
+			// the tracker nil keeps its scheduler entirely label-free.
+			tracker = e.registry
+		}
 		sh := &shard{
 			idx:   i,
 			eng:   e,
-			sched: core.NewScheduler(core.Config{Policy: pol, SweepManual: true}),
+			sched: core.NewScheduler(core.Config{Policy: pol, SweepManual: true, Cross: tracker}),
 			ch:    make(chan request, cfg.QueueDepth),
 			done:  make(chan struct{}),
 		}
@@ -254,31 +284,22 @@ func (e *Engine) Submit(step model.Step) Result {
 	switch step.Kind {
 	case model.KindBegin:
 		return e.submitBegin(step)
-	case model.KindRead:
+	case model.KindRead, model.KindWriteFinal:
 		return e.submitAccess(step)
-	case model.KindWriteFinal:
-		return e.submitFinal(step)
 	default:
 		return Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn,
 			Err: fmt.Errorf("engine: step kind %v not part of the basic model", step.Kind)}
 	}
 }
 
-// registerBegin routes a BEGIN: a cross-partition footprint buffers the
-// transaction client-side (direct result), a duplicate ID errors (direct
-// result), and a partition-local BEGIN registers its route and reports the
-// home shard the step must be applied on.
+// registerBegin routes a BEGIN: a cross-partition footprint fans out as
+// sub-transactions (direct result), a duplicate ID errors (direct result),
+// and a partition-local BEGIN registers its route and reports the home
+// shard the step must be applied on.
 func (e *Engine) registerBegin(step model.Step) (home int, direct bool, res Result) {
 	h, cross := e.beginRoute(step)
 	if cross {
-		ct := &crossTxn{id: step.Txn, steps: []model.Step{step}}
-		if _, dup := e.routes.LoadOrStore(step.Txn, &route{kind: routeCross, ct: ct}); dup {
-			return 0, true, Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn,
-				Err: fmt.Errorf("engine: duplicate BEGIN for T%d", step.Txn)}
-		}
-		e.crossTxns.Add(1)
-		e.buffered.Add(1)
-		return 0, true, Result{Step: step, Outcome: OutcomeBuffered, Aborted: model.NoTxn, CompletedTxn: model.NoTxn}
+		return 0, true, e.beginCross(step)
 	}
 	if _, dup := e.routes.LoadOrStore(step.Txn, &route{kind: routeLocal, shard: h}); dup {
 		return 0, true, Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn,
@@ -298,7 +319,9 @@ func (e *Engine) registerBegin(step model.Step) (home int, direct bool, res Resu
 // scheduler's protocol error rather than the engine's unknown-transaction
 // rejection (per-step clients never see that window); either way the
 // client learns the transaction is dead, and route bookkeeping is
-// restored by the time the batch returns.
+// restored by the time the batch returns. Cross-partition steps interrupt
+// the pipeline (each is a routed round-trip of its own, and a final write
+// runs the two-phase commit) but never stall other clients' traffic.
 func (e *Engine) SubmitBatch(steps []model.Step) []Result {
 	return e.SubmitBatchInto(make([]Result, 0, len(steps)), steps)
 }
@@ -357,10 +380,10 @@ func (e *Engine) SubmitBatchInto(dst []Result, steps []model.Step) []Result {
 			}
 			r := v.(*route)
 			if r.kind == routeCross {
-				// Buffered client-side; the final write runs the
-				// coordinator, so the pending run must land first.
+				// Routed individually; a final write runs the 2PC, so the
+				// pending run must land first to preserve step order.
 				flush(i)
-				dst = append(dst, e.bufferCross(st, r.ct))
+				dst = append(dst, e.crossStep(st, r))
 				continue
 			}
 			if foreign := e.misroutedStep(st, r.shard); foreign {
@@ -447,70 +470,26 @@ func (e *Engine) doStep(shard int, step model.Step) Result {
 	return rep.res
 }
 
-func (e *Engine) lookup(step model.Step) (*route, Result, bool) {
+func (e *Engine) submitAccess(step model.Step) Result {
 	v, ok := e.routes.Load(step.Txn)
 	if !ok {
 		e.rejected.Add(1)
-		return nil, Result{Step: step, Outcome: OutcomeRejected, Aborted: step.Txn, CompletedTxn: model.NoTxn, Err: ErrUnknownTxn}, false
+		return Result{Step: step, Outcome: OutcomeRejected, Aborted: step.Txn, CompletedTxn: model.NoTxn, Err: ErrUnknownTxn}
 	}
-	return v.(*route), Result{}, true
-}
-
-func (e *Engine) submitAccess(step model.Step) Result {
-	r, res, ok := e.lookup(step)
-	if !ok {
-		return res
+	r := v.(*route)
+	if r.kind == routeCross {
+		return e.crossStep(step, r)
 	}
-	if r.kind == routeLocal {
-		if e.misroutedStep(step, r.shard) {
-			return e.misroute(step, r)
-		}
-		return e.doStep(r.shard, step)
+	if e.misroutedStep(step, r.shard) {
+		return e.misroute(step, r)
 	}
-	return e.bufferCross(step, r.ct)
-}
-
-func (e *Engine) submitFinal(step model.Step) Result {
-	r, res, ok := e.lookup(step)
-	if !ok {
-		return res
-	}
-	if r.kind == routeLocal {
-		if e.misroutedStep(step, r.shard) {
-			return e.misroute(step, r)
-		}
-		return e.doStep(r.shard, step)
-	}
-	return e.bufferCross(step, r.ct)
-}
-
-// bufferCross queues a cross-partition transaction's step; the final write
-// triggers the coordinator path.
-func (e *Engine) bufferCross(step model.Step, ct *crossTxn) Result {
-	ct.mu.Lock()
-	if ct.done {
-		ct.mu.Unlock()
-		return Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn,
-			Err: fmt.Errorf("engine: step for T%d after its final write", ct.id)}
-	}
-	ct.steps = append(ct.steps, step)
-	final := step.Kind == model.KindWriteFinal
-	if final {
-		ct.done = true
-	}
-	ct.mu.Unlock()
-	if !final {
-		e.buffered.Add(1)
-		return Result{Step: step, Outcome: OutcomeBuffered, Aborted: model.NoTxn, CompletedTxn: model.NoTxn}
-	}
-	res := e.runCross(ct)
-	e.routes.Delete(ct.id)
-	return res
+	return e.doStep(r.shard, step)
 }
 
 // misroute aborts a partition-local transaction that touched a foreign
 // entity: the partition discipline is what makes per-shard acyclicity
-// equal global CSR, so it must be enforced, not trusted.
+// equal global CSR for local transactions, so it must be enforced, not
+// trusted.
 func (e *Engine) misroute(step model.Step, r *route) Result {
 	e.misroutes.Add(1)
 	e.rejected.Add(1)
@@ -518,13 +497,15 @@ func (e *Engine) misroute(step model.Step, r *route) Result {
 		// A rejected step marks the transaction aborted in the trace.
 		e.cfg.Log.Append(step, false)
 	}
-	e.shards[r.shard].do(request{kind: reqAbortOne, step: step})
+	e.shards[r.shard].do(request{kind: reqAbortOne, step: model.Step{Txn: step.Txn}})
 	e.routes.Delete(step.Txn)
 	return Result{Step: step, Outcome: OutcomeRejected, Aborted: step.Txn, CompletedTxn: model.NoTxn, Err: ErrMisroute}
 }
 
-// Abort aborts a live transaction (e.g. on client disconnect). It returns
-// false if the transaction is unknown.
+// Abort aborts a live transaction (e.g. on client disconnect). For a
+// cross-partition transaction it releases the sub-transactions — pins
+// included — on every participant, whatever state the transaction is in.
+// It returns false if the transaction is unknown or already decided.
 func (e *Engine) Abort(id model.TxnID) bool {
 	v, ok := e.routes.Load(id)
 	if !ok {
@@ -532,13 +513,7 @@ func (e *Engine) Abort(id model.TxnID) bool {
 	}
 	r := v.(*route)
 	if r.kind == routeCross {
-		// Nothing was applied; dropping the buffer is the whole abort.
-		e.routes.Delete(id)
-		e.aborted.Add(1)
-		if e.cfg.Log != nil {
-			e.cfg.Log.MarkAborted(id)
-		}
-		return true
+		return e.crossClientAbort(r.ct)
 	}
 	e.shards[r.shard].do(request{kind: reqAbortOne, step: model.Step{Txn: id}})
 	e.routes.Delete(id)
@@ -548,64 +523,21 @@ func (e *Engine) Abort(id model.TxnID) bool {
 	return true
 }
 
-// runCross executes the shard-0 coordinator path: gate BEGINs, kill every
-// active transaction on every shard, apply the buffered transaction
-// atomically on shard 0, reopen. See the package documentation for the
-// soundness argument.
-func (e *Engine) runCross(ct *crossTxn) Result {
-	e.coordMu.Lock()
-	defer e.coordMu.Unlock()
-	e.quiesces.Add(1)
-	e.setGate(true)
-	for _, sh := range e.shards {
-		rep, ok := sh.do(request{kind: reqAbortAll})
-		if !ok {
-			e.setGate(false)
-			return Result{Step: ct.steps[len(ct.steps)-1], Outcome: OutcomeError,
-				Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: ErrClosed}
-		}
-		e.kills.Add(int64(len(rep.killed)))
-	}
-	rep, ok := e.shards[0].do(request{kind: reqCross, ct: ct})
-	e.setGate(false)
-	for _, sh := range e.shards {
-		sh.trySend(request{kind: reqKick})
-	}
-	if !ok {
-		return Result{Step: ct.steps[len(ct.steps)-1], Outcome: OutcomeError,
-			Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: ErrClosed}
-	}
-	return rep.res
-}
-
-func (e *Engine) setGate(closed bool) {
-	e.gateMu.Lock()
-	e.gateClosed = closed
-	e.gateMu.Unlock()
-}
-
-func (e *Engine) gateIsClosed() bool {
-	e.gateMu.Lock()
-	defer e.gateMu.Unlock()
-	return e.gateClosed
-}
-
 // Stats returns a snapshot of the aggregate counters. It is safe to call
 // concurrently with Submits and after Close.
 func (e *Engine) Stats() Stats {
 	s := Stats{
-		Submitted:    e.submitted.Load(),
-		Accepted:     e.accepted.Load(),
-		Rejected:     e.rejected.Load(),
-		Buffered:     e.buffered.Load(),
-		Completed:    e.completed.Load(),
-		Aborted:      e.aborted.Load(),
-		Deleted:      e.deleted.Load(),
-		Sweeps:       e.sweeps.Load(),
-		CrossTxns:    e.crossTxns.Load(),
-		Quiesces:     e.quiesces.Load(),
-		BarrierKills: e.kills.Load(),
-		Misroutes:    e.misroutes.Load(),
+		Submitted:   e.submitted.Load(),
+		Accepted:    e.accepted.Load(),
+		Rejected:    e.rejected.Load(),
+		Completed:   e.completed.Load(),
+		Aborted:     e.aborted.Load(),
+		Deleted:     e.deleted.Load(),
+		Sweeps:      e.sweeps.Load(),
+		CrossTxns:   e.crossTxns.Load(),
+		Prepares:    e.prepares.Load(),
+		CrossAborts: e.crossAborts.Load(),
+		Misroutes:   e.misroutes.Load(),
 	}
 	for _, sh := range e.shards {
 		var cs core.Stats
@@ -618,14 +550,18 @@ func (e *Engine) Stats() Stats {
 		}
 		s.PerShard = append(s.PerShard, cs)
 		s.Merged.Merge(cs)
-		// A shard that shut down serves nothing: its backlog is dead, and
-		// its gauge may hold a phantom +1 from a submit that raced the
-		// shutdown drain, so report zero rather than the stale counter.
+		// A shard that shut down serves nothing: its backlog is dead, its
+		// depth gauge may hold a phantom +1 from a submit that raced the
+		// shutdown drain, and a prepare whose decision was cut off by Close
+		// would pin the prepared gauge forever — so report zero rather than
+		// the stale counters.
 		select {
 		case <-sh.done:
 			s.QueueDepth = append(s.QueueDepth, 0)
+			s.PreparedByShard = append(s.PreparedByShard, 0)
 		default:
 			s.QueueDepth = append(s.QueueDepth, sh.depth.Load())
+			s.PreparedByShard = append(s.PreparedByShard, sh.preparedN.Load())
 		}
 	}
 	return s

@@ -72,27 +72,31 @@ func TestRoutingAndMisroute(t *testing.T) {
 	}
 }
 
-// TestCrossPartitionAtomicApply drives one cross-partition transaction and
-// checks the coordinator path: reads are buffered, the final write commits
-// atomically, and concurrent actives are killed at the barrier.
-func TestCrossPartitionAtomicApply(t *testing.T) {
+// TestCrossPartition2PC drives one cross-partition transaction through the
+// two-phase commit and checks that bystanders survive: a concurrent active
+// on a participating shard is untouched by the cross commit and completes
+// afterwards. This is the regression test for the stop-the-world
+// coordinator the 2PC replaced (it used to kill T7 at the barrier).
+func TestCrossPartition2PC(t *testing.T) {
 	log := trace.NewSafeLog()
 	eng := New(Config{Shards: 4, Log: log})
 	defer eng.Close()
 
-	// A local active on shard 1 that will be killed at the barrier.
-	if res := eng.Submit(model.BeginDeclared(7, 1)); !res.Accepted() {
-		t.Fatalf("victim begin: %v (%v)", res.Outcome, res.Err)
+	// A local active on shard 0 — a *participant* of the cross commit.
+	if res := eng.Submit(model.BeginDeclared(7, 4)); !res.Accepted() {
+		t.Fatalf("bystander begin: %v (%v)", res.Outcome, res.Err)
 	}
-	if res := eng.Submit(model.Read(7, 1)); !res.Accepted() {
-		t.Fatalf("victim read: %v (%v)", res.Outcome, res.Err)
+	if res := eng.Submit(model.Read(7, 4)); !res.Accepted() {
+		t.Fatalf("bystander read: %v (%v)", res.Outcome, res.Err)
 	}
 
-	// Cross transaction spanning partitions 0 and 2.
-	if res := eng.Submit(model.BeginDeclared(9, 0, 2)); res.Outcome != OutcomeBuffered {
+	// Cross transaction spanning partitions 0 and 2: sub-transactions begin
+	// on both shards, the read applies immediately on shard 0, and the
+	// final write runs PREPARE on both participants before COMMIT.
+	if res := eng.Submit(model.BeginDeclared(9, 0, 2)); !res.Accepted() {
 		t.Fatalf("cross begin: %v (%v)", res.Outcome, res.Err)
 	}
-	if res := eng.Submit(model.Read(9, 0)); res.Outcome != OutcomeBuffered {
+	if res := eng.Submit(model.Read(9, 0)); !res.Accepted() {
 		t.Fatalf("cross read: %v (%v)", res.Outcome, res.Err)
 	}
 	res := eng.Submit(model.WriteFinal(9, 2))
@@ -101,25 +105,162 @@ func TestCrossPartitionAtomicApply(t *testing.T) {
 	}
 
 	s := eng.Stats()
-	if s.CrossTxns != 1 || s.Quiesces != 1 {
-		t.Fatalf("stats = %+v, want 1 cross txn / 1 quiesce", s)
+	if s.CrossTxns != 1 || s.Prepares != 2 {
+		t.Fatalf("stats = %+v, want 1 cross txn / 2 prepares", s)
 	}
-	if s.BarrierKills != 1 {
-		t.Fatalf("BarrierKills = %d, want 1 (the shard-1 active)", s.BarrierKills)
+	if s.BarrierKills != 0 || s.Quiesces != 0 {
+		t.Fatalf("BarrierKills=%d Quiesces=%d, want 0/0 (no global barrier under 2PC)", s.BarrierKills, s.Quiesces)
 	}
-	// The victim's next step is rejected as unknown.
-	if res := eng.Submit(model.WriteFinal(7)); res.Outcome != OutcomeRejected {
-		t.Fatalf("victim final after kill: %v (%v)", res.Outcome, res.Err)
+	for i, p := range s.PreparedByShard {
+		if p != 0 {
+			t.Fatalf("shard %d still has %d prepared sub-transactions after the decision", i, p)
+		}
 	}
-	// The referee agrees with everything that was accepted.
+	// The bystander survived the cross commit and completes normally.
+	if res := eng.Submit(model.WriteFinal(7, 4)); !res.Accepted() || res.CompletedTxn != 7 {
+		t.Fatalf("bystander final after cross commit: %v (%v)", res.Outcome, res.Err)
+	}
+	// The referee agrees with everything that was accepted, and both
+	// transactions' steps are in the accepted subschedule.
 	if err := log.CheckAcceptedCSR(); err != nil {
 		t.Fatal(err)
 	}
-	// The killed victim's steps are excluded from the accepted subschedule.
+	survivors := map[model.TxnID]bool{}
 	for _, st := range log.AcceptedSubschedule() {
-		if st.Txn == 7 {
-			t.Fatalf("barrier victim's step %v survived in the accepted subschedule", st)
+		survivors[st.Txn] = true
+	}
+	if !survivors[7] || !survivors[9] {
+		t.Fatalf("accepted subschedule lost a committed transaction: %v", survivors)
+	}
+}
+
+// TestCrossCycleDetectedAtPrepare builds the cycle the stop-the-world
+// coordinator existed to prevent — two cross transactions whose shard-local
+// paths compose into a global cycle — and checks the cross-arc registry
+// catches it at PREPARE time, aborting only the cross transaction itself.
+func TestCrossCycleDetectedAtPrepare(t *testing.T) {
+	log := trace.NewSafeLog()
+	eng := New(Config{Shards: 2, Log: log})
+	defer eng.Close()
+
+	// Entities 0 (shard 0) and 1 (shard 1). Both transactions participate
+	// on both shards.
+	mustAccept := func(res Result) {
+		t.Helper()
+		if !res.Accepted() {
+			t.Fatalf("%v: %v (%v)", res.Step, res.Outcome, res.Err)
 		}
+	}
+	mustAccept(eng.Submit(model.BeginDeclared(1, 0, 1)))
+	mustAccept(eng.Submit(model.BeginDeclared(2, 0, 1)))
+	mustAccept(eng.Submit(model.Read(1, 0))) // T1 reads x on shard 0
+	mustAccept(eng.Submit(model.Read(2, 1))) // T2 reads y on shard 1
+	// T2 writes x: shard 0 gets arc T1→T2 (reader before writer), which the
+	// registry records as an inter-shard reach-arc T1→T2.
+	res := eng.Submit(model.WriteFinal(2, 0))
+	if !res.Accepted() || res.CompletedTxn != 2 {
+		t.Fatalf("T2 final: %v (%v)", res.Outcome, res.Err)
+	}
+	// T1 writes y: shard 1 would add arc T2→T1, composing with T1→T2 into
+	// a global cycle no single shard can see. The registry vetoes the
+	// prepare; T1 aborts, nothing else does.
+	res = eng.Submit(model.WriteFinal(1, 1))
+	if res.Outcome != OutcomeRejected || res.Aborted != 1 {
+		t.Fatalf("T1 final: %v (%v), want rejected cross abort", res.Outcome, res.Err)
+	}
+	if !errors.Is(res.Err, ErrCrossCycle) {
+		t.Fatalf("T1 final err = %v, want ErrCrossCycle", res.Err)
+	}
+	s := eng.Stats()
+	if s.CrossAborts != 1 || s.BarrierKills != 0 {
+		t.Fatalf("stats = %+v, want 1 cross abort and 0 barrier kills", s)
+	}
+	for i, p := range s.PreparedByShard {
+		if p != 0 {
+			t.Fatalf("shard %d leaked %d prepared pins after the cross abort", i, p)
+		}
+	}
+	// The referee must agree: with T1 excluded the subschedule is CSR (and
+	// it would not have been with both).
+	if err := log.CheckAcceptedCSR(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrossAbortReleasesPins is the regression test for aborting a cross
+// transaction part-way: a client abort after sub-transactions and reads
+// exist on several shards, and a prepare that fails on the second
+// participant, must both release every participant's state (pins included)
+// deterministically — proven by reusing the IDs, which only works if every
+// shard forgot them.
+func TestCrossAbortReleasesPins(t *testing.T) {
+	eng := New(Config{Shards: 3})
+	defer eng.Close()
+
+	// Client abort mid-flight: sub-transactions live on shards 0,1,2.
+	if res := eng.Submit(model.BeginDeclared(1, 0, 1, 2)); !res.Accepted() {
+		t.Fatalf("begin: %v (%v)", res.Outcome, res.Err)
+	}
+	if res := eng.Submit(model.Read(1, 1)); !res.Accepted() {
+		t.Fatalf("read: %v (%v)", res.Outcome, res.Err)
+	}
+	if !eng.Abort(1) {
+		t.Fatal("abort of live cross txn returned false")
+	}
+	if eng.Abort(1) {
+		t.Fatal("second abort returned true")
+	}
+	if res := eng.Submit(model.Read(1, 0)); res.Outcome != OutcomeRejected || !errors.Is(res.Err, ErrUnknownTxn) {
+		t.Fatalf("read after abort: %v (%v)", res.Outcome, res.Err)
+	}
+	// Every shard released its sub-transaction: the ID is reusable.
+	if res := eng.Submit(model.BeginDeclared(1, 0, 1, 2)); !res.Accepted() {
+		t.Fatalf("begin after abort (ID reuse): %v (%v)", res.Outcome, res.Err)
+	}
+	if res := eng.Submit(model.WriteFinal(1, 0, 1, 2)); !res.Accepted() || res.CompletedTxn != 1 {
+		t.Fatalf("reused txn final: %v (%v)", res.Outcome, res.Err)
+	}
+
+	// Prepare failure on the second participant: T10 reads entity 3 on
+	// shard 0 and entity 4 on shard 1; a conflicting committed local write
+	// on shard 1 makes T10's final write close a local cycle there, so the
+	// first participant (shard 0) votes yes and pins, then shard 1 votes
+	// no — the abort must unpin shard 0.
+	if res := eng.Submit(model.BeginDeclared(10, 3, 4)); !res.Accepted() {
+		t.Fatalf("T10 begin: %v (%v)", res.Outcome, res.Err)
+	}
+	if res := eng.Submit(model.Read(10, 3)); !res.Accepted() {
+		t.Fatalf("T10 read 3: %v (%v)", res.Outcome, res.Err)
+	}
+	if res := eng.Submit(model.Read(10, 4)); !res.Accepted() {
+		t.Fatalf("T10 read 4: %v (%v)", res.Outcome, res.Err)
+	}
+	// Local T11 on shard 1: writes 4 after T10's read (arc T10→T11)…
+	if res := eng.Submit(model.BeginDeclared(11, 4)); !res.Accepted() {
+		t.Fatalf("T11 begin: %v (%v)", res.Outcome, res.Err)
+	}
+	if res := eng.Submit(model.WriteFinal(11, 4)); !res.Accepted() {
+		t.Fatalf("T11 final: %v (%v)", res.Outcome, res.Err)
+	}
+	// …then T10's final write of {3,4}: shard 0 prepares fine (and pins),
+	// but on shard 1 the write needs arc T11→T10 while T10→T11 already
+	// exists — a local cycle, so shard 1 votes no.
+	res := eng.Submit(model.WriteFinal(10, 3, 4))
+	if res.Outcome != OutcomeRejected || res.Aborted != 10 {
+		t.Fatalf("T10 final: %v (%v), want local-cycle rejection", res.Outcome, res.Err)
+	}
+	s := eng.Stats()
+	for i, p := range s.PreparedByShard {
+		if p != 0 {
+			t.Fatalf("shard %d leaked %d prepared pins after vote-no abort", i, p)
+		}
+	}
+	if s.BarrierKills != 0 {
+		t.Fatalf("BarrierKills = %d, want 0", s.BarrierKills)
+	}
+	// Both IDs reusable: every participant cleaned up.
+	if res := eng.Submit(model.BeginDeclared(10, 3, 4)); !res.Accepted() {
+		t.Fatalf("T10 reuse after vote-no: %v (%v)", res.Outcome, res.Err)
 	}
 }
 
@@ -152,9 +293,9 @@ func TestClientAbort(t *testing.T) {
 	if eng.Abort(1) {
 		t.Fatal("second abort returned true")
 	}
-	eng.Submit(model.BeginDeclared(2, 0, 1)) // cross, buffered
+	eng.Submit(model.BeginDeclared(2, 0, 1)) // cross: sub-txns on shards 0,1
 	if !eng.Abort(2) {
-		t.Fatal("abort of buffered cross txn returned false")
+		t.Fatal("abort of live cross txn returned false")
 	}
 	if res := eng.Submit(model.Read(2, 0)); res.Outcome != OutcomeRejected {
 		t.Fatalf("read after cross abort: %v", res.Outcome)
@@ -182,6 +323,10 @@ func TestGCDeletesUnderLoad(t *testing.T) {
 		eng.Submit(model.Read(id, x))
 		eng.Submit(model.WriteFinal(id, x))
 	}
+	// Quiesce before comparing the engine's atomic Deleted counter with the
+	// schedulers' (a post-batch sweep can land between the two reads on a
+	// live engine); Close is idempotent with the deferred one.
+	eng.Close()
 	s := eng.Stats()
 	if s.Deleted == 0 || s.Sweeps == 0 {
 		t.Fatalf("no GC happened: %+v", s)
@@ -239,17 +384,24 @@ func TestConcurrentSubmitRace(t *testing.T) {
 	wg.Wait()
 
 	s := eng.Stats()
-	if s.Accepted != s.Merged.Accepted {
-		t.Fatalf("engine Accepted=%d != scheduler Accepted=%d", s.Accepted, s.Merged.Accepted)
+	// Engine counters are logical (one BEGIN/final/completion per cross
+	// transaction) while scheduler counters see one sub-transaction per
+	// participant, so the per-shard sums dominate whenever cross traffic
+	// ran.
+	if s.Accepted > s.Merged.Accepted {
+		t.Fatalf("engine Accepted=%d > scheduler Accepted=%d", s.Accepted, s.Merged.Accepted)
 	}
-	if s.Completed != s.Merged.Completed {
-		t.Fatalf("engine Completed=%d != scheduler Completed=%d", s.Completed, s.Merged.Completed)
+	if s.Completed > s.Merged.Completed {
+		t.Fatalf("engine Completed=%d > scheduler Completed=%d", s.Completed, s.Merged.Completed)
 	}
 	if s.CrossTxns == 0 {
 		t.Fatal("no cross transactions ran")
 	}
 	if s.Completed+s.Aborted == 0 {
 		t.Fatal("nothing finished")
+	}
+	if s.BarrierKills != 0 || s.Quiesces != 0 {
+		t.Fatalf("BarrierKills=%d Quiesces=%d, want 0/0 under 2PC", s.BarrierKills, s.Quiesces)
 	}
 }
 
@@ -292,18 +444,22 @@ func TestReusedIDDoesNotPoisonRoute(t *testing.T) {
 // the ID of a retained committed transaction must fail without marking the
 // *original* transaction aborted in the trace (regression: MarkAborted used
 // to erase the committed transaction's steps from the referee's input).
+// Under 2PC the collision surfaces at BEGIN (the sub-begin fan-out hits the
+// duplicate on shard 0 and rolls back), not at the final write.
 func TestCrossReuseKeepsOriginalInTrace(t *testing.T) {
 	log := trace.NewSafeLog()
 	eng := New(Config{Shards: 2, Log: log}) // nogc keeps T1 retained on shard 0
 	defer eng.Close()
 	eng.Submit(model.BeginDeclared(1, 0))
 	eng.Submit(model.WriteFinal(1, 0))
-	// Reuse ID 1 for a cross transaction; its atomic apply hits a
-	// duplicate-BEGIN protocol error on shard 0.
-	eng.Submit(model.BeginDeclared(1, 0, 1))
-	res := eng.Submit(model.WriteFinal(1, 1))
-	if res.Outcome != OutcomeError {
-		t.Fatalf("cross reuse final: %v (%v), want error", res.Outcome, res.Err)
+	// Reuse ID 1 for a cross transaction; the sub-begin on shard 0 hits a
+	// duplicate-BEGIN protocol error and the fan-out rolls back.
+	if res := eng.Submit(model.BeginDeclared(1, 0, 1)); res.Outcome != OutcomeError {
+		t.Fatalf("cross reuse begin: %v (%v), want error", res.Outcome, res.Err)
+	}
+	// No route was left behind: the follow-up final write is unknown.
+	if res := eng.Submit(model.WriteFinal(1, 1)); res.Outcome != OutcomeRejected || !errors.Is(res.Err, ErrUnknownTxn) {
+		t.Fatalf("cross reuse final: %v (%v), want rejected/ErrUnknownTxn", res.Outcome, res.Err)
 	}
 	var got int
 	for _, st := range log.AcceptedSubschedule() {
@@ -329,5 +485,76 @@ func TestStatsCloseRace(t *testing.T) {
 		if s.Merged.Completed != 1 {
 			t.Fatalf("iter %d: Merged.Completed = %d, want 1", i, s.Merged.Completed)
 		}
+	}
+}
+
+// TestCrossIDReuseStaleLabels is the regression test for stale
+// cross-ancestor labels colliding with TxnID reuse: after cross T1 aborts,
+// its labels linger lazily on completed nodes; if the same ID is reused
+// for a new cross transaction, those stale entries must be purged — or the
+// label flood stops at them, the registry misses the new incarnation's
+// reach-path, and a global cycle commits. With the purge, the
+// cycle-closing local write is vetoed; the incarnation-aware referee
+// double-checks the accepted subschedule either way.
+func TestCrossIDReuseStaleLabels(t *testing.T) {
+	log := trace.NewSafeLog()
+	eng := New(Config{Shards: 2, Log: log})
+	defer eng.Close()
+	must := func(res Result) {
+		t.Helper()
+		if !res.Accepted() {
+			t.Fatalf("%v: %v (%v)", res.Step, res.Outcome, res.Err)
+		}
+	}
+	// Era 1: long-lived local v reads e0; cross T1 reads e0; local L's
+	// write of e0 hands label 1 to L (and arc v→L); local M extends the
+	// chain (arc L→M, label 1 on M); then T1 aborts, leaving stale labels.
+	must(eng.Submit(model.BeginDeclared(5, 0, 8))) // v, shard 0
+	must(eng.Submit(model.Read(5, 0)))
+	must(eng.Submit(model.BeginDeclared(1, 0, 9))) // T1 cross {0,1}
+	must(eng.Submit(model.Read(1, 0)))
+	must(eng.Submit(model.BeginDeclared(7, 0, 4))) // L, shard 0
+	must(eng.Submit(model.WriteFinal(7, 0, 4)))
+	must(eng.Submit(model.BeginDeclared(11, 4, 6))) // M, shard 0
+	must(eng.Submit(model.Read(11, 4)))
+	must(eng.Submit(model.WriteFinal(11, 6)))
+	if !eng.Abort(1) {
+		t.Fatal("abort of T1")
+	}
+	// T2 links M→T2 while label 1 is dead (pruned from the tail M, but L
+	// still carries its stale copy).
+	must(eng.Submit(model.BeginDeclared(2, 6, 9))) // T2 cross {0,1}
+	must(eng.Submit(model.Read(2, 6)))
+	// Era 2: reuse ID 1 for a fresh cross transaction (purge must clear
+	// L's stale label here), then close the loop: T2 commits writing e9,
+	// new T1 reads it (reach-arc 2→1), and v's write of e8 would complete
+	// the path 1→v→L→M→2 — a global cycle — so it must be vetoed.
+	must(eng.Submit(model.BeginDeclared(1, 8, 9)))
+	must(eng.Submit(model.Read(1, 8)))
+	must(eng.Submit(model.WriteFinal(2, 9)))
+	must(eng.Submit(model.Read(1, 9)))
+	res := eng.Submit(model.WriteFinal(5, 8))
+	if res.Outcome != OutcomeRejected || res.Aborted != 5 {
+		t.Fatalf("cycle-closing write: %v (%v), want rejection aborting T5 (stale label hid the reach-path?)",
+			res.Outcome, res.Err)
+	}
+	// The reused transaction itself commits fine.
+	res = eng.Submit(model.WriteFinal(1))
+	if !res.Accepted() || res.CompletedTxn != 1 {
+		t.Fatalf("reused T1 final: %v (%v)", res.Outcome, res.Err)
+	}
+	if err := log.CheckAcceptedCSR(); err != nil {
+		t.Fatal(err)
+	}
+	// The referee actually sees the second incarnation (it must not be
+	// blinded by the first incarnation's abort).
+	var era2 int
+	for _, st := range log.AcceptedSubschedule() {
+		if st.Txn == 1 {
+			era2++
+		}
+	}
+	if era2 == 0 {
+		t.Fatal("referee dropped the reused incarnation's steps")
 	}
 }

@@ -94,8 +94,93 @@ func TestOracleShardedCSR(t *testing.T) {
 			if s.CrossTxns == 0 {
 				t.Errorf("policy %s: no cross-partition transactions exercised", name)
 			}
-			t.Logf("policy %s: %d accepted, %d completed, %d deleted, %d cross, %d quiesces, %d kills",
-				name, s.Accepted, s.Completed, s.Deleted, s.CrossTxns, s.Quiesces, s.BarrierKills)
+			if s.BarrierKills != 0 || s.Quiesces != 0 {
+				t.Errorf("policy %s: BarrierKills=%d Quiesces=%d, want 0/0 under 2PC",
+					name, s.BarrierKills, s.Quiesces)
+			}
+			t.Logf("policy %s: %d accepted, %d completed, %d deleted, %d cross, %d prepares, %d cross-aborts",
+				name, s.Accepted, s.Completed, s.Deleted, s.CrossTxns, s.Prepares, s.CrossAborts)
+		})
+	}
+}
+
+// TestOracleCrossHeavyCSR is the 2PC stress oracle: a quarter of all
+// transactions span partitions (some across three shards), every deletion
+// policy runs, and concurrent drivers hammer the engine — run under -race
+// in CI. The offline referee rebuilds the conflict graph of the accepted
+// subschedule over *logical* transactions (sub-transactions share the
+// logical TxnID, so the fold is by construction) and must find it acyclic;
+// and no cross-partition commit may kill a bystander (BarrierKills == 0 is
+// the tentpole's success metric).
+func TestOracleCrossHeavyCSR(t *testing.T) {
+	policies := map[string]func() core.Policy{
+		"nogc":            nil,
+		"lemma1":          func() core.Policy { return core.Lemma1Policy{} },
+		"greedy-c1":       func() core.Policy { return core.GreedyC1{} },
+		"noncurrent-safe": func() core.Policy { return core.NoncurrentSafe{} },
+		"max-safe":        func() core.Policy { return core.MaxSafeExact{} },
+	}
+	for name, factory := range policies {
+		t.Run(name, func(t *testing.T) {
+			log := trace.NewSafeLog()
+			eng := New(Config{
+				Shards:                4,
+				Policy:                factory,
+				SweepEveryCompletions: 2,
+				BatchSize:             16,
+				Log:                   log,
+			})
+			defer eng.Close()
+
+			const drivers = 4
+			var wg sync.WaitGroup
+			for d := 0; d < drivers; d++ {
+				wg.Add(1)
+				go func(d int) {
+					defer wg.Done()
+					cfg := workload.Config{
+						Entities:         48,
+						Txns:             200,
+						MaxActive:        5,
+						Shards:           4,
+						CrossFrac:        0.25,
+						CrossShards:      2 + d%2, // half the drivers span 3 partitions
+						DeclareFootprint: true,
+						BaseTxnID:        model.TxnID(d * 1_000_000),
+						RestartAborted:   true,
+						Seed:             int64(9000 + d),
+					}
+					if d == 0 {
+						cfg.Straggler = 8
+					}
+					driveWorkload(eng, cfg)
+				}(d)
+			}
+			wg.Wait()
+
+			if err := log.CheckAcceptedCSR(); err != nil {
+				t.Fatalf("policy %s: accepted subschedule of logical txns not CSR: %v", name, err)
+			}
+			s := eng.Stats()
+			if s.BarrierKills != 0 || s.Quiesces != 0 {
+				t.Fatalf("policy %s: BarrierKills=%d Quiesces=%d, want 0/0", name, s.BarrierKills, s.Quiesces)
+			}
+			if s.CrossTxns == 0 || s.Prepares == 0 {
+				t.Fatalf("policy %s: cross path unexercised (stats %+v)", name, s)
+			}
+			if s.Completed == 0 {
+				t.Fatalf("policy %s: nothing completed", name)
+			}
+			if factory != nil && s.Deleted == 0 {
+				t.Errorf("policy %s: GC never deleted anything under cross-heavy load", name)
+			}
+			for i, p := range s.PreparedByShard {
+				if p != 0 {
+					t.Errorf("policy %s: shard %d leaked %d prepared pins", name, i, p)
+				}
+			}
+			t.Logf("policy %s: %d completed, %d deleted, %d cross, %d prepares, %d cross-aborts, peak kept %d",
+				name, s.Completed, s.Deleted, s.CrossTxns, s.Prepares, s.CrossAborts, s.Merged.PeakKept)
 		})
 	}
 }

@@ -10,21 +10,36 @@ import (
 type reqKind uint8
 
 const (
-	// reqStep applies one step to the shard's scheduler.
+	// reqStep applies one step to the shard's scheduler (local steps and
+	// cross sub-transaction reads alike).
 	reqStep reqKind = iota
 	// reqBatch applies a run of steps in one round-trip (SubmitBatch).
 	reqBatch
 	// reqStats snapshots the shard's scheduler counters.
 	reqStats
-	// reqCross atomically applies a buffered cross-partition transaction
-	// (shard 0 only, sent by the coordinator with the gate closed).
-	reqCross
-	// reqAbortAll kills every active transaction (coordinator barrier).
-	reqAbortAll
-	// reqAbortOne kills one active transaction (misroute / client abort).
+	// reqBeginSub begins a sub-transaction of a cross-partition
+	// transaction on this shard.
+	reqBeginSub
+	// reqPrepareSub is phase one of a cross-partition final write: vote on
+	// this shard's slice of the write set, pinning the sub-node on yes.
+	reqPrepareSub
+	// reqCommitSub is the COMMIT decision for a prepared sub-transaction.
+	reqCommitSub
+	// reqAbortSub releases a sub-transaction (any state: begun, mid-reads,
+	// or prepared) — the ABORT decision, a sibling-abort, or a client
+	// abort.
+	reqAbortSub
+	// reqAbortOne kills one active local transaction (misroute / client
+	// abort).
 	reqAbortOne
-	// reqKick re-examines parked BEGINs after the gate reopened.
-	reqKick
+	// reqUpkeep is a no-op wake-up: the 2PC driver kicks participants
+	// after a commit decision so a shard blocked waiting for traffic runs
+	// its registry upkeep (reportCrossClean) promptly.
+	reqUpkeep
+	// reqPurgeLabel erases stale cross-ancestor labels of a dead
+	// incarnation before its TxnID is re-registered (see
+	// crossRegistry.register).
+	reqPurgeLabel
 	// reqStop shuts the shard down.
 	reqStop
 )
@@ -35,9 +50,8 @@ type request struct {
 	// steps is a reqBatch's remaining pipeline; it aliases the caller's
 	// input (the caller blocks until the reply, so the shard owns it).
 	steps []model.Step
-	// done accumulates a reqBatch's results, surviving a mid-batch park.
+	// done accumulates a reqBatch's results.
 	done  []Result
-	ct    *crossTxn
 	reply chan reply
 }
 
@@ -45,7 +59,6 @@ type reply struct {
 	res     Result
 	results []Result
 	stats   core.Stats
-	killed  []model.TxnID
 }
 
 // shard is one entity partition: a single-writer goroutine owning one
@@ -60,12 +73,13 @@ type shard struct {
 	// picked up by the shard goroutine — the submission backlog surfaced
 	// in Stats.QueueDepth for admission-control decisions.
 	depth atomic.Int64
-	// parked holds requests deferred while the admission gate is closed
-	// (BEGIN steps, or batches whose next step is a BEGIN); their clients
-	// block in Submit/SubmitBatch until the gate reopens.
-	parked []request
+	// preparedN is the number of prepared-but-undecided sub-transactions
+	// currently pinned on this shard (Stats.PreparedByShard).
+	preparedN atomic.Int64
 	// sinceSweep counts completions/aborts since the last GC sweep.
 	sinceSweep int
+	// cleanBuf is scratch for cross-registry clean reporting.
+	cleanBuf []model.TxnID
 	// final is the scheduler's last Stats, published via close(done).
 	final core.Stats
 }
@@ -121,7 +135,12 @@ func (sh *shard) do(req request) (reply, bool) {
 	}
 }
 
-// run is the shard goroutine: drain a batch, apply it, then sweep.
+// run is the shard goroutine: drain a batch, apply it, then sweep. No
+// timer is needed for registry upkeep: a shard's cleanliness verdict
+// (HasActivePredecessor over its own graph) can only change through a
+// request this shard processes, and every processed batch ends in
+// reportCrossClean — while the decided-transition itself is delivered by
+// the reqUpkeep kick the 2PC driver sends after decideCommit.
 func (sh *shard) run() {
 	defer close(sh.done)
 	for {
@@ -143,6 +162,10 @@ func (sh *shard) run() {
 		// Amortized GC between batches: replies are already out, so sweep
 		// cost never lands on an individual submission's latency.
 		sh.maybeSweep()
+		// Registry upkeep: report decided cross sub-transactions whose
+		// ancestor set froze, so the registry can retire them and unblock
+		// deletion of their labeled successors.
+		sh.reportCrossClean()
 		if stop {
 			sh.shutdown()
 			return
@@ -153,52 +176,46 @@ func (sh *shard) run() {
 func (sh *shard) handle(req request) (stop bool) {
 	switch req.kind {
 	case reqStep:
-		if req.step.Kind == model.KindBegin && sh.eng.gateIsClosed() {
-			sh.parked = append(sh.parked, req)
-			return false
-		}
 		req.reply <- reply{res: sh.applyOne(req.step)}
 	case reqBatch:
-		sh.handleBatch(req)
+		for _, st := range req.steps {
+			req.done = append(req.done, sh.applyOne(st))
+		}
+		req.reply <- reply{results: req.done}
 	case reqStats:
 		req.reply <- reply{stats: sh.sched.Stats()}
-	case reqCross:
-		req.reply <- reply{res: sh.applyCross(req.ct)}
-	case reqAbortAll:
-		req.reply <- reply{killed: sh.abortAll()}
+	case reqBeginSub:
+		req.reply <- reply{res: sh.applyBeginSub(req.step)}
+	case reqPrepareSub:
+		req.reply <- reply{res: sh.applyPrepareSub(req.step)}
+	case reqCommitSub:
+		req.reply <- reply{res: sh.applyCommitSub(req.step.Txn)}
+	case reqAbortSub:
+		sh.applyAbortSub(req.step.Txn)
+		req.reply <- reply{}
 	case reqAbortOne:
 		if err := sh.sched.AbortTxn(req.step.Txn); err == nil {
 			sh.eng.aborted.Add(1)
 			sh.sinceSweep++
 		}
 		req.reply <- reply{}
-	case reqKick:
-		sh.unpark()
+	case reqUpkeep:
+		// Nothing to do here: the run loop calls reportCrossClean after
+		// every batch; this request exists only to unblock the receive.
+	case reqPurgeLabel:
+		sh.sched.PurgeLabel(req.step.Txn)
+		req.reply <- reply{}
 	case reqStop:
 		return true
 	}
 	return false
 }
 
-// handleBatch pipelines a run of same-shard steps through the scheduler.
-// If the admission gate closes in front of a BEGIN mid-batch, the batch
-// parks with its partial results and resumes on the next kick, exactly
-// like a parked single-step BEGIN (the client stays blocked meanwhile).
-func (sh *shard) handleBatch(req request) {
-	for len(req.steps) > 0 {
-		st := req.steps[0]
-		if st.Kind == model.KindBegin && sh.eng.gateIsClosed() {
-			sh.parked = append(sh.parked, req)
-			return
-		}
-		req.done = append(req.done, sh.applyOne(st))
-		req.steps = req.steps[1:]
-	}
-	req.reply <- reply{results: req.done}
-}
-
 // applyOne runs one step on the scheduler and returns the engine-level
-// result, updating the engine counters and route table.
+// result, updating the engine counters and route table. A rejected step of
+// a cross sub-transaction removes only this shard's sub-node; the
+// submitting goroutine owns the logical abort (siblings, route, counters),
+// so route and abort bookkeeping are skipped here for cross routes.
 func (sh *shard) applyOne(step model.Step) Result {
 	eng := sh.eng
 	res, err := sh.sched.Apply(step)
@@ -223,97 +240,76 @@ func (sh *shard) applyOne(step model.Step) Result {
 		sh.sinceSweep++
 	}
 	if res.Aborted != model.NoTxn {
-		eng.aborted.Add(1)
-		eng.routes.Delete(res.Aborted)
 		sh.sinceSweep++
-	}
-	return out
-}
-
-// applyCross applies a buffered cross-partition transaction back-to-back.
-// The coordinator guarantees no transaction is active on any shard and the
-// gate is closed, so these steps form an atomic block of the global
-// schedule.
-func (sh *shard) applyCross(ct *crossTxn) Result {
-	eng := sh.eng
-	out := Result{Step: ct.steps[len(ct.steps)-1], Aborted: model.NoTxn, CompletedTxn: model.NoTxn}
-	applied := false
-	for _, st := range ct.steps {
-		res, err := sh.sched.Apply(st)
-		if err != nil {
-			// Protocol violation (e.g. a reused ID whose original is still
-			// retained): undo any partial application to restore the
-			// no-actives invariant. Only a transaction we actually started
-			// may be marked aborted — ct.id could name a *different*,
-			// committed transaction whose accepted steps must stay in the
-			// accepted subschedule.
-			if applied && sh.sched.Status(ct.id) == model.StatusActive {
-				_ = sh.sched.AbortTxn(ct.id)
-				if eng.cfg.Log != nil {
-					eng.cfg.Log.MarkAborted(ct.id)
-				}
-				eng.aborted.Add(1)
-				sh.sinceSweep++
-				out.Aborted = ct.id
-			}
-			out.Outcome = OutcomeError
-			out.Err = err
-			return out
-		}
-		applied = true
-		if eng.cfg.Log != nil {
-			eng.cfg.Log.Append(st, res.Accepted)
-		}
-		if !res.Accepted {
-			eng.rejected.Add(1)
+		if v, ok := eng.routes.Load(res.Aborted); !ok || v.(*route).kind != routeCross {
 			eng.aborted.Add(1)
-			sh.sinceSweep++
-			out.Outcome = OutcomeRejected
-			out.Aborted = ct.id
-			return out
+			eng.routes.Delete(res.Aborted)
 		}
-		eng.accepted.Add(1)
 	}
-	eng.completed.Add(1)
-	sh.sinceSweep++
-	out.Outcome = OutcomeAccepted
-	out.CompletedTxn = ct.id
 	return out
 }
 
-// abortAll kills every active transaction on this shard (coordinator
-// barrier). Removing active nodes is always safe; the victims' accepted
-// steps are excluded from the accepted subschedule via MarkAborted.
-func (sh *shard) abortAll() []model.TxnID {
-	ids := sh.sched.ActiveTxns()
-	for _, id := range ids {
-		_ = sh.sched.AbortTxn(id)
-		if sh.eng.cfg.Log != nil {
-			sh.eng.cfg.Log.MarkAborted(id)
-		}
-		sh.eng.routes.Delete(id)
-		sh.eng.aborted.Add(1)
-		sh.sinceSweep++
+// applyBeginSub begins a cross sub-transaction on this shard's scheduler.
+// Engine-level logical counters are the 2PC driver's job; the shard only
+// applies and logs.
+func (sh *shard) applyBeginSub(step model.Step) Result {
+	if _, err := sh.sched.BeginCross(step); err != nil {
+		return Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: err}
 	}
-	return ids
+	if sh.eng.cfg.Log != nil {
+		sh.eng.cfg.Log.Append(step, true)
+	}
+	return Result{Step: step, Outcome: OutcomeAccepted, Aborted: model.NoTxn, CompletedTxn: model.NoTxn}
 }
 
-// unpark re-examines parked requests once the gate reopens. If the gate
-// closed again in the meantime they simply park again.
-func (sh *shard) unpark() {
-	parked := sh.parked
-	sh.parked = nil
-	for i, req := range parked {
-		if sh.eng.gateIsClosed() {
-			sh.parked = append(sh.parked, parked[i:]...)
-			return
+// applyPrepareSub votes on this shard's slice of a cross final write. A
+// YES vote logs the write at its conflict position (the arcs go into the
+// graph now; a later ABORT excludes the transaction via MarkAborted) and
+// pins the sub-node.
+func (sh *shard) applyPrepareSub(step model.Step) Result {
+	vote, err := sh.sched.PrepareFinal(step)
+	// The gauge tracks the scheduler's prepared state, not the vote: a
+	// late registry veto (VoteCrossCycle out of crossFlood) leaves the
+	// node prepared+pinned until the coordinator's abort, and that abort
+	// decrements the gauge via applyAbortSub.
+	if sh.sched.Prepared(step.Txn) {
+		sh.preparedN.Add(1)
+	}
+	if err != nil {
+		return Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: err}
+	}
+	switch vote {
+	case core.VoteYes:
+		if sh.eng.cfg.Log != nil {
+			sh.eng.cfg.Log.Append(step, true)
 		}
-		switch req.kind {
-		case reqBatch:
-			sh.handleBatch(req) // may re-park itself
-		default:
-			req.reply <- reply{res: sh.applyOne(req.step)}
-		}
+		return Result{Step: step, Outcome: OutcomeAccepted, Aborted: model.NoTxn, CompletedTxn: model.NoTxn}
+	case core.VoteCrossCycle:
+		return Result{Step: step, Outcome: OutcomeRejected, Aborted: step.Txn, CompletedTxn: model.NoTxn, Err: ErrCrossCycle}
+	default: // VoteLocalCycle
+		return Result{Step: step, Outcome: OutcomeRejected, Aborted: step.Txn, CompletedTxn: model.NoTxn}
+	}
+}
+
+// applyCommitSub completes a prepared sub-transaction (COMMIT decision).
+func (sh *shard) applyCommitSub(id model.TxnID) Result {
+	res, err := sh.sched.CommitPrepared(id)
+	if err != nil {
+		return Result{Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: err}
+	}
+	sh.preparedN.Add(-1)
+	sh.sinceSweep++
+	return Result{Outcome: OutcomeAccepted, Aborted: model.NoTxn, CompletedTxn: res.CompletedTxn}
+}
+
+// applyAbortSub releases a sub-transaction in any state; unknown IDs (the
+// scheduler already rejected a step of it here) are fine.
+func (sh *shard) applyAbortSub(id model.TxnID) {
+	if sh.sched.Prepared(id) {
+		sh.preparedN.Add(-1)
+	}
+	if err := sh.sched.AbortTxn(id); err == nil {
+		sh.sinceSweep++
 	}
 }
 
@@ -327,8 +323,27 @@ func (sh *shard) maybeSweep() {
 	sh.sinceSweep = 0
 }
 
-// shutdown fails parked and still-queued requests so no client blocks
-// forever, publishes final stats, and returns.
+// reportCrossClean tells the registry which decided cross transactions
+// have a frozen ancestor set on this shard (no active ancestor — Lemma 1's
+// premise, which is monotone once the sub-node is completed). When every
+// participant has reported, the registry retires the transaction and its
+// labels die, unblocking deletion downstream.
+func (sh *shard) reportCrossClean() {
+	reg := sh.eng.registry
+	if reg.cleanPending[sh.idx].Load() == 0 {
+		return
+	}
+	sh.cleanBuf = reg.pendingClean(sh.idx, sh.cleanBuf[:0])
+	for _, id := range sh.cleanBuf {
+		t := sh.sched.Txn(id)
+		if t == nil || !core.HasActivePredecessor(sh.sched, sh.sched.Graph(), id) {
+			reg.reportClean(id, sh.idx)
+		}
+	}
+}
+
+// shutdown fails still-queued requests so no client blocks forever,
+// publishes final stats, and returns.
 func (sh *shard) shutdown() {
 	sh.final = sh.sched.Stats()
 	fail := func(req request) {
@@ -336,8 +351,8 @@ func (sh *shard) shutdown() {
 			return
 		}
 		if req.kind == reqBatch {
-			// Remaining steps of a parked/queued batch fail; results
-			// already computed are delivered as-is.
+			// Remaining steps of a queued batch fail; results already
+			// computed are delivered as-is.
 			for _, st := range req.steps {
 				req.done = append(req.done, Result{Step: st, Outcome: OutcomeError,
 					Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: ErrClosed})
@@ -350,10 +365,6 @@ func (sh *shard) shutdown() {
 		req.reply <- reply{stats: sh.final, res: Result{Step: req.step, Outcome: OutcomeError,
 			Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: ErrClosed}}
 	}
-	for _, req := range sh.parked {
-		fail(req)
-	}
-	sh.parked = nil
 	for {
 		select {
 		case req := <-sh.ch:

@@ -101,6 +101,14 @@ type Graph struct {
 	tmark  []uint32
 	tepoch uint32
 	tlist  []Ref
+
+	// pinned marks prepared-but-undecided nodes (a cross-shard
+	// sub-transaction between its PREPARE vote and the coordinator's
+	// decision). Pins are advisory: deletion policies must skip pinned
+	// nodes, while RemoveRef/ReduceRef still operate (the decision itself
+	// releases the node). Cleared automatically when the slot is freed.
+	pinned []bool
+	pins   int
 }
 
 // New returns an empty graph.
@@ -143,6 +151,7 @@ func (g *Graph) AddNodeRef(id model.TxnID) Ref {
 		g.in = append(g.in, nil)
 		g.visited = append(g.visited, 0)
 		g.tmark = append(g.tmark, 0)
+		g.pinned = append(g.pinned, false)
 	}
 	g.idx[id] = r
 	g.nodes++
@@ -334,6 +343,38 @@ func (g *Graph) RemoveNode(id model.TxnID) {
 	}
 }
 
+// PinRef marks slot r as pinned (a prepared-but-undecided sub-transaction).
+// Pinning is idempotent.
+func (g *Graph) PinRef(r Ref) {
+	if !g.pinned[r] {
+		g.pinned[r] = true
+		g.pins++
+	}
+}
+
+// UnpinRef clears the pin on slot r (idempotent).
+func (g *Graph) UnpinRef(r Ref) {
+	if g.pinned[r] {
+		g.pinned[r] = false
+		g.pins--
+	}
+}
+
+// PinnedRef reports whether slot r is pinned.
+func (g *Graph) PinnedRef(r Ref) bool { return g.pinned[r] }
+
+// NumPinned returns the number of pinned nodes.
+func (g *Graph) NumPinned() int { return g.pins }
+
+// OutRefs returns slot r's successor slots. The slice aliases the graph's
+// adjacency storage: callers must treat it as read-only and must not hold
+// it across mutations.
+func (g *Graph) OutRefs(r Ref) []Ref { return g.out[r] }
+
+// InRefs returns slot r's predecessor slots, under OutRefs' aliasing
+// contract.
+func (g *Graph) InRefs(r Ref) []Ref { return g.in[r] }
+
 // RemoveRef is RemoveNode by slot; r must be a live slot.
 func (g *Graph) RemoveRef(r Ref) {
 	for _, s := range g.out[r] {
@@ -346,6 +387,7 @@ func (g *Graph) RemoveRef(r Ref) {
 	}
 	g.out[r] = g.out[r][:0]
 	g.in[r] = g.in[r][:0]
+	g.UnpinRef(r)
 	delete(g.idx, g.ids[r])
 	g.ids[r] = model.NoTxn
 	g.free = append(g.free, r)
@@ -454,6 +496,11 @@ func (g *Graph) MarkTarget(r Ref) {
 
 // NumTargets returns the size of the current target set.
 func (g *Graph) NumTargets() int { return len(g.tlist) }
+
+// Targets returns the marked slots of the current target set. The slice
+// aliases scratch storage: treat it as read-only and do not hold it past
+// the next ResetTargets.
+func (g *Graph) Targets() []Ref { return g.tlist }
 
 // ReachesAnyTarget reports whether src reaches any marked target by a
 // path of length ≥ 1, or length 0 if src itself is marked. It is the

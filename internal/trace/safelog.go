@@ -51,9 +51,6 @@ func (s *SafeLog) Snapshot() *Log {
 	out := NewLog()
 	out.seq = s.l.seq
 	out.events = append(out.events, s.l.events...)
-	for id := range s.l.aborted {
-		out.aborted.Add(id)
-	}
 	return out
 }
 

@@ -12,38 +12,44 @@ import (
 	"repro/internal/model"
 )
 
-// Event is one submitted step and its outcome.
+// Event is one submitted step and its outcome, or a positional abort mark.
 type Event struct {
 	Seq      int64
 	Step     model.Step
 	Accepted bool
+	// AbortMark records an abort that did not come from a rejected step
+	// (MarkAborted): it kills the current incarnation of Step.Txn at this
+	// position and is not itself a step.
+	AbortMark bool
 }
 
 // Log records every submitted step of a run.
 type Log struct {
-	events  []Event
-	aborted graph.NodeSet
-	seq     int64
+	events []Event
+	seq    int64
 }
 
 // NewLog returns an empty log.
 func NewLog() *Log {
-	return &Log{aborted: make(graph.NodeSet)}
+	return &Log{}
 }
 
 // Append records a step and whether the scheduler accepted it. A rejected
-// step marks its transaction aborted.
+// step aborts its transaction's current incarnation.
 func (l *Log) Append(step model.Step, accepted bool) {
 	l.seq++
 	l.events = append(l.events, Event{Seq: l.seq, Step: step, Accepted: accepted})
-	if !accepted {
-		l.aborted.Add(step.Txn)
-	}
 }
 
-// MarkAborted records an abort that did not come from a rejected step
-// (cascading aborts in the multiple-write model).
-func (l *Log) MarkAborted(id model.TxnID) { l.aborted.Add(id) }
+// MarkAborted records an abort that did not come from a rejected step (a
+// client abort, a cross-partition 2PC ABORT decision, or a cascading abort
+// in the multiple-write model). The mark is positional: it kills the
+// transaction's incarnation that is current at this point of the log, so a
+// later reuse of the same TxnID (a fresh BEGIN) is judged on its own.
+func (l *Log) MarkAborted(id model.TxnID) {
+	l.seq++
+	l.events = append(l.events, Event{Seq: l.seq, Step: model.Step{Txn: id}, AbortMark: true})
+}
 
 // Len returns the number of recorded events.
 func (l *Log) Len() int { return len(l.events) }
@@ -52,15 +58,54 @@ func (l *Log) Len() int { return len(l.events) }
 func (l *Log) Events() []Event { return l.events }
 
 // AcceptedSubschedule returns the paper's "accepted subschedule": the
-// accepted steps of transactions that never aborted, in submission order.
+// accepted steps of transaction incarnations that never aborted, in
+// submission order. Incarnations make the referee sound under TxnID reuse:
+// each BEGIN opens a new incarnation of its ID, an abort (rejected step or
+// MarkAborted) kills only the incarnation current at its position, and a
+// consecutive run of BEGINs (a cross transaction's per-shard sub-begins)
+// leaves earlier incarnations holding bare BEGIN events — isolated nodes
+// the conflict graph ignores.
 func (l *Log) AcceptedSubschedule() []model.Step {
-	var out []model.Step
-	for _, ev := range l.events {
-		if ev.Accepted && !l.aborted.Has(ev.Step.Txn) {
-			out = append(out, ev.Step)
+	steps, _ := l.acceptedIncarnations()
+	return steps
+}
+
+// acceptedIncarnations computes the accepted subschedule plus, per step,
+// the incarnation index of its transaction (1 for the first BEGIN of an
+// ID, 2 after a second BEGIN, …).
+func (l *Log) acceptedIncarnations() ([]model.Step, []int) {
+	type inckey struct {
+		id  model.TxnID
+		inc int
+	}
+	cur := make(map[model.TxnID]int)
+	killed := make(map[inckey]bool)
+	evInc := make([]int, len(l.events))
+	for i, ev := range l.events {
+		id := ev.Step.Txn
+		if ev.AbortMark {
+			killed[inckey{id, cur[id]}] = true
+			evInc[i] = -1
+			continue
+		}
+		if ev.Step.Kind == model.KindBegin {
+			cur[id]++
+		}
+		evInc[i] = cur[id]
+		if !ev.Accepted {
+			killed[inckey{id, cur[id]}] = true
 		}
 	}
-	return out
+	var out []model.Step
+	var incs []int
+	for i, ev := range l.events {
+		if ev.AbortMark || !ev.Accepted || killed[inckey{ev.Step.Txn, evInc[i]}] {
+			continue
+		}
+		out = append(out, ev.Step)
+		incs = append(incs, evInc[i])
+	}
+	return out, incs
 }
 
 // ConflictGraphOf builds, from scratch, the conflict graph of a schedule:
@@ -68,6 +113,14 @@ func (l *Log) AcceptedSubschedule() []model.Step {
 // a step of Ti precedes a conflicting step of Tj. It understands both the
 // basic model (KindWriteFinal) and the multiple-write model (KindWrite);
 // KindBegin and KindFinish contribute nodes/nothing.
+//
+// Sub-transactions fold into their logical transaction by construction:
+// the sharded engine's cross-partition transactions run as per-shard
+// sub-transactions that log every step — repeated BEGINs, per-shard reads,
+// and one final-write slice per participant — under the shared logical
+// TxnID, and the graph keys nodes by TxnID alone. The referee therefore
+// checks CSR over logical transactions, which is exactly the paper's
+// notion; TestLogicalFoldAcrossShards pins this.
 func ConflictGraphOf(steps []model.Step) *graph.Graph {
 	g := graph.New()
 	// Access history per entity, in order.
@@ -121,9 +174,44 @@ func SerialOrder(steps []model.Step) ([]model.TxnID, error) {
 // CheckAcceptedCSR verifies the log's accepted subschedule is CSR,
 // returning a descriptive error otherwise. This is condition (3) of the
 // paper's Lemma 2.
+//
+// Distinct surviving incarnations of a reused TxnID are renamed apart
+// before the check: they are different transactions, and folding them into
+// one node could fabricate a cycle on a serializable run. A cross
+// transaction's consecutive sub-begins are unaffected — all of its
+// conflict steps follow its last sub-begin, so they share one incarnation
+// and still fold into one logical node.
 func (l *Log) CheckAcceptedCSR() error {
-	steps := l.AcceptedSubschedule()
-	if !IsCSR(steps) {
+	steps, incs := l.acceptedIncarnations()
+	// Remap (id, incarnation) to a distinct synthetic ID where needed.
+	type inckey struct {
+		id  model.TxnID
+		inc int
+	}
+	next := model.TxnID(0)
+	for _, st := range steps {
+		if st.Txn >= next {
+			next = st.Txn + 1
+		}
+	}
+	synth := make(map[inckey]model.TxnID)
+	remapped := make([]model.Step, len(steps))
+	for i, st := range steps {
+		k := inckey{st.Txn, incs[i]}
+		id, ok := synth[k]
+		if !ok {
+			if incs[i] <= 1 {
+				id = st.Txn
+			} else {
+				id = next
+				next++
+			}
+			synth[k] = id
+		}
+		st.Txn = id
+		remapped[i] = st
+	}
+	if !IsCSR(remapped) {
 		return fmt.Errorf("trace: accepted subschedule of %d steps is NOT conflict serializable", len(steps))
 	}
 	return nil

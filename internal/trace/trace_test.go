@@ -128,3 +128,107 @@ func TestCheckAcceptedCSRFailure(t *testing.T) {
 		t.Fatal("non-CSR accepted subschedule must be reported")
 	}
 }
+
+// TestLogicalFoldAcrossShards pins the referee's sub-transaction folding:
+// a sharded 2PC engine logs a cross-partition transaction as repeated
+// BEGINs and per-shard final-write slices under one logical TxnID, and the
+// conflict graph must treat them as a single node — both for an innocent
+// interleaving and for a cross-shard cycle no single shard could see.
+func TestLogicalFoldAcrossShards(t *testing.T) {
+	// T1 is cross over entities 0 (shard A) and 1 (shard B): two sub-begin
+	// events, a read on each shard, and two final-write slices.
+	l := NewLog()
+	l.Append(model.Begin(1), true) // sub-begin on shard A
+	l.Append(model.Begin(1), true) // sub-begin on shard B
+	l.Append(model.Read(1, 0), true)
+	l.Append(model.Read(1, 1), true)
+	l.Append(model.WriteFinal(1, 0), true) // prepare slice, shard A
+	l.Append(model.WriteFinal(1, 1), true) // prepare slice, shard B
+	g := ConflictGraphOf(l.AcceptedSubschedule())
+	if g.NumNodes() != 1 {
+		t.Fatalf("folded graph has %d nodes, want 1 logical node", g.NumNodes())
+	}
+	if err := l.CheckAcceptedCSR(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cross-shard cycle over logical transactions: T1 and T2 both span
+	// shards A (entity 0) and B (entity 1). On A: T1 reads 0 before T2's
+	// write slice of 0 (T1→T2). On B: T2 reads 1 before T1's write slice
+	// of 1 (T2→T1). Each shard's sub-schedule alone is acyclic; the folded
+	// graph must not be.
+	l = NewLog()
+	l.Append(model.Begin(1), true)
+	l.Append(model.Begin(2), true)
+	l.Append(model.Read(1, 0), true)
+	l.Append(model.Read(2, 1), true)
+	l.Append(model.WriteFinal(2, 0), true) // T2's slice on shard A
+	l.Append(model.WriteFinal(1, 1), true) // T1's slice on shard B
+	if err := l.CheckAcceptedCSR(); err == nil {
+		t.Fatal("referee missed the cross-shard cycle over logical transactions")
+	}
+	// Excluding one of the two (its 2PC aborted) restores CSR.
+	l.MarkAborted(1)
+	if err := l.CheckAcceptedCSR(); err != nil {
+		t.Fatalf("after excluding T1: %v", err)
+	}
+}
+
+// TestReusedIDSecondIncarnationCounted: aborts are positional, so a TxnID
+// reused after an abort is judged on its own — the referee must neither
+// drop the new incarnation's steps (blinding itself to its conflicts) nor
+// resurrect the dead incarnation's.
+func TestReusedIDSecondIncarnationCounted(t *testing.T) {
+	l := NewLog()
+	l.Append(model.Begin(1), true)
+	l.Append(model.Read(1, 0), true)
+	l.MarkAborted(1)
+	l.Append(model.Begin(1), true) // second incarnation
+	l.Append(model.Read(1, 5), true)
+	l.Append(model.WriteFinal(1, 6), true)
+	sub := l.AcceptedSubschedule()
+	if len(sub) != 3 {
+		t.Fatalf("accepted subschedule = %v, want the 3 steps of the second incarnation", sub)
+	}
+	for _, st := range sub {
+		if st.Kind == model.KindRead && st.Entity == 0 {
+			t.Fatalf("dead incarnation's read resurrected: %v", sub)
+		}
+	}
+	// A cycle formed by the *second* incarnation must be caught.
+	l = NewLog()
+	l.Append(model.Begin(1), true)
+	l.MarkAborted(1) // first incarnation dies
+	l.Append(model.Begin(1), true)
+	l.Append(model.Begin(2), true)
+	l.Append(model.Read(1, 0), true)
+	l.Append(model.Read(2, 1), true)
+	l.Append(model.WriteFinal(2, 0), true)
+	l.Append(model.WriteFinal(1, 1), true)
+	if err := l.CheckAcceptedCSR(); err == nil {
+		t.Fatal("referee blind to a reused ID's cycle")
+	}
+}
+
+// TestReusedIDCommittedIncarnationsNotFolded: two *committed* incarnations
+// of a reused TxnID are different transactions; folding them into one node
+// could fabricate a cycle on a serializable run. inc1 reads e1 before X
+// writes it (inc1→X) and X reads e2 before inc2 writes it (X→inc2): folded
+// that is a cycle, renamed apart it is not.
+func TestReusedIDCommittedIncarnationsNotFolded(t *testing.T) {
+	l := NewLog()
+	l.Append(model.Begin(1), true)
+	l.Append(model.Begin(9), true) // X
+	l.Append(model.Read(1, 1), true)
+	l.Append(model.WriteFinal(1), true) // inc1 commits (read-only)
+	l.Append(model.Read(9, 2), true)
+	l.Append(model.WriteFinal(9, 1), true) // X writes e1: inc1→X
+	l.Append(model.Begin(1), true)         // reuse, second incarnation
+	l.Append(model.WriteFinal(1, 2), true) // inc2 writes e2: X→inc2
+	if err := l.CheckAcceptedCSR(); err != nil {
+		t.Fatalf("serializable run flagged non-CSR (incarnations folded): %v", err)
+	}
+	if got := len(l.AcceptedSubschedule()); got != 8 {
+		t.Fatalf("accepted subschedule has %d steps, want all 8", got)
+	}
+}

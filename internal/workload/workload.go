@@ -66,9 +66,13 @@ type Config struct {
 	// deliberately span two partitions.
 	Shards int
 	// CrossFrac in [0,1] is the fraction of transactions whose footprint
-	// spans two partitions (cross-partition traffic). Only meaningful with
-	// Shards > 1.
+	// spans several partitions (cross-partition traffic). Only meaningful
+	// with Shards > 1.
 	CrossFrac float64
+	// CrossShards is how many partitions a cross-partition plan spans
+	// (default 2, clamped to Shards). The 2PC engine runs one
+	// sub-transaction per spanned partition.
+	CrossShards int
 	// BaseTxnID offsets allocated transaction IDs so several generators
 	// (one per driver goroutine) can feed one engine with disjoint ID
 	// spaces.
@@ -121,6 +125,12 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.CrossFrac > 1 {
 		out.CrossFrac = 1
+	}
+	if out.CrossShards < 2 {
+		out.CrossShards = 2
+	}
+	if out.Shards > 1 && out.CrossShards > out.Shards {
+		out.CrossShards = out.Shards
 	}
 	return out
 }
@@ -251,7 +261,7 @@ func (g *Gen) newPlan() planned {
 }
 
 // newPartitionPlan draws a partition-local plan, or with probability
-// CrossFrac a plan guaranteed to span two partitions.
+// CrossFrac a plan guaranteed to span CrossShards partitions.
 func (g *Gen) newPartitionPlan(nr, nw int) planned {
 	// The home partition inherits the configured skew through pickEntity.
 	home := g.partitionOf(g.pickEntity())
@@ -262,21 +272,31 @@ func (g *Gen) newPartitionPlan(nr, nw int) planned {
 			writes: g.pickDistinctFrom(nw, pick),
 		}
 	}
-	other := (home + 1 + g.rng.Intn(g.cfg.Shards-1)) % g.cfg.Shards
-	pick := func() model.Entity {
-		p := home
-		if g.rng.Intn(2) == 0 {
-			p = other
+	// Participants: home plus CrossShards-1 distinct others.
+	parts := []int{home}
+	for len(parts) < g.cfg.CrossShards {
+		p := g.rng.Intn(g.cfg.Shards)
+		dup := false
+		for _, q := range parts {
+			if q == p {
+				dup = true
+				break
+			}
 		}
-		return g.pickInPartition(p)
+		if !dup {
+			parts = append(parts, p)
+		}
+	}
+	pick := func() model.Entity {
+		return g.pickInPartition(parts[g.rng.Intn(len(parts))])
 	}
 	pl := planned{
 		reads:  g.pickDistinctFrom(nr, pick),
 		writes: g.pickDistinctFrom(nw, pick),
 	}
-	// Guarantee the footprint really spans both partitions so the engine
-	// routes the transaction through the coordinator path.
-	for _, p := range []int{home, other} {
+	// Guarantee the footprint really spans every chosen partition so the
+	// engine begins one sub-transaction per participant.
+	for _, p := range parts {
 		covered := false
 		for _, x := range pl.reads {
 			if g.partitionOf(x) == p {

@@ -344,3 +344,31 @@ func TestStragglerDeclaredCross(t *testing.T) {
 		t.Fatalf("straggler footprint %v does not span partitions", first.Entities)
 	}
 }
+
+func TestCrossShardsSpan(t *testing.T) {
+	const shards = 4
+	cfg := Config{
+		Entities: 64, Txns: 200, MaxActive: 4, Shards: shards,
+		CrossFrac: 1.0, CrossShards: 3, DeclareFootprint: true, Seed: 13,
+	}
+	steps := drain(New(cfg), 100000)
+	spans := make(map[model.TxnID]map[int]bool)
+	for _, st := range steps {
+		if st.Kind != model.KindBegin {
+			continue
+		}
+		parts := make(map[int]bool)
+		for _, x := range st.Entities {
+			parts[int(x)%shards] = true
+		}
+		spans[st.Txn] = parts
+	}
+	if len(spans) == 0 {
+		t.Fatal("no transactions generated")
+	}
+	for id, parts := range spans {
+		if len(parts) != 3 {
+			t.Fatalf("T%d spans %d partitions, want exactly CrossShards=3 (footprint parts %v)", id, len(parts), parts)
+		}
+	}
+}

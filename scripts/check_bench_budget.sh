@@ -1,21 +1,36 @@
 #!/bin/sh
-# Runs the engine throughput benchmark (greedy-c1, 4 shards) with -benchmem
-# and fails if allocs/op regresses above the budget in bench_budget.txt.
+# Runs the engine hot-path benchmarks with -benchmem and fails if allocs/op
+# regresses above the budgets in bench_budget.txt: the partition-local path
+# (BenchmarkEngineThroughput, greedy-c1, 4 shards) and the cross-partition
+# 2PC path (BenchmarkEngineCrossFrac at CrossFrac=0.05).
 set -eu
 cd "$(dirname "$0")/.."
 
 budget=$(awk '/^max_allocs_per_op/ {print $2}' bench_budget.txt)
+cross_budget=$(awk '/^max_cross_allocs_per_op/ {print $2}' bench_budget.txt)
 [ -n "$budget" ] || { echo "check_bench_budget: no max_allocs_per_op in bench_budget.txt" >&2; exit 2; }
+[ -n "$cross_budget" ] || { echo "check_bench_budget: no max_cross_allocs_per_op in bench_budget.txt" >&2; exit 2; }
 
-out=$(go test -run '^$' -bench 'BenchmarkEngineThroughput/shards=4/policy=greedy-c1$' \
+out=$(go test -run '^$' -bench 'BenchmarkEngineThroughput/shards=4/policy=greedy-c1$|BenchmarkEngineCrossFrac/cross=5' \
 	-benchtime 3000x -benchmem ./internal/engine/)
 echo "$out"
 
-allocs=$(echo "$out" | awk '/policy=greedy-c1/ {for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i-1)}' | head -1)
-[ -n "$allocs" ] || { echo "check_bench_budget: could not parse allocs/op from benchmark output" >&2; exit 2; }
+parse_allocs() {
+	echo "$out" | awk -v pat="$1" '$0 ~ pat {for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i-1)}' | head -1
+}
 
+allocs=$(parse_allocs 'policy=greedy-c1')
+[ -n "$allocs" ] || { echo "check_bench_budget: could not parse local allocs/op from benchmark output" >&2; exit 2; }
 if [ "$allocs" -gt "$budget" ]; then
-	echo "check_bench_budget: FAIL: $allocs allocs/op exceeds budget of $budget" >&2
+	echo "check_bench_budget: FAIL: local path $allocs allocs/op exceeds budget of $budget" >&2
 	exit 1
 fi
-echo "check_bench_budget: OK: $allocs allocs/op within budget of $budget"
+echo "check_bench_budget: OK: local path $allocs allocs/op within budget of $budget"
+
+cross_allocs=$(parse_allocs 'cross=5')
+[ -n "$cross_allocs" ] || { echo "check_bench_budget: could not parse cross allocs/op from benchmark output" >&2; exit 2; }
+if [ "$cross_allocs" -gt "$cross_budget" ]; then
+	echo "check_bench_budget: FAIL: cross path $cross_allocs allocs/op exceeds budget of $cross_budget" >&2
+	exit 1
+fi
+echo "check_bench_budget: OK: cross path $cross_allocs allocs/op within budget of $cross_budget"
