@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race ci bench bench-check
+.PHONY: all build vet test race ci bench bench-check examples check-client-only
 
 all: ci
 
@@ -24,3 +24,15 @@ bench:
 # Fails if the engine hot path's allocs/op regresses above bench_budget.txt.
 bench-check:
 	./scripts/check_bench_budget.sh
+
+# Examples and cmds must reach the engine through txdel/client only.
+check-client-only:
+	./scripts/check_client_only.sh
+
+# Build and run every example program against the public client facade.
+examples: check-client-only vet
+	@for d in examples/*/; do \
+		echo "== go run ./$$d"; \
+		$(GO) run ./$$d >/dev/null || exit 1; \
+	done
+	@echo "examples: all ran clean"

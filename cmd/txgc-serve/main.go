@@ -1,15 +1,31 @@
 // Command txgc-serve runs the sharded conflict-graph engine as a
-// JSON-lines transaction service: clients submit begin/read/write steps
-// and receive accept/reject/abort outcomes as the engine schedules (and
-// garbage-collects) in real time.
+// JSON-lines transaction service over the public txdel/client session API:
+// clients submit begin/read/write steps and receive accept/reject/abort
+// outcomes as the engine schedules (and garbage-collects) in real time.
 //
-// One request per line, one response per line:
+// # Wire protocol v2
 //
-//	{"op":"begin","txn":1,"footprint":[0,5,9]}   → {"txn":1,"outcome":"accepted"}
-//	{"op":"read","txn":1,"entity":5}             → {"txn":1,"outcome":"accepted"}
-//	{"op":"write","txn":1,"entities":[5,9]}      → {"txn":1,"outcome":"accepted","completed":true}
-//	{"op":"abort","txn":1}                       → {"txn":1,"outcome":"aborted"}
-//	{"op":"stats"}                               → {"outcome":"ok","stats":{...}}
+// A v2 session starts with a versioned handshake; every response then
+// carries a machine-readable "code" field mapped from the client error
+// taxonomy, and a begin may carry a deadline:
+//
+//	{"op":"hello","version":2}                    → {"outcome":"ok","version":2}
+//	{"op":"begin","txn":1,"footprint":[0,5,9],"deadline_ms":500,"priority":"high"}
+//	                                              → {"txn":1,"outcome":"accepted"}
+//	{"op":"read","txn":1,"entity":5}              → {"txn":1,"outcome":"accepted"}
+//	{"op":"write","txn":1,"entities":[5,9]}       → {"txn":1,"outcome":"accepted","completed":true}
+//	{"op":"abort","txn":1}                        → {"txn":1,"outcome":"aborted"}
+//	{"op":"stats"}                                → {"outcome":"ok","stats":{...}}
+//
+// Error codes: "cycle" (conflict cycle on one shard), "cross-cycle" (cycle
+// spanning shard graphs, caught by the cross-arc registry), "misroute"
+// (entity outside the declared footprint's partitions), "txn-aborted"
+// (step for a dead or unknown transaction — deadline expiry included),
+// "overload" (admission control shed the begin; retry later or use
+// "priority":"high"), "protocol" (duplicate begin, malformed request), and
+// "closed". A begin's deadline_ms starts a timer that aborts the
+// transaction when it expires — even between PREPARE and the commit
+// decision of a cross-shard write, releasing prepared pins everywhere.
 //
 // The batch op pipelines several begin/read/write steps through a single
 // engine submission (consecutive same-shard steps cost one queue hop
@@ -24,23 +40,27 @@
 //
 // A begin footprint spanning several partitions (entity mod shards) marks
 // the transaction cross-partition: it runs as one sub-transaction per
-// participating shard (all sharing the transaction ID), its reads apply
-// immediately on their owning shards, and the final write commits through
-// the cross-shard two-phase protocol — PREPARE votes on every participant,
-// then COMMIT or ABORT. Concurrent transactions on other shards (and on
-// the participants) are never disturbed. A rejected outcome means the
-// transaction aborted: a conflict cycle on one shard, a cycle spanning
-// shard graphs caught by the cross-arc registry at prepare time, or a
-// partition misroute. The "buffered" outcome of pre-2PC servers is no
-// longer produced. The stats op additionally reports Prepares,
-// CrossAborts, and PreparedByShard (prepared-but-undecided
-// sub-transactions pinned per shard).
+// participating shard, its reads apply immediately on their owning shards,
+// and the final write commits through the cross-shard two-phase protocol.
+// Concurrent transactions on other shards (and on the participants) are
+// never disturbed.
+//
+// # Wire protocol v1 (shim)
+//
+// A session that never sends the hello op is served as v1: the same
+// request shapes are accepted and answered without the "code" field
+// (deadline_ms and priority are ignored), so pre-v2 clients keep getting
+// correct answers. Historical note: v1 servers predating the cross-shard
+// two-phase commit could answer "buffered" for a cross-partition step
+// (steps were held client-side until the final write); the 2PC engine
+// applies cross steps immediately and that outcome no longer exists.
 //
 // Usage:
 //
 //	txgc-serve                          # serve stdin/stdout
 //	txgc-serve -addr :7433              # serve TCP, one session per conn
 //	txgc-serve -shards 8 -policy greedy-c1 -sweep-every 16 -verify
+//	txgc-serve -overload-watermark 256  # shed begins on saturated shards
 //
 // With -verify the server keeps a full trace and, at shutdown (stdin EOF
 // or SIGINT/SIGTERM), replays the accepted subschedule through the offline
@@ -49,7 +69,9 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -58,12 +80,14 @@ import (
 	"os/signal"
 	"sync"
 	"syscall"
+	"time"
 
-	"repro/internal/core"
-	"repro/internal/engine"
-	"repro/internal/model"
-	"repro/internal/trace"
+	"repro/txdel"
+	"repro/txdel/client"
 )
+
+// maxVersion is the newest wire protocol this server speaks.
+const maxVersion = 2
 
 type request struct {
 	Op        string  `json:"op"`
@@ -71,6 +95,13 @@ type request struct {
 	Entity    *int32  `json:"entity,omitempty"`
 	Entities  []int32 `json:"entities,omitempty"`
 	Footprint []int32 `json:"footprint,omitempty"`
+	// Version is the hello op's requested protocol version.
+	Version int `json:"version,omitempty"`
+	// DeadlineMS (v2, begin) bounds the transaction's lifetime.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Priority (v2, begin) is "" / "normal" or "high" (bypasses admission
+	// control).
+	Priority string `json:"priority,omitempty"`
 	// Steps carries the sub-requests of a batch op (begin/read/write
 	// only); the whole pipeline is submitted in one engine call.
 	Steps []request `json:"steps,omitempty"`
@@ -79,84 +110,132 @@ type request struct {
 // response uses pointers for txn and aborted so that transaction ID 0 (a
 // perfectly valid ID) still serializes instead of vanishing to omitempty.
 type response struct {
-	Txn       *int64        `json:"txn,omitempty"`
-	Outcome   string        `json:"outcome"`
-	Completed bool          `json:"completed,omitempty"`
-	Aborted   *int64        `json:"aborted,omitempty"`
-	Error     string        `json:"error,omitempty"`
-	Stats     *engine.Stats `json:"stats,omitempty"`
+	Txn       *int64 `json:"txn,omitempty"`
+	Outcome   string `json:"outcome"`
+	Completed bool   `json:"completed,omitempty"`
+	Aborted   *int64 `json:"aborted,omitempty"`
+	Error     string `json:"error,omitempty"`
+	// Code is the v2 machine-readable error code (client.ErrorCode).
+	Code    string        `json:"code,omitempty"`
+	Version int           `json:"version,omitempty"`
+	Stats   *client.Stats `json:"stats,omitempty"`
 	// Results holds one response per step of a batch op.
 	Results []response `json:"results,omitempty"`
 }
 
 func ref(v int64) *int64 { return &v }
 
-func policyFactory(name string) (func() core.Policy, error) {
-	switch name {
-	case "nogc", "none":
-		return nil, nil
-	case "lemma1":
-		return func() core.Policy { return core.Lemma1Policy{} }, nil
-	case "greedy-c1":
-		return func() core.Policy { return core.GreedyC1{} }, nil
-	case "greedy-c1-newest":
-		return func() core.Policy { return core.GreedyC1{NewestFirst: true} }, nil
-	case "noncurrent-safe":
-		return func() core.Policy { return core.NoncurrentSafe{} }, nil
-	case "max-safe":
-		return func() core.Policy { return core.MaxSafeExact{} }, nil
-	default:
-		return nil, fmt.Errorf("unknown policy %q (nogc, lemma1, greedy-c1, greedy-c1-newest, noncurrent-safe, max-safe)", name)
-	}
-}
-
-func entities(xs []int32) []model.Entity {
-	out := make([]model.Entity, len(xs))
+func entities(xs []int32) []txdel.Entity {
+	out := make([]txdel.Entity, len(xs))
 	for i, x := range xs {
-		out[i] = model.Entity(x)
+		out[i] = txdel.Entity(x)
 	}
 	return out
 }
 
-// session serves one client stream. It tracks the transactions begun on
-// this stream so a disconnect aborts whatever the client left active.
-type session struct {
-	eng *engine.Engine
-	mu  sync.Mutex
-	own map[model.TxnID]bool
+// ownedTxn is one transaction begun on this stream: a client session (with
+// its deadline cancel, if any), or a bare ID begun through the raw batch
+// path.
+type ownedTxn struct {
+	txn    *client.Txn // nil for batch-path transactions
+	cancel context.CancelFunc
 }
 
-func (s *session) track(id model.TxnID)   { s.mu.Lock(); s.own[id] = true; s.mu.Unlock() }
-func (s *session) untrack(id model.TxnID) { s.mu.Lock(); delete(s.own, id); s.mu.Unlock() }
+// session serves one client stream. It tracks the transactions begun on
+// this stream so a disconnect aborts whatever the client left active, and
+// remembers the negotiated protocol version (1 until a hello says
+// otherwise).
+type session struct {
+	db      *client.DB
+	version int
+	mu      sync.Mutex
+	own     map[txdel.TxnID]ownedTxn
+}
+
+func newSession(db *client.DB) *session {
+	return &session{db: db, version: 1, own: map[txdel.TxnID]ownedTxn{}}
+}
+
+func (s *session) track(id txdel.TxnID, o ownedTxn) {
+	s.mu.Lock()
+	s.own[id] = o
+	s.mu.Unlock()
+}
+
+// untrack forgets id and releases its deadline timer.
+func (s *session) untrack(id txdel.TxnID) {
+	s.mu.Lock()
+	o, ok := s.own[id]
+	delete(s.own, id)
+	s.mu.Unlock()
+	if ok && o.cancel != nil {
+		o.cancel()
+	}
+}
+
+func (s *session) lookup(id txdel.TxnID) (ownedTxn, bool) {
+	s.mu.Lock()
+	o, ok := s.own[id]
+	s.mu.Unlock()
+	return o, ok
+}
 
 func (s *session) cleanup() {
 	s.mu.Lock()
-	ids := make([]model.TxnID, 0, len(s.own))
-	for id := range s.own {
-		ids = append(ids, id)
+	owned := make(map[txdel.TxnID]ownedTxn, len(s.own))
+	for id, o := range s.own {
+		owned[id] = o
 	}
-	s.own = map[model.TxnID]bool{}
+	s.own = map[txdel.TxnID]ownedTxn{}
 	s.mu.Unlock()
-	for _, id := range ids {
-		s.eng.Abort(id)
+	for id, o := range owned {
+		if o.txn != nil {
+			_ = o.txn.Abort()
+		} else {
+			s.db.Abort(id)
+		}
+		if o.cancel != nil {
+			o.cancel()
+		}
 	}
 }
 
+// finish annotates a response from an operation error: outcome
+// classification, human-readable message, and (v2 only) the wire code.
+func (s *session) finish(out response, err error) response {
+	if err == nil {
+		if out.Outcome == "" {
+			out.Outcome = "accepted"
+		}
+		return out
+	}
+	if errors.Is(err, client.ErrProtocol) || errors.Is(err, client.ErrClosed) {
+		out.Outcome = "error"
+	} else {
+		out.Outcome = "rejected"
+	}
+	out.Error = err.Error()
+	if s.version >= 2 {
+		out.Code = client.ErrorCode(err)
+	}
+	return out
+}
+
 // stepOf translates one batchable sub-request into a scheduler step.
-func stepOf(sub request) (model.Step, error) {
-	id := model.TxnID(sub.Txn)
+func stepOf(sub request) (txdel.Step, error) {
+	id := txdel.TxnID(sub.Txn)
 	switch sub.Op {
 	case "begin":
-		return model.BeginDeclared(id, entities(sub.Footprint)...), nil
+		return txdel.BeginDeclared(id, entities(sub.Footprint)...), nil
 	case "read":
 		if sub.Entity == nil {
-			return model.Step{}, fmt.Errorf("read needs an entity")
+			return txdel.Step{}, fmt.Errorf("read needs an entity")
 		}
-		return model.Read(id, model.Entity(*sub.Entity)), nil
+		return txdel.Read(id, txdel.Entity(*sub.Entity)), nil
 	case "write":
-		return model.WriteFinal(id, entities(sub.Entities)...), nil
+		return txdel.WriteFinal(id, entities(sub.Entities)...), nil
 	default:
-		return model.Step{}, fmt.Errorf("op %q cannot appear in a batch", sub.Op)
+		return txdel.Step{}, fmt.Errorf("op %q cannot appear in a batch", sub.Op)
 	}
 }
 
@@ -164,82 +243,136 @@ func stepOf(sub request) (model.Step, error) {
 // answering with one result per step.
 func (s *session) handleBatch(req request) response {
 	if len(req.Steps) == 0 {
-		return response{Outcome: "error", Error: "batch needs steps"}
+		return s.protoErr(nil, "batch needs steps")
 	}
-	steps := make([]model.Step, len(req.Steps))
+	steps := make([]txdel.Step, len(req.Steps))
 	for i, sub := range req.Steps {
 		st, err := stepOf(sub)
 		if err != nil {
-			return response{Outcome: "error", Error: fmt.Sprintf("batch step %d: %v", i, err)}
+			return s.protoErr(nil, fmt.Sprintf("batch step %d: %v", i, err))
 		}
 		steps[i] = st
 	}
-	results := s.eng.SubmitBatch(steps)
+	results := s.db.SubmitBatch(steps)
 	out := response{Outcome: "ok", Results: make([]response, len(results))}
 	for i, res := range results {
-		if steps[i].Kind == model.KindBegin &&
-			(res.Outcome == engine.OutcomeAccepted || res.Outcome == engine.OutcomeBuffered) {
-			s.track(steps[i].Txn)
+		if req.Steps[i].Op == "begin" && res.Accepted() {
+			s.track(steps[i].Txn, ownedTxn{})
 		}
 		out.Results[i] = s.fromResult(int64(steps[i].Txn), res)
 	}
 	return out
 }
 
-func (s *session) handle(req request) response {
-	id := model.TxnID(req.Txn)
-	switch req.Op {
-	case "batch":
-		return s.handleBatch(req)
-	case "begin":
-		res := s.eng.Submit(model.BeginDeclared(id, entities(req.Footprint)...))
-		if res.Outcome == engine.OutcomeAccepted || res.Outcome == engine.OutcomeBuffered {
-			s.track(id)
+// protoErr is a malformed-request response.
+func (s *session) protoErr(txn *int64, msg string) response {
+	out := response{Txn: txn, Outcome: "error", Error: msg}
+	if s.version >= 2 {
+		out.Code = "protocol"
+	}
+	return out
+}
+
+func (s *session) handleBegin(req request) response {
+	id := txdel.TxnID(req.Txn)
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if s.version >= 2 && req.DeadlineMS > 0 {
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+	}
+	opts := []client.BeginOption{client.WithID(id), client.WithFootprint(entities(req.Footprint)...)}
+	if s.version >= 2 && req.Priority == "high" {
+		opts = append(opts, client.WithPriority(client.PriorityHigh))
+	}
+	txn, err := s.db.Begin(ctx, opts...)
+	if err != nil {
+		if cancel != nil {
+			cancel()
 		}
-		return s.fromResult(req.Txn, res)
+		return s.finish(response{Txn: ref(req.Txn)}, err)
+	}
+	s.track(id, ownedTxn{txn: txn, cancel: cancel})
+	return response{Txn: ref(req.Txn), Outcome: "accepted"}
+}
+
+func (s *session) handle(req request) response {
+	id := txdel.TxnID(req.Txn)
+	switch req.Op {
+	case "hello":
+		v := req.Version
+		if v < 1 || v > maxVersion {
+			return s.protoErr(nil, fmt.Sprintf("unsupported protocol version %d (this server speaks 1..%d)", req.Version, maxVersion))
+		}
+		s.version = v
+		return response{Outcome: "ok", Version: v}
+	case "begin":
+		return s.handleBegin(req)
 	case "read":
 		if req.Entity == nil {
-			return response{Txn: ref(req.Txn), Outcome: "error", Error: "read needs an entity"}
+			return s.protoErr(ref(req.Txn), "read needs an entity")
 		}
-		return s.fromResult(req.Txn, s.eng.Submit(model.Read(id, model.Entity(*req.Entity))))
+		x := txdel.Entity(*req.Entity)
+		o, ok := s.lookup(id)
+		if !ok || o.txn == nil {
+			// Not a session of this stream (begun elsewhere, or via the raw
+			// batch path): submit the bare step.
+			return s.fromResult(req.Txn, s.db.SubmitBatch([]txdel.Step{txdel.Read(id, x)})[0])
+		}
+		err := o.txn.Read(context.Background(), x)
+		out := s.finish(response{Txn: ref(req.Txn)}, err)
+		if err != nil && !errors.Is(err, client.ErrProtocol) {
+			out.Aborted = ref(req.Txn)
+			s.untrack(id)
+		}
+		return out
 	case "write":
-		return s.fromResult(req.Txn, s.eng.Submit(model.WriteFinal(id, entities(req.Entities)...)))
+		o, ok := s.lookup(id)
+		if !ok || o.txn == nil {
+			return s.fromResult(req.Txn, s.db.SubmitBatch([]txdel.Step{txdel.WriteFinal(id, entities(req.Entities)...)})[0])
+		}
+		err := o.txn.Write(context.Background(), entities(req.Entities)...)
+		out := s.finish(response{Txn: ref(req.Txn)}, err)
+		if err == nil {
+			out.Completed = true
+			s.untrack(id)
+		} else if !errors.Is(err, client.ErrProtocol) {
+			out.Aborted = ref(req.Txn)
+			s.untrack(id)
+		}
+		return out
 	case "abort":
+		o, ok := s.lookup(id)
 		s.untrack(id)
-		if !s.eng.Abort(id) {
-			return response{Txn: ref(req.Txn), Outcome: "error", Error: "unknown transaction"}
+		aborted := false
+		if ok && o.txn != nil {
+			aborted = o.txn.Abort() == nil
+		} else {
+			aborted = s.db.Abort(id)
+		}
+		if !aborted {
+			return s.protoErr(ref(req.Txn), "unknown transaction")
 		}
 		return response{Txn: ref(req.Txn), Outcome: "aborted", Aborted: ref(req.Txn)}
+	case "batch":
+		return s.handleBatch(req)
 	case "stats":
-		st := s.eng.Stats()
+		st := s.db.Stats()
 		return response{Outcome: "ok", Stats: &st}
 	default:
-		return response{Txn: ref(req.Txn), Outcome: "error", Error: fmt.Sprintf("unknown op %q", req.Op)}
+		return s.protoErr(ref(req.Txn), fmt.Sprintf("unknown op %q", req.Op))
 	}
 }
 
-func (s *session) fromResult(txn int64, res engine.Result) response {
-	out := response{Txn: ref(txn)}
-	switch res.Outcome {
-	case engine.OutcomeAccepted:
-		out.Outcome = "accepted"
-	case engine.OutcomeBuffered:
-		out.Outcome = "buffered"
-	case engine.OutcomeRejected:
-		out.Outcome = "rejected"
-	case engine.OutcomeError:
-		out.Outcome = "error"
-	}
-	if res.CompletedTxn != model.NoTxn {
+// fromResult renders a raw-path engine Result.
+func (s *session) fromResult(txn int64, res client.Result) response {
+	out := s.finish(response{Txn: ref(txn)}, res.Err)
+	if res.CompletedTxn != txdel.NoTxn {
 		out.Completed = true
 		s.untrack(res.CompletedTxn)
 	}
-	if res.Aborted != model.NoTxn {
+	if res.Aborted != txdel.NoTxn {
 		out.Aborted = ref(int64(res.Aborted))
 		s.untrack(res.Aborted)
-	}
-	if res.Err != nil {
-		out.Error = res.Err.Error()
 	}
 	return out
 }
@@ -258,7 +391,7 @@ func (s *session) serve(r io.Reader, w io.Writer) {
 		var req request
 		var resp response
 		if err := json.Unmarshal(line, &req); err != nil {
-			resp = response{Outcome: "error", Error: "bad request: " + err.Error()}
+			resp = s.protoErr(nil, "bad request: "+err.Error())
 		} else {
 			resp = s.handle(req)
 		}
@@ -279,41 +412,34 @@ func main() {
 		batch      = flag.Int("batch", 64, "max steps a shard applies between GC opportunities")
 		queue      = flag.Int("queue", 1024, "per-shard submission queue depth")
 		sweepEvery = flag.Int("sweep-every", 8, "sweep after this many completions per shard")
+		watermark  = flag.Int("overload-watermark", 0, "shed begins when a shard's backlog reaches this depth (0 = never shed)")
 		verify     = flag.Bool("verify", false, "trace the run and check the accepted subschedule is CSR at shutdown")
 	)
 	flag.Parse()
 
-	factory, err := policyFactory(*policyName)
+	db, err := client.Open(client.Config{
+		Shards:                *shards,
+		Policy:                *policyName,
+		BatchSize:             *batch,
+		QueueDepth:            *queue,
+		SweepEveryCompletions: *sweepEvery,
+		OverloadWatermark:     *watermark,
+		Verify:                *verify,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "txgc-serve:", err)
 		os.Exit(2)
 	}
-	cfg := engine.Config{
-		Shards:                *shards,
-		Policy:                factory,
-		BatchSize:             *batch,
-		QueueDepth:            *queue,
-		SweepEveryCompletions: *sweepEvery,
-	}
-	var log *trace.SafeLog
-	if *verify {
-		log = trace.NewSafeLog()
-		cfg.Log = log
-	}
-	eng := engine.New(cfg)
 
 	shutdown := func(code int) {
-		st := eng.Stats()
-		fmt.Fprintf(os.Stderr, "txgc-serve: %d submitted, %d accepted, %d completed, %d deleted by GC, %d cross (%d prepares, %d cross aborts), %d barrier kills\n",
-			st.Submitted, st.Accepted, st.Completed, st.Deleted, st.CrossTxns, st.Prepares, st.CrossAborts, st.BarrierKills)
-		if log != nil {
-			if err := log.CheckAcceptedCSR(); err != nil {
-				fmt.Fprintln(os.Stderr, "txgc-serve: VERIFY FAILED:", err)
-				code = 1
-			} else {
-				fmt.Fprintf(os.Stderr, "txgc-serve: verify OK: accepted subschedule of %d steps is CSR\n",
-					len(log.AcceptedSubschedule()))
-			}
+		st := db.Stats()
+		fmt.Fprintf(os.Stderr, "txgc-serve: %d submitted, %d accepted, %d completed, %d shed, %d deleted by GC, %d cross (%d prepares, %d cross aborts), %d barrier kills\n",
+			st.Submitted, st.Accepted, st.Completed, st.Shed, st.Deleted, st.CrossTxns, st.Prepares, st.CrossAborts, st.BarrierKills)
+		if err := db.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "txgc-serve: VERIFY FAILED:", err)
+			code = 1
+		} else if *verify {
+			fmt.Fprintln(os.Stderr, "txgc-serve: verify OK: accepted subschedule is CSR")
 		}
 		os.Exit(code)
 	}
@@ -326,8 +452,7 @@ func main() {
 	}()
 
 	if *addr == "" {
-		s := &session{eng: eng, own: map[model.TxnID]bool{}}
-		s.serve(os.Stdin, os.Stdout)
+		newSession(db).serve(os.Stdin, os.Stdout)
 		shutdown(0)
 	}
 
@@ -345,8 +470,7 @@ func main() {
 		}
 		go func(c net.Conn) {
 			defer c.Close()
-			s := &session{eng: eng, own: map[model.TxnID]bool{}}
-			s.serve(c, c)
+			newSession(db).serve(c, c)
 		}(conn)
 	}
 }

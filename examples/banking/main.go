@@ -1,92 +1,129 @@
-// Banking: the motivating scenario from the paper's introduction, on a
-// realistic workload. Short transfer transactions read and update account
-// balances while one long-running AUDIT transaction scans every account.
-// Under a conflict-graph scheduler the audit is an active (tight)
-// predecessor of everything that touches audited accounts, so without
-// deletion the graph grows for the audit's whole lifetime. Condition C1
-// still lets most completed transfers be forgotten: each overwritten
-// balance has a later writer to serve as the witness.
+// Banking: the motivating scenario from the paper's introduction, on the
+// sharded engine through the txdel/client session API. Accounts are
+// hash-partitioned over 4 shards. One long-running AUDIT session scans
+// shard 0's accounts in order while short transfer sessions run two kinds
+// of traffic: transfers among already-audited shard-0 balances (the
+// paper's worst case — every one keeps the audit as an active
+// predecessor), and cross-shard transfers among shards 1–3 that commit
+// through the two-phase protocol. Under Lemma 1 the audited shard retains
+// essentially its whole history until the audit commits; condition C1
+// forgets a transfer as soon as later transfers overwrite the balances it
+// touched, which is why greedy-c1 keeps the graph small even mid-audit.
+//
+// (A cross-partition audit is possible too — WithShards(0,1,2,3) — but a
+// long-lived cross transaction gates deletion of everything its
+// cross-ancestor labels reach, so a production audit scans shard by
+// shard; see the package docs of repro/internal/core on label gating.)
 //
 // Run with: go run ./examples/banking
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"log"
 	"math/rand"
 
-	"repro/txdel"
+	"repro/txdel/client"
 )
 
 const (
-	accounts  = 128
+	shards    = 4
+	accounts  = 128 // total accounts; shard-0 account k is entity shards*k
 	transfers = 400
 )
 
 func main() {
-	fmt.Println("scenario: one audit scanning all accounts + short transfers")
-	fmt.Printf("%-16s %12s %12s %12s %12s\n", "policy", "peak kept", "avg kept", "deleted", "aborts")
-	for _, policy := range []txdel.Policy{
-		txdel.NoGC{},
-		txdel.Lemma1Policy{},
-		txdel.NoncurrentSafe{},
-		txdel.GreedyC1{},
-	} {
+	fmt.Println("scenario: an audit scanning shard 0 + local and cross-shard transfers")
+	fmt.Printf("%-16s %12s %12s %12s %12s %8s\n", "policy", "peak kept", "avg kept", "deleted", "aborts", "cross")
+	for _, policy := range []string{"nogc", "lemma1", "noncurrent-safe", "greedy-c1"} {
 		st, auditOK := run(policy)
-		fmt.Printf("%-16s %12d %12.1f %12d %12d   audit committed: %v\n",
-			policy.Name(), st.PeakKept, st.AvgKept(), st.Deleted, st.Aborts, auditOK)
+		fmt.Printf("%-16s %12d %12.1f %12d %12d %8d   audit committed: %v\n",
+			policy, st.Merged.PeakKept, st.Merged.AvgKept(), st.Deleted, st.Aborted, st.CrossTxns, auditOK)
 	}
 	fmt.Println()
-	fmt.Println("every transfer updates an audited account, so it has the audit as an")
-	fmt.Println("active predecessor for the audit's whole lifetime: Lemma 1 retains")
-	fmt.Println("essentially the entire history (like NoGC) until the audit commits.")
-	fmt.Println("Condition C1 forgets a transfer as soon as later transfers overwrite")
-	fmt.Println("the balances it touched — witnesses the corollary's noncurrent rule")
-	fmt.Println("also exploits, which is why noncurrent-safe sits in between.")
+	fmt.Println("every shard-0 transfer keeps the audit as an active predecessor until")
+	fmt.Println("the audit commits, so Lemma 1 retains that shard's history like NoGC.")
+	fmt.Println("Condition C1 forgets a transfer once later transfers overwrite the")
+	fmt.Println("balances it touched. Cross-shard transfers (shards 1-3) commit through")
+	fmt.Println("the 2PC path, retire from the cross-arc registry, and are reclaimed too.")
 }
 
-func run(policy txdel.Policy) (txdel.Stats, bool) {
-	rng := rand.New(rand.NewSource(42))
-	s := txdel.NewScheduler(txdel.Config{Policy: policy})
+type transfer struct {
+	txn      *client.Txn
+	from, to client.Entity
+	stage    int
+}
 
-	const audit = txdel.TxnID(0)
-	s.MustApply(txdel.Begin(audit))
-	auditAlive := true
-	nextAudit := 0 // next account the audit will read
+// auditedAccount returns shard-0 account k (entity 4k).
+func auditedAccount(k int) client.Entity { return client.Entity(shards * k) }
 
-	nextID := txdel.TxnID(1)
-	type transfer struct {
-		id       txdel.TxnID
-		from, to txdel.Entity
-		stage    int
+func run(policy string) (client.Stats, bool) {
+	db, err := client.Open(client.Config{
+		Shards:                shards,
+		Policy:                policy,
+		SweepEveryCompletions: 4,
+		Verify:                true,
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
-	var live []*transfer
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(42))
 
+	// The audit roams all of shard 0 without a declared entity set.
+	audit, err := db.Begin(ctx, client.WithShards(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	auditAlive := true
+	nextAudit := 0 // next shard-0 account the audit will read
+	perShard := accounts / shards
+
+	beginTransfer := func() *transfer {
+		var from, to client.Entity
+		if rng.Intn(3) == 0 {
+			// Cross-shard transfer between two of shards 1-3.
+			a := 1 + rng.Intn(shards-1)
+			b := 1 + rng.Intn(shards-1)
+			for b == a {
+				b = 1 + rng.Intn(shards-1)
+			}
+			from = client.Entity(a + shards*rng.Intn(perShard))
+			to = client.Entity(b + shards*rng.Intn(perShard))
+		} else {
+			// Shard-0 transfer among already-audited accounts (the OLTP
+			// traffic trails the scan, so the audit never reads a stale
+			// balance and survives to commit).
+			from = auditedAccount(rng.Intn(nextAudit))
+			to = auditedAccount(rng.Intn(nextAudit))
+		}
+		txn, err := db.Begin(ctx, client.WithFootprint(from, to))
+		if err != nil {
+			if errors.Is(err, client.ErrProtocol) {
+				log.Fatal(err)
+			}
+			return nil
+		}
+		return &transfer{txn: txn, from: from, to: to}
+	}
+
+	var live []*transfer
 	for done := 0; done < transfers || len(live) > 0; {
 		// Interleave the audit's scan: one account read every few steps.
-		if auditAlive && nextAudit < accounts && rng.Intn(4) == 0 {
-			res := s.MustApply(txdel.Read(audit, txdel.Entity(nextAudit)))
-			if !res.Accepted {
+		if auditAlive && nextAudit < perShard && rng.Intn(4) == 0 {
+			if err := audit.Read(ctx, auditedAccount(nextAudit)); err != nil {
 				auditAlive = false // the audit itself aborted (rare)
 			}
 			nextAudit++
 			continue
 		}
-		// Start a transfer if below the concurrency limit. Transfers touch
-		// only already-audited accounts (the audit scans in account order,
-		// the OLTP traffic trails behind it) — so the audit never reads a
-		// stale balance and survives to commit, while every transfer gains
-		// the audit as an active predecessor: the paper's worst case for
-		// graph retention.
 		if done < transfers && len(live) < 3 && nextAudit > 0 && rng.Intn(2) == 0 {
-			tr := &transfer{
-				id:   nextID,
-				from: txdel.Entity(rng.Intn(nextAudit)),
-				to:   txdel.Entity(rng.Intn(nextAudit)),
-			}
-			nextID++
 			done++
-			s.MustApply(txdel.Begin(tr.id))
-			live = append(live, tr)
+			if tr := beginTransfer(); tr != nil {
+				live = append(live, tr)
+			}
 			continue
 		}
 		if len(live) == 0 {
@@ -95,32 +132,35 @@ func run(policy txdel.Policy) (txdel.Stats, bool) {
 		// Advance a random live transfer: read from, read to, write both.
 		i := rng.Intn(len(live))
 		tr := live[i]
-		var res txdel.Result
 		switch tr.stage {
 		case 0:
-			res = s.MustApply(txdel.Read(tr.id, tr.from))
+			err = tr.txn.Read(ctx, tr.from)
 		case 1:
-			res = s.MustApply(txdel.Read(tr.id, tr.to))
+			err = tr.txn.Read(ctx, tr.to)
 		default:
-			res = s.MustApply(txdel.WriteFinal(tr.id, tr.from, tr.to))
+			err = tr.txn.Write(ctx, tr.from, tr.to)
 		}
 		tr.stage++
-		if !res.Accepted || tr.stage > 2 {
+		if err != nil || tr.stage > 2 {
 			live = append(live[:i], live[i+1:]...)
 		}
 	}
-	// Finish the audit: read-only commit.
-	for auditAlive && nextAudit < accounts {
-		if res := s.MustApply(txdel.Read(audit, txdel.Entity(nextAudit))); !res.Accepted {
+	// Finish the audit: scan the rest, then a read-only commit.
+	for auditAlive && nextAudit < perShard {
+		if err := audit.Read(ctx, auditedAccount(nextAudit)); err != nil {
 			auditAlive = false
 			break
 		}
 		nextAudit++
 	}
-	if auditAlive && s.Txn(audit) != nil {
-		if res := s.MustApply(txdel.WriteFinal(audit)); !res.Accepted { // read-only commit
+	if auditAlive {
+		if err := audit.Write(ctx); err != nil { // empty write set: read-only
 			auditAlive = false
 		}
 	}
-	return s.Stats(), auditAlive
+	stats := db.Stats()
+	if err := db.Close(); err != nil {
+		log.Fatalf("policy %s: CSR verification failed: %v", policy, err)
+	}
+	return stats, auditAlive
 }

@@ -1,65 +1,106 @@
-// Quickstart: the paper's Example 1 through the public API.
+// Quickstart: the paper's Example 1 driven through the public
+// txdel/client session API over the sharded engine.
 //
-// A long-running reader T1 holds entity x open while T2 and T3 serially
-// read-modify-write x. Both completed transactions satisfy condition C1,
-// but only one of them may be deleted — deleting one removes the other's
-// witness. The GreedyC1 policy handles this automatically.
+// A long-running reader T1 holds entity x open while two sessions serially
+// read-modify-write x. Without deletion the conflict graph only grows;
+// with the GreedyC1 policy the engine forgets completed transactions as
+// soon as Theorem 1's condition C1 allows. The example then shows the
+// typed-error contract: a cycle-closing write fails with ErrCycle, a stray
+// access with ErrMisroute, and operations on the dead session with
+// ErrTxnAborted — all matched with errors.Is, never string parsing.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"log"
 
-	"repro/txdel"
+	"repro/txdel/client"
 )
 
 func main() {
-	fmt.Println("== without deletion (the graph only grows) ==")
-	run(txdel.NoGC{})
-	fmt.Println()
-	fmt.Println("== with GreedyC1 (Theorem 1 + Theorem 3) ==")
-	run(txdel.GreedyC1{})
+	for _, policy := range []string{"nogc", "greedy-c1"} {
+		fmt.Printf("== policy %s ==\n", policy)
+		run(policy)
+		fmt.Println()
+	}
+	errorTaxonomy()
 }
 
-func run(policy txdel.Policy) {
-	s := txdel.NewScheduler(txdel.Config{Policy: policy})
+func run(policy string) {
+	db, err := client.Open(client.Config{
+		Shards:                1,
+		Policy:                policy,
+		SweepEveryCompletions: 1,
+		Verify:                true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	const x = client.Entity(0)
 
-	const x = txdel.Entity(0)
-	step := func(st txdel.Step) {
-		res := s.MustApply(st)
-		status := "accepted"
-		if !res.Accepted {
-			status = "REJECTED (txn aborted)"
-		}
-		extra := ""
-		if len(res.Deleted) > 0 {
-			extra = fmt.Sprintf("  -> policy deleted %v", res.Deleted)
-		}
-		fmt.Printf("  %-12s %-24s nodes=%d completed=%d%s\n",
-			st.String(), status, s.Graph().NumNodes(), s.NumCompleted(), extra)
+	// T1: the long-running reader (still active while others commit).
+	reader, err := db.Begin(ctx, client.WithFootprint(x))
+	if err != nil {
+		log.Fatal(err)
 	}
+	if err := reader.Read(ctx, x); err != nil {
+		log.Fatal(err)
+	}
+	// Two serial read-modify-writes of x.
+	for i := 0; i < 2; i++ {
+		txn, err := db.Begin(ctx, client.WithFootprint(x))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := txn.Read(ctx, x); err != nil {
+			log.Fatal(err)
+		}
+		if err := txn.Write(ctx, x); err != nil {
+			log.Fatal(err)
+		}
+		s := db.Stats()
+		fmt.Printf("  T%d committed; retained completed now %d (deleted so far: %d)\n",
+			txn.ID(), s.Merged.Completed-s.Deleted, s.Deleted)
+	}
+	if err := reader.Write(ctx); err != nil { // read-only commit
+		log.Fatal(err)
+	}
+	s := db.Stats()
+	fmt.Printf("  peak retained completed: %d, deleted by GC: %d\n", s.Merged.PeakKept, s.Deleted)
+	if err := db.Close(); err != nil {
+		log.Fatalf("CSR verification failed: %v", err)
+	}
+	fmt.Println("  verify OK: accepted schedule is conflict serializable")
+}
 
-	// T1: the long-running reader (still active at the end).
-	step(txdel.Begin(1))
-	step(txdel.Read(1, x))
-	// T2 and T3: serial read-modify-writes of x.
-	for id := txdel.TxnID(2); id <= 3; id++ {
-		step(txdel.Begin(id))
-		step(txdel.Read(id, x))
-		step(txdel.WriteFinal(id, x))
+func errorTaxonomy() {
+	fmt.Println("== typed errors ==")
+	db, err := client.Open(client.Config{Shards: 2, Policy: "greedy-c1"})
+	if err != nil {
+		log.Fatal(err)
 	}
+	defer db.Close()
+	ctx := context.Background()
 
-	// Inspect the deletion conditions directly.
-	for _, id := range s.CompletedTxns() {
-		ok, viol := txdel.CheckC1(s, id)
-		if ok {
-			fmt.Printf("  C1(T%d): deletable\n", id)
-		} else {
-			fmt.Printf("  C1(T%d): kept — %v\n", id, viol)
-		}
-	}
-	if ok, _ := txdel.CheckC2(s, txdel.NodeSet{2: {}, 3: {}}); !ok && s.NumCompleted() == 2 {
-		fmt.Println("  C2({T2,T3}): cannot delete both simultaneously (the paper's Example 1)")
-	}
+	// Two transactions racing on entities 0 and 2 (both shard 0): the
+	// second final write would close a cycle and is rejected.
+	a, _ := db.Begin(ctx, client.WithFootprint(0, 2))
+	b, _ := db.Begin(ctx, client.WithFootprint(0, 2))
+	_ = a.Read(ctx, 0)
+	_ = b.Read(ctx, 2)
+	_ = b.Write(ctx, 0)
+	err = a.Write(ctx, 2)
+	fmt.Printf("  cycle-closing write: errors.Is(err, ErrCycle) = %v\n", errors.Is(err, client.ErrCycle))
+	err = a.Read(ctx, 0)
+	fmt.Printf("  read on dead session: errors.Is(err, ErrTxnAborted) = %v\n", errors.Is(err, client.ErrTxnAborted))
+
+	// A session declared on shard 0 straying onto shard 1.
+	m, _ := db.Begin(ctx, client.WithFootprint(0))
+	err = m.Read(ctx, 1)
+	fmt.Printf("  foreign access: errors.Is(err, ErrMisroute) = %v\n", errors.Is(err, client.ErrMisroute))
 }

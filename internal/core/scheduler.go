@@ -133,6 +133,11 @@ type Result struct {
 	CompletedTxn model.TxnID
 	// Deleted lists nodes removed by the policy during the post-step sweep.
 	Deleted []model.TxnID
+	// CrossVeto marks a rejection caused by the cross-arc registry (the
+	// step would have closed a cycle spanning shard graphs) rather than a
+	// cycle in this shard's own graph. Engines map the two onto distinct
+	// typed errors.
+	CrossVeto bool
 }
 
 // Scheduler is the paper's basic (preventive) conflict-graph scheduler.
@@ -318,12 +323,16 @@ func (s *Scheduler) read(step model.Step) (Result, error) {
 	// Cross-shard cycle test: labels arriving at a sub-node are inter-shard
 	// arcs; a registry veto rejects the read like a local cycle.
 	if !s.crossCollect(t) {
-		return s.reject(step, t), nil
+		res := s.reject(step, t)
+		res.CrossVeto = true
+		return res, nil
 	}
 	g.LinkTargetsTo(t.ref)
 	s.noteAccess(t, x, model.ReadAccess)
 	if !s.crossFlood(t) {
-		return s.reject(step, t), nil
+		res := s.reject(step, t)
+		res.CrossVeto = true
+		return res, nil
 	}
 	s.stats.Reads++
 	s.stats.Accepted++
@@ -358,7 +367,9 @@ func (s *Scheduler) writeFinal(step model.Step) (Result, error) {
 		return s.reject(step, t), nil
 	}
 	if !s.crossCollect(t) {
-		return s.reject(step, t), nil
+		res := s.reject(step, t)
+		res.CrossVeto = true
+		return res, nil
 	}
 	g.LinkTargetsTo(t.ref)
 	if !s.crossFlood(t) {
@@ -368,7 +379,9 @@ func (s *Scheduler) writeFinal(step model.Step) (Result, error) {
 		// particular lastWriteSeq/lastWriter must never name a write that
 		// failed, or Corollary 1's noncurrency test would see a phantom
 		// overwrite.
-		return s.reject(step, t), nil
+		res := s.reject(step, t)
+		res.CrossVeto = true
+		return res, nil
 	}
 	for _, x := range step.Entities {
 		s.noteAccess(t, x, model.WriteAccess)

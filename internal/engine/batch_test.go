@@ -226,7 +226,7 @@ func TestSubmitBatchEquivalentToPerStep(t *testing.T) {
 		res := engA.Submit(st)
 		perStep = append(perStep, res.Outcome)
 		switch res.Outcome {
-		case OutcomeAccepted, OutcomeBuffered:
+		case OutcomeAccepted:
 		default:
 			genA.NotifyAbort(st.Txn)
 		}
@@ -247,7 +247,7 @@ func TestSubmitBatchEquivalentToPerStep(t *testing.T) {
 		res := engB.SubmitBatch(steps)[0]
 		batched = append(batched, res.Outcome)
 		switch res.Outcome {
-		case OutcomeAccepted, OutcomeBuffered:
+		case OutcomeAccepted:
 		default:
 			genB.NotifyAbort(st.Txn)
 		}

@@ -20,6 +20,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -27,6 +28,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/model"
 )
+
+// testHookPrepared, when non-nil, is invoked by commitCross after every
+// participant voted YES and before the decision — the window in which a
+// prepared-but-undecided sub-transaction is pinned on each shard. Tests use
+// it to cancel the submitting context exactly between PREPARE and decision.
+var testHookPrepared func(model.TxnID)
 
 // crossTxn is the engine's record of a live cross-partition transaction.
 type crossTxn struct {
@@ -375,14 +382,27 @@ func (e *Engine) participantsOf(xs []model.Entity) []int {
 }
 
 // beginCross fans a cross-partition BEGIN out as one sub-begin per
-// participating shard. On any failure (duplicate ID on some shard, or the
-// engine closing) the sub-transactions already begun are rolled back and
-// the logical transaction never existed.
-func (e *Engine) beginCross(step model.Step) Result {
+// participating shard. On any failure (admission shed, duplicate ID on
+// some shard, or the engine closing) the sub-transactions already begun
+// are rolled back and the logical transaction never existed.
+func (e *Engine) beginCross(ctx context.Context, step model.Step, pri Priority) Result {
 	ct := &crossTxn{id: step.Txn, parts: e.participantsOf(step.Entities)}
 	if _, dup := e.routes.LoadOrStore(step.Txn, &route{kind: routeCross, ct: ct}); dup {
 		return Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn,
-			Err: fmt.Errorf("engine: duplicate BEGIN for T%d", step.Txn)}
+			Err: fmt.Errorf("engine: duplicate BEGIN for T%d: %w", step.Txn, ErrProtocol)}
+	}
+	if pri != PriorityHigh && e.cfg.OverloadWatermark > 0 {
+		// A cross transaction runs on every participant; one overloaded
+		// participant sheds it whole. Checked after the duplicate test (a
+		// protocol bug must never read as retryable overload); no
+		// sub-transaction exists yet, so dropping the route is the whole
+		// rollback.
+		for _, p := range ct.parts {
+			if e.shardOverloaded(p) {
+				e.routes.Delete(step.Txn)
+				return e.shedBegin(step)
+			}
+		}
 	}
 	ct.mu.Lock()
 	defer ct.mu.Unlock()
@@ -391,7 +411,7 @@ func (e *Engine) beginCross(step model.Step) Result {
 		// published and already resolved the transaction (it deleted the
 		// route and counted the abort). Beginning sub-transactions now
 		// would resurrect it with no route left to ever finish them.
-		return Result{Step: step, Outcome: OutcomeRejected, Aborted: step.Txn, CompletedTxn: model.NoTxn, Err: ErrUnknownTxn}
+		return Result{Step: step, Outcome: OutcomeRejected, Aborted: step.Txn, CompletedTxn: model.NoTxn, Err: stepErr(step, ErrTxnAborted)}
 	}
 	if e.registry.register(step.Txn, ct.parts) {
 		// The ID is being reused after an earlier cross incarnation died:
@@ -401,7 +421,13 @@ func (e *Engine) beginCross(step model.Step) Result {
 		}
 	}
 	for i, p := range ct.parts {
-		rep, ok := e.shards[p].do(request{kind: reqBeginSub, step: step})
+		// A context dying mid-fan-out rolls back like any sub-begin
+		// failure: the logical transaction never existed.
+		var rep reply
+		ok := ctx.Err() == nil
+		if ok {
+			rep, ok = e.shards[p].do(request{kind: reqBeginSub, step: step})
+		}
 		if !ok || rep.res.Outcome != OutcomeAccepted {
 			for _, q := range ct.parts[:i] {
 				e.abortSub(step.Txn, q)
@@ -409,8 +435,12 @@ func (e *Engine) beginCross(step model.Step) Result {
 			ct.done = true
 			e.registry.drop(step.Txn)
 			e.routes.Delete(step.Txn)
+			if err := ctx.Err(); err != nil {
+				e.rejected.Add(1)
+				return Result{Step: step, Outcome: OutcomeRejected, Aborted: step.Txn, CompletedTxn: model.NoTxn, Err: ctxErr(step, context.Cause(ctx))}
+			}
 			if !ok {
-				return Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: ErrClosed}
+				return Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: stepErr(step, ErrClosed)}
 			}
 			return rep.res
 		}
@@ -421,17 +451,17 @@ func (e *Engine) beginCross(step model.Step) Result {
 }
 
 // crossStep handles a read or final write of a live cross transaction.
-func (e *Engine) crossStep(step model.Step, r *route) Result {
+func (e *Engine) crossStep(ctx context.Context, step model.Step, r *route) Result {
 	ct := r.ct
 	ct.mu.Lock()
 	defer ct.mu.Unlock()
 	if ct.done {
 		if ct.committed {
 			return Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn,
-				Err: fmt.Errorf("engine: step for T%d after its final write", ct.id)}
+				Err: fmt.Errorf("engine: step for T%d after its final write: %w", ct.id, ErrProtocol)}
 		}
 		e.rejected.Add(1)
-		return Result{Step: step, Outcome: OutcomeRejected, Aborted: step.Txn, CompletedTxn: model.NoTxn, Err: ErrUnknownTxn}
+		return Result{Step: step, Outcome: OutcomeRejected, Aborted: step.Txn, CompletedTxn: model.NoTxn, Err: stepErr(step, ErrTxnAborted)}
 	}
 	if step.Kind == model.KindRead {
 		p := e.partitionOf(step.Entity)
@@ -447,7 +477,7 @@ func (e *Engine) crossStep(step model.Step, r *route) Result {
 		}
 		return res
 	}
-	return e.commitCross(ct, step)
+	return e.commitCross(ctx, ct, step)
 }
 
 // crossMisroute aborts a cross transaction that touched an entity outside
@@ -459,7 +489,7 @@ func (e *Engine) crossMisroute(step model.Step, ct *crossTxn) Result {
 		e.cfg.Log.Append(step, false)
 	}
 	e.finishCrossAbort(ct, -1)
-	return Result{Step: step, Outcome: OutcomeRejected, Aborted: ct.id, CompletedTxn: model.NoTxn, Err: ErrMisroute}
+	return Result{Step: step, Outcome: OutcomeRejected, Aborted: ct.id, CompletedTxn: model.NoTxn, Err: stepErr(step, ErrMisroute)}
 }
 
 // finishCrossAbort aborts ct's sub-transactions on every participant except
@@ -500,11 +530,12 @@ func (e *Engine) writeSubsetFor(final model.Step, p int) model.Step {
 }
 
 // commitCross is the two-phase commit of ct's final write. Caller holds
-// ct.mu. Every outcome — commit, local-cycle vote, registry veto, shard
-// shutdown — resolves the transaction deterministically on all
-// participants: a prepared-but-undecided sub-transaction never outlives
-// the decision, and its pins are released on every shard.
-func (e *Engine) commitCross(ct *crossTxn, final model.Step) Result {
+// ct.mu. Every outcome — commit, local-cycle vote, registry veto, context
+// cancellation between PREPARE and decision, shard shutdown — resolves the
+// transaction deterministically on all participants: a prepared-but-
+// undecided sub-transaction never outlives the decision, and its pins are
+// released on every shard.
+func (e *Engine) commitCross(ctx context.Context, ct *crossTxn, final model.Step) Result {
 	for _, x := range final.Entities {
 		if !ct.participant(e.partitionOf(x)) {
 			return e.crossMisroute(final, ct)
@@ -516,13 +547,13 @@ func (e *Engine) commitCross(ct *crossTxn, final model.Step) Result {
 		e.prepares.Add(1)
 		if !ok {
 			e.finishCrossAbort(ct, -1)
-			return Result{Step: final, Outcome: OutcomeError, Aborted: ct.id, CompletedTxn: model.NoTxn, Err: ErrClosed}
+			return Result{Step: final, Outcome: OutcomeError, Aborted: ct.id, CompletedTxn: model.NoTxn, Err: stepErr(final, ErrClosed)}
 		}
 		switch rep.res.Outcome {
 		case OutcomeAccepted:
 		case OutcomeRejected:
-			// A NO vote: either a local cycle on shard p or a registry veto
-			// (rep.res.Err == ErrCrossCycle). Abort everywhere — only this
+			// A NO vote: either a local cycle on shard p (ErrCycle) or a
+			// registry veto (ErrCrossCycle). Abort everywhere — only this
 			// transaction dies; no bystander is touched.
 			e.finishCrossAbort(ct, -1)
 			e.rejected.Add(1)
@@ -531,6 +562,17 @@ func (e *Engine) commitCross(ct *crossTxn, final model.Step) Result {
 			e.finishCrossAbort(ct, -1)
 			return Result{Step: final, Outcome: OutcomeError, Aborted: ct.id, CompletedTxn: model.NoTxn, Err: rep.res.Err}
 		}
+	}
+	if hook := testHookPrepared; hook != nil {
+		hook(ct.id)
+	}
+	if ctx.Err() != nil {
+		// The client's context died while every participant sat prepared:
+		// decide ABORT, releasing the pins and the registry entry, exactly
+		// as a client abort would.
+		e.rejected.Add(1)
+		e.finishCrossAbort(ct, -1)
+		return Result{Step: final, Outcome: OutcomeRejected, Aborted: ct.id, CompletedTxn: model.NoTxn, Err: ctxErr(final, context.Cause(ctx))}
 	}
 	// Unanimous YES: commit everywhere. The write arcs are already in every
 	// participant's graph (placed at prepare), so the decision only flips
@@ -542,7 +584,7 @@ func (e *Engine) commitCross(ct *crossTxn, final model.Step) Result {
 			ct.done = true
 			e.registry.drop(ct.id)
 			e.routes.Delete(ct.id)
-			return Result{Step: final, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: ErrClosed}
+			return Result{Step: final, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: stepErr(final, ErrClosed)}
 		}
 	}
 	ct.done = true

@@ -18,7 +18,7 @@ type StepSource interface {
 // the submission loop allocates nothing in steady state. It reacts to
 // rejections the way a per-step client session would: a rejected or
 // errored step means the transaction is dead (cycle abort, misroute,
-// barrier kill, or engine shutdown), so the source discards its remaining
+// overload shed, or engine shutdown), so the source discards its remaining
 // plan. Because a whole batch is decided before the source hears about
 // aborts, steps of a freshly dead transaction may still be in flight; the
 // engine rejects them as unknown, and the abort is reported to the source
@@ -47,7 +47,7 @@ func (e *Engine) Drive(src StepSource, batchSize int) int {
 		results = e.SubmitBatchInto(results[:0], steps)
 		for _, r := range results {
 			switch r.Outcome {
-			case OutcomeAccepted, OutcomeBuffered:
+			case OutcomeAccepted:
 			default:
 				if !notified[r.Step.Txn] {
 					notified[r.Step.Txn] = true

@@ -1,7 +1,7 @@
 package engine
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -28,6 +28,13 @@ type Config struct {
 	// accumulated this many completions/aborts since the last sweep
 	// (default 8). Lower is tighter memory, higher is faster.
 	SweepEveryCompletions int
+	// OverloadWatermark, if > 0, enables admission control: a BEGIN routed
+	// at a shard whose submission backlog (Stats.QueueDepth) is at or above
+	// the watermark is shed with ErrOverload instead of queued — the
+	// transaction never begins and no queue slot is consumed. Steps of
+	// already-admitted transactions are never shed (they drain the
+	// backlog), and a PriorityHigh BEGIN bypasses the watermark.
+	OverloadWatermark int
 	// Log, if non-nil, records every applied step for offline refereeing
 	// (trace.CheckAcceptedCSR). Sub-transactions of a cross-partition
 	// transaction log under the logical TxnID, so the referee's conflict
@@ -51,23 +58,19 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Outcome classifies the engine-level result of one submission.
+// Outcome is a coarse classification of one submission, derived from
+// Result.Err (which is the single source of truth — see errors.go).
 type Outcome uint8
 
 const (
-	// OutcomeAccepted: the step was applied and accepted.
+	// OutcomeAccepted: the step was applied and accepted (Err == nil).
 	OutcomeAccepted Outcome = iota
-	// OutcomeRejected: the step was refused and Aborted names the victim
-	// (cycle rejection — local or cross-shard, misroute, or step for an
-	// unknown/aborted transaction).
+	// OutcomeRejected: the step was refused and Aborted names the victim;
+	// Err wraps ErrCycle, ErrCrossCycle, ErrMisroute, ErrOverload, or
+	// ErrTxnAborted.
 	OutcomeRejected
-	// OutcomeBuffered is retained for wire compatibility with pre-2PC
-	// engines, which buffered a cross-partition transaction's steps
-	// client-side until its final write. The 2PC engine applies cross
-	// steps immediately on their owning shards and never produces it.
-	OutcomeBuffered
-	// OutcomeError: protocol violation (duplicate BEGIN, step after the
-	// final write, unsupported kind); Err explains. State is unchanged.
+	// OutcomeError: the submission could not be processed and state is
+	// unchanged; Err wraps ErrProtocol or ErrClosed.
 	OutcomeError
 )
 
@@ -78,8 +81,6 @@ func (o Outcome) String() string {
 		return "accepted"
 	case OutcomeRejected:
 		return "rejected"
-	case OutcomeBuffered:
-		return "buffered"
 	case OutcomeError:
 		return "error"
 	default:
@@ -87,12 +88,16 @@ func (o Outcome) String() string {
 	}
 }
 
-// Result reports the engine-level effect of one submission.
+// Result reports the engine-level effect of one submission. Err is nil iff
+// the step was applied and accepted; otherwise it wraps one member of the
+// error taxonomy (errors.go) plus the step's context.
 type Result struct {
 	Step    model.Step
 	Outcome Outcome
 	// Aborted is the transaction aborted by this submission (NoTxn
-	// otherwise).
+	// otherwise). The step that kills a transaction carries the specific
+	// cause (ErrCycle, ErrCrossCycle, ErrMisroute); later steps addressed
+	// to the dead transaction carry ErrTxnAborted.
 	Aborted model.TxnID
 	// CompletedTxn is set when the submission completed its transaction
 	// (for a cross-partition transaction, that is its final write's
@@ -104,19 +109,14 @@ type Result struct {
 // Accepted reports whether the step was applied and accepted.
 func (r Result) Accepted() bool { return r.Outcome == OutcomeAccepted }
 
-// Errors returned in Result.Err (wrapped with context).
-var (
-	// ErrClosed: the engine has been closed.
-	ErrClosed = errors.New("engine: closed")
-	// ErrUnknownTxn: step for a transaction that never began, already
-	// finished, or aborted.
-	ErrUnknownTxn = errors.New("engine: unknown transaction")
-	// ErrMisroute: a transaction touched an entity outside its declared
-	// partition (local) or participant set (cross).
-	ErrMisroute = errors.New("engine: entity outside the transaction's partition")
-	// ErrCrossCycle: the cross-arc registry vetoed a step — accepting it
-	// would close a cycle spanning two or more shard graphs.
-	ErrCrossCycle = errors.New("engine: would close a cycle across shard graphs")
+// Priority classifies a BEGIN for admission control.
+type Priority uint8
+
+const (
+	// PriorityNormal BEGINs are subject to Config.OverloadWatermark.
+	PriorityNormal Priority = iota
+	// PriorityHigh BEGINs are admitted even above the overload watermark.
+	PriorityHigh
 )
 
 // Stats is a point-in-time aggregate of engine counters. The scalar fields
@@ -133,13 +133,13 @@ var (
 type Stats struct {
 	Submitted int64 // Submit calls
 	Accepted  int64 // steps applied and accepted
-	Rejected  int64 // steps refused (cycle, cross-cycle, misroute, unknown txn)
-	Buffered  int64 // always 0 since 2PC (pre-2PC engines buffered cross steps)
+	Rejected  int64 // steps refused (cycle, cross-cycle, misroute, overload, dead txn)
 	Completed int64 // transactions completed
 	Aborted   int64 // transactions aborted, all causes
 	Deleted   int64 // nodes reclaimed by deletion-policy sweeps
 	Sweeps    int64 // amortized GC sweeps executed
 	CrossTxns int64 // cross-partition transactions begun
+	Shed      int64 // BEGINs refused by admission control (ErrOverload)
 
 	// Prepares counts PREPARE requests sent to participants (one per
 	// participating shard per cross-partition final write).
@@ -204,7 +204,7 @@ type Engine struct {
 	submitted, accepted, rejected       atomic.Int64
 	completed, aborted, deleted, sweeps atomic.Int64
 	crossTxns, prepares, crossAborts    atomic.Int64
-	misroutes                           atomic.Int64
+	misroutes, shed                     atomic.Int64
 
 	// replyPool recycles the one-slot reply channels of shard round-trips;
 	// resBufPool recycles SubmitBatch result buffers. Both keep the steady
@@ -277,33 +277,81 @@ func (e *Engine) beginRoute(step model.Step) (home int, cross bool) {
 // Steps of one transaction must be submitted sequentially (each after the
 // previous one's Result), as a real client session would.
 func (e *Engine) Submit(step model.Step) Result {
+	return e.SubmitPriority(context.Background(), step, PriorityNormal)
+}
+
+// SubmitCtx is Submit under a context: a BEGIN with an already-cancelled
+// context is refused before it begins, an access step with a cancelled
+// context aborts its transaction (releasing every shard's state), and a
+// cross-partition final write observing cancellation between PREPARE and
+// the decision aborts instead of committing. The Result's Err then wraps
+// both ErrTxnAborted and the context's cause.
+func (e *Engine) SubmitCtx(ctx context.Context, step model.Step) Result {
+	return e.SubmitPriority(ctx, step, PriorityNormal)
+}
+
+// SubmitPriority is SubmitCtx with an admission-control priority for BEGIN
+// steps (access steps ignore the priority — an admitted transaction is
+// never shed).
+func (e *Engine) SubmitPriority(ctx context.Context, step model.Step, pri Priority) Result {
 	if e.closed.Load() {
-		return Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: ErrClosed}
+		return Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: stepErr(step, ErrClosed)}
 	}
 	e.submitted.Add(1)
+	if ctx.Err() != nil {
+		e.rejected.Add(1)
+		if step.Kind != model.KindBegin {
+			// Cancellation kills the whole transaction, not just this step.
+			e.Abort(step.Txn)
+		}
+		// Cause, not Err: a derived context cancelled for a deadline still
+		// reports context.DeadlineExceeded.
+		return Result{Step: step, Outcome: OutcomeRejected, Aborted: step.Txn, CompletedTxn: model.NoTxn, Err: ctxErr(step, context.Cause(ctx))}
+	}
 	switch step.Kind {
 	case model.KindBegin:
-		return e.submitBegin(step)
+		return e.submitBegin(ctx, step, pri)
 	case model.KindRead, model.KindWriteFinal:
-		return e.submitAccess(step)
+		return e.submitAccess(ctx, step)
 	default:
 		return Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn,
-			Err: fmt.Errorf("engine: step kind %v not part of the basic model", step.Kind)}
+			Err: fmt.Errorf("engine: step kind %v not part of the basic model: %w", step.Kind, ErrProtocol)}
 	}
 }
 
+// shardOverloaded reports whether admission control should shed a BEGIN
+// bound for shard p.
+func (e *Engine) shardOverloaded(p int) bool {
+	w := e.cfg.OverloadWatermark
+	return w > 0 && e.shards[p].depth.Load() >= int64(w)
+}
+
+// shedBegin refuses a BEGIN under admission control: nothing began, no
+// queue slot was consumed, and the ID remains free.
+func (e *Engine) shedBegin(step model.Step) Result {
+	e.shed.Add(1)
+	e.rejected.Add(1)
+	return Result{Step: step, Outcome: OutcomeRejected, Aborted: step.Txn, CompletedTxn: model.NoTxn, Err: stepErr(step, ErrOverload)}
+}
+
 // registerBegin routes a BEGIN: a cross-partition footprint fans out as
-// sub-transactions (direct result), a duplicate ID errors (direct result),
-// and a partition-local BEGIN registers its route and reports the home
-// shard the step must be applied on.
-func (e *Engine) registerBegin(step model.Step) (home int, direct bool, res Result) {
+// sub-transactions (direct result), a duplicate or shed ID answers
+// directly, and a partition-local BEGIN registers its route and reports
+// the home shard the step must be applied on. The duplicate check runs
+// before the shed check so a protocol bug is never misreported as a
+// retryable overload.
+func (e *Engine) registerBegin(ctx context.Context, step model.Step, pri Priority) (home int, direct bool, res Result) {
 	h, cross := e.beginRoute(step)
 	if cross {
-		return 0, true, e.beginCross(step)
+		return 0, true, e.beginCross(ctx, step, pri)
 	}
 	if _, dup := e.routes.LoadOrStore(step.Txn, &route{kind: routeLocal, shard: h}); dup {
 		return 0, true, Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn,
-			Err: fmt.Errorf("engine: duplicate BEGIN for T%d", step.Txn)}
+			Err: fmt.Errorf("engine: duplicate BEGIN for T%d: %w", step.Txn, ErrProtocol)}
+	}
+	if pri != PriorityHigh && e.shardOverloaded(h) {
+		e.routes.Delete(step.Txn)
+		return 0, true, e.shedBegin(step)
 	}
 	return h, false, Result{}
 }
@@ -327,7 +375,9 @@ func (e *Engine) SubmitBatch(steps []model.Step) []Result {
 }
 
 // SubmitBatchInto is SubmitBatch appending into dst (pass a reused buffer
-// with spare capacity to keep the submit path allocation-free).
+// with spare capacity to keep the submit path allocation-free). The batch
+// path submits at PriorityNormal with no deadline; session clients needing
+// per-transaction contexts or priorities use the per-step path.
 func (e *Engine) SubmitBatchInto(dst []Result, steps []model.Step) []Result {
 	if len(steps) == 0 {
 		return dst
@@ -363,7 +413,7 @@ func (e *Engine) SubmitBatchInto(dst []Result, steps []model.Step) []Result {
 				// it first so duplicate detection sees the final state.
 				flush(i)
 			}
-			home, direct, res := e.registerBegin(st)
+			home, direct, res := e.registerBegin(context.Background(), st, PriorityNormal)
 			if direct {
 				flush(i)
 				dst = append(dst, res)
@@ -375,7 +425,7 @@ func (e *Engine) SubmitBatchInto(dst []Result, steps []model.Step) []Result {
 			if !ok {
 				flush(i)
 				e.rejected.Add(1)
-				dst = append(dst, Result{Step: st, Outcome: OutcomeRejected, Aborted: st.Txn, CompletedTxn: model.NoTxn, Err: ErrUnknownTxn})
+				dst = append(dst, Result{Step: st, Outcome: OutcomeRejected, Aborted: st.Txn, CompletedTxn: model.NoTxn, Err: stepErr(st, ErrTxnAborted)})
 				continue
 			}
 			r := v.(*route)
@@ -383,7 +433,7 @@ func (e *Engine) SubmitBatchInto(dst []Result, steps []model.Step) []Result {
 				// Routed individually; a final write runs the 2PC, so the
 				// pending run must land first to preserve step order.
 				flush(i)
-				dst = append(dst, e.crossStep(st, r))
+				dst = append(dst, e.crossStep(context.Background(), st, r))
 				continue
 			}
 			if foreign := e.misroutedStep(st, r.shard); foreign {
@@ -395,7 +445,7 @@ func (e *Engine) SubmitBatchInto(dst []Result, steps []model.Step) []Result {
 		default:
 			flush(i)
 			dst = append(dst, Result{Step: st, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn,
-				Err: fmt.Errorf("engine: step kind %v not part of the basic model", st.Kind)})
+				Err: fmt.Errorf("engine: step kind %v not part of the basic model: %w", st.Kind, ErrProtocol)})
 		}
 	}
 	flush(len(steps))
@@ -445,8 +495,8 @@ func (e *Engine) flushRun(dst []Result, shardIdx int, steps []model.Step) []Resu
 	return dst
 }
 
-func (e *Engine) submitBegin(step model.Step) Result {
-	home, direct, res := e.registerBegin(step)
+func (e *Engine) submitBegin(ctx context.Context, step model.Step, pri Priority) Result {
+	home, direct, res := e.registerBegin(ctx, step, pri)
 	if direct {
 		return res
 	}
@@ -470,15 +520,15 @@ func (e *Engine) doStep(shard int, step model.Step) Result {
 	return rep.res
 }
 
-func (e *Engine) submitAccess(step model.Step) Result {
+func (e *Engine) submitAccess(ctx context.Context, step model.Step) Result {
 	v, ok := e.routes.Load(step.Txn)
 	if !ok {
 		e.rejected.Add(1)
-		return Result{Step: step, Outcome: OutcomeRejected, Aborted: step.Txn, CompletedTxn: model.NoTxn, Err: ErrUnknownTxn}
+		return Result{Step: step, Outcome: OutcomeRejected, Aborted: step.Txn, CompletedTxn: model.NoTxn, Err: stepErr(step, ErrTxnAborted)}
 	}
 	r := v.(*route)
 	if r.kind == routeCross {
-		return e.crossStep(step, r)
+		return e.crossStep(ctx, step, r)
 	}
 	if e.misroutedStep(step, r.shard) {
 		return e.misroute(step, r)
@@ -499,7 +549,7 @@ func (e *Engine) misroute(step model.Step, r *route) Result {
 	}
 	e.shards[r.shard].do(request{kind: reqAbortOne, step: model.Step{Txn: step.Txn}})
 	e.routes.Delete(step.Txn)
-	return Result{Step: step, Outcome: OutcomeRejected, Aborted: step.Txn, CompletedTxn: model.NoTxn, Err: ErrMisroute}
+	return Result{Step: step, Outcome: OutcomeRejected, Aborted: step.Txn, CompletedTxn: model.NoTxn, Err: stepErr(step, ErrMisroute)}
 }
 
 // Abort aborts a live transaction (e.g. on client disconnect). For a
@@ -535,6 +585,7 @@ func (e *Engine) Stats() Stats {
 		Deleted:     e.deleted.Load(),
 		Sweeps:      e.sweeps.Load(),
 		CrossTxns:   e.crossTxns.Load(),
+		Shed:        e.shed.Load(),
 		Prepares:    e.prepares.Load(),
 		CrossAborts: e.crossAborts.Load(),
 		Misroutes:   e.misroutes.Load(),
@@ -565,6 +616,22 @@ func (e *Engine) Stats() Stats {
 		}
 	}
 	return s
+}
+
+// QueueDepths returns the instantaneous per-shard submission backlog
+// without a shard round-trip — the same gauge admission control sheds on
+// (Stats.QueueDepth fetches it alongside the heavier scheduler counters).
+// Dead shards report zero.
+func (e *Engine) QueueDepths() []int64 {
+	out := make([]int64, len(e.shards))
+	for i, sh := range e.shards {
+		select {
+		case <-sh.done:
+		default:
+			out[i] = sh.depth.Load()
+		}
+	}
+	return out
 }
 
 // Close stops the shard goroutines. Submits still in flight when Close is

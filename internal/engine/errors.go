@@ -1,0 +1,63 @@
+// The engine's typed error taxonomy. Result.Err is the single source of
+// truth about why a submission failed: every non-accepted Result carries an
+// error wrapping exactly one of the sentinels below (plus the failing
+// step's context), so clients branch with errors.Is instead of decoding an
+// outcome enum. The Outcome field survives only as a coarse derived
+// classification (accepted / rejected / error) for display.
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/model"
+)
+
+var (
+	// ErrClosed: the engine has been closed; no state was changed.
+	ErrClosed = errors.New("engine: closed")
+	// ErrCycle: the step was refused because accepting it would close a
+	// cycle in its shard's conflict graph (the paper's Rule 2/3 rejection);
+	// the acting transaction aborted.
+	ErrCycle = errors.New("engine: step would close a conflict cycle")
+	// ErrCrossCycle: the cross-arc registry vetoed the step — accepting it
+	// would close a cycle spanning two or more shard graphs; the acting
+	// cross-partition transaction aborted.
+	ErrCrossCycle = errors.New("engine: step would close a cycle across shard graphs")
+	// ErrMisroute: the transaction touched an entity outside its declared
+	// partition (local) or participant set (cross); it aborted.
+	ErrMisroute = errors.New("engine: entity outside the transaction's partition")
+	// ErrTxnAborted: the step addressed a transaction that is not live —
+	// it never began, already finished, or aborted (including an abort
+	// forced by context cancellation or deadline expiry).
+	ErrTxnAborted = errors.New("engine: transaction aborted or unknown")
+	// ErrProtocol: the submission violated the session protocol (duplicate
+	// BEGIN, step after the final write, a step kind outside the basic
+	// model). Engine state is unchanged and the transaction, if live,
+	// stays live.
+	ErrProtocol = errors.New("engine: protocol violation")
+	// ErrOverload: admission control shed the BEGIN — a shard it would
+	// run on is over the configured queue-depth watermark. Nothing began;
+	// the client may retry later or escalate to PriorityHigh.
+	ErrOverload = errors.New("engine: shard over the admission watermark")
+)
+
+// ErrUnknownTxn is the pre-taxonomy name for a step addressed to a dead or
+// never-begun transaction.
+//
+// Deprecated: it is the same error value as ErrTxnAborted; test against
+// that instead.
+var ErrUnknownTxn = ErrTxnAborted
+
+// stepErr wraps a taxonomy sentinel with the failing step's context. Only
+// failure paths pay the allocation.
+func stepErr(step model.Step, sentinel error) error {
+	return fmt.Errorf("engine: %v: %w", step, sentinel)
+}
+
+// ctxErr reports a transaction killed by its context: both ErrTxnAborted
+// and the context's cause (context.Canceled / context.DeadlineExceeded)
+// are reachable through errors.Is.
+func ctxErr(step model.Step, cause error) error {
+	return fmt.Errorf("engine: %v: %w (%w)", step, ErrTxnAborted, cause)
+}

@@ -12,8 +12,8 @@ import (
 
 // driveWorkload feeds one generator's stream into the engine, reacting to
 // rejections the way a client session would: a rejected or errored step
-// means the transaction is dead (cycle abort, misroute, or barrier kill),
-// so the generator discards its remaining plan.
+// means the transaction is dead (cycle abort, cross-cycle veto, or
+// misroute), so the generator discards its remaining plan.
 func driveWorkload(eng *Engine, cfg workload.Config) {
 	gen := workload.New(cfg)
 	for {
@@ -23,7 +23,7 @@ func driveWorkload(eng *Engine, cfg workload.Config) {
 		}
 		res := eng.Submit(step)
 		switch res.Outcome {
-		case OutcomeAccepted, OutcomeBuffered:
+		case OutcomeAccepted:
 		default:
 			gen.NotifyAbort(step.Txn)
 		}

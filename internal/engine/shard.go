@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -220,8 +221,12 @@ func (sh *shard) applyOne(step model.Step) Result {
 	eng := sh.eng
 	res, err := sh.sched.Apply(step)
 	if err != nil {
+		// The scheduler refused to process the step at all (duplicate
+		// BEGIN, step for a finished transaction, bad kind): a protocol
+		// violation, state unchanged.
 		return Result{Step: step, Outcome: OutcomeError,
-			Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: err}
+			Aborted: model.NoTxn, CompletedTxn: model.NoTxn,
+			Err: fmt.Errorf("engine: %w: %v", ErrProtocol, err)}
 	}
 	if eng.cfg.Log != nil {
 		eng.cfg.Log.Append(step, res.Accepted)
@@ -232,6 +237,11 @@ func (sh *shard) applyOne(step model.Step) Result {
 		eng.accepted.Add(1)
 	} else {
 		out.Outcome = OutcomeRejected
+		if res.CrossVeto {
+			out.Err = stepErr(step, ErrCrossCycle)
+		} else {
+			out.Err = stepErr(step, ErrCycle)
+		}
 		eng.rejected.Add(1)
 	}
 	if res.CompletedTxn != model.NoTxn {
@@ -254,7 +264,8 @@ func (sh *shard) applyOne(step model.Step) Result {
 // applies and logs.
 func (sh *shard) applyBeginSub(step model.Step) Result {
 	if _, err := sh.sched.BeginCross(step); err != nil {
-		return Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: err}
+		return Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn,
+			Err: fmt.Errorf("engine: %w: %v", ErrProtocol, err)}
 	}
 	if sh.eng.cfg.Log != nil {
 		sh.eng.cfg.Log.Append(step, true)
@@ -276,7 +287,8 @@ func (sh *shard) applyPrepareSub(step model.Step) Result {
 		sh.preparedN.Add(1)
 	}
 	if err != nil {
-		return Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: err}
+		return Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn,
+			Err: fmt.Errorf("engine: %w: %v", ErrProtocol, err)}
 	}
 	switch vote {
 	case core.VoteYes:
@@ -285,9 +297,9 @@ func (sh *shard) applyPrepareSub(step model.Step) Result {
 		}
 		return Result{Step: step, Outcome: OutcomeAccepted, Aborted: model.NoTxn, CompletedTxn: model.NoTxn}
 	case core.VoteCrossCycle:
-		return Result{Step: step, Outcome: OutcomeRejected, Aborted: step.Txn, CompletedTxn: model.NoTxn, Err: ErrCrossCycle}
+		return Result{Step: step, Outcome: OutcomeRejected, Aborted: step.Txn, CompletedTxn: model.NoTxn, Err: stepErr(step, ErrCrossCycle)}
 	default: // VoteLocalCycle
-		return Result{Step: step, Outcome: OutcomeRejected, Aborted: step.Txn, CompletedTxn: model.NoTxn}
+		return Result{Step: step, Outcome: OutcomeRejected, Aborted: step.Txn, CompletedTxn: model.NoTxn, Err: stepErr(step, ErrCycle)}
 	}
 }
 
@@ -295,7 +307,8 @@ func (sh *shard) applyPrepareSub(step model.Step) Result {
 func (sh *shard) applyCommitSub(id model.TxnID) Result {
 	res, err := sh.sched.CommitPrepared(id)
 	if err != nil {
-		return Result{Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: err}
+		return Result{Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn,
+			Err: fmt.Errorf("engine: %w: %v", ErrProtocol, err)}
 	}
 	sh.preparedN.Add(-1)
 	sh.sinceSweep++

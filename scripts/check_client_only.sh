@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Examples and commands must reach the sharded engine through the public
+# txdel/client facade — repro/internal/engine is an implementation detail.
+# Fails if any example or cmd imports it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bad=$(grep -rn '"repro/internal/engine"' examples cmd --include='*.go' || true)
+if [ -n "$bad" ]; then
+    echo "check_client_only: examples/cmd must import repro/txdel/client, not repro/internal/engine:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+echo "check_client_only: OK (no example or cmd imports repro/internal/engine)"

@@ -1,0 +1,218 @@
+// Package client is the public session API over the sharded deletion
+// engine: context-aware transactions, a typed error taxonomy, and
+// first-class admission control.
+//
+// Where package txdel exposes the paper's single-node schedulers and
+// deletion conditions directly, client is how a program talks to the
+// concurrent engine — N single-writer shards over hash-partitioned
+// entities, per-shard deletion policies with amortized GC, and cross-shard
+// transactions committing through a two-phase protocol guarded by the
+// cross-arc registry. Nothing outside this package needs to import the
+// engine.
+//
+// # Sessions
+//
+//	db, err := client.Open(client.Config{Shards: 4, Policy: "greedy-c1"})
+//	...
+//	txn, err := db.Begin(ctx, client.WithFootprint(x, y))
+//	if err != nil { ... }            // e.g. errors.Is(err, client.ErrOverload)
+//	if err := txn.Read(ctx, x); err != nil { ... }
+//	if err := txn.Write(ctx, y); err != nil { ... }  // nil == committed
+//
+// A transaction declares its entity footprint at Begin; the engine routes
+// it to the owning shard, or — when the footprint spans partitions — runs
+// it as one sub-transaction per participating shard, the final Write
+// committing through the two-phase path. Context cancellation or deadline
+// expiry at any point (including between PREPARE and the commit decision)
+// aborts the transaction, releasing prepared pins and cross-arc registry
+// entries on every shard.
+//
+// # Errors
+//
+// Every failure is classified by an errors.Is-able taxonomy — see
+// ErrCycle and friends in this package. The step that kills a transaction
+// carries the specific cause (ErrCycle, ErrCrossCycle, ErrMisroute); later
+// operations on the dead session return ErrTxnAborted.
+//
+// # Admission control
+//
+// With Config.OverloadWatermark set, a Begin aimed at a shard whose
+// submission backlog is over the watermark is shed with ErrOverload
+// instead of queued — load sheds at the door rather than deep in a queue.
+// WithPriority(PriorityHigh) exempts a session (e.g. an operator task)
+// from shedding.
+package client
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// Core vocabulary, aliased so callers never import internal packages.
+type (
+	// Entity identifies a database item; entity x lives on shard
+	// x mod Shards.
+	Entity = model.Entity
+	// TxnID identifies a transaction.
+	TxnID = model.TxnID
+	// Step is one raw scheduler input (the batch path's unit).
+	Step = model.Step
+	// Result reports the engine-level effect of one raw submission.
+	// Result.Err is the source of truth; it wraps the taxonomy.
+	Result = engine.Result
+	// Stats is a point-in-time aggregate of engine counters.
+	Stats = engine.Stats
+	// Priority classifies a Begin for admission control.
+	Priority = engine.Priority
+	// StepSource is a stream of steps with abort feedback (satisfied by
+	// txdel.Workload generators); see DB.Drive.
+	StepSource = engine.StepSource
+)
+
+// Re-exported constants.
+const (
+	// NoTxn is the sentinel for "no transaction".
+	NoTxn = model.NoTxn
+	// PriorityNormal sessions are subject to the overload watermark.
+	PriorityNormal = engine.PriorityNormal
+	// PriorityHigh sessions bypass admission control.
+	PriorityHigh = engine.PriorityHigh
+)
+
+// Config configures a DB.
+type Config struct {
+	// Shards is the number of entity partitions / scheduler goroutines
+	// (default 1).
+	Shards int
+	// Policy names the per-shard deletion policy: "nogc" (default, never
+	// delete), "lemma1", "greedy-c1", "greedy-c1-newest",
+	// "noncurrent-safe", or "max-safe".
+	Policy string
+	// BatchSize caps how many queued steps a shard applies between GC
+	// opportunities (default 64).
+	BatchSize int
+	// QueueDepth is the per-shard submission buffer (default 1024).
+	QueueDepth int
+	// SweepEveryCompletions is the GC cadence per shard (default 8).
+	SweepEveryCompletions int
+	// OverloadWatermark, if > 0, enables admission control: Begins aimed
+	// at a shard with that much submission backlog are shed with
+	// ErrOverload instead of queued. PriorityHigh sessions are exempt.
+	OverloadWatermark int
+	// Verify keeps a full step trace; Close then replays the accepted
+	// subschedule through the offline CSR referee and reports a non-nil
+	// error if conflict serializability was ever violated.
+	Verify bool
+
+	// enginePolicy, when non-nil, overrides Policy with a custom factory —
+	// a seam for this package's tests.
+	enginePolicy func() core.Policy
+}
+
+func policyFactory(name string) (func() core.Policy, error) {
+	switch name {
+	case "", "nogc", "none":
+		return nil, nil
+	case "lemma1":
+		return func() core.Policy { return core.Lemma1Policy{} }, nil
+	case "greedy-c1":
+		return func() core.Policy { return core.GreedyC1{} }, nil
+	case "greedy-c1-newest":
+		return func() core.Policy { return core.GreedyC1{NewestFirst: true} }, nil
+	case "noncurrent-safe":
+		return func() core.Policy { return core.NoncurrentSafe{} }, nil
+	case "max-safe":
+		return func() core.Policy { return core.MaxSafeExact{} }, nil
+	default:
+		return nil, fmt.Errorf("client: unknown policy %q (nogc, lemma1, greedy-c1, greedy-c1-newest, noncurrent-safe, max-safe): %w", name, ErrProtocol)
+	}
+}
+
+// DB is an open handle on the sharded engine. All methods are safe for
+// concurrent use; each Txn, however, is a single client session and must
+// be driven from one goroutine at a time.
+type DB struct {
+	eng    *engine.Engine
+	log    *trace.SafeLog
+	nextID atomic.Int64
+	closed atomic.Bool
+}
+
+// Open starts the engine with cfg's shard goroutines running.
+func Open(cfg Config) (*DB, error) {
+	factory := cfg.enginePolicy
+	if factory == nil {
+		f, err := policyFactory(cfg.Policy)
+		if err != nil {
+			return nil, err
+		}
+		factory = f
+	}
+	var log *trace.SafeLog
+	if cfg.Verify {
+		log = trace.NewSafeLog()
+	}
+	eng := engine.New(engine.Config{
+		Shards:                cfg.Shards,
+		Policy:                factory,
+		BatchSize:             cfg.BatchSize,
+		QueueDepth:            cfg.QueueDepth,
+		SweepEveryCompletions: cfg.SweepEveryCompletions,
+		OverloadWatermark:     cfg.OverloadWatermark,
+		Log:                   log,
+	})
+	return &DB{eng: eng, log: log}, nil
+}
+
+// NumShards returns the number of entity partitions.
+func (db *DB) NumShards() int { return db.eng.NumShards() }
+
+// Stats returns a snapshot of the engine counters. Safe to call
+// concurrently with sessions and after Close.
+func (db *DB) Stats() Stats { return db.eng.Stats() }
+
+// QueueDepths returns the instantaneous per-shard submission backlog — the
+// gauge admission control sheds on — without a shard round-trip.
+func (db *DB) QueueDepths() []int64 { return db.eng.QueueDepths() }
+
+// SubmitBatch is the raw step path under the session API: it submits a
+// client's steps in order (consecutive same-shard steps pipelined through
+// one shard round-trip) and returns one Result per step. Sessions and
+// batches may be mixed on one DB, but one transaction's steps must all
+// come from one or the other. Batch steps run at PriorityNormal with no
+// deadline.
+func (db *DB) SubmitBatch(steps []Step) []Result { return db.eng.SubmitBatch(steps) }
+
+// Abort aborts a live transaction by ID, whatever state it is in —
+// releasing, for a cross-partition transaction, the sub-transactions and
+// prepared pins on every participant. It reports false if the transaction
+// is unknown or already decided. Sessions normally use Txn.Abort; this is
+// the raw-path equivalent (e.g. a wire server cleaning up after a
+// disconnected client).
+func (db *DB) Abort(id TxnID) bool { return db.eng.Abort(id) }
+
+// Drive pumps a step source (e.g. a txdel.Workload generator) into the
+// engine through the batched submission path, batchSize steps per shard
+// round-trip, reacting to rejections the way a per-step session would. It
+// returns the number of steps submitted.
+func (db *DB) Drive(src StepSource, batchSize int) int { return db.eng.Drive(src, batchSize) }
+
+// Close stops the engine. With Config.Verify it then replays the accepted
+// subschedule through the offline CSR referee and returns its verdict
+// (nil means the full run was conflict serializable). Close is idempotent;
+// later calls return nil.
+func (db *DB) Close() error {
+	if !db.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	db.eng.Close()
+	if db.log != nil {
+		return db.log.CheckAcceptedCSR()
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package client
+
+import (
+	"errors"
+
+	"repro/internal/engine"
+)
+
+// The error taxonomy. Every failed operation returns an error wrapping
+// exactly one of these sentinels (plus step context), threaded up from the
+// engine — the same values, so errors.Is holds across layers. Branch with
+// errors.Is, never string matching.
+var (
+	// ErrCycle: the operation was refused because accepting it would close
+	// a cycle in its shard's conflict graph; the transaction aborted.
+	ErrCycle = engine.ErrCycle
+	// ErrCrossCycle: the cross-arc registry vetoed the operation — it
+	// would close a cycle spanning two or more shard graphs; the
+	// cross-partition transaction aborted.
+	ErrCrossCycle = engine.ErrCrossCycle
+	// ErrMisroute: the transaction touched an entity outside its declared
+	// footprint's partition (or participant set); it aborted.
+	ErrMisroute = engine.ErrMisroute
+	// ErrTxnAborted: the session's transaction is not live — it aborted
+	// earlier (any cause, context expiry included) or never began.
+	ErrTxnAborted = engine.ErrTxnAborted
+	// ErrProtocol: the call violated the session protocol (duplicate
+	// WithID, operation after commit, unknown policy name, bad option).
+	// State is unchanged.
+	ErrProtocol = engine.ErrProtocol
+	// ErrOverload: admission control shed the Begin — a shard it would run
+	// on is over Config.OverloadWatermark. Nothing began; retry later or
+	// escalate with WithPriority(PriorityHigh).
+	ErrOverload = engine.ErrOverload
+	// ErrClosed: the DB has been closed.
+	ErrClosed = engine.ErrClosed
+)
+
+// ErrorCode maps an error from this package onto its stable wire code, the
+// machine-readable field carried by txgc-serve's protocol v2 responses.
+// It returns "" for nil and "internal" for errors outside the taxonomy.
+func ErrorCode(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrCycle):
+		return "cycle"
+	case errors.Is(err, ErrCrossCycle):
+		return "cross-cycle"
+	case errors.Is(err, ErrMisroute):
+		return "misroute"
+	case errors.Is(err, ErrOverload):
+		return "overload"
+	case errors.Is(err, ErrProtocol):
+		return "protocol"
+	case errors.Is(err, ErrClosed):
+		return "closed"
+	case errors.Is(err, ErrTxnAborted):
+		return "txn-aborted"
+	default:
+		return "internal"
+	}
+}

@@ -85,6 +85,9 @@ const (
 var (
 	// Begin starts a transaction.
 	Begin = model.Begin
+	// BeginDeclared starts a transaction carrying its declared entity
+	// footprint; sharded engines (see repro/txdel/client) route on it.
+	BeginDeclared = model.BeginDeclared
 	// Read reads one entity.
 	Read = model.Read
 	// WriteFinal is the basic model's final atomic write (completes the
