@@ -1,4 +1,4 @@
-// Benchmarks: one testing.B anchor per experiment E1–E12 (each runs the
+// Benchmarks: one testing.B anchor per experiment E1–E13 (each runs the
 // harness driver in quick mode), plus micro-benchmarks for the hot paths
 // (scheduler steps under each policy, condition checkers, the NP solvers,
 // and the baselines). Regenerate the full tables with cmd/txgc-bench.
@@ -46,6 +46,7 @@ func BenchmarkE9C3Cost(b *testing.B)         { benchExperiment(b, "E9") }
 func BenchmarkE10Noncurrent(b *testing.B)    { benchExperiment(b, "E10") }
 func BenchmarkE11CommitGC(b *testing.B)      { benchExperiment(b, "E11") }
 func BenchmarkE12Certification(b *testing.B) { benchExperiment(b, "E12") }
+func BenchmarkE13EmitTelemetry(b *testing.B) { benchExperiment(b, "E13") }
 
 // --- micro: scheduler step throughput per policy ------------------------
 
@@ -306,7 +307,7 @@ func BenchmarkReductionBuild3SAT(b *testing.B) {
 // Guard: the per-experiment benchmarks must cover every registered
 // experiment (keeps this file honest when experiments are added).
 func TestBenchmarksCoverAllExperiments(t *testing.T) {
-	if len(bench.All()) != 12 {
+	if len(bench.All()) != 13 {
 		t.Fatalf("experiment registry changed (%d entries); update bench_test.go", len(bench.All()))
 	}
 	for _, e := range bench.All() {

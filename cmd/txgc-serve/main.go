@@ -65,6 +65,20 @@
 // With -verify the server keeps a full trace and, at shutdown (stdin EOF
 // or SIGINT/SIGTERM), replays the accepted subschedule through the offline
 // CSR referee, reporting the verdict on stderr.
+//
+// # Observability
+//
+//	txgc-serve -metrics-addr :9090      # Prometheus text endpoint on /metrics
+//	txgc-serve -capture run.jsonl       # event stream + step trace for replay
+//
+// -metrics-addr serves per-outcome event counters, per-shard queue-depth/
+// retained/prepared gauges, and session latency histograms in the
+// Prometheus text format. -capture appends every lifecycle event as a JSON
+// line ({"rec":"event",...}) while the server runs and, at shutdown, the
+// full step trace ({"rec":"step",...}) — one file holding both halves of
+// the record/replay contract (see docs/observability.md). Telemetry never
+// blocks the engine: under sink pressure events are dropped and counted
+// (txgc_events_dropped_total), never queued against the hot path.
 package main
 
 import (
@@ -76,12 +90,14 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sync"
 	"syscall"
 	"time"
 
+	"repro/internal/emit"
 	"repro/txdel"
 	"repro/txdel/client"
 )
@@ -406,16 +422,35 @@ func (s *session) serve(r io.Reader, w io.Writer) {
 
 func main() {
 	var (
-		addr       = flag.String("addr", "", "TCP listen address (empty: serve stdin/stdout)")
-		shards     = flag.Int("shards", 4, "number of entity partitions / scheduler goroutines")
-		policyName = flag.String("policy", "greedy-c1", "deletion policy per shard")
-		batch      = flag.Int("batch", 64, "max steps a shard applies between GC opportunities")
-		queue      = flag.Int("queue", 1024, "per-shard submission queue depth")
-		sweepEvery = flag.Int("sweep-every", 8, "sweep after this many completions per shard")
-		watermark  = flag.Int("overload-watermark", 0, "shed begins when a shard's backlog reaches this depth (0 = never shed)")
-		verify     = flag.Bool("verify", false, "trace the run and check the accepted subschedule is CSR at shutdown")
+		addr        = flag.String("addr", "", "TCP listen address (empty: serve stdin/stdout)")
+		shards      = flag.Int("shards", 4, "number of entity partitions / scheduler goroutines")
+		policyName  = flag.String("policy", "greedy-c1", "deletion policy per shard")
+		batch       = flag.Int("batch", 64, "max steps a shard applies between GC opportunities")
+		queue       = flag.Int("queue", 1024, "per-shard submission queue depth")
+		sweepEvery  = flag.Int("sweep-every", 8, "sweep after this many completions per shard")
+		watermark   = flag.Int("overload-watermark", 0, "shed begins when a shard's backlog reaches this depth (0 = never shed)")
+		verify      = flag.Bool("verify", false, "trace the run and check the accepted subschedule is CSR at shutdown")
+		metricsAddr = flag.String("metrics-addr", "", "HTTP listen address for the Prometheus /metrics endpoint (empty: no metrics)")
+		capturePath = flag.String("capture", "", "append the event stream (and, at shutdown, the step trace) to this file as JSON lines")
 	)
 	flag.Parse()
+
+	var sinks []emit.Sink
+	var metrics *emit.MetricsSink
+	if *metricsAddr != "" {
+		metrics = emit.NewMetricsSink()
+		sinks = append(sinks, metrics)
+	}
+	var captureFile *os.File
+	if *capturePath != "" {
+		f, err := os.Create(*capturePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "txgc-serve:", err)
+			os.Exit(2)
+		}
+		captureFile = f
+		sinks = append(sinks, emit.NewCaptureSink(f))
+	}
 
 	db, err := client.Open(client.Config{
 		Shards:                *shards,
@@ -425,21 +460,54 @@ func main() {
 		SweepEveryCompletions: *sweepEvery,
 		OverloadWatermark:     *watermark,
 		Verify:                *verify,
+		Trace:                 captureFile != nil,
+		Sinks:                 sinks,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "txgc-serve:", err)
 		os.Exit(2)
 	}
 
+	if metrics != nil {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metrics)
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "txgc-serve:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "txgc-serve: metrics on http://"+ln.Addr().String()+"/metrics")
+		go func() {
+			if err := http.Serve(ln, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "txgc-serve: metrics server:", err)
+			}
+		}()
+	}
+
 	shutdown := func(code int) {
 		st := db.Stats()
 		fmt.Fprintf(os.Stderr, "txgc-serve: %d submitted, %d accepted, %d completed, %d shed, %d deleted by GC, %d cross (%d prepares, %d cross aborts), %d barrier kills\n",
 			st.Submitted, st.Accepted, st.Completed, st.Shed, st.Deleted, st.CrossTxns, st.Prepares, st.CrossAborts, st.BarrierKills)
+		if bus := db.Bus(); bus != nil {
+			fmt.Fprintf(os.Stderr, "txgc-serve: telemetry: %d events emitted, %d dropped\n", bus.Emitted(), bus.Dropped())
+		}
+		// Close drains the bus first, so every live event line is flushed to
+		// the capture file before the step trace is appended after it.
 		if err := db.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "txgc-serve: VERIFY FAILED:", err)
 			code = 1
 		} else if *verify {
 			fmt.Fprintln(os.Stderr, "txgc-serve: verify OK: accepted subschedule is CSR")
+		}
+		if captureFile != nil {
+			if err := db.DumpTrace(captureFile); err != nil {
+				fmt.Fprintln(os.Stderr, "txgc-serve: capture:", err)
+				code = 1
+			}
+			if err := captureFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "txgc-serve: capture:", err)
+				code = 1
+			}
 		}
 		os.Exit(code)
 	}

@@ -1,7 +1,7 @@
 // Package bench implements the experiment harness: one driver per
-// experiment E1–E12 of EXPERIMENTS.md, each regenerating a table (or
-// series) that corresponds to a figure, example, theorem, or complexity
-// claim of the paper.
+// experiment E1–E13, each regenerating a table (or series) that
+// corresponds to a figure, example, theorem, or complexity claim of the
+// paper — plus engineering experiments on the reproduction itself.
 package bench
 
 import (
@@ -129,6 +129,7 @@ func All() []Experiment {
 		{"E10", "Corollary 1: noncurrent rule, safe and unsafe compositions", E10Noncurrent},
 		{"E11", "Theorem 2 negative control: commit-time GC caught", E11CommitGC},
 		{"E12", "Preventive vs certification conflict scheduling", E12Certification},
+		{"E13", "Telemetry bus: emitter overhead and drop-on-overflow", E13EmitTelemetry},
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/emit"
 	"repro/internal/graph"
 	"repro/internal/model"
 )
@@ -120,6 +121,11 @@ type Config struct {
 	// names the engine's cross-arc registry (see subtxn.go). Purely local
 	// schedulers leave it nil and pay nothing.
 	Cross CrossTracker
+	// Emitter, if non-nil, receives a lifecycle event for every begin,
+	// accepted step, veto, completion, abort, prepare vote, and sweep. The
+	// emitter must never block (see internal/emit); a nil emitter costs one
+	// predictable branch per step.
+	Emitter emit.Emitter
 }
 
 // Result reports the effect of one step.
@@ -296,6 +302,7 @@ func (s *Scheduler) begin(step model.Step) (Result, error) {
 	s.numActive++
 	s.stats.Begins++
 	s.stats.Accepted++
+	s.emit(emit.KindBegin, emit.ClassOK, id, s.seq, 0)
 	res := Result{Step: step, Accepted: true, Aborted: model.NoTxn, CompletedTxn: model.NoTxn}
 	s.afterStep(&res, false)
 	return res, nil
@@ -318,24 +325,21 @@ func (s *Scheduler) read(step model.Step) (Result, error) {
 	}
 	// A cycle appears iff the reader already reaches one of the tails.
 	if g.ReachesAnyTarget(t.ref) {
-		return s.reject(step, t), nil
+		return s.reject(step, t, false), nil
 	}
 	// Cross-shard cycle test: labels arriving at a sub-node are inter-shard
 	// arcs; a registry veto rejects the read like a local cycle.
 	if !s.crossCollect(t) {
-		res := s.reject(step, t)
-		res.CrossVeto = true
-		return res, nil
+		return s.reject(step, t, true), nil
 	}
 	g.LinkTargetsTo(t.ref)
 	s.noteAccess(t, x, model.ReadAccess)
 	if !s.crossFlood(t) {
-		res := s.reject(step, t)
-		res.CrossVeto = true
-		return res, nil
+		return s.reject(step, t, true), nil
 	}
 	s.stats.Reads++
 	s.stats.Accepted++
+	s.emit(emit.KindAccept, emit.ClassOK, t.ID, t.BeginSeq, 0)
 	res := Result{Step: step, Accepted: true, Aborted: model.NoTxn, CompletedTxn: model.NoTxn}
 	s.afterStep(&res, false)
 	return res, nil
@@ -364,12 +368,10 @@ func (s *Scheduler) writeFinal(step model.Step) (Result, error) {
 		}
 	}
 	if g.ReachesAnyTarget(t.ref) {
-		return s.reject(step, t), nil
+		return s.reject(step, t, false), nil
 	}
 	if !s.crossCollect(t) {
-		res := s.reject(step, t)
-		res.CrossVeto = true
-		return res, nil
+		return s.reject(step, t, true), nil
 	}
 	g.LinkTargetsTo(t.ref)
 	if !s.crossFlood(t) {
@@ -379,9 +381,7 @@ func (s *Scheduler) writeFinal(step model.Step) (Result, error) {
 		// particular lastWriteSeq/lastWriter must never name a write that
 		// failed, or Corollary 1's noncurrency test would see a phantom
 		// overwrite.
-		res := s.reject(step, t)
-		res.CrossVeto = true
-		return res, nil
+		return s.reject(step, t, true), nil
 	}
 	for _, x := range step.Entities {
 		s.noteAccess(t, x, model.WriteAccess)
@@ -395,6 +395,7 @@ func (s *Scheduler) writeFinal(step model.Step) (Result, error) {
 	s.stats.Writes++
 	s.stats.Accepted++
 	s.stats.Completed++
+	s.emit(emit.KindCommit, emit.ClassOK, t.ID, t.BeginSeq, 0)
 	res := Result{Step: step, Accepted: true, Aborted: model.NoTxn, CompletedTxn: t.ID}
 	s.afterStep(&res, true)
 	return res, nil
@@ -465,8 +466,15 @@ func (s *Scheduler) noteAccess(t *TxnState, x model.Entity, a model.Access) {
 }
 
 // reject aborts the acting transaction: the step is refused and the node,
-// its arcs, and all its access information are removed.
-func (s *Scheduler) reject(step model.Step, t *TxnState) Result {
+// its arcs, and all its access information are removed. cross marks a
+// rejection forced by the cross-arc registry rather than a cycle in this
+// shard's own graph.
+func (s *Scheduler) reject(step model.Step, t *TxnState, cross bool) Result {
+	if cross {
+		s.emit(emit.KindCrossVeto, emit.ClassCrossCycle, t.ID, t.BeginSeq, 0)
+	} else {
+		s.emit(emit.KindVeto, emit.ClassCycle, t.ID, t.BeginSeq, 0)
+	}
 	s.forget(t)
 	s.clearCross(t)
 	s.g.RemoveRef(t.ref)
@@ -476,7 +484,7 @@ func (s *Scheduler) reject(step model.Step, t *TxnState) Result {
 	s.releaseState(t)
 	s.stats.Rejected++
 	s.stats.Aborts++
-	res := Result{Step: step, Accepted: false, Aborted: t.ID, CompletedTxn: model.NoTxn}
+	res := Result{Step: step, Accepted: false, Aborted: t.ID, CompletedTxn: model.NoTxn, CrossVeto: cross}
 	s.afterStep(&res, true)
 	return res
 }
@@ -538,6 +546,7 @@ func (s *Scheduler) afterStep(res *Result, sweepEvent bool) {
 		s.cfg.Policy.Sweep(sw)
 		res.Deleted = sw.deleted
 		s.stats.Sweeps++
+		s.emit(emit.KindSweep, emit.ClassOK, model.NoTxn, 0, int64(len(sw.deleted)))
 	}
 	if n := s.g.NumNodes(); n > s.stats.PeakNodes {
 		s.stats.PeakNodes = n
@@ -624,6 +633,7 @@ func (s *Scheduler) SweepNow() []model.TxnID {
 	sw := &Sweep{s: s, justCompleted: model.NoTxn}
 	s.cfg.Policy.Sweep(sw)
 	s.stats.Sweeps++
+	s.emit(emit.KindSweep, emit.ClassOK, model.NoTxn, 0, int64(len(sw.deleted)))
 	return sw.deleted
 }
 
@@ -642,6 +652,7 @@ func (s *Scheduler) AbortTxn(id model.TxnID) error {
 	if t.Status != model.StatusActive {
 		return fmt.Errorf("core: abort of %v transaction T%d", t.Status, id)
 	}
+	s.emit(emit.KindAbort, emit.ClassTxnAborted, id, t.BeginSeq, 0)
 	s.forget(t)
 	s.clearCross(t)
 	s.g.RemoveRef(t.ref)
@@ -653,6 +664,14 @@ func (s *Scheduler) AbortTxn(id model.TxnID) error {
 	res := Result{Accepted: false, Aborted: id, CompletedTxn: model.NoTxn}
 	s.afterStep(&res, true)
 	return nil
+}
+
+// emit publishes one lifecycle event if an emitter is configured. The
+// emitter never blocks, so this never adds latency to a step.
+func (s *Scheduler) emit(k emit.Kind, c emit.Class, txn model.TxnID, inc, n int64) {
+	if s.cfg.Emitter != nil {
+		s.cfg.Emitter.Emit(emit.Event{Kind: k, Class: c, Txn: txn, Incarnation: inc, N: n})
+	}
 }
 
 // DeleteIfSafe deletes id iff C1 holds, returning whether it deleted.

@@ -51,6 +51,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/emit"
 	"repro/internal/graph"
 	"repro/internal/model"
 )
@@ -156,9 +157,11 @@ func (s *Scheduler) PrepareFinal(step model.Step) (PrepareVote, error) {
 		}
 	}
 	if g.ReachesAnyTarget(t.ref) {
+		s.emit(emit.KindVeto, emit.ClassCycle, t.ID, t.BeginSeq, 0)
 		return VoteLocalCycle, nil
 	}
 	if !s.crossCollect(t) {
+		s.emit(emit.KindCrossVeto, emit.ClassCrossCycle, t.ID, t.BeginSeq, 0)
 		return VoteCrossCycle, nil
 	}
 	g.LinkTargetsTo(t.ref)
@@ -180,6 +183,11 @@ func (s *Scheduler) PrepareFinal(step model.Step) (PrepareVote, error) {
 		// registry cycle. Vote no; the coordinator aborts all participants,
 		// which removes these arcs.
 		vote = VoteCrossCycle
+	}
+	if vote == VoteYes {
+		s.emit(emit.KindPrepare, emit.ClassOK, t.ID, t.BeginSeq, 0)
+	} else {
+		s.emit(emit.KindCrossVeto, emit.ClassCrossCycle, t.ID, t.BeginSeq, 0)
 	}
 	var res Result
 	s.afterStep(&res, false)
@@ -208,6 +216,7 @@ func (s *Scheduler) CommitPrepared(id model.TxnID) (Result, error) {
 	s.numActive--
 	s.numCompleted++
 	s.stats.Completed++
+	s.emit(emit.KindCommit, emit.ClassOK, id, t.BeginSeq, 0)
 	res := Result{Accepted: true, Aborted: model.NoTxn, CompletedTxn: id}
 	s.afterStep(&res, true)
 	return res, nil

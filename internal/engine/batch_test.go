@@ -51,8 +51,8 @@ func TestSubmitBatchSemantics(t *testing.T) {
 		t.Fatalf("completions: %v / %v / %v, want T1 / T3 / T2",
 			results[6].CompletedTxn, results[7].CompletedTxn, results[9].CompletedTxn)
 	}
-	if !errors.Is(results[8].Err, ErrUnknownTxn) {
-		t.Fatalf("unknown-txn step err = %v, want ErrUnknownTxn", results[8].Err)
+	if !errors.Is(results[8].Err, ErrTxnAborted) {
+		t.Fatalf("unknown-txn step err = %v, want ErrTxnAborted", results[8].Err)
 	}
 	s := eng.Stats()
 	if s.BarrierKills != 0 {
@@ -83,7 +83,7 @@ func TestSubmitBatchMisroute(t *testing.T) {
 	if results[2].Outcome != OutcomeRejected || !errors.Is(results[2].Err, ErrMisroute) {
 		t.Fatalf("misroute step: %v (%v)", results[2].Outcome, results[2].Err)
 	}
-	if results[3].Outcome != OutcomeRejected || !errors.Is(results[3].Err, ErrUnknownTxn) {
+	if results[3].Outcome != OutcomeRejected || !errors.Is(results[3].Err, ErrTxnAborted) {
 		t.Fatalf("post-abort step: %v (%v)", results[3].Outcome, results[3].Err)
 	}
 	if !results[5].Accepted() || results[5].CompletedTxn != 2 {
@@ -116,15 +116,15 @@ func TestSubmitBatchDuplicateBegin(t *testing.T) {
 	}
 	// The read was pipelined in the same shard run as the failed BEGIN, so
 	// it reaches the scheduler and reports its protocol error (documented
-	// batch divergence: per-step clients would see rejected/ErrUnknownTxn).
+	// batch divergence: per-step clients would see rejected/ErrTxnAborted).
 	if results[4].Outcome != OutcomeError {
 		t.Fatalf("read after failed reuse: %v (%v), want error", results[4].Outcome, results[4].Err)
 	}
 	// What matters is that the failed BEGIN did not poison the route: a
 	// later per-step submission must see the ID as unknown, not routed.
 	res := eng.Submit(model.Read(4, 0))
-	if res.Outcome != OutcomeRejected || !errors.Is(res.Err, ErrUnknownTxn) {
-		t.Fatalf("read after batch: %v (%v), want rejected/ErrUnknownTxn", res.Outcome, res.Err)
+	if res.Outcome != OutcomeRejected || !errors.Is(res.Err, ErrTxnAborted) {
+		t.Fatalf("read after batch: %v (%v), want rejected/ErrTxnAborted", res.Outcome, res.Err)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/emit"
 	"repro/internal/model"
 )
 
@@ -65,6 +66,58 @@ func BenchmarkEngineThroughput(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkEngineEmitOverhead measures what attaching the telemetry bus
+// costs the hot path: the same partition-local workload as
+// BenchmarkEngineThroughput (4 shards, greedy-c1, whole transactions through
+// SubmitBatchInto) run once without an emitter and once publishing every
+// lifecycle event to a live bus draining into a CountingSink.
+// scripts/check_bench_budget.sh gates the ns/op delta at
+// max_emit_overhead_pct and holds the emitter=on variant to the same
+// allocs/op budget as the bare path — Emit must stay allocation-free.
+// Regenerate the BENCH_engine.json record with:
+//
+//	go test -run '^$' -bench BenchmarkEngineEmitOverhead -benchtime 10000x -benchmem ./internal/engine/
+func BenchmarkEngineEmitOverhead(b *testing.B) {
+	const entities = 1 << 12
+	const shards = 4
+	run := func(b *testing.B, bus *emit.Bus) {
+		eng := New(Config{Shards: shards, Policy: func() core.Policy { return core.GreedyC1{} }, Bus: bus})
+		defer eng.Close()
+		var nextID atomic.Int64
+		perPart := entities / shards
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			rng := rand.New(rand.NewSource(nextID.Add(1)))
+			fp := make([]model.Entity, 4)
+			steps := make([]model.Step, 0, 5)
+			results := make([]Result, 0, 5)
+			for pb.Next() {
+				id := model.TxnID(nextID.Add(1))
+				p := rng.Intn(shards)
+				for i := range fp {
+					fp[i] = model.Entity(p + shards*rng.Intn(perPart))
+				}
+				steps = append(steps[:0], model.BeginDeclared(id, fp...))
+				for _, x := range fp[:3] {
+					steps = append(steps, model.Read(id, x))
+				}
+				steps = append(steps, model.WriteFinal(id, fp[3]))
+				results = eng.SubmitBatchInto(results[:0], steps)
+			}
+		})
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)*5/b.Elapsed().Seconds(), "steps/s")
+	}
+	b.Run("emitter=off", func(b *testing.B) { run(b, nil) })
+	b.Run("emitter=on", func(b *testing.B) {
+		var sink emit.CountingSink
+		bus := emit.NewBus(emit.DefaultBuffer, &sink)
+		defer bus.Close()
+		run(b, bus)
+	})
 }
 
 // BenchmarkEngineCrossFrac measures the cost of the cross-partition path:

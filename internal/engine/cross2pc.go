@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/emit"
 	"repro/internal/model"
 )
 
@@ -400,7 +401,7 @@ func (e *Engine) beginCross(ctx context.Context, step model.Step, pri Priority) 
 		for _, p := range ct.parts {
 			if e.shardOverloaded(p) {
 				e.routes.Delete(step.Txn)
-				return e.shedBegin(step)
+				return e.shedBegin(step, p)
 			}
 		}
 	}
@@ -485,6 +486,10 @@ func (e *Engine) crossStep(ctx context.Context, step model.Step, r *route) Resul
 func (e *Engine) crossMisroute(step model.Step, ct *crossTxn) Result {
 	e.misroutes.Add(1)
 	e.rejected.Add(1)
+	if e.cfg.Bus != nil {
+		e.cfg.Bus.Emit(emit.Event{Kind: emit.KindVeto, Class: emit.ClassMisroute,
+			Shard: emit.NoShard, Txn: ct.id})
+	}
 	if e.cfg.Log != nil {
 		e.cfg.Log.Append(step, false)
 	}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/emit"
 	"repro/internal/model"
 	"repro/internal/trace"
 )
@@ -40,6 +41,12 @@ type Config struct {
 	// transaction log under the logical TxnID, so the referee's conflict
 	// graph folds them into one logical node by construction.
 	Log *trace.SafeLog
+	// Bus, if non-nil, receives a lifecycle event for every begin, accepted
+	// step, veto, prepare, commit, abort, shed, and sweep, stamped with the
+	// shard it happened on. The bus never blocks the hot path; the caller
+	// owns its lifecycle (close it after Engine.Close so the tail of the
+	// stream is drained).
+	Bus *emit.Bus
 }
 
 func (c Config) withDefaults() Config {
@@ -232,11 +239,12 @@ func New(cfg Config) *Engine {
 			tracker = e.registry
 		}
 		sh := &shard{
-			idx:   i,
-			eng:   e,
-			sched: core.NewScheduler(core.Config{Policy: pol, SweepManual: true, Cross: tracker}),
-			ch:    make(chan request, cfg.QueueDepth),
-			done:  make(chan struct{}),
+			idx: i,
+			eng: e,
+			sched: core.NewScheduler(core.Config{Policy: pol, SweepManual: true, Cross: tracker,
+				Emitter: emit.ForShard(cfg.Bus, i)}),
+			ch:   make(chan request, cfg.QueueDepth),
+			done: make(chan struct{}),
 		}
 		e.shards[i] = sh
 		go sh.run()
@@ -327,10 +335,15 @@ func (e *Engine) shardOverloaded(p int) bool {
 }
 
 // shedBegin refuses a BEGIN under admission control: nothing began, no
-// queue slot was consumed, and the ID remains free.
-func (e *Engine) shedBegin(step model.Step) Result {
+// queue slot was consumed, and the ID remains free. home is the overloaded
+// shard the event is attributed to; N carries its backlog at the decision.
+func (e *Engine) shedBegin(step model.Step, home int) Result {
 	e.shed.Add(1)
 	e.rejected.Add(1)
+	if e.cfg.Bus != nil {
+		e.cfg.Bus.Emit(emit.Event{Kind: emit.KindShed, Class: emit.ClassOverload,
+			Shard: int32(home), Txn: step.Txn, N: e.shards[home].depth.Load()})
+	}
 	return Result{Step: step, Outcome: OutcomeRejected, Aborted: step.Txn, CompletedTxn: model.NoTxn, Err: stepErr(step, ErrOverload)}
 }
 
@@ -351,7 +364,7 @@ func (e *Engine) registerBegin(ctx context.Context, step model.Step, pri Priorit
 	}
 	if pri != PriorityHigh && e.shardOverloaded(h) {
 		e.routes.Delete(step.Txn)
-		return 0, true, e.shedBegin(step)
+		return 0, true, e.shedBegin(step, h)
 	}
 	return h, false, Result{}
 }
@@ -543,6 +556,10 @@ func (e *Engine) submitAccess(ctx context.Context, step model.Step) Result {
 func (e *Engine) misroute(step model.Step, r *route) Result {
 	e.misroutes.Add(1)
 	e.rejected.Add(1)
+	if e.cfg.Bus != nil {
+		e.cfg.Bus.Emit(emit.Event{Kind: emit.KindVeto, Class: emit.ClassMisroute,
+			Shard: int32(r.shard), Txn: step.Txn})
+	}
 	if e.cfg.Log != nil {
 		// A rejected step marks the transaction aborted in the trace.
 		e.cfg.Log.Append(step, false)
@@ -632,6 +649,48 @@ func (e *Engine) QueueDepths() []int64 {
 		}
 	}
 	return out
+}
+
+// RetainedCounts returns the per-shard count of retained completed
+// transactions (the storage the deletion policy reclaims), lock-free like
+// QueueDepths. The gauge is refreshed by the shard goroutine after every
+// batch, so it trails the scheduler by at most one batch. Dead shards
+// report zero: a closed engine retains nothing a client can reach.
+func (e *Engine) RetainedCounts() []int64 {
+	out := make([]int64, len(e.shards))
+	for i, sh := range e.shards {
+		select {
+		case <-sh.done:
+		default:
+			out[i] = sh.retainedN.Load()
+		}
+	}
+	return out
+}
+
+// PreparedCounts returns the per-shard count of prepared-but-undecided 2PC
+// sub-transactions (each pins its node against deletion), lock-free like
+// QueueDepths. Dead shards report zero.
+func (e *Engine) PreparedCounts() []int64 {
+	out := make([]int64, len(e.shards))
+	for i, sh := range e.shards {
+		select {
+		case <-sh.done:
+		default:
+			out[i] = sh.preparedN.Load()
+		}
+	}
+	return out
+}
+
+// Gauges snapshots the per-shard gauges in the shape the metrics endpoint
+// polls at scrape time (emit.GaugeSource).
+func (e *Engine) Gauges() emit.GaugeSnapshot {
+	return emit.GaugeSnapshot{
+		QueueDepth: e.QueueDepths(),
+		Retained:   e.RetainedCounts(),
+		Prepared:   e.PreparedCounts(),
+	}
 }
 
 // Close stops the shard goroutines. Submits still in flight when Close is

@@ -64,8 +64,8 @@ func TestRoutingAndMisroute(t *testing.T) {
 	}
 	// The transaction is gone now.
 	res = eng.Submit(model.Read(1, 8))
-	if res.Outcome != OutcomeRejected || !errors.Is(res.Err, ErrUnknownTxn) {
-		t.Fatalf("post-abort read: %v (%v), want rejected/ErrUnknownTxn", res.Outcome, res.Err)
+	if res.Outcome != OutcomeRejected || !errors.Is(res.Err, ErrTxnAborted) {
+		t.Fatalf("post-abort read: %v (%v), want rejected/ErrTxnAborted", res.Outcome, res.Err)
 	}
 	if s := eng.Stats(); s.Misroutes != 1 {
 		t.Fatalf("Misroutes = %d, want 1", s.Misroutes)
@@ -210,7 +210,7 @@ func TestCrossAbortReleasesPins(t *testing.T) {
 	if eng.Abort(1) {
 		t.Fatal("second abort returned true")
 	}
-	if res := eng.Submit(model.Read(1, 0)); res.Outcome != OutcomeRejected || !errors.Is(res.Err, ErrUnknownTxn) {
+	if res := eng.Submit(model.Read(1, 0)); res.Outcome != OutcomeRejected || !errors.Is(res.Err, ErrTxnAborted) {
 		t.Fatalf("read after abort: %v (%v)", res.Outcome, res.Err)
 	}
 	// Every shard released its sub-transaction: the ID is reusable.
@@ -435,8 +435,8 @@ func TestReusedIDDoesNotPoisonRoute(t *testing.T) {
 	// Without a lingering route, this is rejected at the engine (unknown
 	// txn), not routed to the shard as if T4 were live.
 	res := eng.Submit(model.Read(4, 0))
-	if res.Outcome != OutcomeRejected || !errors.Is(res.Err, ErrUnknownTxn) {
-		t.Fatalf("read after failed reuse: %v (%v), want rejected/ErrUnknownTxn", res.Outcome, res.Err)
+	if res.Outcome != OutcomeRejected || !errors.Is(res.Err, ErrTxnAborted) {
+		t.Fatalf("read after failed reuse: %v (%v), want rejected/ErrTxnAborted", res.Outcome, res.Err)
 	}
 }
 
@@ -458,8 +458,8 @@ func TestCrossReuseKeepsOriginalInTrace(t *testing.T) {
 		t.Fatalf("cross reuse begin: %v (%v), want error", res.Outcome, res.Err)
 	}
 	// No route was left behind: the follow-up final write is unknown.
-	if res := eng.Submit(model.WriteFinal(1, 1)); res.Outcome != OutcomeRejected || !errors.Is(res.Err, ErrUnknownTxn) {
-		t.Fatalf("cross reuse final: %v (%v), want rejected/ErrUnknownTxn", res.Outcome, res.Err)
+	if res := eng.Submit(model.WriteFinal(1, 1)); res.Outcome != OutcomeRejected || !errors.Is(res.Err, ErrTxnAborted) {
+		t.Fatalf("cross reuse final: %v (%v), want rejected/ErrTxnAborted", res.Outcome, res.Err)
 	}
 	var got int
 	for _, st := range log.AcceptedSubschedule() {

@@ -7,9 +7,11 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
+	"repro/internal/emit"
 	"repro/internal/model"
 )
 
@@ -48,6 +50,34 @@ var (
 // Deprecated: it is the same error value as ErrTxnAborted; test against
 // that instead.
 var ErrUnknownTxn = ErrTxnAborted
+
+// ClassOf maps a Result.Err onto the telemetry outcome class the event bus
+// carries (nil → ClassOK). The specific sentinels are tested before
+// ErrTxnAborted because ctxErr wraps both a cause and ErrTxnAborted.
+func ClassOf(err error) emit.Class {
+	switch {
+	case err == nil:
+		return emit.ClassOK
+	case errors.Is(err, ErrCycle):
+		return emit.ClassCycle
+	case errors.Is(err, ErrCrossCycle):
+		return emit.ClassCrossCycle
+	case errors.Is(err, ErrMisroute):
+		return emit.ClassMisroute
+	case errors.Is(err, ErrOverload):
+		return emit.ClassOverload
+	case errors.Is(err, ErrProtocol):
+		return emit.ClassProtocol
+	case errors.Is(err, ErrClosed):
+		return emit.ClassClosed
+	case errors.Is(err, ErrTxnAborted),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return emit.ClassTxnAborted
+	default:
+		return emit.ClassInternal
+	}
+}
 
 // stepErr wraps a taxonomy sentinel with the failing step's context. Only
 // failure paths pay the allocation.

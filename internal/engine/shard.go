@@ -77,6 +77,10 @@ type shard struct {
 	// preparedN is the number of prepared-but-undecided sub-transactions
 	// currently pinned on this shard (Stats.PreparedByShard).
 	preparedN atomic.Int64
+	// retainedN mirrors the scheduler's retained-completed count for
+	// lock-free gauge reads (Engine.RetainedCounts); the shard goroutine
+	// refreshes it after every batch.
+	retainedN atomic.Int64
 	// sinceSweep counts completions/aborts since the last GC sweep.
 	sinceSweep int
 	// cleanBuf is scratch for cross-registry clean reporting.
@@ -163,6 +167,7 @@ func (sh *shard) run() {
 		// Amortized GC between batches: replies are already out, so sweep
 		// cost never lands on an individual submission's latency.
 		sh.maybeSweep()
+		sh.retainedN.Store(int64(sh.sched.NumCompleted()))
 		// Registry upkeep: report decided cross sub-transactions whose
 		// ancestor set froze, so the registry can retire them and unblock
 		// deletion of their labeled successors.

@@ -1,15 +1,18 @@
 #!/bin/sh
 # Runs the engine hot-path benchmarks with -benchmem and fails if allocs/op
 # regresses above the budgets in bench_budget.txt: the partition-local path
-# (BenchmarkEngineThroughput, greedy-c1, 4 shards) and the cross-partition
-# 2PC path (BenchmarkEngineCrossFrac at CrossFrac=0.05).
+# (BenchmarkEngineThroughput, greedy-c1, 4 shards), the cross-partition
+# 2PC path (BenchmarkEngineCrossFrac at CrossFrac=0.05), and the telemetry
+# emitter overhead (BenchmarkEngineEmitOverhead on vs off, ns/op delta).
 set -eu
 cd "$(dirname "$0")/.."
 
 budget=$(awk '/^max_allocs_per_op/ {print $2}' bench_budget.txt)
 cross_budget=$(awk '/^max_cross_allocs_per_op/ {print $2}' bench_budget.txt)
+emit_budget=$(awk '/^max_emit_overhead_pct/ {print $2}' bench_budget.txt)
 [ -n "$budget" ] || { echo "check_bench_budget: no max_allocs_per_op in bench_budget.txt" >&2; exit 2; }
 [ -n "$cross_budget" ] || { echo "check_bench_budget: no max_cross_allocs_per_op in bench_budget.txt" >&2; exit 2; }
+[ -n "$emit_budget" ] || { echo "check_bench_budget: no max_emit_overhead_pct in bench_budget.txt" >&2; exit 2; }
 
 out=$(go test -run '^$' -bench 'BenchmarkEngineThroughput/shards=4/policy=greedy-c1$|BenchmarkEngineCrossFrac/cross=5' \
 	-benchtime 3000x -benchmem ./internal/engine/)
@@ -34,3 +37,31 @@ if [ "$cross_allocs" -gt "$cross_budget" ]; then
 	exit 1
 fi
 echo "check_bench_budget: OK: cross path $cross_allocs allocs/op within budget of $cross_budget"
+
+# Emitter overhead: run the on/off pair a few times and compare the best
+# ns/op of each variant (min-of-3 suppresses scheduler noise; the budget is
+# a regression fence, not a microbenchmark paper).
+emit_out=$(go test -run '^$' -bench 'BenchmarkEngineEmitOverhead' \
+	-benchtime 5000x -count=3 -benchmem ./internal/engine/)
+echo "$emit_out"
+
+min_nsop() {
+	echo "$emit_out" | awk -v pat="$1" '$0 ~ pat {for (i = 2; i <= NF; i++) if ($i == "ns/op") print $(i-1)}' |
+		sort -n | head -1
+}
+
+off=$(min_nsop 'emitter=off')
+on=$(min_nsop 'emitter=on')
+[ -n "$off" ] && [ -n "$on" ] || { echo "check_bench_budget: could not parse emitter ns/op from benchmark output" >&2; exit 2; }
+overhead=$(awk -v off="$off" -v on="$on" 'BEGIN {printf "%.1f", (on - off) * 100 / off}')
+if awk -v o="$overhead" -v b="$emit_budget" 'BEGIN {exit !(o > b)}'; then
+	echo "check_bench_budget: FAIL: emitter overhead ${overhead}% (off ${off} ns/op, on ${on} ns/op) exceeds budget of ${emit_budget}%" >&2
+	exit 1
+fi
+emit_allocs=$(echo "$emit_out" | awk '/emitter=on/ {for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i-1)}' | sort -n | tail -1)
+[ -n "$emit_allocs" ] || { echo "check_bench_budget: could not parse emitter=on allocs/op" >&2; exit 2; }
+if [ "$emit_allocs" -gt "$budget" ]; then
+	echo "check_bench_budget: FAIL: emitter=on path $emit_allocs allocs/op exceeds budget of $budget (Emit must not allocate)" >&2
+	exit 1
+fi
+echo "check_bench_budget: OK: emitter overhead ${overhead}% within budget of ${emit_budget}%, emitter=on $emit_allocs allocs/op within budget of $budget"

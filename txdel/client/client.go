@@ -45,9 +45,12 @@ package client
 
 import (
 	"fmt"
+	"io"
+	"strconv"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/emit"
 	"repro/internal/engine"
 	"repro/internal/model"
 	"repro/internal/trace"
@@ -108,6 +111,22 @@ type Config struct {
 	// subschedule through the offline CSR referee and reports a non-nil
 	// error if conflict serializability was ever violated.
 	Verify bool
+	// Trace keeps the step trace without the Close-time CSR check, so it
+	// can be dumped for offline replay (DumpTrace). Implied by Verify.
+	Trace bool
+
+	// Sinks, when non-empty, attaches a telemetry bus: every engine
+	// lifecycle event (begin/accept/veto/prepare/commit/abort/shed/sweep,
+	// stamped with its shard) plus client-session events (Shard == -1,
+	// commit/abort carrying wall-clock latency) is delivered to each sink
+	// on one drain goroutine. A *emit.MetricsSink in the list is wired to
+	// the engine's gauges and the bus's drop counters automatically. The
+	// DB owns the bus: Close drains and closes the sinks.
+	Sinks []emit.Sink
+	// EventBuffer is the bus ring capacity (rounded up to a power of two;
+	// default emit.DefaultBuffer). When sinks fall behind, events beyond
+	// the buffer are dropped and counted — the hot path never blocks.
+	EventBuffer int
 
 	// enginePolicy, when non-nil, overrides Policy with a custom factory —
 	// a seam for this package's tests.
@@ -139,6 +158,8 @@ func policyFactory(name string) (func() core.Policy, error) {
 type DB struct {
 	eng    *engine.Engine
 	log    *trace.SafeLog
+	bus    *emit.Bus
+	verify bool
 	nextID atomic.Int64
 	closed atomic.Bool
 }
@@ -154,8 +175,12 @@ func Open(cfg Config) (*DB, error) {
 		factory = f
 	}
 	var log *trace.SafeLog
-	if cfg.Verify {
+	if cfg.Verify || cfg.Trace {
 		log = trace.NewSafeLog()
+	}
+	var bus *emit.Bus
+	if len(cfg.Sinks) > 0 {
+		bus = emit.NewBus(cfg.EventBuffer, cfg.Sinks...)
 	}
 	eng := engine.New(engine.Config{
 		Shards:                cfg.Shards,
@@ -165,8 +190,15 @@ func Open(cfg Config) (*DB, error) {
 		SweepEveryCompletions: cfg.SweepEveryCompletions,
 		OverloadWatermark:     cfg.OverloadWatermark,
 		Log:                   log,
+		Bus:                   bus,
 	})
-	return &DB{eng: eng, log: log}, nil
+	for _, s := range cfg.Sinks {
+		if m, ok := s.(*emit.MetricsSink); ok {
+			m.SetGauges(eng.Gauges)
+			m.SetBus(bus)
+		}
+	}
+	return &DB{eng: eng, log: log, bus: bus, verify: cfg.Verify}, nil
 }
 
 // NumShards returns the number of entity partitions.
@@ -202,17 +234,86 @@ func (db *DB) Abort(id TxnID) bool { return db.eng.Abort(id) }
 // returns the number of steps submitted.
 func (db *DB) Drive(src StepSource, batchSize int) int { return db.eng.Drive(src, batchSize) }
 
-// Close stops the engine. With Config.Verify it then replays the accepted
-// subschedule through the offline CSR referee and returns its verdict
-// (nil means the full run was conflict serializable). Close is idempotent;
-// later calls return nil.
+// Bus returns the telemetry bus attached via Config.Sinks (nil without
+// sinks) — for reading the emitted/dropped counters.
+func (db *DB) Bus() *emit.Bus { return db.bus }
+
+// DumpTrace writes the step trace as JSON lines ({"rec":"step",...}, one
+// per recorded event, in apply order) — the schedule half of a capture
+// file; see docs/observability.md for the format. It requires Config.Trace
+// or Config.Verify and may be called while sessions run (it snapshots) or
+// after Close.
+func (db *DB) DumpTrace(w io.Writer) error {
+	if db.log == nil {
+		return fmt.Errorf("client: DumpTrace without Config.Trace or Config.Verify: %w", ErrProtocol)
+	}
+	var buf []byte
+	for _, ev := range db.log.Snapshot().Events() {
+		buf = buf[:0]
+		buf = append(buf, `{"rec":"step","seq":`...)
+		buf = strconv.AppendInt(buf, ev.Seq, 10)
+		buf = append(buf, `,"txn":`...)
+		buf = strconv.AppendInt(buf, int64(ev.Step.Txn), 10)
+		if ev.AbortMark {
+			buf = append(buf, `,"kind":"abort-mark"}`...)
+			buf = append(buf, '\n')
+		} else {
+			buf = append(buf, `,"kind":"`...)
+			switch ev.Step.Kind {
+			case model.KindBegin:
+				buf = append(buf, `begin"`...)
+			case model.KindRead:
+				buf = append(buf, `read","entity":`...)
+				buf = strconv.AppendInt(buf, int64(ev.Step.Entity), 10)
+			default:
+				buf = append(buf, `write","entities":[`...)
+				for i, x := range ev.Step.Entities {
+					if i > 0 {
+						buf = append(buf, ',')
+					}
+					buf = strconv.AppendInt(buf, int64(x), 10)
+				}
+				buf = append(buf, ']')
+			}
+			if ev.Step.Kind == model.KindBegin && len(ev.Step.Entities) > 0 {
+				buf = append(buf, `,"footprint":[`...)
+				for i, x := range ev.Step.Entities {
+					if i > 0 {
+						buf = append(buf, ',')
+					}
+					buf = strconv.AppendInt(buf, int64(x), 10)
+				}
+				buf = append(buf, ']')
+			}
+			buf = append(buf, `,"accepted":`...)
+			buf = strconv.AppendBool(buf, ev.Accepted)
+			buf = append(buf, "}\n"...)
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close stops the engine, then drains and closes the telemetry bus (so the
+// tail of the event stream reaches every sink). With Config.Verify it then
+// replays the accepted subschedule through the offline CSR referee and
+// returns its verdict (nil means the full run was conflict serializable).
+// Close is idempotent; later calls return nil.
 func (db *DB) Close() error {
 	if !db.closed.CompareAndSwap(false, true) {
 		return nil
 	}
 	db.eng.Close()
-	if db.log != nil {
-		return db.log.CheckAcceptedCSR()
+	var busErr error
+	if db.bus != nil {
+		busErr = db.bus.Close()
 	}
-	return nil
+	if db.verify {
+		if err := db.log.CheckAcceptedCSR(); err != nil {
+			return err
+		}
+	}
+	return busErr
 }

@@ -5,7 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"repro/internal/emit"
+	"repro/internal/engine"
 	"repro/internal/model"
 )
 
@@ -71,6 +74,10 @@ type Txn struct {
 	// context, so a Begin deadline aborts the transaction even while an
 	// operation — a two-phase commit included — is in flight.
 	beginCtx context.Context
+	// began is the session's wall-clock start, carried as the latency of
+	// its terminal commit/abort event (zero without a bus — sessions never
+	// call the clock unless telemetry wants it).
+	began time.Time
 
 	mu    sync.Mutex
 	state txnState
@@ -108,6 +115,11 @@ func (db *DB) Begin(ctx context.Context, opts ...BeginOption) (*Txn, error) {
 		return nil, res.Err
 	}
 	t := &Txn{db: db, id: id, beginCtx: ctx, finished: make(chan struct{})}
+	if db.bus != nil {
+		t.began = time.Now()
+		db.bus.Emit(emit.Event{Kind: emit.KindBegin, Class: emit.ClassOK,
+			Shard: emit.NoShard, Txn: id})
+	}
 	if ctx.Done() != nil {
 		go t.watch(ctx)
 	}
@@ -149,12 +161,22 @@ func (t *Txn) watch(ctx context.Context) {
 	}
 }
 
-// finishLocked records the terminal state exactly once. Caller holds t.mu
-// and has checked t.state == txnLive.
+// finishLocked records the terminal state exactly once and emits the
+// session's terminal event (Shard == -1, DurNanos = wall-clock lifetime,
+// Class = the abort cause's outcome class). Caller holds t.mu and has
+// checked t.state == txnLive.
 func (t *Txn) finishLocked(s txnState, err error) {
 	t.state = s
 	t.err = err
 	close(t.finished)
+	if bus := t.db.bus; bus != nil {
+		kind := emit.KindCommit
+		if s != txnCommitted {
+			kind = emit.KindAbort
+		}
+		bus.Emit(emit.Event{Kind: kind, Class: engine.ClassOf(err),
+			Shard: emit.NoShard, Txn: t.id, DurNanos: int64(time.Since(t.began))})
+	}
 }
 
 // terminalErrLocked is the error for an operation on a finished session.
