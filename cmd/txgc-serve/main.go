@@ -22,6 +22,8 @@
 // (entity outside the declared footprint's partitions), "txn-aborted"
 // (step for a dead or unknown transaction — deadline expiry included),
 // "overload" (admission control shed the begin; retry later or use
+// "priority":"high"), "straggler-aborted" (the retention governor reaped
+// the transaction as the oldest live straggler; shorten it, retry, or use
 // "priority":"high"), "protocol" (duplicate begin, malformed request), and
 // "closed". A begin's deadline_ms starts a timer that aborts the
 // transaction when it expires — even between PREPARE and the commit
@@ -61,6 +63,7 @@
 //	txgc-serve -addr :7433              # serve TCP, one session per conn
 //	txgc-serve -shards 8 -policy greedy-c1 -sweep-every 16 -verify
 //	txgc-serve -overload-watermark 256  # shed begins on saturated shards
+//	txgc-serve -retention-watermark 512 # reap stragglers pinning retained storage
 //
 // With -verify the server keeps a full trace and, at shutdown (stdin EOF
 // or SIGINT/SIGTERM), replays the accepted subschedule through the offline
@@ -429,6 +432,7 @@ func main() {
 		queue       = flag.Int("queue", 1024, "per-shard submission queue depth")
 		sweepEvery  = flag.Int("sweep-every", 8, "sweep after this many completions per shard")
 		watermark   = flag.Int("overload-watermark", 0, "shed begins when a shard's backlog reaches this depth (0 = never shed)")
+		retention   = flag.Int("retention-watermark", 0, "abort the oldest straggler when retained completed transactions reach this count (0 = never reap; needs a deletion policy)")
 		verify      = flag.Bool("verify", false, "trace the run and check the accepted subschedule is CSR at shutdown")
 		metricsAddr = flag.String("metrics-addr", "", "HTTP listen address for the Prometheus /metrics endpoint (empty: no metrics)")
 		capturePath = flag.String("capture", "", "append the event stream (and, at shutdown, the step trace) to this file as JSON lines")
@@ -459,6 +463,7 @@ func main() {
 		QueueDepth:            *queue,
 		SweepEveryCompletions: *sweepEvery,
 		OverloadWatermark:     *watermark,
+		RetentionWatermark:    *retention,
 		Verify:                *verify,
 		Trace:                 captureFile != nil,
 		Sinks:                 sinks,

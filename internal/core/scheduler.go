@@ -261,6 +261,46 @@ func (s *Scheduler) CompletedTxns() []model.TxnID {
 // The count is maintained incrementally, so this is O(1).
 func (s *Scheduler) NumCompleted() int { return s.numCompleted }
 
+// ActiveInfo names one active transaction for the retention governor's
+// straggler selection: its ID, its BeginSeq incarnation, and its age in
+// scheduler steps (Seq - BeginSeq) — the schedule-time measure of how long
+// the transaction has been holding arcs open.
+type ActiveInfo struct {
+	ID       model.TxnID
+	BeginSeq int64
+	Age      int64
+}
+
+// OldestActives returns up to k active transactions ordered oldest-first by
+// BeginSeq. Prepared sub-transactions are excluded: a YES vote pins the
+// node until the coordinator decides, so aborting one out from under 2PC is
+// never the governor's call. The scan is O(numActive) with an insertion
+// pass bounded by k; the governor calls this off the per-step path, only
+// when the retention watermark is crossed.
+func (s *Scheduler) OldestActives(k int) []ActiveInfo {
+	if k <= 0 || s.numActive == 0 {
+		return nil
+	}
+	out := make([]ActiveInfo, 0, k)
+	for id, t := range s.txns {
+		if t.Status != model.StatusActive || t.prepared {
+			continue
+		}
+		info := ActiveInfo{ID: id, BeginSeq: t.BeginSeq, Age: s.seq - t.BeginSeq}
+		if len(out) < k {
+			out = append(out, info)
+		} else if info.BeginSeq < out[len(out)-1].BeginSeq {
+			out[len(out)-1] = info
+		} else {
+			continue
+		}
+		for i := len(out) - 1; i > 0 && out[i].BeginSeq < out[i-1].BeginSeq; i-- {
+			out[i], out[i-1] = out[i-1], out[i]
+		}
+	}
+	return out
+}
+
 // NumActive returns the number of active transactions, O(1).
 func (s *Scheduler) NumActive() int { return s.numActive }
 

@@ -59,13 +59,17 @@ const (
 	// KindSweep: a deletion-policy sweep ran; N is the number of retained
 	// completed transactions it reclaimed.
 	KindSweep
+	// KindReap: the retention governor aborted the oldest live straggler to
+	// push retained storage back under the watermark; N is the engine-wide
+	// retained count at the decision.
+	KindReap
 
-	numKinds = int(KindSweep) + 1
+	numKinds = int(KindReap) + 1
 )
 
 var kindNames = [numKinds]string{
 	"begin", "accept", "veto", "cross-veto", "prepare", "commit", "abort",
-	"shed", "sweep",
+	"shed", "sweep", "reap",
 }
 
 // String implements fmt.Stringer.
@@ -101,13 +105,17 @@ const (
 	ClassClosed
 	// ClassInternal: an error outside the taxonomy.
 	ClassInternal
+	// ClassStraggler: the retention governor reaped the transaction — it was
+	// the oldest live straggler while retained storage sat over the
+	// watermark.
+	ClassStraggler
 
-	numClasses = int(ClassInternal) + 1
+	numClasses = int(ClassStraggler) + 1
 )
 
 var classNames = [numClasses]string{
 	"ok", "cycle", "cross-cycle", "misroute", "txn-aborted", "overload",
-	"protocol", "closed", "internal",
+	"protocol", "closed", "internal", "straggler",
 }
 
 // String implements fmt.Stringer.

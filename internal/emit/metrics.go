@@ -21,6 +21,9 @@ type GaugeSnapshot struct {
 	// Prepared is the per-shard count of prepared-but-undecided 2PC
 	// sub-transactions (each pins its node against deletion).
 	Prepared []int64
+	// RetentionWatermark is the retention governor's configured watermark
+	// over the engine-wide retained count (0: governor disabled).
+	RetentionWatermark int64
 }
 
 // GaugeSource supplies gauges at scrape time.
@@ -65,6 +68,8 @@ type shardCounters [numKinds][numClasses]uint64
 //	txgc_queue_depth{shard}                 submission backlog gauge
 //	txgc_retained{shard}                    retained completed transactions
 //	txgc_prepared{shard}                    prepared-undecided 2PC gauge
+//	txgc_reaped_total                       stragglers aborted by the governor
+//	txgc_retention_watermark                the governor's retained watermark
 //	txgc_events_emitted_total               events accepted onto the bus
 //	txgc_events_dropped_total               events dropped on ring overflow
 //
@@ -78,6 +83,10 @@ type MetricsSink struct {
 	shards map[int32]*shardCounters
 	// deleted accumulates KindSweep N per shard.
 	deleted map[int32]uint64
+	// reaped counts KindReap events — stragglers aborted by the retention
+	// governor. Rendered even at zero so dashboards can alert on its rate
+	// without waiting for the first reap to create the series.
+	reaped uint64
 	// sessions are the client-session end histograms per outcome class.
 	sessions [numClasses]histogram
 	started  time.Time
@@ -126,6 +135,9 @@ func (m *MetricsSink) Consume(ev Event) {
 	sc[ev.Kind][ev.Class]++
 	if ev.Kind == KindSweep && ev.N > 0 {
 		m.deleted[ev.Shard] += uint64(ev.N)
+	}
+	if ev.Kind == KindReap {
+		m.reaped++
 	}
 	if ev.Shard == NoShard && (ev.Kind == KindCommit || ev.Kind == KindAbort) {
 		m.sessions[ev.Class].observe(float64(ev.DurNanos) / 1e9)
@@ -221,7 +233,12 @@ func (m *MetricsSink) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeGauge("txgc_queue_depth", "Per-shard submission backlog (requests not yet picked up).", gs.QueueDepth)
 		writeGauge("txgc_retained", "Per-shard retained completed transactions (the storage deletion reclaims).", gs.Retained)
 		writeGauge("txgc_prepared", "Per-shard prepared-but-undecided 2PC sub-transactions (pinned).", gs.Prepared)
+		fmt.Fprint(w, "# HELP txgc_retention_watermark Retention governor watermark over the engine-wide retained count (0: disabled).\n# TYPE txgc_retention_watermark gauge\n")
+		fmt.Fprintf(w, "txgc_retention_watermark %d\n", gs.RetentionWatermark)
 	}
+
+	fmt.Fprint(w, "# HELP txgc_reaped_total Stragglers aborted by the retention governor.\n# TYPE txgc_reaped_total counter\n")
+	fmt.Fprintf(w, "txgc_reaped_total %d\n", m.reaped)
 
 	if m.bus != nil {
 		fmt.Fprint(w, "# HELP txgc_events_emitted_total Events accepted onto the bus ring.\n# TYPE txgc_events_emitted_total counter\n")

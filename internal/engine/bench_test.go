@@ -5,10 +5,12 @@ import (
 	"math/rand"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/emit"
 	"repro/internal/model"
+	"repro/internal/workload"
 )
 
 // BenchmarkEngineThroughput sweeps shard count × deletion policy under
@@ -118,6 +120,80 @@ func BenchmarkEngineEmitOverhead(b *testing.B) {
 		defer bus.Close()
 		run(b, bus)
 	})
+}
+
+// BenchmarkEngineRetentionGoverned drives the adversarial leak family
+// (sleepers, label bombs, cross fan-out, respawning attackers — see
+// workload.Adversary) against a governed engine and reports peak-kept, the
+// highest engine-wide retained count ever sampled. Each iteration is one
+// victim transaction; the governor runs once per chunk, exactly like the
+// soak test. scripts/check_bench_budget.sh gates peak-kept at
+// max_peak_kept: a regression here means the governor stopped bounding
+// retention under attack, the one property this subsystem exists for.
+// Regenerate the BENCH_engine.json record with:
+//
+//	go test -run '^$' -bench BenchmarkEngineRetentionGoverned -benchtime 2000x -benchmem ./internal/engine/
+func BenchmarkEngineRetentionGoverned(b *testing.B) {
+	const shards = 4
+	const chunk = 64
+	const watermark = 64
+	eng := New(Config{
+		Shards:                shards,
+		Policy:                func() core.Policy { return core.GreedyC1{} },
+		SweepEveryCompletions: 4,
+		RetentionWatermark:    watermark,
+		GovernorInterval:      time.Hour, // paced explicitly, once per chunk
+	})
+	defer eng.Close()
+	adv := workload.NewAdversary(workload.AdversaryConfig{
+		Shards:        shards,
+		Victims:       b.N,
+		Sleepers:      2,
+		CrossSleepers: 2,
+		FanOutFrac:    0.25,
+		Respawn:       true,
+		BaseTxnID:     1,
+		Seed:          7,
+	})
+	var peak, steps int64
+	buf := make([]model.Step, 0, chunk)
+	results := make([]Result, 0, chunk)
+	notified := make(map[model.TxnID]bool)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for {
+		buf = buf[:0]
+		for len(buf) < chunk {
+			st, ok := adv.Next()
+			if !ok {
+				break
+			}
+			buf = append(buf, st)
+		}
+		if len(buf) == 0 {
+			break
+		}
+		steps += int64(len(buf))
+		results = eng.SubmitBatchInto(results[:0], buf)
+		for _, r := range results {
+			if r.Aborted != model.NoTxn && !notified[r.Aborted] {
+				notified[r.Aborted] = true
+				adv.NotifyAbort(r.Aborted)
+			}
+		}
+		eng.GovernNow()
+		var total int64
+		for _, n := range eng.RetainedCounts() {
+			total += n
+		}
+		if total > peak {
+			peak = total
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(peak), "peak-kept")
+	b.ReportMetric(float64(eng.Stats().Reaped), "reaps")
+	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/s")
 }
 
 // BenchmarkEngineCrossFrac measures the cost of the cross-partition path:

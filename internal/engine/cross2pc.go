@@ -388,7 +388,7 @@ func (e *Engine) participantsOf(xs []model.Entity) []int {
 // are rolled back and the logical transaction never existed.
 func (e *Engine) beginCross(ctx context.Context, step model.Step, pri Priority) Result {
 	ct := &crossTxn{id: step.Txn, parts: e.participantsOf(step.Entities)}
-	if _, dup := e.routes.LoadOrStore(step.Txn, &route{kind: routeCross, ct: ct}); dup {
+	if _, dup := e.routes.LoadOrStore(step.Txn, &route{kind: routeCross, ct: ct, pri: pri}); dup {
 		return Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn,
 			Err: fmt.Errorf("engine: duplicate BEGIN for T%d: %w", step.Txn, ErrProtocol)}
 	}
@@ -462,7 +462,7 @@ func (e *Engine) crossStep(ctx context.Context, step model.Step, r *route) Resul
 				Err: fmt.Errorf("engine: step for T%d after its final write: %w", ct.id, ErrProtocol)}
 		}
 		e.rejected.Add(1)
-		return Result{Step: step, Outcome: OutcomeRejected, Aborted: step.Txn, CompletedTxn: model.NoTxn, Err: stepErr(step, ErrTxnAborted)}
+		return Result{Step: step, Outcome: OutcomeRejected, Aborted: step.Txn, CompletedTxn: model.NoTxn, Err: e.deadTxnErr(step)}
 	}
 	if step.Kind == model.KindRead {
 		p := e.partitionOf(step.Entity)

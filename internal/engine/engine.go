@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/emit"
@@ -36,6 +37,21 @@ type Config struct {
 	// already-admitted transactions are never shed (they drain the
 	// backlog), and a PriorityHigh BEGIN bypasses the watermark.
 	OverloadWatermark int
+	// RetentionWatermark, if > 0, enables the retention governor: whenever
+	// the engine-wide retained completed count (sum of RetainedCounts) sits
+	// at or above the watermark, the governor aborts the oldest live
+	// straggler — the active transaction with the smallest BeginSeq, which
+	// is what pins completed predecessors against deletion (Theorem 1's
+	// active-tight-predecessor condition) — through the same machinery as a
+	// client's context-deadline abort, then sweeps. PriorityHigh
+	// transactions and prepared 2PC sub-transactions are exempt. Requires a
+	// Policy: without one nothing is ever deleted, so reaping could never
+	// lower retention.
+	RetentionWatermark int
+	// GovernorInterval is how often the retention governor wakes to check
+	// the watermark (default 2ms when RetentionWatermark > 0). Tests drive
+	// the governor deterministically with GovernNow and set a long interval.
+	GovernorInterval time.Duration
 	// Log, if non-nil, records every applied step for offline refereeing
 	// (trace.CheckAcceptedCSR). Sub-transactions of a cross-partition
 	// transaction log under the logical TxnID, so the referee's conflict
@@ -61,6 +77,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SweepEveryCompletions <= 0 {
 		c.SweepEveryCompletions = 8
+	}
+	if c.RetentionWatermark > 0 && c.GovernorInterval <= 0 {
+		c.GovernorInterval = 2 * time.Millisecond
 	}
 	return c
 }
@@ -147,6 +166,7 @@ type Stats struct {
 	Sweeps    int64 // amortized GC sweeps executed
 	CrossTxns int64 // cross-partition transactions begun
 	Shed      int64 // BEGINs refused by admission control (ErrOverload)
+	Reaped    int64 // stragglers aborted by the retention governor
 
 	// Prepares counts PREPARE requests sent to participants (one per
 	// participating shard per cross-partition final write).
@@ -189,11 +209,14 @@ const (
 	routeCross
 )
 
-// route is the engine's record of where a live transaction executes.
+// route is the engine's record of where a live transaction executes. pri is
+// the admission priority the transaction began with; the retention governor
+// consults it to exempt PriorityHigh transactions from straggler reaping.
 type route struct {
 	kind  routeKind
 	shard int
 	ct    *crossTxn
+	pri   Priority
 }
 
 // Engine is the concurrent sharded scheduler. Submit may be called from
@@ -207,6 +230,18 @@ type Engine struct {
 	// scheduler (core.CrossTracker) and by the 2PC driver.
 	registry *crossRegistry
 	closed   atomic.Bool
+
+	// reaped remembers recently governor-aborted TxnIDs so a straggler's
+	// session learns *why* it died (ErrStragglerAborted) instead of the
+	// generic ErrTxnAborted; reapedN is the Stats.Reaped counter. govMu
+	// serializes governor passes (the ticker and explicit GovernNow calls);
+	// govStop/govDone bound the governor goroutine's lifetime (nil when the
+	// governor is disabled).
+	reaped  reapedSet
+	reapedN atomic.Int64
+	govMu   sync.Mutex
+	govStop chan struct{}
+	govDone chan struct{}
 
 	submitted, accepted, rejected       atomic.Int64
 	completed, aborted, deleted, sweeps atomic.Int64
@@ -248,6 +283,11 @@ func New(cfg Config) *Engine {
 		}
 		e.shards[i] = sh
 		go sh.run()
+	}
+	if cfg.RetentionWatermark > 0 && cfg.Policy != nil {
+		e.govStop = make(chan struct{})
+		e.govDone = make(chan struct{})
+		go e.governorLoop()
 	}
 	return e
 }
@@ -354,11 +394,14 @@ func (e *Engine) shedBegin(step model.Step, home int) Result {
 // before the shed check so a protocol bug is never misreported as a
 // retryable overload.
 func (e *Engine) registerBegin(ctx context.Context, step model.Step, pri Priority) (home int, direct bool, res Result) {
+	// A reused TxnID sheds the reaped mark of its dead predecessor: the new
+	// incarnation must never inherit a straggler verdict.
+	e.reaped.remove(step.Txn)
 	h, cross := e.beginRoute(step)
 	if cross {
 		return 0, true, e.beginCross(ctx, step, pri)
 	}
-	if _, dup := e.routes.LoadOrStore(step.Txn, &route{kind: routeLocal, shard: h}); dup {
+	if _, dup := e.routes.LoadOrStore(step.Txn, &route{kind: routeLocal, shard: h, pri: pri}); dup {
 		return 0, true, Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn,
 			Err: fmt.Errorf("engine: duplicate BEGIN for T%d: %w", step.Txn, ErrProtocol)}
 	}
@@ -438,7 +481,7 @@ func (e *Engine) SubmitBatchInto(dst []Result, steps []model.Step) []Result {
 			if !ok {
 				flush(i)
 				e.rejected.Add(1)
-				dst = append(dst, Result{Step: st, Outcome: OutcomeRejected, Aborted: st.Txn, CompletedTxn: model.NoTxn, Err: stepErr(st, ErrTxnAborted)})
+				dst = append(dst, Result{Step: st, Outcome: OutcomeRejected, Aborted: st.Txn, CompletedTxn: model.NoTxn, Err: e.deadTxnErr(st)})
 				continue
 			}
 			r := v.(*route)
@@ -533,11 +576,21 @@ func (e *Engine) doStep(shard int, step model.Step) Result {
 	return rep.res
 }
 
+// deadTxnErr is the error for a step addressed to a transaction with no
+// live route: stragglerErr when the retention governor reaped it (so the
+// session learns why), plain ErrTxnAborted otherwise.
+func (e *Engine) deadTxnErr(step model.Step) error {
+	if e.reaped.contains(step.Txn) {
+		return stragglerErr(step)
+	}
+	return stepErr(step, ErrTxnAborted)
+}
+
 func (e *Engine) submitAccess(ctx context.Context, step model.Step) Result {
 	v, ok := e.routes.Load(step.Txn)
 	if !ok {
 		e.rejected.Add(1)
-		return Result{Step: step, Outcome: OutcomeRejected, Aborted: step.Txn, CompletedTxn: model.NoTxn, Err: stepErr(step, ErrTxnAborted)}
+		return Result{Step: step, Outcome: OutcomeRejected, Aborted: step.Txn, CompletedTxn: model.NoTxn, Err: e.deadTxnErr(step)}
 	}
 	r := v.(*route)
 	if r.kind == routeCross {
@@ -603,6 +656,7 @@ func (e *Engine) Stats() Stats {
 		Sweeps:      e.sweeps.Load(),
 		CrossTxns:   e.crossTxns.Load(),
 		Shed:        e.shed.Load(),
+		Reaped:      e.reapedN.Load(),
 		Prepares:    e.prepares.Load(),
 		CrossAborts: e.crossAborts.Load(),
 		Misroutes:   e.misroutes.Load(),
@@ -687,9 +741,10 @@ func (e *Engine) PreparedCounts() []int64 {
 // polls at scrape time (emit.GaugeSource).
 func (e *Engine) Gauges() emit.GaugeSnapshot {
 	return emit.GaugeSnapshot{
-		QueueDepth: e.QueueDepths(),
-		Retained:   e.RetainedCounts(),
-		Prepared:   e.PreparedCounts(),
+		QueueDepth:         e.QueueDepths(),
+		Retained:           e.RetainedCounts(),
+		Prepared:           e.PreparedCounts(),
+		RetentionWatermark: int64(e.cfg.RetentionWatermark),
 	}
 }
 
@@ -698,6 +753,12 @@ func (e *Engine) Gauges() emit.GaugeSnapshot {
 func (e *Engine) Close() {
 	if !e.closed.CompareAndSwap(false, true) {
 		return
+	}
+	if e.govStop != nil {
+		// Stop the governor before the shards: a reap mid-shutdown would
+		// race the shard drain for no benefit.
+		close(e.govStop)
+		<-e.govDone
 	}
 	for _, sh := range e.shards {
 		sh.trySend(request{kind: reqStop})

@@ -42,14 +42,13 @@ var (
 	// run on is over the configured queue-depth watermark. Nothing began;
 	// the client may retry later or escalate to PriorityHigh.
 	ErrOverload = errors.New("engine: shard over the admission watermark")
+	// ErrStragglerAborted: the retention governor reaped the transaction —
+	// it was the oldest live straggler while retained completed storage sat
+	// over Config.RetentionWatermark. Errors carrying it also match
+	// ErrTxnAborted (the transaction is dead either way); test for this
+	// sentinel first to distinguish a reap from a client-side abort.
+	ErrStragglerAborted = errors.New("engine: aborted by the retention governor (straggler reap)")
 )
-
-// ErrUnknownTxn is the pre-taxonomy name for a step addressed to a dead or
-// never-begun transaction.
-//
-// Deprecated: it is the same error value as ErrTxnAborted; test against
-// that instead.
-var ErrUnknownTxn = ErrTxnAborted
 
 // ClassOf maps a Result.Err onto the telemetry outcome class the event bus
 // carries (nil → ClassOK). The specific sentinels are tested before
@@ -70,6 +69,8 @@ func ClassOf(err error) emit.Class {
 		return emit.ClassProtocol
 	case errors.Is(err, ErrClosed):
 		return emit.ClassClosed
+	case errors.Is(err, ErrStragglerAborted):
+		return emit.ClassStraggler
 	case errors.Is(err, ErrTxnAborted),
 		errors.Is(err, context.Canceled),
 		errors.Is(err, context.DeadlineExceeded):
@@ -90,4 +91,11 @@ func stepErr(step model.Step, sentinel error) error {
 // are reachable through errors.Is.
 func ctxErr(step model.Step, cause error) error {
 	return fmt.Errorf("engine: %v: %w (%w)", step, ErrTxnAborted, cause)
+}
+
+// stragglerErr reports a transaction reaped by the retention governor:
+// both ErrStragglerAborted and ErrTxnAborted are reachable through
+// errors.Is, mirroring ctxErr's shape for context kills.
+func stragglerErr(step model.Step) error {
+	return fmt.Errorf("engine: %v: %w (%w)", step, ErrStragglerAborted, ErrTxnAborted)
 }

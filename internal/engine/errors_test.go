@@ -36,11 +36,10 @@ func TestResultErrTaxonomyRoundTrip(t *testing.T) {
 		t.Fatalf("local cycle: %v (%v), want ErrCycle", res.Outcome, res.Err)
 	}
 
-	// ErrTxnAborted: a step for the freshly-dead transaction — and the
-	// deprecated ErrUnknownTxn alias must keep matching.
+	// ErrTxnAborted: a step for the freshly-dead transaction.
 	res = eng.Submit(model.Read(1, 0))
-	if !errors.Is(res.Err, ErrTxnAborted) || !errors.Is(res.Err, ErrUnknownTxn) {
-		t.Fatalf("dead-txn step err = %v, want ErrTxnAborted (and alias)", res.Err)
+	if !errors.Is(res.Err, ErrTxnAborted) {
+		t.Fatalf("dead-txn step err = %v, want ErrTxnAborted", res.Err)
 	}
 
 	// ErrMisroute: a declared partition-local transaction strays.

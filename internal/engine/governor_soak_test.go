@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// The chaos soak: drive the full adversarial leak family (sleepers,
+// label-chain bombs, cross fan-out victims, respawning attackers) against
+// the engine and sample the engine-wide retained count after every chunk.
+//
+//   - Governor ON: every sample must stay under watermark + one chunk —
+//     the governor's SLO. An innocent PriorityHigh long-runner rides along
+//     for the entire attack and must survive to commit.
+//   - Governor OFF: the same attack leaks without bound — samples grow
+//     monotonically past the watermark, which is the control arm proving
+//     the suite actually manufactures retention (a self-healing adversary
+//     would pass the ON arm vacuously).
+//
+// CI runs this in short mode under -race (the `soak` job).
+
+const (
+	soakShards    = 4
+	soakChunk     = 64
+	soakWatermark = 32
+	// highID is the innocent PriorityHigh long-runner; its entity is far
+	// above the adversary's trap range so the only interaction with the
+	// attack is through the governor's selection policy.
+	soakHighID     = model.TxnID(1) << 40
+	soakHighEntity = model.Entity(1) << 30 // partition 0
+)
+
+// soakVictims scales the attack length to the -short flag.
+func soakVictims(t *testing.T) int {
+	if testing.Short() {
+		return 300
+	}
+	return 2000
+}
+
+// runSoak drives the adversary against a fresh engine in chunks of
+// soakChunk steps, reaping (when watermark > 0) and sampling retained
+// counts after each chunk. It begins the PriorityHigh long-runner first —
+// oldest active in the system, the governor's most tempting victim — and
+// asserts it still commits after the attack ends.
+func runSoak(t *testing.T, watermark int) (samples []int64, st Stats) {
+	t.Helper()
+	eng := New(Config{
+		Shards:                soakShards,
+		Policy:                func() core.Policy { return core.GreedyC1{} },
+		SweepEveryCompletions: 4,
+		RetentionWatermark:    watermark,
+		GovernorInterval:      time.Hour, // GovernNow drives reaping deterministically
+	})
+	defer eng.Close()
+
+	if res := eng.SubmitPriority(context.Background(), model.BeginDeclared(soakHighID, soakHighEntity), PriorityHigh); !res.Accepted() {
+		t.Fatalf("high-priority begin: %v (%v)", res.Outcome, res.Err)
+	}
+
+	adv := workload.NewAdversary(workload.AdversaryConfig{
+		Shards:        soakShards,
+		Victims:       soakVictims(t),
+		Sleepers:      2,
+		CrossSleepers: 2,
+		FanOutFrac:    0.25,
+		Respawn:       true,
+		BaseTxnID:     1,
+		Seed:          7,
+	})
+
+	steps := make([]model.Step, 0, soakChunk)
+	results := make([]Result, 0, soakChunk)
+	notified := make(map[model.TxnID]bool)
+	for {
+		steps = steps[:0]
+		for len(steps) < soakChunk {
+			st, ok := adv.Next()
+			if !ok {
+				break
+			}
+			steps = append(steps, st)
+		}
+		if len(steps) == 0 {
+			break
+		}
+		results = eng.SubmitBatchInto(results[:0], steps)
+		for _, r := range results {
+			if r.Aborted == soakHighID {
+				t.Fatalf("the PriorityHigh transaction was aborted mid-attack: %v (%v)", r.Step, r.Err)
+			}
+			if r.Aborted != model.NoTxn && !notified[r.Aborted] {
+				notified[r.Aborted] = true
+				adv.NotifyAbort(r.Aborted)
+			}
+		}
+		eng.GovernNow()
+		samples = append(samples, retainedTotal(eng))
+	}
+
+	// The exempt long-runner outlived the whole attack and commits.
+	res := eng.Submit(model.WriteFinal(soakHighID, soakHighEntity))
+	if !res.Accepted() || res.CompletedTxn != soakHighID {
+		t.Fatalf("PriorityHigh final after soak: %v (%v) — it must never be reaped", res.Outcome, res.Err)
+	}
+	return samples, eng.Stats()
+}
+
+// TestSoakBoundedRetentionUnderAttack is the governor-ON arm: retained
+// storage stays bounded by watermark + one chunk for the entire attack.
+func TestSoakBoundedRetentionUnderAttack(t *testing.T) {
+	samples, st := runSoak(t, soakWatermark)
+	if len(samples) == 0 {
+		t.Fatal("adversary produced no chunks")
+	}
+	bound := int64(soakWatermark + soakChunk)
+	for i, s := range samples {
+		if s > bound {
+			t.Fatalf("sample %d/%d: retained = %d, exceeds watermark+chunk = %d", i, len(samples), s, bound)
+		}
+	}
+	if st.Reaped == 0 {
+		t.Fatal("governor reaped nothing — the attack never pressured the watermark")
+	}
+	t.Logf("chunks=%d reaped=%d peak=%d bound=%d", len(samples), st.Reaped, maxSample(samples), bound)
+}
+
+// TestSoakUnboundedRetentionWithoutGovernor is the control arm: the same
+// attack with the governor disabled leaks monotonically past the bound the
+// ON arm enforces. If this arm ever stops growing, the adversary has gone
+// self-healing (e.g. a reused trap entity) and the ON arm proves nothing.
+func TestSoakUnboundedRetentionWithoutGovernor(t *testing.T) {
+	samples, st := runSoak(t, 0)
+	if st.Reaped != 0 {
+		t.Fatalf("Stats.Reaped = %d with the governor disabled", st.Reaped)
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i] < samples[i-1] {
+			t.Fatalf("retained shrank without the governor: sample %d = %d < sample %d = %d (the leak self-healed)",
+				i, samples[i], i-1, samples[i-1])
+		}
+	}
+	final := samples[len(samples)-1]
+	if bound := int64(soakWatermark + soakChunk); final <= bound {
+		t.Fatalf("final retained = %d, want > %d — the attack is too weak to test the governor", final, bound)
+	}
+	t.Logf("chunks=%d final=%d", len(samples), final)
+}
+
+func maxSample(xs []int64) int64 {
+	var m int64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

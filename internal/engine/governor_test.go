@@ -1,0 +1,174 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// TestReapCrossStragglerUnblocksDownstreamGC pins the interaction between
+// the governor and PR 3's cross-ancestor conservatism. A cross-partition
+// sleeper traps eight victims (reads their entities before they write),
+// so every victim is double-gated: C1 fails (the sleeper is an active
+// tight predecessor with no witness in sight) AND the victim carries the
+// sleeper's cross-ancestor label. Reaping the sleeper must purge the
+// stale labels along with the arcs, so ONE governor pass — reap plus its
+// forced sweep — reclaims the whole backlog. Run under -race in CI.
+func TestReapCrossStragglerUnblocksDownstreamGC(t *testing.T) {
+	eng := New(Config{
+		Shards:                2,
+		Policy:                func() core.Policy { return core.GreedyC1{} },
+		SweepEveryCompletions: 1,
+		RetentionWatermark:    4,
+		GovernorInterval:      time.Hour, // only GovernNow drives reaping
+	})
+	defer eng.Close()
+	must := func(res Result) {
+		t.Helper()
+		if !res.Accepted() {
+			t.Fatalf("%v: %v (%v)", res.Step, res.Outcome, res.Err)
+		}
+	}
+
+	// The sleeper: cross footprint {0,1}, so it sources labels on both
+	// shards. It reads each victim's trap entity (even entities, shard 0)
+	// before the victim writes it, then never commits.
+	must(eng.Submit(model.BeginDeclared(1, 0, 1)))
+	const victims = 8
+	for k := 1; k <= victims; k++ {
+		trap := model.Entity(2 * k)
+		vid := model.TxnID(100 + k)
+		must(eng.Submit(model.Read(1, trap)))
+		must(eng.Submit(model.BeginDeclared(vid, trap)))
+		res := eng.Submit(model.WriteFinal(vid, trap))
+		if !res.Accepted() || res.CompletedTxn != vid {
+			t.Fatalf("victim %d final: %v (%v)", vid, res.Outcome, res.Err)
+		}
+	}
+
+	// Every completion swept (SweepEveryCompletions: 1), yet nothing was
+	// deletable: the victims are hostages.
+	if got := retainedTotal(eng); got != victims {
+		t.Fatalf("retained before reap = %d, want %d (victims pinned)", got, victims)
+	}
+
+	// One governor pass: reap the sleeper, sweep, watermark holds again.
+	if n := eng.GovernNow(); n != 1 {
+		t.Fatalf("GovernNow reaped %d, want 1", n)
+	}
+	if s := eng.Stats(); s.Reaped != 1 {
+		t.Fatalf("Stats.Reaped = %d, want 1", s.Reaped)
+	}
+	if got := retainedTotal(eng); got != 0 {
+		t.Fatalf("retained after reap = %d, want 0 (labels must die with the sleeper)", got)
+	}
+
+	// The sleeper's session sees the dedicated sentinel — and still the
+	// generic one, so existing errors.Is(err, ErrTxnAborted) code holds.
+	res := eng.Submit(model.Read(1, 18))
+	if !errors.Is(res.Err, ErrStragglerAborted) || !errors.Is(res.Err, ErrTxnAborted) {
+		t.Fatalf("post-reap step err = %v, want ErrStragglerAborted wrapping ErrTxnAborted", res.Err)
+	}
+
+	// No registry debris: the reap went through the same cross-abort path
+	// as a client abort, which drops the entry (and with it the labels).
+	eng.registry.mu.Lock()
+	live := len(eng.registry.txns)
+	eng.registry.mu.Unlock()
+	if live != 0 {
+		t.Fatalf("cross-arc registry still tracks %d transactions after the reap", live)
+	}
+
+	// Below the watermark the governor is idle.
+	if n := eng.GovernNow(); n != 0 {
+		t.Fatalf("second GovernNow reaped %d, want 0 (watermark holds)", n)
+	}
+}
+
+// TestGovernorExemptsPriorityHigh: a PriorityHigh straggler is older than a
+// normal one and pins its own victim, but the governor must skip it — it
+// reaps the younger normal straggler instead, and the high-priority
+// transaction still commits afterwards.
+func TestGovernorExemptsPriorityHigh(t *testing.T) {
+	eng := New(Config{
+		Shards:                1,
+		Policy:                func() core.Policy { return core.GreedyC1{} },
+		SweepEveryCompletions: 1,
+		RetentionWatermark:    2,
+		GovernorInterval:      time.Hour,
+	})
+	defer eng.Close()
+	must := func(res Result) {
+		t.Helper()
+		if !res.Accepted() {
+			t.Fatalf("%v: %v (%v)", res.Step, res.Outcome, res.Err)
+		}
+	}
+
+	// T1: PriorityHigh sleeper, begun first (oldest by BeginSeq). Traps
+	// victim 100 via entity 2.
+	must(eng.SubmitPriority(context.Background(), model.BeginDeclared(1, 0), PriorityHigh))
+	must(eng.Submit(model.Read(1, 2)))
+	// T2: normal sleeper, younger. Traps victim 101 via entity 4.
+	must(eng.Submit(model.BeginDeclared(2, 4)))
+	must(eng.Submit(model.Read(2, 4)))
+
+	must(eng.Submit(model.BeginDeclared(100, 2)))
+	must(eng.Submit(model.WriteFinal(100, 2)))
+	must(eng.Submit(model.BeginDeclared(101, 4)))
+	must(eng.Submit(model.WriteFinal(101, 4)))
+
+	if got := retainedTotal(eng); got != 2 {
+		t.Fatalf("retained = %d, want 2", got)
+	}
+	if n := eng.GovernNow(); n != 1 {
+		t.Fatalf("GovernNow reaped %d, want 1 (the normal straggler only)", n)
+	}
+	// T2's hostage is reclaimed; T1's is still pinned — by design, the
+	// exemption trades retention for priority.
+	if got := retainedTotal(eng); got != 1 {
+		t.Fatalf("retained after reap = %d, want 1 (high-priority victim stays pinned)", got)
+	}
+	res := eng.Submit(model.Read(2, 6))
+	if !errors.Is(res.Err, ErrStragglerAborted) {
+		t.Fatalf("reaped straggler err = %v, want ErrStragglerAborted", res.Err)
+	}
+	// The exempt transaction was untouched and commits normally.
+	res = eng.Submit(model.WriteFinal(1, 0))
+	if !res.Accepted() || res.CompletedTxn != 1 {
+		t.Fatalf("PriorityHigh final after governor pass: %v (%v) — exemption violated", res.Outcome, res.Err)
+	}
+}
+
+// TestGovernorRequiresPolicy: a watermark without a deletion policy is
+// inert — reaping would free nothing (nogc never sweeps), so New refuses
+// to start the loop and GovernNow refuses to reap.
+func TestGovernorRequiresPolicy(t *testing.T) {
+	eng := New(Config{Shards: 1, RetentionWatermark: 1, GovernorInterval: time.Hour})
+	defer eng.Close()
+	if res := eng.Submit(model.BeginDeclared(1, 0)); !res.Accepted() {
+		t.Fatalf("begin: %v", res.Err)
+	}
+	if res := eng.Submit(model.WriteFinal(1, 0)); !res.Accepted() {
+		t.Fatalf("final: %v", res.Err)
+	}
+	if n := eng.GovernNow(); n != 0 {
+		t.Fatalf("GovernNow without a policy reaped %d, want 0", n)
+	}
+	if eng.govStop != nil {
+		t.Fatal("governor loop started without a deletion policy")
+	}
+}
+
+// retainedTotal sums the per-shard retained completed-transaction counts.
+func retainedTotal(e *Engine) int64 {
+	var total int64
+	for _, n := range e.RetainedCounts() {
+		total += n
+	}
+	return total
+}

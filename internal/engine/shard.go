@@ -41,6 +41,13 @@ const (
 	// incarnation before its TxnID is re-registered (see
 	// crossRegistry.register).
 	reqPurgeLabel
+	// reqOldest snapshots the shard's oldest active transactions for the
+	// retention governor's straggler selection.
+	reqOldest
+	// reqSweep forces a deletion-policy sweep now (the governor sweeps
+	// after each reap so released pins turn into reclaimed storage before
+	// the next watermark check).
+	reqSweep
 	// reqStop shuts the shard down.
 	reqStop
 )
@@ -60,6 +67,9 @@ type reply struct {
 	res     Result
 	results []Result
 	stats   core.Stats
+	// actives answers reqOldest; n answers reqSweep (transactions deleted).
+	actives []core.ActiveInfo
+	n       int64
 }
 
 // shard is one entity partition: a single-writer goroutine owning one
@@ -211,6 +221,18 @@ func (sh *shard) handle(req request) (stop bool) {
 	case reqPurgeLabel:
 		sh.sched.PurgeLabel(req.step.Txn)
 		req.reply <- reply{}
+	case reqOldest:
+		req.reply <- reply{actives: sh.sched.OldestActives(governorCandidates)}
+	case reqSweep:
+		n := int64(len(sh.sched.SweepNow()))
+		sh.eng.deleted.Add(n)
+		sh.eng.sweeps.Add(1)
+		sh.sinceSweep = 0
+		// Refresh the retained gauge before replying: the governor reads it
+		// right after the sweep returns, and the run loop's own refresh only
+		// happens once the whole batch drains.
+		sh.retainedN.Store(int64(sh.sched.NumCompleted()))
+		req.reply <- reply{n: n}
 	case reqStop:
 		return true
 	}
@@ -226,6 +248,16 @@ func (sh *shard) applyOne(step model.Step) Result {
 	eng := sh.eng
 	res, err := sh.sched.Apply(step)
 	if err != nil {
+		if step.Kind != model.KindBegin && eng.reaped.contains(step.Txn) {
+			// The governor's abort landed between the submitter's route
+			// lookup and this step reaching the scheduler: the transaction
+			// is dead by reap, not protocol-confused — report it that way so
+			// the session doesn't mistake its victim for still-live.
+			eng.rejected.Add(1)
+			return Result{Step: step, Outcome: OutcomeRejected,
+				Aborted: step.Txn, CompletedTxn: model.NoTxn,
+				Err: stragglerErr(step)}
+		}
 		// The scheduler refused to process the step at all (duplicate
 		// BEGIN, step for a finished transaction, bad kind): a protocol
 		// violation, state unchanged.

@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func drainAdversary(t *testing.T, a *Adversary, limit int) []model.Step {
+	t.Helper()
+	var out []model.Step
+	for len(out) < limit {
+		st, ok := a.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, st)
+	}
+	t.Fatalf("adversary produced %d steps without finishing (runaway queue)", limit)
+	return nil
+}
+
+// TestAdversaryDeterministic: same config, same seed, same stream.
+func TestAdversaryDeterministic(t *testing.T) {
+	cfg := AdversaryConfig{Shards: 4, Victims: 200, Sleepers: 2, CrossSleepers: 1, FanOutFrac: 0.3, Seed: 11}
+	a := drainAdversary(t, NewAdversary(cfg), 1<<16)
+	b := drainAdversary(t, NewAdversary(cfg), 1<<16)
+	if len(a) != len(b) {
+		t.Fatalf("stream lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("step %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestAdversaryFreshTrapsNeverReused is the load-bearing property: every
+// trap entity is written by exactly one victim and each victim's trap was
+// read by a sleeper first. A reused trap would make its next writer the
+// previous victim's C1 witness — the leak would self-heal and the whole
+// suite would prove nothing.
+func TestAdversaryFreshTrapsNeverReused(t *testing.T) {
+	steps := drainAdversary(t, NewAdversary(AdversaryConfig{
+		Shards: 4, Victims: 500, Sleepers: 3, CrossSleepers: 2, FanOutFrac: 0.25, Seed: 3,
+	}), 1<<16)
+	read := make(map[model.Entity]bool)
+	written := make(map[model.Entity]bool)
+	victims := 0
+	for _, st := range steps {
+		switch st.Kind {
+		case model.KindRead:
+			read[st.Entity] = true
+		case model.KindWriteFinal:
+			victims++
+			for _, x := range st.Entities {
+				if written[x] {
+					t.Fatalf("trap entity %d written twice — the leak would self-heal", x)
+				}
+				written[x] = true
+				if !read[x] {
+					t.Fatalf("victim %v writes %d, never read by a sleeper — untrapped victim", st.Txn, x)
+				}
+			}
+		}
+	}
+	if victims != 500 {
+		t.Fatalf("issued %d victims, want 500", victims)
+	}
+}
+
+// TestAdversaryRespawn: reaping a sleeper retires its ID for good; with
+// Respawn the slot comes back under a fresh ID and keeps trapping, without
+// it the attack winds down once every sleeper is gone.
+func TestAdversaryRespawn(t *testing.T) {
+	for _, respawn := range []bool{true, false} {
+		a := NewAdversary(AdversaryConfig{Shards: 1, Victims: 50, Sleepers: 1, Respawn: respawn, Seed: 5})
+		// Pull steps until the sleeper's BEGIN is out, then reap it.
+		st, ok := a.Next()
+		if !ok || st.Kind != model.KindBegin {
+			t.Fatalf("respawn=%v: first step = %v, want the sleeper BEGIN", respawn, st)
+		}
+		sleeper := st.Txn
+		a.NotifyAbort(sleeper)
+		rest := drainAdversary(t, a, 1<<16)
+		sawRespawn := false
+		for _, st := range rest {
+			if st.Txn == sleeper {
+				t.Fatalf("respawn=%v: dead sleeper %v still issues %v", respawn, sleeper, st)
+			}
+			if st.Kind == model.KindBegin && len(st.Entities) == 1 && st.Txn != sleeper {
+				// Victim begins also match this shape; a respawned sleeper is
+				// identified by a later read from the same ID.
+				for _, later := range rest {
+					if later.Kind == model.KindRead && later.Txn == st.Txn {
+						sawRespawn = true
+					}
+				}
+			}
+		}
+		if sawRespawn != respawn {
+			t.Fatalf("respawn=%v: saw respawned sleeper = %v", respawn, sawRespawn)
+		}
+		if a.Aborts() != 1 {
+			t.Fatalf("respawn=%v: Aborts = %d, want 1", respawn, a.Aborts())
+		}
+	}
+}

@@ -2,17 +2,21 @@
 # Runs the engine hot-path benchmarks with -benchmem and fails if allocs/op
 # regresses above the budgets in bench_budget.txt: the partition-local path
 # (BenchmarkEngineThroughput, greedy-c1, 4 shards), the cross-partition
-# 2PC path (BenchmarkEngineCrossFrac at CrossFrac=0.05), and the telemetry
-# emitter overhead (BenchmarkEngineEmitOverhead on vs off, ns/op delta).
+# 2PC path (BenchmarkEngineCrossFrac at CrossFrac=0.05), the telemetry
+# emitter overhead (BenchmarkEngineEmitOverhead on vs off, ns/op delta),
+# and the retention governor's peak retained count under attack
+# (BenchmarkEngineRetentionGoverned, peak-kept vs max_peak_kept).
 set -eu
 cd "$(dirname "$0")/.."
 
 budget=$(awk '/^max_allocs_per_op/ {print $2}' bench_budget.txt)
 cross_budget=$(awk '/^max_cross_allocs_per_op/ {print $2}' bench_budget.txt)
 emit_budget=$(awk '/^max_emit_overhead_pct/ {print $2}' bench_budget.txt)
+kept_budget=$(awk '/^max_peak_kept/ {print $2}' bench_budget.txt)
 [ -n "$budget" ] || { echo "check_bench_budget: no max_allocs_per_op in bench_budget.txt" >&2; exit 2; }
 [ -n "$cross_budget" ] || { echo "check_bench_budget: no max_cross_allocs_per_op in bench_budget.txt" >&2; exit 2; }
 [ -n "$emit_budget" ] || { echo "check_bench_budget: no max_emit_overhead_pct in bench_budget.txt" >&2; exit 2; }
+[ -n "$kept_budget" ] || { echo "check_bench_budget: no max_peak_kept in bench_budget.txt" >&2; exit 2; }
 
 out=$(go test -run '^$' -bench 'BenchmarkEngineThroughput/shards=4/policy=greedy-c1$|BenchmarkEngineCrossFrac/cross=5' \
 	-benchtime 3000x -benchmem ./internal/engine/)
@@ -65,3 +69,19 @@ if [ "$emit_allocs" -gt "$budget" ]; then
 	exit 1
 fi
 echo "check_bench_budget: OK: emitter overhead ${overhead}% within budget of ${emit_budget}%, emitter=on $emit_allocs allocs/op within budget of $budget"
+
+# Retention governor: peak retained count while the adversarial leak
+# family runs must stay under max_peak_kept — the bounded-retention SLO as
+# a build gate, not just a soak assertion.
+kept_out=$(go test -run '^$' -bench 'BenchmarkEngineRetentionGoverned' \
+	-benchtime 2000x ./internal/engine/)
+echo "$kept_out"
+
+peak=$(echo "$kept_out" | awk '/BenchmarkEngineRetentionGoverned/ {for (i = 2; i <= NF; i++) if ($i == "peak-kept") print $(i-1)}' | head -1)
+[ -n "$peak" ] || { echo "check_bench_budget: could not parse peak-kept from benchmark output" >&2; exit 2; }
+peak_int=${peak%.*}
+if [ "$peak_int" -gt "$kept_budget" ]; then
+	echo "check_bench_budget: FAIL: governed peak retention $peak exceeds budget of $kept_budget" >&2
+	exit 1
+fi
+echo "check_bench_budget: OK: governed peak retention $peak within budget of $kept_budget"

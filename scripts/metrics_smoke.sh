@@ -29,7 +29,7 @@ go build -o /tmp/txgc-serve-smoke ./cmd/txgc-serve
         '{"op":"write","txn":3,"entities":[0,1]}' \
         '{"op":"stats"}'
     sleep 4
-) | /tmp/txgc-serve-smoke -shards 4 -metrics-addr "$ADDR" -capture "$CAPTURE" -verify >/tmp/txgc-smoke-out.jsonl 2>/tmp/txgc-smoke-err.txt &
+) | /tmp/txgc-serve-smoke -shards 4 -retention-watermark 64 -metrics-addr "$ADDR" -capture "$CAPTURE" -verify >/tmp/txgc-smoke-out.jsonl 2>/tmp/txgc-smoke-err.txt &
 SERVE_PID=$!
 
 # Wait for the metrics endpoint to come up.
@@ -65,6 +65,11 @@ grep -q 'txgc_events_emitted_total' <<<"$METRICS" || fail "no emitted counter"
 grep -q 'txgc_events_dropped_total 0' <<<"$METRICS" || fail "drops on an idle bus"
 # The cross transaction (txn 3) prepares on both participants.
 grep -q 'kind="prepare"' <<<"$METRICS" || fail "no prepare events from the 2PC path"
+# Retention governor surface: the watermark gauge reflects the flag and the
+# reap counter renders even when nothing was reaped (this tiny workload
+# never crosses 64).
+grep -q 'txgc_retention_watermark 64' <<<"$METRICS" || fail "no retention watermark gauge"
+grep -q 'txgc_reaped_total' <<<"$METRICS" || fail "no reaped counter"
 
 wait "$SERVE_PID"
 SERVE_PID=""

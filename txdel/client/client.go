@@ -107,6 +107,13 @@ type Config struct {
 	// at a shard with that much submission backlog are shed with
 	// ErrOverload instead of queued. PriorityHigh sessions are exempt.
 	OverloadWatermark int
+	// RetentionWatermark, if > 0, enables the retention governor: when the
+	// engine-wide retained completed count crosses it, the oldest live
+	// straggler session is aborted (its next operation returns an error
+	// matching both ErrStragglerAborted and ErrTxnAborted) so retention
+	// falls back under the watermark. PriorityHigh sessions are exempt.
+	// Requires a deletion policy other than "nogc".
+	RetentionWatermark int
 	// Verify keeps a full step trace; Close then replays the accepted
 	// subschedule through the offline CSR referee and reports a non-nil
 	// error if conflict serializability was ever violated.
@@ -189,6 +196,7 @@ func Open(cfg Config) (*DB, error) {
 		QueueDepth:            cfg.QueueDepth,
 		SweepEveryCompletions: cfg.SweepEveryCompletions,
 		OverloadWatermark:     cfg.OverloadWatermark,
+		RetentionWatermark:    cfg.RetentionWatermark,
 		Log:                   log,
 		Bus:                   bus,
 	})

@@ -32,6 +32,13 @@ var (
 	// on is over Config.OverloadWatermark. Nothing began; retry later or
 	// escalate with WithPriority(PriorityHigh).
 	ErrOverload = engine.ErrOverload
+	// ErrStragglerAborted: the retention governor reaped the session's
+	// transaction — it was the oldest live straggler while retained
+	// completed storage sat over Config.RetentionWatermark. Errors carrying
+	// it also match ErrTxnAborted; test for this sentinel first to
+	// distinguish a reap (retry, shorten the transaction, or escalate with
+	// WithPriority(PriorityHigh)) from an ordinary abort.
+	ErrStragglerAborted = engine.ErrStragglerAborted
 	// ErrClosed: the DB has been closed.
 	ErrClosed = engine.ErrClosed
 )
@@ -55,6 +62,8 @@ func ErrorCode(err error) string {
 		return "protocol"
 	case errors.Is(err, ErrClosed):
 		return "closed"
+	case errors.Is(err, ErrStragglerAborted):
+		return "straggler-aborted"
 	case errors.Is(err, ErrTxnAborted):
 		return "txn-aborted"
 	default:

@@ -1,0 +1,73 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestStragglerReapSurfacesTypedError runs the retention governor end to
+// end through the session API: a sleeper session traps a victim past the
+// watermark, the background governor loop reaps it, and the session's next
+// operation must surface ErrStragglerAborted — still matching
+// ErrTxnAborted for legacy branches — with the stable wire code
+// "straggler-aborted". Run under -race in CI.
+func TestStragglerReapSurfacesTypedError(t *testing.T) {
+	db := open(t, Config{
+		Shards:                1,
+		Policy:                "greedy-c1",
+		SweepEveryCompletions: 1,
+		RetentionWatermark:    1, // one hostage is one too many
+	})
+	ctx := context.Background()
+
+	// The sleeper reads entity 2 and then stalls forever.
+	sleeper, err := db.Begin(ctx, WithFootprint(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sleeper.Read(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	// The victim writes entity 2 and completes — trapped: the sleeper is an
+	// active tight predecessor and no witness can ever appear. Retained hits
+	// the watermark; the governor's next tick reaps the sleeper.
+	victim, err := db.Begin(ctx, WithFootprint(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := victim.Write(ctx, 2); err != nil {
+		t.Fatalf("victim commit: %v", err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	var opErr error
+	for {
+		opErr = sleeper.Read(ctx, 4)
+		if opErr != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("governor never reaped the sleeper")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	if !errors.Is(opErr, ErrStragglerAborted) {
+		t.Fatalf("post-reap op err = %v, want ErrStragglerAborted", opErr)
+	}
+	if !errors.Is(opErr, ErrTxnAborted) {
+		t.Fatalf("post-reap op err = %v, must still match ErrTxnAborted", opErr)
+	}
+	if code := ErrorCode(opErr); code != "straggler-aborted" {
+		t.Fatalf("ErrorCode = %q, want \"straggler-aborted\"", code)
+	}
+	// The session is terminal with the same error.
+	if err := sleeper.Err(); !errors.Is(err, ErrStragglerAborted) {
+		t.Fatalf("session Err = %v, want ErrStragglerAborted", err)
+	}
+	if s := db.Stats(); s.Reaped < 1 {
+		t.Fatalf("Stats.Reaped = %d, want >= 1", s.Reaped)
+	}
+}
