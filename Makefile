@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race ci bench bench-check examples check-client-only
+.PHONY: all build vet test race ci bench bench-check bench-scale examples check-client-only
 
 all: ci
 
@@ -24,6 +24,11 @@ bench:
 # Fails if the engine hot path's allocs/op regresses above bench_budget.txt.
 bench-check:
 	./scripts/check_bench_budget.sh
+
+# Multi-core scaling sweep: steps/s and client-observed p50/p99 per-step
+# latency at 1, 2, 4, and 8 cores on the local and 5%-cross mixes.
+bench-scale:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineParallelScaling' -benchtime 20000x -benchmem -cpu 1,2,4,8 ./internal/engine/
 
 # Examples and cmds must reach the engine through txdel/client only.
 check-client-only:

@@ -35,7 +35,9 @@ func terminated(v StateView, id model.TxnID) bool {
 // path to ti in g whose intermediate nodes are all completed — the paper's
 // "active tight predecessors". The result is sorted.
 func ActiveTightPredecessors(v StateView, g *graph.Graph, ti model.TxnID) []model.TxnID {
-	closure := g.BackwardClosure(ti, func(n model.TxnID) bool { return terminated(v, n) })
+	// The closure itself lives in graph scratch (it is consumed before any
+	// other closure runs); only the — usually empty — result escapes.
+	closure := g.BackwardClosureScratch(ti, func(n model.TxnID) bool { return terminated(v, n) })
 	var out []model.TxnID
 	for id := range closure {
 		if v.Status(id) == model.StatusActive {
@@ -65,7 +67,7 @@ func CompletedTightSuccessors(v StateView, g *graph.Graph, tj model.TxnID) graph
 // predecessors will never participate in a future cycle, so it can be
 // removed.
 func HasActivePredecessor(v StateView, g *graph.Graph, id model.TxnID) bool {
-	anc := g.Ancestors(id)
+	anc := g.AncestorsScratch(id)
 	for a := range anc {
 		if v.Status(a) == model.StatusActive {
 			return true

@@ -22,7 +22,8 @@
 package core
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"repro/internal/graph"
 	"repro/internal/model"
@@ -61,8 +62,12 @@ func (sw *Sweep) JustCompleted() model.TxnID { return sw.justCompleted }
 // tracks, and nodes carrying live cross-ancestor labels — deleting any of
 // those could hide an inter-shard arc (see subtxn.go). Purely local
 // schedulers get the plain completed set.
+// The returned slice is backed by scheduler scratch: it is valid until the
+// next Completed call (each deletion round of a policy loop rebuilds it),
+// and policies may reorder it in place.
 func (sw *Sweep) Completed() []model.TxnID {
-	ids := sw.s.CompletedTxns()
+	sw.s.compScratch = sw.s.completedAppend(sw.s.compScratch[:0])
+	ids := sw.s.compScratch
 	// Fast path: a shard that has never seen a cross transaction (no
 	// sub-nodes, no labels, no pins) filters nothing, even when a tracker
 	// is configured — the cross-free GC path stays identical to a plain
@@ -191,7 +196,7 @@ func (p GreedyC1) Sweep(sw *Sweep) {
 	for {
 		ids := sw.Completed()
 		if p.NewestFirst {
-			sort.Slice(ids, func(i, j int) bool { return ids[i] > ids[j] })
+			slices.SortFunc(ids, func(a, b model.TxnID) int { return cmp.Compare(b, a) })
 		}
 		progress := false
 		for _, id := range ids {

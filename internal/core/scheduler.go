@@ -16,7 +16,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/emit"
 	"repro/internal/graph"
@@ -174,6 +174,18 @@ type Scheduler struct {
 	// statePool recycles TxnState records (with their maps) across
 	// delete/abort → begin.
 	statePool []*TxnState
+	// idxFree recycles the backing arrays of emptied readers/writers
+	// entries: forget deletes an entry whose last occupant leaves (the
+	// paper's storage-reclamation point applied to the entity indexes),
+	// and without this list every re-touch of such an entity would
+	// allocate a fresh one-element slice. Bounded; see forget.
+	idxFree [][]graph.Ref
+	// compScratch backs Sweep.Completed's candidate list, so the policy
+	// sweep loop (which rebuilds the list every deletion round) allocates
+	// nothing in steady state. manualSweep and its deleted buffer are the
+	// reused Sweep handle of SweepNow for the same reason.
+	compScratch []model.TxnID
+	manualSweep Sweep
 
 	// Cross-shard bookkeeping (subtxn.go), all indexed by arena slot.
 	// crossID names the logical cross transaction occupying a slot as a
@@ -240,21 +252,28 @@ func (s *Scheduler) ActiveTxns() []model.TxnID {
 			out = append(out, id)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
 // CompletedTxns returns the IDs of retained completed transactions,
-// ascending.
+// ascending. The slice is freshly allocated; the policy sweep path uses
+// completedAppend with a scratch buffer instead.
 func (s *Scheduler) CompletedTxns() []model.TxnID {
-	var out []model.TxnID
+	return s.completedAppend(nil)
+}
+
+// completedAppend appends the retained completed transaction IDs to dst,
+// ascending.
+func (s *Scheduler) completedAppend(dst []model.TxnID) []model.TxnID {
+	mark := len(dst)
 	for id, t := range s.txns {
 		if t.Status == model.StatusCompleted {
-			out = append(out, id)
+			dst = append(dst, id)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	slices.Sort(dst[mark:])
+	return dst
 }
 
 // NumCompleted returns the number of retained completed transactions.
@@ -498,11 +517,25 @@ func (s *Scheduler) noteAccess(t *TxnState, x model.Entity, a model.Access) {
 	// as a writer even if it read x before — Rule 3 consults both.
 	if a == model.WriteAccess {
 		if prev < model.WriteAccess {
-			s.writers[x] = append(s.writers[x], t.ref)
+			s.writers[x] = s.appendIdx(s.writers[x], t.ref)
 		}
 	} else if prev == model.NoAccess {
-		s.readers[x] = append(s.readers[x], t.ref)
+		s.readers[x] = s.appendIdx(s.readers[x], t.ref)
 	}
+}
+
+// appendIdx appends r to an entity-index slice, seeding a fresh entry from
+// the idxFree recycle list so touching an entity whose index entry was
+// reclaimed does not allocate.
+func (s *Scheduler) appendIdx(rs []graph.Ref, r graph.Ref) []graph.Ref {
+	if rs == nil {
+		if n := len(s.idxFree); n > 0 {
+			rs = s.idxFree[n-1]
+			s.idxFree[n-1] = nil
+			s.idxFree = s.idxFree[:n-1]
+		}
+	}
+	return append(rs, r)
 }
 
 // reject aborts the acting transaction: the step is refused and the node,
@@ -541,15 +574,29 @@ func (s *Scheduler) forget(t *TxnState) {
 		if rs := graph.DropRef(s.readers[x], t.ref); len(rs) > 0 {
 			s.readers[x] = rs
 		} else {
+			s.recycleIdx(rs)
 			delete(s.readers, x)
 		}
 		if a == model.WriteAccess {
 			if ws := graph.DropRef(s.writers[x], t.ref); len(ws) > 0 {
 				s.writers[x] = ws
 			} else {
+				s.recycleIdx(ws)
 				delete(s.writers, x)
 			}
 		}
+	}
+}
+
+// idxFreeMax bounds the recycle list; beyond it, emptied backing arrays
+// are simply released to the GC (a cold keyspace shrinking for good must
+// not pin its index storage forever).
+const idxFreeMax = 256
+
+// recycleIdx stashes an emptied index entry's backing array for reuse.
+func (s *Scheduler) recycleIdx(rs []graph.Ref) {
+	if cap(rs) > 0 && len(s.idxFree) < idxFreeMax {
+		s.idxFree = append(s.idxFree, rs[:0])
 	}
 }
 
@@ -665,12 +712,17 @@ func (s *Scheduler) ForceDelete(id model.TxnID) error {
 // SweepNow runs the configured deletion policy once, outside the normal
 // post-step hook, and returns the transactions it deleted. Owners that set
 // Config.SweepManual call this between batches so GC cost is amortized off
-// the per-step path. It is a no-op without a policy.
+// the per-step path. It is a no-op without a policy. The returned slice is
+// reused by the next SweepNow on this scheduler; callers that retain it
+// across sweeps must copy.
 func (s *Scheduler) SweepNow() []model.TxnID {
 	if s.cfg.Policy == nil {
 		return nil
 	}
-	sw := &Sweep{s: s, justCompleted: model.NoTxn}
+	sw := &s.manualSweep
+	sw.s = s
+	sw.justCompleted = model.NoTxn
+	sw.deleted = sw.deleted[:0]
 	s.cfg.Policy.Sweep(sw)
 	s.stats.Sweeps++
 	s.emit(emit.KindSweep, emit.ClassOK, model.NoTxn, 0, int64(len(sw.deleted)))

@@ -22,10 +22,12 @@
 package emit
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/model"
+	"repro/internal/ring"
 )
 
 // Kind is the lifecycle event type.
@@ -168,35 +170,20 @@ type Sink interface {
 	Close() error
 }
 
-// cell is one ring slot. seq is the Vyukov sequence coordinating producers
-// and the consumer: seq == pos means free for the producer claiming pos,
-// seq == pos+1 means occupied and readable.
-type cell struct {
-	seq atomic.Uint64
-	ev  Event
-}
-
 // Bus is the bounded, non-blocking event bus: multi-producer (every shard
 // goroutine plus client goroutines), single consumer (the drain goroutine
-// feeding the sinks).
+// feeding the sinks). The transport is the shared lock-free MPSC ring in
+// internal/ring — the same cell protocol the engine's shard mailboxes run
+// on — with the bus adding drop-and-count on overflow.
 type Bus struct {
-	ring []cell
-	mask uint64
-	enq  atomic.Uint64
-	// deq is owned by the drain goroutine.
-	deq uint64
+	ring *ring.MPSC[Event]
 
 	emitted atomic.Uint64
 	dropped atomic.Uint64
 
-	// sleeping is 1 while the drain goroutine is parked on wake; producers
-	// only touch the wake channel when they observe it set, so the
-	// steady-state publish cost is one atomic load.
-	sleeping atomic.Int32
-	wake     chan struct{}
-	done     chan struct{}
-	closed   atomic.Bool
-	wg       sync.WaitGroup
+	done   chan struct{}
+	closed atomic.Bool
+	wg     sync.WaitGroup
 
 	sinks []Sink
 }
@@ -210,19 +197,10 @@ func NewBus(n int, sinks ...Sink) *Bus {
 	if n <= 0 {
 		n = DefaultBuffer
 	}
-	capacity := 1
-	for capacity < n {
-		capacity <<= 1
-	}
 	b := &Bus{
-		ring:  make([]cell, capacity),
-		mask:  uint64(capacity - 1),
-		wake:  make(chan struct{}, 1),
+		ring:  ring.NewMPSC[Event](n),
 		done:  make(chan struct{}),
 		sinks: sinks,
-	}
-	for i := range b.ring {
-		b.ring[i].seq.Store(uint64(i))
 	}
 	b.wg.Add(1)
 	go b.drain()
@@ -233,33 +211,13 @@ func NewBus(n int, sinks ...Sink) *Bus {
 // drain goroutine is behind) the event is dropped and counted. It is safe
 // from any number of goroutines and reports whether the event was enqueued.
 func (b *Bus) Emit(ev Event) bool {
-	for {
-		pos := b.enq.Load()
-		c := &b.ring[pos&b.mask]
-		seq := c.seq.Load()
-		switch d := int64(seq) - int64(pos); {
-		case d == 0:
-			if b.enq.CompareAndSwap(pos, pos+1) {
-				c.ev = ev
-				c.seq.Store(pos + 1)
-				b.emitted.Add(1)
-				if b.sleeping.Load() != 0 {
-					select {
-					case b.wake <- struct{}{}:
-					default:
-					}
-				}
-				return true
-			}
-		case d < 0:
-			// The cell still holds an unconsumed event from one lap ago:
-			// the ring is full. Drop, never block.
-			b.dropped.Add(1)
-			return false
-		default:
-			// Another producer advanced enq between our loads; retry.
-		}
+	if !b.ring.TryPush(ev) {
+		// The drain goroutine is a full lap behind. Drop, never block.
+		b.dropped.Add(1)
+		return false
 	}
+	b.emitted.Add(1)
+	return true
 }
 
 // Emitted returns the number of events accepted onto the ring.
@@ -274,14 +232,10 @@ func (b *Bus) Dropped() uint64 { return b.dropped.Load() }
 func (b *Bus) drainReady() int {
 	n := 0
 	for {
-		c := &b.ring[b.deq&b.mask]
-		if c.seq.Load() != b.deq+1 {
+		ev, ok := b.ring.Pop()
+		if !ok {
 			return n
 		}
-		ev := c.ev
-		// Free the cell for the producer one lap ahead.
-		c.seq.Store(b.deq + uint64(len(b.ring)))
-		b.deq++
 		n++
 		for _, s := range b.sinks {
 			s.Consume(ev)
@@ -289,27 +243,34 @@ func (b *Bus) drainReady() int {
 	}
 }
 
+// drainLinger is how many times the drain goroutine yields and re-checks
+// an empty ring before parking on the wake channel. Each park/wake cycle
+// costs the producers a flag store plus a channel send and the scheduler a
+// goroutine transition — on a busy engine the ring refills within a few
+// scheduler slices, so lingering turns most would-be parks into another
+// batch consumed with zero producer-side cost.
+const drainLinger = 64
+
 func (b *Bus) drain() {
 	defer b.wg.Done()
 	for {
 		if b.drainReady() > 0 {
 			continue
 		}
-		b.sleeping.Store(1)
-		// Recheck after announcing sleep: a producer that published before
-		// seeing sleeping==1 is caught here; one that published after sees
-		// the flag and sends the wake. Either way no event is stranded.
-		if b.ring[b.deq&b.mask].seq.Load() == b.deq+1 {
-			b.sleeping.Store(0)
+		lingered := false
+		for i := 0; i < drainLinger; i++ {
+			runtime.Gosched()
+			if b.drainReady() > 0 {
+				lingered = true
+				break
+			}
+		}
+		if lingered {
 			continue
 		}
-		select {
-		case <-b.wake:
-			b.sleeping.Store(0)
-		case <-b.done:
-			b.sleeping.Store(0)
-			// Final sweep: consume what made it onto the ring before (or
-			// while) Close was called, then let the sinks go.
+		if !b.ring.Park(b.done) {
+			// Close fired. Final sweep: consume what made it onto the ring
+			// before (or while) Close was called, then let the sinks go.
 			b.drainReady()
 			return
 		}

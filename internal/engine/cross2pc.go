@@ -388,7 +388,7 @@ func (e *Engine) participantsOf(xs []model.Entity) []int {
 // are rolled back and the logical transaction never existed.
 func (e *Engine) beginCross(ctx context.Context, step model.Step, pri Priority) Result {
 	ct := &crossTxn{id: step.Txn, parts: e.participantsOf(step.Entities)}
-	if _, dup := e.routes.LoadOrStore(step.Txn, &route{kind: routeCross, ct: ct, pri: pri}); dup {
+	if !e.routes.storeNew(step.Txn, route{kind: routeCross, ct: ct, pri: pri}) {
 		return Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn,
 			Err: fmt.Errorf("engine: duplicate BEGIN for T%d: %w", step.Txn, ErrProtocol)}
 	}
@@ -400,7 +400,7 @@ func (e *Engine) beginCross(ctx context.Context, step model.Step, pri Priority) 
 		// rollback.
 		for _, p := range ct.parts {
 			if e.shardOverloaded(p) {
-				e.routes.Delete(step.Txn)
+				e.routes.delete(step.Txn)
 				return e.shedBegin(step, p)
 			}
 		}
@@ -435,7 +435,7 @@ func (e *Engine) beginCross(ctx context.Context, step model.Step, pri Priority) 
 			}
 			ct.done = true
 			e.registry.drop(step.Txn)
-			e.routes.Delete(step.Txn)
+			e.routes.delete(step.Txn)
 			if err := ctx.Err(); err != nil {
 				e.rejected.Add(1)
 				return Result{Step: step, Outcome: OutcomeRejected, Aborted: step.Txn, CompletedTxn: model.NoTxn, Err: ctxErr(step, context.Cause(ctx))}
@@ -452,7 +452,7 @@ func (e *Engine) beginCross(ctx context.Context, step model.Step, pri Priority) 
 }
 
 // crossStep handles a read or final write of a live cross transaction.
-func (e *Engine) crossStep(ctx context.Context, step model.Step, r *route) Result {
+func (e *Engine) crossStep(ctx context.Context, step model.Step, r route) Result {
 	ct := r.ct
 	ct.mu.Lock()
 	defer ct.mu.Unlock()
@@ -509,7 +509,7 @@ func (e *Engine) finishCrossAbort(ct *crossTxn, skipShard int) {
 	}
 	ct.done = true
 	e.registry.drop(ct.id)
-	e.routes.Delete(ct.id)
+	e.routes.delete(ct.id)
 	e.aborted.Add(1)
 	e.crossAborts.Add(1)
 	if e.cfg.Log != nil {
@@ -588,7 +588,7 @@ func (e *Engine) commitCross(ctx context.Context, ct *crossTxn, final model.Step
 			// state only until their goroutines exit.
 			ct.done = true
 			e.registry.drop(ct.id)
-			e.routes.Delete(ct.id)
+			e.routes.delete(ct.id)
 			return Result{Step: final, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: stepErr(final, ErrClosed)}
 		}
 	}
@@ -602,7 +602,7 @@ func (e *Engine) commitCross(ctx context.Context, ct *crossTxn, final model.Step
 	for _, p := range ct.parts {
 		e.shards[p].trySend(request{kind: reqUpkeep})
 	}
-	e.routes.Delete(ct.id)
+	e.routes.delete(ct.id)
 	e.accepted.Add(1)
 	e.completed.Add(1)
 	return Result{Step: final, Outcome: OutcomeAccepted, Aborted: model.NoTxn, CompletedTxn: ct.id}

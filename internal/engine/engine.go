@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/emit"
 	"repro/internal/model"
+	"repro/internal/ring"
 	"repro/internal/trace"
 )
 
@@ -224,8 +225,8 @@ type route struct {
 type Engine struct {
 	cfg    Config
 	shards []*shard
-	// routes maps live TxnID → *route.
-	routes sync.Map
+	// routes maps live TxnID → route (striped; see routemap.go).
+	routes routeMap
 	// registry is the cross-arc registry consulted by every shard's
 	// scheduler (core.CrossTracker) and by the 2PC driver.
 	registry *crossRegistry
@@ -248,10 +249,9 @@ type Engine struct {
 	crossTxns, prepares, crossAborts    atomic.Int64
 	misroutes, shed                     atomic.Int64
 
-	// replyPool recycles the one-slot reply channels of shard round-trips;
-	// resBufPool recycles SubmitBatch result buffers. Both keep the steady
-	// state submit path free of allocations.
-	replyPool  sync.Pool
+	// resBufPool recycles SubmitBatch result buffers, keeping the steady
+	// state submit path free of allocations. (Replies need no pool: the
+	// shard mailbox's ring cell is the completion slot.)
 	resBufPool sync.Pool
 }
 
@@ -259,7 +259,7 @@ type Engine struct {
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	e := &Engine{cfg: cfg, registry: newCrossRegistry(cfg.Shards)}
-	e.replyPool.New = func() any { return make(chan reply, 1) }
+	e.routes.init()
 	e.resBufPool.New = func() any { b := make([]Result, 0, 64); return &b }
 	e.shards = make([]*shard, cfg.Shards)
 	for i := range e.shards {
@@ -278,7 +278,7 @@ func New(cfg Config) *Engine {
 			eng: e,
 			sched: core.NewScheduler(core.Config{Policy: pol, SweepManual: true, Cross: tracker,
 				Emitter: emit.ForShard(cfg.Bus, i)}),
-			ch:   make(chan request, cfg.QueueDepth),
+			mb:   ring.NewMailbox[request, reply](cfg.QueueDepth),
 			done: make(chan struct{}),
 		}
 		e.shards[i] = sh
@@ -401,12 +401,12 @@ func (e *Engine) registerBegin(ctx context.Context, step model.Step, pri Priorit
 	if cross {
 		return 0, true, e.beginCross(ctx, step, pri)
 	}
-	if _, dup := e.routes.LoadOrStore(step.Txn, &route{kind: routeLocal, shard: h, pri: pri}); dup {
+	if !e.routes.storeNew(step.Txn, route{kind: routeLocal, shard: h, pri: pri}) {
 		return 0, true, Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn,
 			Err: fmt.Errorf("engine: duplicate BEGIN for T%d: %w", step.Txn, ErrProtocol)}
 	}
 	if pri != PriorityHigh && e.shardOverloaded(h) {
-		e.routes.Delete(step.Txn)
+		e.routes.delete(step.Txn)
 		return 0, true, e.shedBegin(step, h)
 	}
 	return h, false, Result{}
@@ -464,7 +464,7 @@ func (e *Engine) SubmitBatchInto(dst []Result, steps []model.Step) []Result {
 		e.submitted.Add(1)
 		switch st.Kind {
 		case model.KindBegin:
-			if _, live := e.routes.Load(st.Txn); live {
+			if _, live := e.routes.load(st.Txn); live {
 				// The pending run may complete/abort this very ID; apply
 				// it first so duplicate detection sees the final state.
 				flush(i)
@@ -477,14 +477,13 @@ func (e *Engine) SubmitBatchInto(dst []Result, steps []model.Step) []Result {
 			}
 			extend(i, home)
 		case model.KindRead, model.KindWriteFinal:
-			v, ok := e.routes.Load(st.Txn)
+			r, ok := e.routes.load(st.Txn)
 			if !ok {
 				flush(i)
 				e.rejected.Add(1)
 				dst = append(dst, Result{Step: st, Outcome: OutcomeRejected, Aborted: st.Txn, CompletedTxn: model.NoTxn, Err: e.deadTxnErr(st)})
 				continue
 			}
-			r := v.(*route)
 			if r.kind == routeCross {
 				// Routed individually; a final write runs the 2PC, so the
 				// pending run must land first to preserve step order.
@@ -532,7 +531,7 @@ func (e *Engine) flushRun(dst []Result, shardIdx int, steps []model.Step) []Resu
 		// by the shutdown drain — abandon it rather than recycle.
 		for _, st := range steps {
 			if st.Kind == model.KindBegin {
-				e.routes.Delete(st.Txn)
+				e.routes.delete(st.Txn)
 			}
 			dst = append(dst, Result{Step: st, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: ErrClosed})
 		}
@@ -543,7 +542,7 @@ func (e *Engine) flushRun(dst []Result, shardIdx int, steps []model.Step) []Resu
 	// route we registered, or the ID stays poisoned forever.
 	for i, st := range steps {
 		if st.Kind == model.KindBegin && i < len(rep.results) && rep.results[i].Outcome == OutcomeError {
-			e.routes.Delete(st.Txn)
+			e.routes.delete(st.Txn)
 		}
 	}
 	*bufp = rep.results[:0]
@@ -561,7 +560,7 @@ func (e *Engine) submitBegin(ctx context.Context, step model.Step, pri Priority)
 		// The scheduler refused to start the transaction (e.g. its ID
 		// collides with a retained completed transaction): drop the route
 		// we just created, or the ID stays poisoned forever.
-		e.routes.Delete(step.Txn)
+		e.routes.delete(step.Txn)
 	}
 	return res
 }
@@ -587,12 +586,11 @@ func (e *Engine) deadTxnErr(step model.Step) error {
 }
 
 func (e *Engine) submitAccess(ctx context.Context, step model.Step) Result {
-	v, ok := e.routes.Load(step.Txn)
+	r, ok := e.routes.load(step.Txn)
 	if !ok {
 		e.rejected.Add(1)
 		return Result{Step: step, Outcome: OutcomeRejected, Aborted: step.Txn, CompletedTxn: model.NoTxn, Err: e.deadTxnErr(step)}
 	}
-	r := v.(*route)
 	if r.kind == routeCross {
 		return e.crossStep(ctx, step, r)
 	}
@@ -606,7 +604,7 @@ func (e *Engine) submitAccess(ctx context.Context, step model.Step) Result {
 // entity: the partition discipline is what makes per-shard acyclicity
 // equal global CSR for local transactions, so it must be enforced, not
 // trusted.
-func (e *Engine) misroute(step model.Step, r *route) Result {
+func (e *Engine) misroute(step model.Step, r route) Result {
 	e.misroutes.Add(1)
 	e.rejected.Add(1)
 	if e.cfg.Bus != nil {
@@ -618,7 +616,7 @@ func (e *Engine) misroute(step model.Step, r *route) Result {
 		e.cfg.Log.Append(step, false)
 	}
 	e.shards[r.shard].do(request{kind: reqAbortOne, step: model.Step{Txn: step.Txn}})
-	e.routes.Delete(step.Txn)
+	e.routes.delete(step.Txn)
 	return Result{Step: step, Outcome: OutcomeRejected, Aborted: step.Txn, CompletedTxn: model.NoTxn, Err: stepErr(step, ErrMisroute)}
 }
 
@@ -627,16 +625,15 @@ func (e *Engine) misroute(step model.Step, r *route) Result {
 // included — on every participant, whatever state the transaction is in.
 // It returns false if the transaction is unknown or already decided.
 func (e *Engine) Abort(id model.TxnID) bool {
-	v, ok := e.routes.Load(id)
+	r, ok := e.routes.load(id)
 	if !ok {
 		return false
 	}
-	r := v.(*route)
 	if r.kind == routeCross {
 		return e.crossClientAbort(r.ct)
 	}
 	e.shards[r.shard].do(request{kind: reqAbortOne, step: model.Step{Txn: id}})
-	e.routes.Delete(id)
+	e.routes.delete(id)
 	if e.cfg.Log != nil {
 		e.cfg.Log.MarkAborted(id)
 	}

@@ -173,8 +173,8 @@ func (e *Engine) oldestStraggler() (id model.TxnID, shard int, inc int64, ok boo
 			continue
 		}
 		for _, info := range rep.actives {
-			v, routed := e.routes.Load(info.ID)
-			if !routed || v.(*route).pri == PriorityHigh {
+			r, routed := e.routes.load(info.ID)
+			if !routed || r.pri == PriorityHigh {
 				continue
 			}
 			if bestShard < 0 || info.Age > best.Age {

@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/model"
+)
+
+// routeStripes is the number of independent locks the route table is split
+// across. Power of two; TxnIDs are typically sequential, so the low bits
+// spread live transactions evenly. 64 stripes keep the table's footprint
+// at a few KB while making cross-goroutine collisions on the submit path
+// rare at any realistic client count.
+const routeStripes = 64
+
+// routeMap is the engine's live TxnID → route table. It replaces the old
+// sync.Map: routes are stored by value in small typed maps, so registering
+// a transaction allocates neither a *route box nor an interface key, and
+// lookups on the submit hot path are one mutex + one typed map probe on an
+// uncontended stripe. Routes are immutable once stored (the record is
+// deleted and re-created, never mutated), which is what makes by-value
+// storage sound.
+type routeMap struct {
+	stripes [routeStripes]routeStripe
+}
+
+type routeStripe struct {
+	mu sync.Mutex
+	m  map[model.TxnID]route
+	// Pad each stripe to its own cache line so neighboring locks don't
+	// false-share under concurrent submitters.
+	_ [40]byte
+}
+
+func (rm *routeMap) init() {
+	for i := range rm.stripes {
+		rm.stripes[i].m = make(map[model.TxnID]route, 8)
+	}
+}
+
+func (rm *routeMap) stripe(id model.TxnID) *routeStripe {
+	return &rm.stripes[uint64(id)&(routeStripes-1)]
+}
+
+// load returns the route registered for id.
+func (rm *routeMap) load(id model.TxnID) (route, bool) {
+	s := rm.stripe(id)
+	s.mu.Lock()
+	r, ok := s.m[id]
+	s.mu.Unlock()
+	return r, ok
+}
+
+// storeNew registers r for id unless a route already exists; it reports
+// whether the store happened (false = duplicate).
+func (rm *routeMap) storeNew(id model.TxnID, r route) bool {
+	s := rm.stripe(id)
+	s.mu.Lock()
+	if _, dup := s.m[id]; dup {
+		s.mu.Unlock()
+		return false
+	}
+	s.m[id] = r
+	s.mu.Unlock()
+	return true
+}
+
+// delete removes id's route (no-op if absent).
+func (rm *routeMap) delete(id model.TxnID) {
+	s := rm.stripe(id)
+	s.mu.Lock()
+	delete(s.m, id)
+	s.mu.Unlock()
+}

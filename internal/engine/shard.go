@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/ring"
 )
 
 type reqKind uint8
@@ -59,8 +60,7 @@ type request struct {
 	// input (the caller blocks until the reply, so the shard owns it).
 	steps []model.Step
 	// done accumulates a reqBatch's results.
-	done  []Result
-	reply chan reply
+	done []Result
 }
 
 type reply struct {
@@ -74,11 +74,17 @@ type reply struct {
 
 // shard is one entity partition: a single-writer goroutine owning one
 // core.Scheduler. All scheduler access happens on that goroutine.
+//
+// Submission runs on a lock-free MPSC ring (ring.Mailbox): producers claim
+// a cell with one CAS and publish with one store, and replies come back
+// through the same cell — no per-request channel is allocated, pooled, or
+// selected on. The shard goroutine drains the ring in runs of up to
+// BatchSize, so one wake amortizes across a whole backlog.
 type shard struct {
 	idx   int
 	eng   *Engine
 	sched *core.Scheduler
-	ch    chan request
+	mb    *ring.Mailbox[request, reply]
 	done  chan struct{}
 	// depth counts requests enqueued (or blocked enqueuing) and not yet
 	// picked up by the shard goroutine — the submission backlog surfaced
@@ -103,54 +109,47 @@ type shard struct {
 // the depth gauge consistent. It reports false if the shard already shut
 // down.
 func (sh *shard) trySend(req request) bool {
-	sh.depth.Add(1)
 	select {
-	case sh.ch <- req:
-		return true
 	case <-sh.done:
+		return false
+	default:
+	}
+	sh.depth.Add(1)
+	if !sh.mb.Post(req, sh.done) {
 		sh.depth.Add(-1)
 		return false
 	}
+	return true
 }
 
 // do sends a request and waits for its reply. ok=false means the shard
-// shut down without serving the request (Close raced the caller).
-// Reply channels come from a pool; a channel is only returned to the pool
-// on paths where no late reply can still be posted to it.
+// shut down without serving the request (Close raced the caller). The
+// round-trip is one ring cell: claim, publish, park on the cell until the
+// shard writes the reply back into it — nothing is allocated and no pool
+// is touched. A request published but never served (the shutdown drain
+// already ran) leaves its cell abandoned; by then every later submission
+// fails fast on sh.done, so the ring is garbage either way.
 func (sh *shard) do(req request) (reply, bool) {
-	c := sh.eng.replyPool.Get().(chan reply)
-	req.reply = c
 	sh.depth.Add(1)
-	select {
-	case sh.ch <- req:
-	case <-sh.done:
+	rep, sent, ok := sh.mb.Send(req, sh.done)
+	if !sent {
+		// Never published: the shard shut down while the ring was full and
+		// no consumer will ever decrement for this request.
 		sh.depth.Add(-1)
-		// Never enqueued: nothing can write to c, safe to recycle.
-		sh.eng.replyPool.Put(c)
 		return reply{}, false
 	}
-	select {
-	case r := <-c:
-		sh.eng.replyPool.Put(c)
-		return r, true
-	case <-sh.done:
-		// The shard exited. shutdown drains the queue and fails pending
-		// requests, so a reply may still have been posted — but a request
-		// enqueued after that drain is simply lost.
-		select {
-		case r := <-c:
-			sh.eng.replyPool.Put(c)
-			return r, true
-		default:
-			// A late reply from the shutdown drain may still arrive on c;
-			// abandon the channel rather than risk a stale read by a
-			// future user.
-			return reply{}, false
-		}
+	if !ok {
+		// Published but unanswered (Close raced the caller): the depth
+		// decrement belongs to whoever drains the cell, which may be no
+		// one — Stats reports dead shards at zero, so the phantom count is
+		// invisible.
+		return reply{}, false
 	}
+	return rep, true
 }
 
-// run is the shard goroutine: drain a batch, apply it, then sweep. No
+// run is the shard goroutine: drain a run of requests from the ring, apply
+// it, then sweep — one park/wake cycle amortizes across the whole run. No
 // timer is needed for registry upkeep: a shard's cleanliness verdict
 // (HasActivePredecessor over its own graph) can only change through a
 // request this shard processes, and every processed batch ends in
@@ -159,20 +158,23 @@ func (sh *shard) do(req request) (reply, bool) {
 func (sh *shard) run() {
 	defer close(sh.done)
 	for {
-		req, ok := <-sh.ch
+		req, tk, fire, ok := sh.mb.Next()
 		if !ok {
-			return
+			// Idle: housekeeping already ran when the last batch ended, so
+			// just park until a producer publishes. Shutdown arrives as a
+			// reqStop request, never via the park.
+			sh.mb.Park(nil)
+			continue
 		}
 		sh.depth.Add(-1)
-		stop := sh.handle(req)
+		stop := sh.handle(req, tk, fire)
 		for n := 1; n < sh.eng.cfg.BatchSize && !stop; n++ {
-			select {
-			case r := <-sh.ch:
-				sh.depth.Add(-1)
-				stop = sh.handle(r)
-			default:
-				n = sh.eng.cfg.BatchSize
+			req, tk, fire, ok = sh.mb.Next()
+			if !ok {
+				break
 			}
+			sh.depth.Add(-1)
+			stop = sh.handle(req, tk, fire)
 		}
 		// Amortized GC between batches: replies are already out, so sweep
 		// cost never lands on an individual submission's latency.
@@ -189,40 +191,41 @@ func (sh *shard) run() {
 	}
 }
 
-func (sh *shard) handle(req request) (stop bool) {
+func (sh *shard) handle(req request, tk uint64, fire bool) (stop bool) {
 	switch req.kind {
 	case reqStep:
-		req.reply <- reply{res: sh.applyOne(req.step)}
+		sh.mb.Reply(tk, reply{res: sh.applyOne(req.step)})
 	case reqBatch:
 		for _, st := range req.steps {
 			req.done = append(req.done, sh.applyOne(st))
 		}
-		req.reply <- reply{results: req.done}
+		sh.mb.Reply(tk, reply{results: req.done})
 	case reqStats:
-		req.reply <- reply{stats: sh.sched.Stats()}
+		sh.mb.Reply(tk, reply{stats: sh.sched.Stats()})
 	case reqBeginSub:
-		req.reply <- reply{res: sh.applyBeginSub(req.step)}
+		sh.mb.Reply(tk, reply{res: sh.applyBeginSub(req.step)})
 	case reqPrepareSub:
-		req.reply <- reply{res: sh.applyPrepareSub(req.step)}
+		sh.mb.Reply(tk, reply{res: sh.applyPrepareSub(req.step)})
 	case reqCommitSub:
-		req.reply <- reply{res: sh.applyCommitSub(req.step.Txn)}
+		sh.mb.Reply(tk, reply{res: sh.applyCommitSub(req.step.Txn)})
 	case reqAbortSub:
 		sh.applyAbortSub(req.step.Txn)
-		req.reply <- reply{}
+		sh.mb.Reply(tk, reply{})
 	case reqAbortOne:
 		if err := sh.sched.AbortTxn(req.step.Txn); err == nil {
 			sh.eng.aborted.Add(1)
 			sh.sinceSweep++
 		}
-		req.reply <- reply{}
+		sh.mb.Reply(tk, reply{})
 	case reqUpkeep:
 		// Nothing to do here: the run loop calls reportCrossClean after
-		// every batch; this request exists only to unblock the receive.
+		// every batch; this request exists only to unblock the park. Posted
+		// fire-and-forget, so there is no reply to send.
 	case reqPurgeLabel:
 		sh.sched.PurgeLabel(req.step.Txn)
-		req.reply <- reply{}
+		sh.mb.Reply(tk, reply{})
 	case reqOldest:
-		req.reply <- reply{actives: sh.sched.OldestActives(governorCandidates)}
+		sh.mb.Reply(tk, reply{actives: sh.sched.OldestActives(governorCandidates)})
 	case reqSweep:
 		n := int64(len(sh.sched.SweepNow()))
 		sh.eng.deleted.Add(n)
@@ -232,7 +235,7 @@ func (sh *shard) handle(req request) (stop bool) {
 		// right after the sweep returns, and the run loop's own refresh only
 		// happens once the whole batch drains.
 		sh.retainedN.Store(int64(sh.sched.NumCompleted()))
-		req.reply <- reply{n: n}
+		sh.mb.Reply(tk, reply{n: n})
 	case reqStop:
 		return true
 	}
@@ -283,14 +286,14 @@ func (sh *shard) applyOne(step model.Step) Result {
 	}
 	if res.CompletedTxn != model.NoTxn {
 		eng.completed.Add(1)
-		eng.routes.Delete(res.CompletedTxn)
+		eng.routes.delete(res.CompletedTxn)
 		sh.sinceSweep++
 	}
 	if res.Aborted != model.NoTxn {
 		sh.sinceSweep++
-		if v, ok := eng.routes.Load(res.Aborted); !ok || v.(*route).kind != routeCross {
+		if r, ok := eng.routes.load(res.Aborted); !ok || r.kind != routeCross {
 			eng.aborted.Add(1)
-			eng.routes.Delete(res.Aborted)
+			eng.routes.delete(res.Aborted)
 		}
 	}
 	return out
@@ -393,12 +396,18 @@ func (sh *shard) reportCrossClean() {
 }
 
 // shutdown fails still-queued requests so no client blocks forever,
-// publishes final stats, and returns.
+// publishes final stats, and returns. A request published after this final
+// drain is simply lost; its sender unparks on sh.done once run returns.
 func (sh *shard) shutdown() {
 	sh.final = sh.sched.Stats()
-	fail := func(req request) {
-		if req.reply == nil {
+	for {
+		req, tk, fire, ok := sh.mb.Next()
+		if !ok {
 			return
+		}
+		sh.depth.Add(-1)
+		if fire {
+			continue
 		}
 		if req.kind == reqBatch {
 			// Remaining steps of a queued batch fail; results already
@@ -407,21 +416,12 @@ func (sh *shard) shutdown() {
 				req.done = append(req.done, Result{Step: st, Outcome: OutcomeError,
 					Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: ErrClosed})
 			}
-			req.reply <- reply{results: req.done, stats: sh.final}
-			return
+			sh.mb.Reply(tk, reply{results: req.done, stats: sh.final})
+			continue
 		}
 		// A drained stats request can still be answered truthfully; every
 		// other kind is refused.
-		req.reply <- reply{stats: sh.final, res: Result{Step: req.step, Outcome: OutcomeError,
-			Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: ErrClosed}}
-	}
-	for {
-		select {
-		case req := <-sh.ch:
-			sh.depth.Add(-1)
-			fail(req)
-		default:
-			return
-		}
+		sh.mb.Reply(tk, reply{stats: sh.final, res: Result{Step: req.step, Outcome: OutcomeError,
+			Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: ErrClosed}})
 	}
 }

@@ -102,6 +102,9 @@ type Graph struct {
 	tepoch uint32
 	tlist  []Ref
 
+	// cset is the reused result set of the *Scratch closure variants.
+	cset NodeSet
+
 	// pinned marks prepared-but-undecided nodes (a cross-shard
 	// sub-transaction between its PREPARE vote and the coordinator's
 	// decision). Pins are advisory: deletion policies must skip pinned
@@ -619,8 +622,39 @@ func (g *Graph) BackwardClosure(src model.TxnID, through func(model.TxnID) bool)
 	return g.closure(src, through, g.in)
 }
 
+// ForwardClosureScratch and BackwardClosureScratch are the closure
+// variants for single-owner hot paths (a scheduler evaluating C1 on its
+// own graph): the result set lives in graph-owned scratch, so no map is
+// allocated per call. The returned set is valid only until the next
+// *Scratch closure call on g and must not be retained or mutated.
+func (g *Graph) ForwardClosureScratch(src model.TxnID, through func(model.TxnID) bool) NodeSet {
+	return g.closureInto(g.scratchSet(), src, through, g.out)
+}
+
+// BackwardClosureScratch is ForwardClosureScratch on the reversed graph.
+func (g *Graph) BackwardClosureScratch(src model.TxnID, through func(model.TxnID) bool) NodeSet {
+	return g.closureInto(g.scratchSet(), src, through, g.in)
+}
+
+// AncestorsScratch is Ancestors into graph-owned scratch (same validity
+// contract as the other *Scratch closures).
+func (g *Graph) AncestorsScratch(src model.TxnID) NodeSet {
+	return g.BackwardClosureScratch(src, func(model.TxnID) bool { return true })
+}
+
+func (g *Graph) scratchSet() NodeSet {
+	if g.cset == nil {
+		g.cset = make(NodeSet)
+	}
+	clear(g.cset)
+	return g.cset
+}
+
 func (g *Graph) closure(src model.TxnID, through func(model.TxnID) bool, adj [][]Ref) NodeSet {
-	out := make(NodeSet)
+	return g.closureInto(make(NodeSet), src, through, adj)
+}
+
+func (g *Graph) closureInto(out NodeSet, src model.TxnID, through func(model.TxnID) bool, adj [][]Ref) NodeSet {
 	sr, ok := g.idx[src]
 	if !ok {
 		return out

@@ -1,87 +1,142 @@
 #!/bin/sh
-# Runs the engine hot-path benchmarks with -benchmem and fails if allocs/op
-# regresses above the budgets in bench_budget.txt: the partition-local path
-# (BenchmarkEngineThroughput, greedy-c1, 4 shards), the cross-partition
-# 2PC path (BenchmarkEngineCrossFrac at CrossFrac=0.05), the telemetry
-# emitter overhead (BenchmarkEngineEmitOverhead on vs off, ns/op delta),
-# and the retention governor's peak retained count under attack
-# (BenchmarkEngineRetentionGoverned, peak-kept vs max_peak_kept).
+# Runs the engine hot-path benchmarks with -benchmem and fails if they
+# regress above the budgets in bench_budget.txt: the partition-local path
+# (BenchmarkEngineThroughput, greedy-c1 and nogc, 4 shards), the
+# cross-partition 2PC path (BenchmarkEngineCrossFrac at CrossFrac=0.05),
+# the telemetry emitter overhead (BenchmarkEngineEmitOverhead on vs off,
+# ns/op delta), the retention governor's peak retained count under attack
+# (BenchmarkEngineRetentionGoverned, peak-kept vs max_peak_kept), and the
+# submission path's p99 per-step latency at two cores
+# (BenchmarkEngineParallelScaling, p99-step-ns vs max_p99_step_ns).
+#
+# Usage: check_bench_budget.sh [all|alloc|scale]
+#   all   (default) every gate
+#   alloc allocation + emitter + retention gates only
+#   scale the -cpu 2 p99 latency gate only (the CI bench-scale job)
 set -eu
 cd "$(dirname "$0")/.."
 
+section=${1:-all}
+case "$section" in
+all | alloc | scale) ;;
+*)
+	echo "usage: $0 [all|alloc|scale]" >&2
+	exit 2
+	;;
+esac
+
 budget=$(awk '/^max_allocs_per_op/ {print $2}' bench_budget.txt)
+nogc_budget=$(awk '/^max_nogc_allocs_per_op/ {print $2}' bench_budget.txt)
 cross_budget=$(awk '/^max_cross_allocs_per_op/ {print $2}' bench_budget.txt)
-emit_budget=$(awk '/^max_emit_overhead_pct/ {print $2}' bench_budget.txt)
+emit_budget=$(awk '/^max_emit_overhead_ns/ {print $2}' bench_budget.txt)
 kept_budget=$(awk '/^max_peak_kept/ {print $2}' bench_budget.txt)
+p99_budget=$(awk '/^max_p99_step_ns/ {print $2}' bench_budget.txt)
 [ -n "$budget" ] || { echo "check_bench_budget: no max_allocs_per_op in bench_budget.txt" >&2; exit 2; }
+[ -n "$nogc_budget" ] || { echo "check_bench_budget: no max_nogc_allocs_per_op in bench_budget.txt" >&2; exit 2; }
 [ -n "$cross_budget" ] || { echo "check_bench_budget: no max_cross_allocs_per_op in bench_budget.txt" >&2; exit 2; }
-[ -n "$emit_budget" ] || { echo "check_bench_budget: no max_emit_overhead_pct in bench_budget.txt" >&2; exit 2; }
+[ -n "$emit_budget" ] || { echo "check_bench_budget: no max_emit_overhead_ns in bench_budget.txt" >&2; exit 2; }
 [ -n "$kept_budget" ] || { echo "check_bench_budget: no max_peak_kept in bench_budget.txt" >&2; exit 2; }
+[ -n "$p99_budget" ] || { echo "check_bench_budget: no max_p99_step_ns in bench_budget.txt" >&2; exit 2; }
 
-out=$(go test -run '^$' -bench 'BenchmarkEngineThroughput/shards=4/policy=greedy-c1$|BenchmarkEngineCrossFrac/cross=5' \
-	-benchtime 3000x -benchmem ./internal/engine/)
-echo "$out"
+if [ "$section" != "scale" ]; then
+	out=$(go test -run '^$' -bench 'BenchmarkEngineThroughput/shards=4/(policy=greedy-c1|policy=nogc)$|BenchmarkEngineCrossFrac/cross=5' \
+		-benchtime 3000x -benchmem ./internal/engine/)
+	echo "$out"
 
-parse_allocs() {
-	echo "$out" | awk -v pat="$1" '$0 ~ pat {for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i-1)}' | head -1
-}
+	parse_allocs() {
+		echo "$out" | awk -v pat="$1" '$0 ~ pat {for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i-1)}' | head -1
+	}
 
-allocs=$(parse_allocs 'policy=greedy-c1')
-[ -n "$allocs" ] || { echo "check_bench_budget: could not parse local allocs/op from benchmark output" >&2; exit 2; }
-if [ "$allocs" -gt "$budget" ]; then
-	echo "check_bench_budget: FAIL: local path $allocs allocs/op exceeds budget of $budget" >&2
-	exit 1
+	allocs=$(parse_allocs 'policy=greedy-c1')
+	[ -n "$allocs" ] || { echo "check_bench_budget: could not parse local allocs/op from benchmark output" >&2; exit 2; }
+	if [ "$allocs" -gt "$budget" ]; then
+		echo "check_bench_budget: FAIL: local path $allocs allocs/op exceeds budget of $budget" >&2
+		exit 1
+	fi
+	echo "check_bench_budget: OK: local path $allocs allocs/op within budget of $budget"
+
+	nogc_allocs=$(parse_allocs 'policy=nogc')
+	[ -n "$nogc_allocs" ] || { echo "check_bench_budget: could not parse nogc allocs/op from benchmark output" >&2; exit 2; }
+	if [ "$nogc_allocs" -gt "$nogc_budget" ]; then
+		echo "check_bench_budget: FAIL: nogc path $nogc_allocs allocs/op exceeds budget of $nogc_budget (plumbing regression — nogc's retained-state allocations are already priced in)" >&2
+		exit 1
+	fi
+	echo "check_bench_budget: OK: nogc path $nogc_allocs allocs/op within budget of $nogc_budget"
+
+	cross_allocs=$(parse_allocs 'cross=5')
+	[ -n "$cross_allocs" ] || { echo "check_bench_budget: could not parse cross allocs/op from benchmark output" >&2; exit 2; }
+	if [ "$cross_allocs" -gt "$cross_budget" ]; then
+		echo "check_bench_budget: FAIL: cross path $cross_allocs allocs/op exceeds budget of $cross_budget" >&2
+		exit 1
+	fi
+	echo "check_bench_budget: OK: cross path $cross_allocs allocs/op within budget of $cross_budget"
+
+	# Emitter overhead: the gate is the median of per-invocation (on - off)
+	# ns/op deltas over five paired runs. Pairing matters: within one `go
+	# test` invocation the two variants run back-to-back, so slow drift on a
+	# shared host (thermal, noisy neighbors) cancels out of the delta, where
+	# comparing a min or median of independent pools flaps by 15%. The
+	# budget is absolute ns (see bench_budget.txt) so speeding up the rest
+	# of the hot path cannot fail this gate.
+	emit_deltas=""
+	emit_allocs=0
+	for _i in 1 2 3 4 5; do
+		emit_out=$(go test -run '^$' -bench 'BenchmarkEngineEmitOverhead' \
+			-benchtime 10000x -benchmem ./internal/engine/)
+		echo "$emit_out" | grep BenchmarkEngine || true
+		off=$(echo "$emit_out" | awk '/emitter=off/ {for (i = 2; i <= NF; i++) if ($i == "ns/op") print $(i-1)}' | head -1)
+		on=$(echo "$emit_out" | awk '/emitter=on/ {for (i = 2; i <= NF; i++) if ($i == "ns/op") print $(i-1)}' | head -1)
+		[ -n "$off" ] && [ -n "$on" ] || { echo "check_bench_budget: could not parse emitter ns/op from benchmark output" >&2; exit 2; }
+		emit_deltas="$emit_deltas $((on - off))"
+		a=$(echo "$emit_out" | awk '/emitter=on/ {for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i-1)}' | head -1)
+		[ -n "$a" ] || { echo "check_bench_budget: could not parse emitter=on allocs/op" >&2; exit 2; }
+		[ "$a" -gt "$emit_allocs" ] && emit_allocs=$a
+	done
+	delta=$(echo "$emit_deltas" | tr ' ' '\n' | grep -v '^$' | sort -n | awk '{v[NR] = $1} END {print v[int((NR + 1) / 2)]}')
+	if [ "$delta" -gt "$emit_budget" ]; then
+		echo "check_bench_budget: FAIL: emitter overhead ${delta} ns/op (median of paired deltas:${emit_deltas}) exceeds budget of ${emit_budget} ns" >&2
+		exit 1
+	fi
+	if [ "$emit_allocs" -gt "$budget" ]; then
+		echo "check_bench_budget: FAIL: emitter=on path $emit_allocs allocs/op exceeds budget of $budget (Emit must not allocate)" >&2
+		exit 1
+	fi
+	echo "check_bench_budget: OK: emitter overhead ${delta} ns/op (median of paired deltas:${emit_deltas}) within budget of ${emit_budget} ns, emitter=on $emit_allocs allocs/op within budget of $budget"
+
+	# Retention governor: peak retained count while the adversarial leak
+	# family runs must stay under max_peak_kept — the bounded-retention SLO as
+	# a build gate, not just a soak assertion.
+	kept_out=$(go test -run '^$' -bench 'BenchmarkEngineRetentionGoverned' \
+		-benchtime 2000x ./internal/engine/)
+	echo "$kept_out"
+
+	peak=$(echo "$kept_out" | awk '/BenchmarkEngineRetentionGoverned/ {for (i = 2; i <= NF; i++) if ($i == "peak-kept") print $(i-1)}' | head -1)
+	[ -n "$peak" ] || { echo "check_bench_budget: could not parse peak-kept from benchmark output" >&2; exit 2; }
+	peak_int=${peak%.*}
+	if [ "$peak_int" -gt "$kept_budget" ]; then
+		echo "check_bench_budget: FAIL: governed peak retention $peak exceeds budget of $kept_budget" >&2
+		exit 1
+	fi
+	echo "check_bench_budget: OK: governed peak retention $peak within budget of $kept_budget"
 fi
-echo "check_bench_budget: OK: local path $allocs allocs/op within budget of $budget"
 
-cross_allocs=$(parse_allocs 'cross=5')
-[ -n "$cross_allocs" ] || { echo "check_bench_budget: could not parse cross allocs/op from benchmark output" >&2; exit 2; }
-if [ "$cross_allocs" -gt "$cross_budget" ]; then
-	echo "check_bench_budget: FAIL: cross path $cross_allocs allocs/op exceeds budget of $cross_budget" >&2
-	exit 1
+if [ "$section" = "all" ] || [ "$section" = "scale" ]; then
+	# Tail latency: the scaling benchmark's client-observed p99 per-step
+	# latency at two cores on the canonical cross mix. min-of-3 because p99
+	# on shared CI runners eats scheduler preemption tails; the budget is
+	# set ~10x measured and catches wake-protocol bugs (lost wakes park the
+	# sender for the full claimSleep ladder — a 100x signal, not 2x).
+	scale_out=$(go test -run '^$' -bench 'BenchmarkEngineParallelScaling/cross=5' \
+		-benchtime 20000x -count=3 -cpu 2 ./internal/engine/)
+	echo "$scale_out"
+
+	p99=$(echo "$scale_out" | awk '/BenchmarkEngineParallelScaling/ {for (i = 2; i <= NF; i++) if ($i == "p99-step-ns") print $(i-1)}' |
+		sort -n | head -1)
+	[ -n "$p99" ] || { echo "check_bench_budget: could not parse p99-step-ns from benchmark output" >&2; exit 2; }
+	p99_int=${p99%.*}
+	if [ "$p99_int" -gt "$p99_budget" ]; then
+		echo "check_bench_budget: FAIL: submission p99 ${p99} ns/step at -cpu 2 exceeds budget of ${p99_budget}" >&2
+		exit 1
+	fi
+	echo "check_bench_budget: OK: submission p99 ${p99} ns/step at -cpu 2 within budget of ${p99_budget}"
 fi
-echo "check_bench_budget: OK: cross path $cross_allocs allocs/op within budget of $cross_budget"
-
-# Emitter overhead: run the on/off pair a few times and compare the best
-# ns/op of each variant (min-of-3 suppresses scheduler noise; the budget is
-# a regression fence, not a microbenchmark paper).
-emit_out=$(go test -run '^$' -bench 'BenchmarkEngineEmitOverhead' \
-	-benchtime 5000x -count=3 -benchmem ./internal/engine/)
-echo "$emit_out"
-
-min_nsop() {
-	echo "$emit_out" | awk -v pat="$1" '$0 ~ pat {for (i = 2; i <= NF; i++) if ($i == "ns/op") print $(i-1)}' |
-		sort -n | head -1
-}
-
-off=$(min_nsop 'emitter=off')
-on=$(min_nsop 'emitter=on')
-[ -n "$off" ] && [ -n "$on" ] || { echo "check_bench_budget: could not parse emitter ns/op from benchmark output" >&2; exit 2; }
-overhead=$(awk -v off="$off" -v on="$on" 'BEGIN {printf "%.1f", (on - off) * 100 / off}')
-if awk -v o="$overhead" -v b="$emit_budget" 'BEGIN {exit !(o > b)}'; then
-	echo "check_bench_budget: FAIL: emitter overhead ${overhead}% (off ${off} ns/op, on ${on} ns/op) exceeds budget of ${emit_budget}%" >&2
-	exit 1
-fi
-emit_allocs=$(echo "$emit_out" | awk '/emitter=on/ {for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i-1)}' | sort -n | tail -1)
-[ -n "$emit_allocs" ] || { echo "check_bench_budget: could not parse emitter=on allocs/op" >&2; exit 2; }
-if [ "$emit_allocs" -gt "$budget" ]; then
-	echo "check_bench_budget: FAIL: emitter=on path $emit_allocs allocs/op exceeds budget of $budget (Emit must not allocate)" >&2
-	exit 1
-fi
-echo "check_bench_budget: OK: emitter overhead ${overhead}% within budget of ${emit_budget}%, emitter=on $emit_allocs allocs/op within budget of $budget"
-
-# Retention governor: peak retained count while the adversarial leak
-# family runs must stay under max_peak_kept — the bounded-retention SLO as
-# a build gate, not just a soak assertion.
-kept_out=$(go test -run '^$' -bench 'BenchmarkEngineRetentionGoverned' \
-	-benchtime 2000x ./internal/engine/)
-echo "$kept_out"
-
-peak=$(echo "$kept_out" | awk '/BenchmarkEngineRetentionGoverned/ {for (i = 2; i <= NF; i++) if ($i == "peak-kept") print $(i-1)}' | head -1)
-[ -n "$peak" ] || { echo "check_bench_budget: could not parse peak-kept from benchmark output" >&2; exit 2; }
-peak_int=${peak%.*}
-if [ "$peak_int" -gt "$kept_budget" ]; then
-	echo "check_bench_budget: FAIL: governed peak retention $peak exceeds budget of $kept_budget" >&2
-	exit 1
-fi
-echo "check_bench_budget: OK: governed peak retention $peak within budget of $kept_budget"
