@@ -64,6 +64,8 @@
 //	txgc-serve -shards 8 -policy greedy-c1 -sweep-every 16 -verify
 //	txgc-serve -overload-watermark 256  # shed begins on saturated shards
 //	txgc-serve -retention-watermark 512 # reap stragglers pinning retained storage
+//	txgc-serve -data-dir /var/lib/txgc  # per-shard WAL + checkpoints; recover on start
+//	txgc-serve -data-dir d -fsync-batch 1  # strict durability: fsync before every ack
 //
 // With -verify the server keeps a full trace and, at shutdown (stdin EOF
 // or SIGINT/SIGTERM), replays the accepted subschedule through the offline
@@ -436,6 +438,8 @@ func main() {
 		verify      = flag.Bool("verify", false, "trace the run and check the accepted subschedule is CSR at shutdown")
 		metricsAddr = flag.String("metrics-addr", "", "HTTP listen address for the Prometheus /metrics endpoint (empty: no metrics)")
 		capturePath = flag.String("capture", "", "append the event stream (and, at shutdown, the step trace) to this file as JSON lines")
+		dataDir     = flag.String("data-dir", "", "directory for per-shard write-ahead logs and checkpoints (empty: in-memory, no durability)")
+		fsyncBatch  = flag.Int("fsync-batch", 0, "fsync the WAL every N records (1 = every record before its ack; 0 = default 64; needs -data-dir)")
 	)
 	flag.Parse()
 
@@ -467,10 +471,16 @@ func main() {
 		Verify:                *verify,
 		Trace:                 captureFile != nil,
 		Sinks:                 sinks,
+		DataDir:               *dataDir,
+		FsyncBatch:            *fsyncBatch,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "txgc-serve:", err)
 		os.Exit(2)
+	}
+	if rep := db.Recovery(); rep != nil {
+		fmt.Fprintf(os.Stderr, "txgc-serve: recovered %d shards: %d records replayed, %d txns retained, %d orphans aborted, %d cross committed, %d cross aborted, %d in doubt\n",
+			rep.Shards, rep.RecordsReplayed, rep.TxnsRetained, rep.OrphansAborted, rep.CrossCommitted, rep.CrossAborted, len(rep.InDoubt))
 	}
 
 	if metrics != nil {

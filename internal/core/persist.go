@@ -1,0 +1,212 @@
+// State export/restore: the durability layer's view of a scheduler.
+//
+// A snapshot is NOT a step log. Deletion (the paper's whole point) splices
+// predecessor×successor arcs through removed nodes, so the retained graph
+// is not reconstructible by replaying the retained transactions' steps —
+// the splice arcs name conflicts whose witnesses are gone. ExportState
+// therefore captures the graph as it stands (nodes, arcs, pins), the
+// per-transaction access bookkeeping Corollary 1 needs (access kinds and
+// sequence numbers), the per-entity current-value map (which may name
+// deleted transactions — exactly the non-compositionality the paper
+// studies), and the cross-shard label sets, all in deterministic order.
+//
+// RestoreScheduler inverts it. The entity indexes (readers/writers) are
+// rebuilt from the access sets: a transaction whose retained access level
+// is WriteAccess re-indexes as a writer only, which is conflict-equivalent
+// — Rules 2 and 3 consult writers for every conflict a read entry could
+// have witnessed, and the arcs those conflicts produced are restored
+// verbatim from the arc list anyway.
+package core
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/emit"
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// AccessSnap is one entity's retained access record of a transaction.
+type AccessSnap struct {
+	Entity model.Entity
+	Access model.Access
+	// Seq is the sequence number of the transaction's latest access to
+	// Entity (Corollary 1's currency input).
+	Seq int64
+}
+
+// TxnSnap is the exported record of one retained transaction (active or
+// completed).
+type TxnSnap struct {
+	ID       model.TxnID
+	Status   model.Status
+	BeginSeq int64
+	EndSeq   int64
+	IsCross  bool
+	Prepared bool
+	Pinned   bool
+	Access   []AccessSnap
+	// Labels is the node's cross-ancestor label set (live at export time).
+	Labels []model.TxnID
+}
+
+// EntityWrite is one entry of the schedule-level current-value map.
+// Writer may name a transaction that has since been deleted.
+type EntityWrite struct {
+	Entity model.Entity
+	Seq    int64
+	Writer model.TxnID
+}
+
+// SchedulerState is everything a scheduler needs to resume exactly where
+// it stopped: the retained transactions, the (reduced) conflict graph's
+// arcs, the current-value map, and the step counter.
+type SchedulerState struct {
+	Seq    int64
+	Txns   []TxnSnap
+	Arcs   []graph.Arc
+	Writes []EntityWrite
+}
+
+// ExportState captures the scheduler's full retained state in
+// deterministic order (transactions by BeginSeq, accesses and writes by
+// entity, arcs by the graph's canonical order).
+func (s *Scheduler) ExportState() SchedulerState {
+	st := SchedulerState{
+		Seq:  s.seq,
+		Txns: make([]TxnSnap, 0, len(s.txns)),
+		Arcs: s.g.Arcs(),
+	}
+	for id, t := range s.txns {
+		snap := TxnSnap{
+			ID:       id,
+			Status:   t.Status,
+			BeginSeq: t.BeginSeq,
+			EndSeq:   t.EndSeq,
+			IsCross:  t.isCross,
+			Prepared: t.prepared,
+			Pinned:   s.g.PinnedRef(t.ref),
+			Access:   make([]AccessSnap, 0, len(t.Access)),
+		}
+		for x, a := range t.Access {
+			snap.Access = append(snap.Access, AccessSnap{Entity: x, Access: a, Seq: t.accessSeq[x]})
+		}
+		slices.SortFunc(snap.Access, func(a, b AccessSnap) int { return int(a.Entity - b.Entity) })
+		if ls := s.labelsOf(t.ref); len(ls) > 0 {
+			snap.Labels = slices.Clone(ls)
+			slices.Sort(snap.Labels)
+		}
+		st.Txns = append(st.Txns, snap)
+	}
+	slices.SortFunc(st.Txns, func(a, b TxnSnap) int {
+		switch {
+		case a.BeginSeq < b.BeginSeq:
+			return -1
+		case a.BeginSeq > b.BeginSeq:
+			return 1
+		default:
+			return 0
+		}
+	})
+	st.Writes = make([]EntityWrite, 0, len(s.lastWriteSeq))
+	for x, seq := range s.lastWriteSeq {
+		st.Writes = append(st.Writes, EntityWrite{Entity: x, Seq: seq, Writer: s.lastWriter[x]})
+	}
+	slices.SortFunc(st.Writes, func(a, b EntityWrite) int { return int(a.Entity - b.Entity) })
+	return st
+}
+
+// RestoreScheduler builds a scheduler from an exported state. The restored
+// scheduler continues the original's sequence numbering, so noncurrency
+// comparisons and incarnation stamps stay order-isomorphic with the
+// pre-crash run.
+func RestoreScheduler(cfg Config, st SchedulerState) (*Scheduler, error) {
+	s := NewScheduler(cfg)
+	s.seq = st.Seq
+	for i := range st.Txns {
+		snap := &st.Txns[i]
+		if _, dup := s.txns[snap.ID]; dup {
+			return nil, fmt.Errorf("core: restore: duplicate transaction T%d", snap.ID)
+		}
+		if snap.Status != model.StatusActive && snap.Status != model.StatusCompleted {
+			return nil, fmt.Errorf("core: restore: transaction T%d has non-retainable status %v", snap.ID, snap.Status)
+		}
+		if snap.BeginSeq > st.Seq || snap.EndSeq > st.Seq {
+			return nil, fmt.Errorf("core: restore: transaction T%d sequence numbers exceed scheduler seq %d", snap.ID, st.Seq)
+		}
+		ref := s.g.AddNodeRef(snap.ID)
+		t := &TxnState{
+			ID:        snap.ID,
+			Status:    snap.Status,
+			Access:    make(model.AccessSet, len(snap.Access)),
+			accessSeq: make(map[model.Entity]int64, len(snap.Access)),
+			BeginSeq:  snap.BeginSeq,
+			EndSeq:    snap.EndSeq,
+			ref:       ref,
+			isCross:   snap.IsCross,
+			prepared:  snap.Prepared,
+		}
+		for _, a := range snap.Access {
+			t.Access[a.Entity] = a.Access
+			t.accessSeq[a.Entity] = a.Seq
+			if a.Access == model.WriteAccess {
+				s.writers[a.Entity] = append(s.writers[a.Entity], ref)
+			} else {
+				s.readers[a.Entity] = append(s.readers[a.Entity], ref)
+			}
+		}
+		s.txns[snap.ID] = t
+		switch snap.Status {
+		case model.StatusActive:
+			s.numActive++
+		case model.StatusCompleted:
+			s.numCompleted++
+		}
+		if snap.Prepared && snap.Status != model.StatusActive {
+			return nil, fmt.Errorf("core: restore: prepared transaction T%d is not active", snap.ID)
+		}
+		if snap.Pinned {
+			s.g.PinRef(ref)
+		}
+		if snap.IsCross {
+			s.ensureCrossCap(ref)
+			s.crossID[ref] = snap.ID
+			s.numCross++
+		}
+		for _, l := range snap.Labels {
+			if !s.hasLabel(ref, l) {
+				s.addLabel(ref, l)
+			}
+		}
+	}
+	for _, a := range st.Arcs {
+		if s.g.Ref(a.From) == graph.NoRef || s.g.Ref(a.To) == graph.NoRef {
+			return nil, fmt.Errorf("core: restore: arc T%d→T%d names a missing node", a.From, a.To)
+		}
+		s.g.AddArc(a.From, a.To)
+	}
+	if !s.g.Acyclic() {
+		return nil, fmt.Errorf("core: restore: restored conflict graph is cyclic")
+	}
+	for _, w := range st.Writes {
+		if w.Seq > st.Seq {
+			return nil, fmt.Errorf("core: restore: write seq %d for entity %d exceeds scheduler seq %d", w.Seq, w.Entity, st.Seq)
+		}
+		s.lastWriteSeq[w.Entity] = w.Seq
+		s.lastWriter[w.Entity] = w.Writer
+	}
+	return s, nil
+}
+
+// SetTracker swaps the cross-arc tracker. Recovery replays the WAL tail
+// under a permissive tracker (the real registry does not yet know the
+// recovered cross transactions) and installs the rebuilt registry here
+// before the shard goes live.
+func (s *Scheduler) SetTracker(t CrossTracker) { s.cfg.Cross = t }
+
+// SetEmitter swaps the lifecycle-event emitter. Recovery replays with a
+// nil emitter — replayed steps already happened, so re-emitting them would
+// double-count every metric — and installs the live emitter here before
+// the shard goes live.
+func (s *Scheduler) SetEmitter(em emit.Emitter) { s.cfg.Emitter = em }

@@ -24,6 +24,15 @@ type GaugeSnapshot struct {
 	// RetentionWatermark is the retention governor's configured watermark
 	// over the engine-wide retained count (0: governor disabled).
 	RetentionWatermark int64
+	// WALAppendedBytes is the per-shard count of WAL frame bytes appended
+	// since the store was opened (nil: no durability layer configured).
+	WALAppendedBytes []int64
+	// WALFsyncs is the per-shard count of log syncs that reached the
+	// backing medium since the store was opened.
+	WALFsyncs []int64
+	// CheckpointSeq is the per-shard LSN covered by the latest checkpoint
+	// (0 before the first); it survives restarts.
+	CheckpointSeq []int64
 }
 
 // GaugeSource supplies gauges at scrape time.
@@ -235,6 +244,17 @@ func (m *MetricsSink) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeGauge("txgc_prepared", "Per-shard prepared-but-undecided 2PC sub-transactions (pinned).", gs.Prepared)
 		fmt.Fprint(w, "# HELP txgc_retention_watermark Retention governor watermark over the engine-wide retained count (0: disabled).\n# TYPE txgc_retention_watermark gauge\n")
 		fmt.Fprintf(w, "txgc_retention_watermark %d\n", gs.RetentionWatermark)
+		if gs.WALAppendedBytes != nil {
+			writeCounter := func(name, help string, vals []int64) {
+				fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+				for i, v := range vals {
+					fmt.Fprintf(w, "%s{shard=\"%d\"} %d\n", name, i, v)
+				}
+			}
+			writeCounter("txgc_wal_appended_bytes_total", "Per-shard WAL frame bytes appended since the store opened.", gs.WALAppendedBytes)
+			writeCounter("txgc_wal_fsyncs_total", "Per-shard WAL syncs that reached the backing medium since the store opened.", gs.WALFsyncs)
+			writeGauge("txgc_checkpoint_seq", "Per-shard LSN covered by the latest checkpoint (0 before the first).", gs.CheckpointSeq)
+		}
 	}
 
 	fmt.Fprint(w, "# HELP txgc_reaped_total Stragglers aborted by the retention governor.\n# TYPE txgc_reaped_total counter\n")

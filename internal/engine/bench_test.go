@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/emit"
 	"repro/internal/model"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -245,6 +246,71 @@ func BenchmarkEngineCrossFrac(b *testing.B) {
 			if s.BarrierKills != 0 {
 				b.Fatalf("BarrierKills = %d, want 0 under 2PC", s.BarrierKills)
 			}
+		})
+	}
+}
+
+// BenchmarkEngineWALOverhead measures what crash durability costs the hot
+// path: the same partition-local workload as BenchmarkEngineThroughput
+// (4 shards, greedy-c1, whole transactions through SubmitBatchInto) run
+// once without a store and once journaling every accepted step to a
+// per-shard file WAL, sweeping the fsync batch (1 = strict, every record
+// durable before its ack; 64 = default; 256 = throughput-oriented).
+// scripts/check_bench_budget.sh gates the ns/op delta of the default
+// wal=on-fsync=64 variant against wal=off (median of paired runs, same
+// methodology as the emitter gate) at max_wal_overhead_ns. Regenerate the
+// BENCH_engine.json record with:
+//
+//	go test -run '^$' -bench BenchmarkEngineWALOverhead -benchtime 10000x -benchmem ./internal/engine/
+func BenchmarkEngineWALOverhead(b *testing.B) {
+	const entities = 1 << 12
+	const shards = 4
+	run := func(b *testing.B, st store.Store, syncEvery int) {
+		eng, _, err := Open(Config{
+			Shards:       shards,
+			Policy:       func() core.Policy { return core.GreedyC1{} },
+			Store:        st,
+			WALSyncEvery: syncEvery,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer eng.Close()
+		var nextID atomic.Int64
+		perPart := entities / shards
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			rng := rand.New(rand.NewSource(nextID.Add(1)))
+			fp := make([]model.Entity, 4)
+			steps := make([]model.Step, 0, 5)
+			results := make([]Result, 0, 5)
+			for pb.Next() {
+				id := model.TxnID(nextID.Add(1))
+				p := rng.Intn(shards)
+				for i := range fp {
+					fp[i] = model.Entity(p + shards*rng.Intn(perPart))
+				}
+				steps = append(steps[:0], model.BeginDeclared(id, fp...))
+				for _, x := range fp[:3] {
+					steps = append(steps, model.Read(id, x))
+				}
+				steps = append(steps, model.WriteFinal(id, fp[3]))
+				results = eng.SubmitBatchInto(results[:0], steps)
+			}
+		})
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)*5/b.Elapsed().Seconds(), "steps/s")
+	}
+	b.Run("wal=off", func(b *testing.B) { run(b, nil, 0) })
+	for _, batch := range []int{1, 64, 256} {
+		b.Run(fmt.Sprintf("wal=on-fsync=%d", batch), func(b *testing.B) {
+			st, err := store.OpenFile(b.TempDir(), shards, store.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			run(b, st, batch)
 		})
 	}
 }

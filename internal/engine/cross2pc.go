@@ -159,6 +159,19 @@ func (r *crossRegistry) removeLocked(id model.TxnID) {
 	r.size.Store(int64(len(r.txns)))
 }
 
+// markDirty records id as a dead cross incarnation whose labels may still
+// sit, unpruned, in shard graphs. Recovery calls it for every cross ID it
+// restored but did not re-register (committed, aborted, or presumed-abort
+// resolved), so a future re-registration of the ID purges the stale labels
+// exactly as it would for an ID retired live.
+func (r *crossRegistry) markDirty(id model.TxnID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.txns[id]; !ok {
+		r.dirty[id] = struct{}{}
+	}
+}
+
 // drop retires an aborted cross transaction immediately: its sub-nodes are
 // removed from every shard graph, so it can never be on a future cycle.
 // Labels it sourced die with it (pruned lazily by the shards). Dropping
@@ -581,9 +594,20 @@ func (e *Engine) commitCross(ctx context.Context, ct *crossTxn, final model.Step
 	}
 	// Unanimous YES: commit everywhere. The write arcs are already in every
 	// participant's graph (placed at prepare), so the decision only flips
-	// sub-transactions to completed and releases pins.
-	for _, p := range ct.parts {
-		if _, ok := e.shards[p].do(request{kind: reqCommitSub, step: model.Step{Txn: ct.id}}); !ok {
+	// sub-transactions to completed and releases pins. The first
+	// participant's durable RecCommit is the commit point; if it cannot be
+	// journaled, no evidence of the decision exists anywhere and the
+	// transaction resolves as the abort recovery would presume.
+	for i, p := range ct.parts {
+		rep, ok := e.shards[p].do(request{kind: reqCommitSub, step: model.Step{Txn: ct.id}, decisionDurable: i > 0})
+		if ok && i == 0 && rep.res.Outcome != OutcomeAccepted && rep.res.Aborted == ct.id {
+			// The commit point failed (journal dead on the first
+			// participant, which already released its own sub): abort the
+			// siblings and report the transaction aborted.
+			e.finishCrossAbort(ct, p)
+			return Result{Step: final, Outcome: OutcomeError, Aborted: ct.id, CompletedTxn: model.NoTxn, Err: rep.res.Err}
+		}
+		if !ok {
 			// The engine is closing; surviving shards keep their prepared
 			// state only until their goroutines exit.
 			ct.done = true

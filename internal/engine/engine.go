@@ -11,6 +11,7 @@ import (
 	"repro/internal/emit"
 	"repro/internal/model"
 	"repro/internal/ring"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -64,6 +65,33 @@ type Config struct {
 	// owns its lifecycle (close it after Engine.Close so the tail of the
 	// stream is drained).
 	Bus *emit.Bus
+	// Store, if non-nil, is the durability layer: each shard journals the
+	// accepted subschedule it applies — begins, reads, final writes, 2PC
+	// begin/prepare/commit, and every abort — to its own write-ahead log,
+	// and checkpoints its retained state at sweep boundaries (what the
+	// deletion policy proved safe to forget is exactly what is safe to
+	// truncate from the log). Open recovers from it before any shard goes
+	// live. Store.NumShards must equal Shards.
+	Store store.Store
+	// WALSyncEvery batches fsyncs on the journaling hot path: a shard
+	// forces its log once this many records accumulated since the last
+	// sync (default 64; acknowledged-but-unsynced records can be lost to a
+	// crash). 1 is strict mode: every record is durable before its reply.
+	// PREPARE votes and COMMIT decisions are always synced immediately
+	// regardless — 2PC safety never rides the batch. Ignored without a
+	// Store.
+	WALSyncEvery int
+	// CheckpointEverySweeps is the checkpoint cadence, measured in
+	// deletion-policy sweeps (default 1: every sweep advances the
+	// checkpoint and truncates the WAL). Higher trades recovery replay
+	// length for fewer snapshot writes. Ignored without a Store.
+	CheckpointEverySweeps int
+	// HoldInDoubt keeps a fully-prepared cross-partition transaction found
+	// at recovery pinned, registered, and awaiting an explicit
+	// ResolveInDoubt decision, instead of presuming abort. Off by default:
+	// with the engine itself acting as coordinator, a crash loses the
+	// coordinator, and presumed abort is the standard resolution.
+	HoldInDoubt bool
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +109,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetentionWatermark > 0 && c.GovernorInterval <= 0 {
 		c.GovernorInterval = 2 * time.Millisecond
+	}
+	if c.WALSyncEvery <= 0 {
+		c.WALSyncEvery = 64
+	}
+	if c.CheckpointEverySweeps <= 0 {
+		c.CheckpointEverySweeps = 1
 	}
 	return c
 }
@@ -255,33 +289,49 @@ type Engine struct {
 	resBufPool sync.Pool
 }
 
-// New starts an engine with cfg's shard goroutines running.
+// New starts an engine with cfg's shard goroutines running. It is Open
+// without the recovery report, and panics if recovery fails — which is only
+// possible with a Config.Store whose medium is corrupt; use Open to handle
+// that case.
 func New(cfg Config) *Engine {
+	e, _, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Open starts an engine. With a Config.Store it first recovers: every
+// shard's scheduler is rebuilt from its checkpoint plus WAL tail, orphaned
+// transactions are resolved (see recovery.go), and only then do the shard
+// goroutines and the governor start. The report describes what was
+// recovered (empty-but-non-nil without a Store).
+func Open(cfg Config) (*Engine, *RecoveryReport, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Store != nil && cfg.Store.NumShards() != cfg.Shards {
+		return nil, nil, fmt.Errorf("engine: store has %d shards, config wants %d", cfg.Store.NumShards(), cfg.Shards)
+	}
 	e := &Engine{cfg: cfg, registry: newCrossRegistry(cfg.Shards)}
 	e.routes.init()
 	e.resBufPool.New = func() any { b := make([]Result, 0, 64); return &b }
 	e.shards = make([]*shard, cfg.Shards)
 	for i := range e.shards {
-		var pol core.Policy
-		if cfg.Policy != nil {
-			pol = cfg.Policy()
-		}
-		var tracker core.CrossTracker
-		if cfg.Shards > 1 {
-			// A single shard can never see a cross transaction; leaving
-			// the tracker nil keeps its scheduler entirely label-free.
-			tracker = e.registry
-		}
 		sh := &shard{
-			idx: i,
-			eng: e,
-			sched: core.NewScheduler(core.Config{Policy: pol, SweepManual: true, Cross: tracker,
-				Emitter: emit.ForShard(cfg.Bus, i)}),
+			idx:  i,
+			eng:  e,
 			mb:   ring.NewMailbox[request, reply](cfg.QueueDepth),
 			done: make(chan struct{}),
 		}
+		if cfg.Store != nil {
+			sh.st = cfg.Store.Shard(i)
+		}
 		e.shards[i] = sh
+	}
+	rep, err := e.recover()
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, sh := range e.shards {
 		go sh.run()
 	}
 	if cfg.RetentionWatermark > 0 && cfg.Policy != nil {
@@ -289,7 +339,28 @@ func New(cfg Config) *Engine {
 		e.govDone = make(chan struct{})
 		go e.governorLoop()
 	}
-	return e
+	return e, rep, nil
+}
+
+// schedConfig is the scheduler configuration of shard i with the given
+// cross tracker and emitter (recovery replays with both nil, then swaps in
+// the live ones).
+func (e *Engine) schedConfig(i int, tracker core.CrossTracker, em emit.Emitter) core.Config {
+	var pol core.Policy
+	if e.cfg.Policy != nil {
+		pol = e.cfg.Policy()
+	}
+	return core.Config{Policy: pol, SweepManual: true, Cross: tracker, Emitter: em}
+}
+
+// liveTracker is the cross tracker a live shard scheduler consults. A
+// single shard can never see a cross transaction; leaving the tracker nil
+// keeps its scheduler entirely label-free.
+func (e *Engine) liveTracker() core.CrossTracker {
+	if e.cfg.Shards > 1 {
+		return e.registry
+	}
+	return nil
 }
 
 // NumShards returns the number of shards.
@@ -737,12 +808,25 @@ func (e *Engine) PreparedCounts() []int64 {
 // Gauges snapshots the per-shard gauges in the shape the metrics endpoint
 // polls at scrape time (emit.GaugeSource).
 func (e *Engine) Gauges() emit.GaugeSnapshot {
-	return emit.GaugeSnapshot{
+	gs := emit.GaugeSnapshot{
 		QueueDepth:         e.QueueDepths(),
 		Retained:           e.RetainedCounts(),
 		Prepared:           e.PreparedCounts(),
 		RetentionWatermark: int64(e.cfg.RetentionWatermark),
 	}
+	if e.cfg.Store != nil {
+		n := len(e.shards)
+		gs.WALAppendedBytes = make([]int64, n)
+		gs.WALFsyncs = make([]int64, n)
+		gs.CheckpointSeq = make([]int64, n)
+		for i := 0; i < n; i++ {
+			st := e.cfg.Store.Shard(i).Stats()
+			gs.WALAppendedBytes[i] = st.AppendedBytes
+			gs.WALFsyncs[i] = st.Fsyncs
+			gs.CheckpointSeq[i] = int64(st.CheckpointSeq)
+		}
+	}
+	return gs
 }
 
 // Close stops the shard goroutines. Submits still in flight when Close is

@@ -1,0 +1,430 @@
+// Crash recovery: rebuilding an engine from the durability layer.
+//
+// Each shard's scheduler is reconstructed in two layers — the latest
+// checkpoint (a state export, carrying the splice arcs deletion left
+// behind) and the WAL tail replayed on top of it. Replay runs under a
+// permissive cross tracker and a nil emitter: only accepted records were
+// journaled, so every veto already did its work before the crash, and
+// re-emitting replayed steps would double-count every metric. The live
+// registry and emitter are installed once replay ends.
+//
+// After replay the engine resolves what the crash interrupted:
+//
+//   - Local active transactions are orphans — their client sessions died
+//     with the process — and are aborted.
+//   - A cross-partition transaction with durable COMMIT evidence (a
+//     RecCommit in some shard's tail, or a completed sub-transaction in
+//     some checkpoint) finishes committing on every lagging participant:
+//     the coordinator decided, so the decision stands.
+//   - A cross transaction prepared on EVERY participant but with no commit
+//     evidence is in doubt. By default it is presumed aborted (the engine
+//     itself was the coordinator and died undecided); with
+//     Config.HoldInDoubt it stays pinned and registered, awaiting
+//     ResolveInDoubt.
+//   - Anything else — a cross transaction missing a durable YES vote
+//     somewhere — aborts everywhere.
+//
+// Every resolution is journaled and synced before Open returns, so a crash
+// during (or right after) recovery re-resolves to the same state.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/emit"
+	"repro/internal/model"
+	"repro/internal/store"
+)
+
+// RecoveryReport summarizes what Open recovered from Config.Store.
+type RecoveryReport struct {
+	// Shards is the number of shards opened.
+	Shards int
+	// CheckpointSeqs is the LSN each shard's checkpoint covered at
+	// recovery, indexed by shard (0: no checkpoint yet; nil without a
+	// Store).
+	CheckpointSeqs []uint64
+	// RecordsReplayed counts WAL tail records re-applied on top of the
+	// checkpoints, summed over shards.
+	RecordsReplayed int
+	// TxnsRetained counts transactions retained after resolution, summed
+	// over shards (a cross transaction counts once per participant).
+	TxnsRetained int
+	// OrphansAborted counts local active transactions aborted because
+	// their client sessions did not survive the crash.
+	OrphansAborted int
+	// CrossCommitted counts cross transactions whose durable COMMIT
+	// decision was completed on lagging participants.
+	CrossCommitted int
+	// CrossAborted counts cross transactions aborted during recovery
+	// (undecided, partially prepared, or presumed abort).
+	CrossAborted int
+	// InDoubt lists the fully-prepared cross transactions held pinned for
+	// ResolveInDoubt (only with Config.HoldInDoubt).
+	InDoubt []model.TxnID
+}
+
+// recoveryTracker is the cross tracker WAL replay runs under: every reach
+// is admitted and every label stays live. Only accepted records were
+// journaled — the vetoes already happened — so replay must never re-veto.
+type recoveryTracker struct{}
+
+func (recoveryTracker) OnCrossReach(src, dst model.TxnID) bool { return true }
+func (recoveryTracker) LabelLive(src model.TxnID) bool         { return true }
+
+// subState is one shard's view of a recovered cross transaction.
+type subState struct {
+	shard    int
+	active   bool
+	prepared bool
+}
+
+// recover builds every shard's scheduler — fresh without a Store,
+// checkpoint+tail otherwise — and resolves interrupted transactions. It
+// runs before the shard goroutines start, so scheduler access is
+// single-threaded.
+func (e *Engine) recover() (*RecoveryReport, error) {
+	rep := &RecoveryReport{Shards: len(e.shards)}
+	if e.cfg.Store == nil {
+		for i, sh := range e.shards {
+			sh.sched = core.NewScheduler(e.schedConfig(i, e.liveTracker(), emit.ForShard(e.cfg.Bus, i)))
+		}
+		return rep, nil
+	}
+	rep.CheckpointSeqs = make([]uint64, len(e.shards))
+	// commitEvidence marks cross transactions with a durable COMMIT
+	// decision visible from some shard's tail.
+	commitEvidence := make(map[model.TxnID]bool)
+	for i, sh := range e.shards {
+		state, err := sh.st.Load()
+		if err != nil {
+			return nil, fmt.Errorf("engine: recover shard %d: %w", i, err)
+		}
+		rep.CheckpointSeqs[i] = state.CoveredLSN
+		replayCfg := e.schedConfig(i, recoveryTracker{}, nil)
+		if state.Snapshot != nil {
+			snap, err := store.DecodeSnapshot(state.Snapshot)
+			if err != nil {
+				return nil, fmt.Errorf("engine: recover shard %d: checkpoint: %w", i, err)
+			}
+			sh.sched, err = core.RestoreScheduler(replayCfg, snap)
+			if err != nil {
+				return nil, fmt.Errorf("engine: recover shard %d: checkpoint: %v: %w", i, err, store.ErrCorruptWAL)
+			}
+		} else {
+			sh.sched = core.NewScheduler(replayCfg)
+		}
+		for _, r := range state.Tail {
+			if err := replayRecord(sh.sched, r); err != nil {
+				return nil, fmt.Errorf("engine: recover shard %d: replay LSN %d (%v): %w", i, r.LSN, err, store.ErrCorruptWAL)
+			}
+			if r.Kind == store.RecCommit {
+				commitEvidence[r.Txn] = true
+			}
+			rep.RecordsReplayed++
+		}
+	}
+
+	// Classify what survived. A completed cross sub-transaction is commit
+	// evidence too: CommitPrepared only ever runs after the decision.
+	cross := make(map[model.TxnID][]subState)
+	var crossOrder []model.TxnID // deterministic resolution order
+	orphans := make([][]model.TxnID, len(e.shards))
+	staleLabels := make(map[model.TxnID]bool)
+	reachPairs := make([][2]model.TxnID, 0)
+	for i, sh := range e.shards {
+		st := sh.sched.ExportState()
+		for _, t := range st.Txns {
+			for _, l := range t.Labels {
+				staleLabels[l] = true
+				if t.IsCross && l != t.ID {
+					// A label l on a cross sub-node of t.ID witnesses a
+					// shard-local path l→…→t.ID: re-derive the registry
+					// reach-arc if both ends end up registered (in doubt).
+					reachPairs = append(reachPairs, [2]model.TxnID{l, t.ID})
+				}
+			}
+			if t.IsCross {
+				if _, seen := cross[t.ID]; !seen {
+					crossOrder = append(crossOrder, t.ID)
+				}
+				cross[t.ID] = append(cross[t.ID], subState{
+					shard:    i,
+					active:   t.Status == model.StatusActive,
+					prepared: t.Prepared,
+				})
+				if t.Status == model.StatusCompleted {
+					commitEvidence[t.ID] = true
+				}
+			} else if t.Status == model.StatusActive {
+				orphans[i] = append(orphans[i], t.ID)
+			}
+		}
+	}
+
+	// Orphaned local actives: their sessions are gone; abort.
+	for i, ids := range orphans {
+		sh := e.shards[i]
+		for _, id := range ids {
+			if sh.sched.AbortTxn(id) == nil {
+				sh.journal(store.RecAbort, id, 0, nil)
+				rep.OrphansAborted++
+			}
+		}
+	}
+
+	// Cross transactions: finish commits, hold or presume-abort the
+	// prepared, abort the rest.
+	inDoubtSet := make(map[model.TxnID]bool)
+	for _, id := range crossOrder {
+		subs := cross[id]
+		allPrepared := true
+		anyActive := false
+		for _, s := range subs {
+			if s.active {
+				anyActive = true
+				if !s.prepared {
+					allPrepared = false
+				}
+			}
+		}
+		switch {
+		case commitEvidence[id]:
+			for _, s := range subs {
+				if !s.active {
+					continue
+				}
+				sh := e.shards[s.shard]
+				if s.prepared {
+					if err := sh.journalSynced(store.RecCommit, id, nil); err != nil {
+						return nil, fmt.Errorf("engine: recover shard %d: journal commit T%d: %w", s.shard, id, err)
+					}
+					if _, err := sh.sched.CommitPrepared(id); err != nil {
+						return nil, fmt.Errorf("engine: recover shard %d: commit T%d: %v: %w", s.shard, id, err, store.ErrCorruptWAL)
+					}
+				} else if sh.sched.AbortTxn(id) == nil {
+					// A committed transaction with an unprepared sub cannot
+					// happen under the protocol (votes are synced before the
+					// decision); shed the stray sub defensively.
+					sh.journal(store.RecAbort, id, 0, nil)
+				}
+			}
+			rep.CrossCommitted++
+		case anyActive && allPrepared && e.cfg.HoldInDoubt:
+			parts := make([]int, 0, len(subs))
+			for _, s := range subs {
+				parts = append(parts, s.shard)
+				e.shards[s.shard].preparedN.Add(1)
+			}
+			e.registry.register(id, parts)
+			e.routes.storeNew(id, route{kind: routeCross, ct: &crossTxn{id: id, parts: parts}})
+			inDoubtSet[id] = true
+			rep.InDoubt = append(rep.InDoubt, id)
+		default:
+			// Undecided (presumed abort), partially prepared, or no active
+			// sub left at all. Aborting an already-gone sub is a no-op.
+			aborted := false
+			for _, s := range subs {
+				sh := e.shards[s.shard]
+				if sh.sched.AbortTxn(id) == nil {
+					sh.journal(store.RecAbort, id, 0, nil)
+					aborted = true
+				}
+			}
+			if aborted {
+				rep.CrossAborted++
+			}
+		}
+	}
+
+	// Registry arcs among the held in-doubt transactions, re-derived from
+	// the restored label sets.
+	for _, p := range reachPairs {
+		if inDoubtSet[p[0]] && inDoubtSet[p[1]] {
+			e.registry.OnCrossReach(p[0], p[1])
+		}
+	}
+	// Every other recovered cross ID is a dead incarnation whose labels
+	// may linger in shard graphs: mark it so re-registration purges them.
+	for id := range cross {
+		if !inDoubtSet[id] {
+			e.registry.markDirty(id)
+		}
+	}
+	for id := range staleLabels {
+		if !inDoubtSet[id] {
+			e.registry.markDirty(id)
+		}
+	}
+
+	// Make the resolutions durable, count what is retained, seed the trace
+	// referee, and swap in the live tracker and emitter.
+	for i, sh := range e.shards {
+		sh.walSync()
+		if sh.walErr != nil {
+			return nil, fmt.Errorf("engine: recover shard %d: sync resolutions: %w", i, sh.walErr)
+		}
+		rep.TxnsRetained += len(sh.sched.ExportState().Txns)
+	}
+	if e.cfg.Log != nil {
+		e.seedTraceLog()
+	}
+	for i, sh := range e.shards {
+		sh.sched.SetTracker(e.liveTracker())
+		sh.sched.SetEmitter(emit.ForShard(e.cfg.Bus, i))
+		sh.retainedN.Store(int64(sh.sched.NumCompleted()))
+	}
+	return rep, nil
+}
+
+// replayRecord re-applies one journal record. Accepted records must
+// re-accept — the WAL and checkpoint describe one deterministic history,
+// so any divergence means the medium lied.
+func replayRecord(sched *core.Scheduler, r store.Record) error {
+	switch r.Kind {
+	case store.RecBegin:
+		res, err := sched.Apply(model.Step{Kind: model.KindBegin, Txn: r.Txn, Entities: r.Entities})
+		if err != nil || !res.Accepted {
+			return replayDiverged(r, res, err)
+		}
+	case store.RecRead:
+		res, err := sched.Apply(model.Step{Kind: model.KindRead, Txn: r.Txn, Entity: r.Entity})
+		if err != nil || !res.Accepted {
+			return replayDiverged(r, res, err)
+		}
+	case store.RecWrite:
+		res, err := sched.Apply(model.Step{Kind: model.KindWriteFinal, Txn: r.Txn, Entities: r.Entities})
+		if err != nil || !res.Accepted {
+			return replayDiverged(r, res, err)
+		}
+	case store.RecBeginSub:
+		if _, err := sched.BeginCross(model.Step{Kind: model.KindBegin, Txn: r.Txn, Entities: r.Entities}); err != nil {
+			return fmt.Errorf("%v replay: %v", r.Kind, err)
+		}
+	case store.RecPrepare:
+		vote, err := sched.PrepareFinal(model.Step{Kind: model.KindWriteFinal, Txn: r.Txn, Entities: r.Entities})
+		if err != nil || vote != core.VoteYes {
+			return fmt.Errorf("%v replay: vote=%v err=%v", r.Kind, vote, err)
+		}
+	case store.RecCommit:
+		if _, err := sched.CommitPrepared(r.Txn); err != nil {
+			// A recovery resolution journaled by an earlier crash-during-
+			// recovery may duplicate a commit the replay already applied.
+			if t := sched.Txn(r.Txn); t == nil || t.Status != model.StatusCompleted {
+				return fmt.Errorf("%v replay: %v", r.Kind, err)
+			}
+		}
+	case store.RecAbort:
+		// Presumed abort: duplicates and unknown victims are fine.
+		sched.AbortTxn(r.Txn)
+	default:
+		return fmt.Errorf("unknown record kind %d", r.Kind)
+	}
+	return nil
+}
+
+func replayDiverged(r store.Record, res core.Result, err error) error {
+	if err != nil {
+		return fmt.Errorf("%v replay: %v", r.Kind, err)
+	}
+	return fmt.Errorf("%v replay: journaled-accepted step re-applied as rejected (aborted T%d)", r.Kind, res.Aborted)
+}
+
+// seedTraceLog reconstructs the accepted subschedule of the recovered
+// history into Config.Log, so the CSR referee covers pre-crash steps plus
+// everything the restarted engine accepts. The events are synthesized from
+// final state: one BEGIN per logical transaction, each retained read at
+// its access sequence number, each write set as one final write — ordered
+// per shard by scheduler sequence, which preserves every conflict order
+// (conflicts never span shards). Aborted and deleted transactions are
+// simply absent, exactly as the accepted subschedule excludes them.
+func (e *Engine) seedTraceLog() {
+	type ev struct {
+		seq  int64
+		step model.Step
+	}
+	begun := make(map[model.TxnID]bool)
+	for _, sh := range e.shards {
+		st := sh.sched.ExportState()
+		events := make([]ev, 0, len(st.Txns)*2)
+		for _, t := range st.Txns {
+			if !begun[t.ID] {
+				begun[t.ID] = true
+				e.cfg.Log.Append(model.Step{Kind: model.KindBegin, Txn: t.ID}, true)
+			}
+			var writes []model.Entity
+			var writeSeq int64
+			for _, a := range t.Access {
+				if a.Access == model.WriteAccess {
+					writes = append(writes, a.Entity)
+					if a.Seq > writeSeq {
+						writeSeq = a.Seq
+					}
+				} else {
+					events = append(events, ev{seq: a.Seq, step: model.Step{Kind: model.KindRead, Txn: t.ID, Entity: a.Entity}})
+				}
+			}
+			if len(writes) > 0 {
+				events = append(events, ev{seq: writeSeq, step: model.Step{Kind: model.KindWriteFinal, Txn: t.ID, Entities: writes}})
+			}
+		}
+		// Insertion sort by seq: recovery-time, lists are small, and export
+		// order (BeginSeq) is already nearly sorted.
+		for i := 1; i < len(events); i++ {
+			for j := i; j > 0 && events[j].seq < events[j-1].seq; j-- {
+				events[j], events[j-1] = events[j-1], events[j]
+			}
+		}
+		for _, v := range events {
+			e.cfg.Log.Append(v.step, true)
+		}
+	}
+}
+
+// ResolveInDoubt decides a cross transaction Open held in doubt
+// (Config.HoldInDoubt): commit completes it on every participant, abort
+// releases it everywhere. It reports false if id is not an unresolved
+// in-doubt transaction. The decision is journaled and synced on every
+// participant before it applies, like any 2PC decision.
+func (e *Engine) ResolveInDoubt(id model.TxnID, commit bool) bool {
+	r, ok := e.routes.load(id)
+	if !ok || r.kind != routeCross {
+		return false
+	}
+	ct := r.ct
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	if ct.done {
+		return false
+	}
+	if !commit {
+		e.finishCrossAbort(ct, -1)
+		return true
+	}
+	for i, p := range ct.parts {
+		rep, ok := e.shards[p].do(request{kind: reqCommitSub, step: model.Step{Txn: id}, decisionDurable: i > 0})
+		if ok && i == 0 && rep.res.Outcome != OutcomeAccepted && rep.res.Aborted == id {
+			// The decision could not be made durable anywhere (the first
+			// participant's journal is dead): resolve as abort, which is
+			// what recovery would conclude from the evidence-free medium.
+			e.finishCrossAbort(ct, p)
+			return true
+		}
+		if !ok {
+			ct.done = true
+			e.registry.drop(id)
+			e.routes.delete(id)
+			return false
+		}
+	}
+	ct.done = true
+	ct.committed = true
+	e.registry.decideCommit(id)
+	for _, p := range ct.parts {
+		e.shards[p].trySend(request{kind: reqUpkeep})
+	}
+	e.routes.delete(id)
+	e.completed.Add(1)
+	return true
+}

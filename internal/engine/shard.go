@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/ring"
+	"repro/internal/store"
 )
 
 type reqKind uint8
@@ -56,6 +57,11 @@ const (
 type request struct {
 	kind reqKind
 	step model.Step
+	// decisionDurable marks a reqCommitSub whose COMMIT decision is already
+	// durable on an earlier participant: a journaling failure here must not
+	// block the in-memory commit (recovery finishes the laggard from the
+	// evidence). The first participant's journal is the commit point.
+	decisionDurable bool
 	// steps is a reqBatch's remaining pipeline; it aliases the caller's
 	// input (the caller blocks until the reply, so the shard owns it).
 	steps []model.Step
@@ -103,6 +109,23 @@ type shard struct {
 	cleanBuf []model.TxnID
 	// final is the scheduler's last Stats, published via close(done).
 	final core.Stats
+
+	// st is this shard's durability endpoint (nil: no WAL). All journal
+	// state below is touched only on the shard goroutine (and by recovery,
+	// which runs before the goroutine starts).
+	st store.ShardStore
+	// walErr is the first journaling failure. The shard then fail-stops:
+	// new applies are refused (wrapping ErrClosed), while abort and commit
+	// paths still run so in-flight 2PC decisions resolve in memory.
+	walErr error
+	// walPending counts records appended since the last sync; at
+	// Config.WALSyncEvery the shard forces the log.
+	walPending int
+	// sweepsSinceCkpt counts policy sweeps since the last checkpoint;
+	// dirtySinceCkpt notes records appended since then (an idle shard
+	// never rewrites an unchanged snapshot).
+	sweepsSinceCkpt int
+	dirtySinceCkpt  bool
 }
 
 // trySend enqueues a fire-and-forget request (no reply expected), keeping
@@ -176,6 +199,10 @@ func (sh *shard) run() {
 			sh.depth.Add(-1)
 			stop = sh.handle(req, tk, fire)
 		}
+		// Batch-end journal flush: buffered frames reach the OS so a
+		// process kill loses at most the unsynced fsync batch, never the
+		// unflushed one.
+		sh.walFlush()
 		// Amortized GC between batches: replies are already out, so sweep
 		// cost never lands on an individual submission's latency.
 		sh.maybeSweep()
@@ -207,7 +234,7 @@ func (sh *shard) handle(req request, tk uint64, fire bool) (stop bool) {
 	case reqPrepareSub:
 		sh.mb.Reply(tk, reply{res: sh.applyPrepareSub(req.step)})
 	case reqCommitSub:
-		sh.mb.Reply(tk, reply{res: sh.applyCommitSub(req.step.Txn)})
+		sh.mb.Reply(tk, reply{res: sh.applyCommitSub(req.step.Txn, req.decisionDurable)})
 	case reqAbortSub:
 		sh.applyAbortSub(req.step.Txn)
 		sh.mb.Reply(tk, reply{})
@@ -215,6 +242,7 @@ func (sh *shard) handle(req request, tk uint64, fire bool) (stop bool) {
 		if err := sh.sched.AbortTxn(req.step.Txn); err == nil {
 			sh.eng.aborted.Add(1)
 			sh.sinceSweep++
+			sh.journal(store.RecAbort, req.step.Txn, 0, nil)
 		}
 		sh.mb.Reply(tk, reply{})
 	case reqUpkeep:
@@ -231,6 +259,8 @@ func (sh *shard) handle(req request, tk uint64, fire bool) (stop bool) {
 		sh.eng.deleted.Add(n)
 		sh.eng.sweeps.Add(1)
 		sh.sinceSweep = 0
+		sh.sweepsSinceCkpt++
+		sh.maybeCheckpoint()
 		// Refresh the retained gauge before replying: the governor reads it
 		// right after the sweep returns, and the run loop's own refresh only
 		// happens once the whole batch drains.
@@ -247,8 +277,11 @@ func (sh *shard) handle(req request, tk uint64, fire bool) (stop bool) {
 // a cross sub-transaction removes only this shard's sub-node; the
 // submitting goroutine owns the logical abort (siblings, route, counters),
 // so route and abort bookkeeping are skipped here for cross routes.
-func (sh *shard) applyOne(step model.Step) Result {
+func (sh *shard) applyOne(step model.Step) (out Result) {
 	eng := sh.eng
+	if sh.walRefuse(step, &out) {
+		return out
+	}
 	res, err := sh.sched.Apply(step)
 	if err != nil {
 		if step.Kind != model.KindBegin && eng.reaped.contains(step.Txn) {
@@ -271,10 +304,27 @@ func (sh *shard) applyOne(step model.Step) Result {
 	if eng.cfg.Log != nil {
 		eng.cfg.Log.Append(step, res.Accepted)
 	}
-	out := Result{Step: step, Aborted: res.Aborted, CompletedTxn: res.CompletedTxn}
+	out = Result{Step: step, Aborted: res.Aborted, CompletedTxn: res.CompletedTxn}
 	if res.Accepted {
 		out.Outcome = OutcomeAccepted
 		eng.accepted.Add(1)
+		switch step.Kind {
+		case model.KindBegin:
+			sh.journal(store.RecBegin, step.Txn, 0, step.Entities)
+		case model.KindRead:
+			sh.journal(store.RecRead, step.Txn, step.Entity, nil)
+		case model.KindWriteFinal:
+			sh.journal(store.RecWrite, step.Txn, 0, step.Entities)
+		}
+		if sh.walErr != nil && sh.eng.cfg.WALSyncEvery <= 1 {
+			// Strict mode promised durability before the ack, and the journal
+			// died on this very step: answer with the failure instead of the
+			// accept. The scheduler keeps the step in memory, but the shard
+			// has fail-stopped, so the only observer left is recovery — which
+			// won't have the record, agreeing with the client that the ack
+			// never happened.
+			out = Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: sh.walDeadErr(step)}
+		}
 	} else {
 		out.Outcome = OutcomeRejected
 		if res.CrossVeto {
@@ -283,6 +333,11 @@ func (sh *shard) applyOne(step model.Step) Result {
 			out.Err = stepErr(step, ErrCycle)
 		}
 		eng.rejected.Add(1)
+		if res.Aborted != model.NoTxn {
+			// The rejection's victim is gone from the graph; replay must
+			// see the abort or it would resurrect the victim live.
+			sh.journal(store.RecAbort, res.Aborted, 0, nil)
+		}
 	}
 	if res.CompletedTxn != model.NoTxn {
 		eng.completed.Add(1)
@@ -302,13 +357,22 @@ func (sh *shard) applyOne(step model.Step) Result {
 // applyBeginSub begins a cross sub-transaction on this shard's scheduler.
 // Engine-level logical counters are the 2PC driver's job; the shard only
 // applies and logs.
-func (sh *shard) applyBeginSub(step model.Step) Result {
+func (sh *shard) applyBeginSub(step model.Step) (out Result) {
+	if sh.walRefuse(step, &out) {
+		return out
+	}
 	if _, err := sh.sched.BeginCross(step); err != nil {
 		return Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn,
 			Err: fmt.Errorf("engine: %w: %v", ErrProtocol, err)}
 	}
 	if sh.eng.cfg.Log != nil {
 		sh.eng.cfg.Log.Append(step, true)
+	}
+	sh.journal(store.RecBeginSub, step.Txn, 0, step.Entities)
+	if sh.walErr != nil && sh.eng.cfg.WALSyncEvery <= 1 {
+		// Strict mode: the sub-begin could not be made durable, so refuse it
+		// and let the coordinator abort the siblings (see applyOne).
+		return Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: sh.walDeadErr(step)}
 	}
 	return Result{Step: step, Outcome: OutcomeAccepted, Aborted: model.NoTxn, CompletedTxn: model.NoTxn}
 }
@@ -317,7 +381,10 @@ func (sh *shard) applyBeginSub(step model.Step) Result {
 // YES vote logs the write at its conflict position (the arcs go into the
 // graph now; a later ABORT excludes the transaction via MarkAborted) and
 // pins the sub-node.
-func (sh *shard) applyPrepareSub(step model.Step) Result {
+func (sh *shard) applyPrepareSub(step model.Step) (out Result) {
+	if sh.walRefuse(step, &out) {
+		return out
+	}
 	vote, err := sh.sched.PrepareFinal(step)
 	// The gauge tracks the scheduler's prepared state, not the vote: a
 	// late registry veto (VoteCrossCycle out of crossFlood) leaves the
@@ -332,6 +399,19 @@ func (sh *shard) applyPrepareSub(step model.Step) Result {
 	}
 	switch vote {
 	case core.VoteYes:
+		if jerr := sh.journalSynced(store.RecPrepare, step.Txn, step.Entities); jerr != nil {
+			// The YES vote could not be made durable, so it must never
+			// reach the coordinator: release the sub-transaction locally
+			// and answer with the failure (the coordinator then aborts the
+			// siblings).
+			if sh.sched.Prepared(step.Txn) {
+				sh.preparedN.Add(-1)
+			}
+			if sh.sched.AbortTxn(step.Txn) == nil {
+				sh.sinceSweep++
+			}
+			return Result{Step: step, Outcome: OutcomeError, Aborted: step.Txn, CompletedTxn: model.NoTxn, Err: sh.walDeadErr(step)}
+		}
 		if sh.eng.cfg.Log != nil {
 			sh.eng.cfg.Log.Append(step, true)
 		}
@@ -344,7 +424,27 @@ func (sh *shard) applyPrepareSub(step model.Step) Result {
 }
 
 // applyCommitSub completes a prepared sub-transaction (COMMIT decision).
-func (sh *shard) applyCommitSub(id model.TxnID) Result {
+// The decision record is journaled and synced BEFORE the in-memory commit:
+// once any participant has a durable RecCommit, recovery finishes the
+// commit on every lagging sibling. The first participant's journal is
+// therefore the commit point — if it fails, no durable evidence exists
+// anywhere, recovery would presume abort, and so must we: release the
+// prepared sub and answer with the failure so the coordinator aborts the
+// siblings instead of acknowledging a commit only memory ever saw. Once
+// some earlier participant holds the record (decisionDurable), a local
+// journal failure fail-stops the shard but the commit still applies in
+// memory: the decision stands, and recovery finishes it from the evidence.
+func (sh *shard) applyCommitSub(id model.TxnID, decisionDurable bool) Result {
+	if err := sh.journalSynced(store.RecCommit, id, nil); err != nil && !decisionDurable {
+		if sh.sched.Prepared(id) {
+			sh.preparedN.Add(-1)
+		}
+		if sh.sched.AbortTxn(id) == nil {
+			sh.sinceSweep++
+		}
+		return Result{Outcome: OutcomeError, Aborted: id, CompletedTxn: model.NoTxn,
+			Err: sh.walDeadErr(model.Step{Kind: model.KindWriteFinal, Txn: id})}
+	}
 	res, err := sh.sched.CommitPrepared(id)
 	if err != nil {
 		return Result{Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn,
@@ -363,7 +463,116 @@ func (sh *shard) applyAbortSub(id model.TxnID) {
 	}
 	if err := sh.sched.AbortTxn(id); err == nil {
 		sh.sinceSweep++
+		sh.journal(store.RecAbort, id, 0, nil)
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Journaling. Every accepted step and every abort is appended to the
+// shard's WAL before its reply leaves the shard; PREPARE votes and COMMIT
+// decisions are additionally synced before they take effect (see
+// journalSynced call sites). A journaling failure fail-stops the shard —
+// walErr latches, new applies are refused — because continuing to accept
+// work that cannot be made durable would silently break the recovery
+// contract.
+
+// journal appends one record, syncing per Config.WALSyncEvery. No-op
+// without a store or after a journaling failure (the failure already
+// latched; the caller's apply was refused or is a resolution path that
+// must still run in memory).
+func (sh *shard) journal(kind store.RecKind, txn model.TxnID, entity model.Entity, entities []model.Entity) {
+	if sh.st == nil || sh.walErr != nil {
+		return
+	}
+	rec := store.Record{Kind: kind, Txn: txn, Entity: entity, Entities: entities}
+	if err := sh.st.Append(&rec); err != nil {
+		sh.walErr = err
+		return
+	}
+	sh.walPending++
+	sh.dirtySinceCkpt = true
+	if sh.walPending >= sh.eng.cfg.WALSyncEvery {
+		sh.walSync()
+	}
+}
+
+// journalSynced appends one record and forces it to the medium, reporting
+// the failure (nil store: nil). 2PC uses it for the records whose loss
+// would be unsafe: an unsynced YES vote must never reach the coordinator,
+// and an unsynced COMMIT must never be applied.
+func (sh *shard) journalSynced(kind store.RecKind, txn model.TxnID, entities []model.Entity) error {
+	if sh.st == nil {
+		return nil
+	}
+	if sh.walErr != nil {
+		return sh.walErr
+	}
+	rec := store.Record{Kind: kind, Txn: txn, Entities: entities}
+	if err := sh.st.Append(&rec); err != nil {
+		sh.walErr = err
+		return err
+	}
+	sh.dirtySinceCkpt = true
+	sh.walSync()
+	return sh.walErr
+}
+
+// walSync forces the log; a failure latches walErr.
+func (sh *shard) walSync() {
+	if sh.st == nil || sh.walErr != nil {
+		return
+	}
+	if err := sh.st.Sync(); err != nil {
+		sh.walErr = err
+		return
+	}
+	sh.walPending = 0
+}
+
+// walFlush pushes buffered frames to the OS at batch end: records acked
+// inside the batch survive a process kill (not a power loss) without
+// paying an fsync per batch.
+func (sh *shard) walFlush() {
+	if sh.st == nil || sh.walErr != nil {
+		return
+	}
+	if err := sh.st.Flush(); err != nil {
+		sh.walErr = err
+	}
+}
+
+// walDeadErr is the refusal a fail-stopped shard answers new applies with.
+func (sh *shard) walDeadErr(step model.Step) error {
+	return fmt.Errorf("engine: shard %d journal failed (%v): %v: %w", sh.idx, sh.walErr, step, ErrClosed)
+}
+
+// walRefuse reports whether the shard has fail-stopped, filling res with
+// the refusal if so.
+func (sh *shard) walRefuse(step model.Step, res *Result) bool {
+	if sh.walErr == nil {
+		return false
+	}
+	*res = Result{Step: step, Outcome: OutcomeError, Aborted: model.NoTxn, CompletedTxn: model.NoTxn, Err: sh.walDeadErr(step)}
+	return true
+}
+
+// maybeCheckpoint snapshots the retained state and truncates the WAL once
+// enough sweeps have run — checkpoint-at-sweep: the sweep just proved (C1/
+// C2) what is safe to forget, so the snapshot is as small as it will get
+// and everything the log said is now inside it.
+func (sh *shard) maybeCheckpoint() {
+	if sh.st == nil || sh.walErr != nil || !sh.dirtySinceCkpt ||
+		sh.sweepsSinceCkpt < sh.eng.cfg.CheckpointEverySweeps {
+		return
+	}
+	snap := store.EncodeSnapshot(sh.sched.ExportState())
+	if err := sh.st.Checkpoint(snap); err != nil {
+		sh.walErr = err
+		return
+	}
+	sh.sweepsSinceCkpt = 0
+	sh.dirtySinceCkpt = false
+	sh.walPending = 0
 }
 
 func (sh *shard) maybeSweep() {
@@ -374,6 +583,8 @@ func (sh *shard) maybeSweep() {
 	sh.eng.deleted.Add(int64(len(deleted)))
 	sh.eng.sweeps.Add(1)
 	sh.sinceSweep = 0
+	sh.sweepsSinceCkpt++
+	sh.maybeCheckpoint()
 }
 
 // reportCrossClean tells the registry which decided cross transactions
@@ -399,6 +610,9 @@ func (sh *shard) reportCrossClean() {
 // publishes final stats, and returns. A request published after this final
 // drain is simply lost; its sender unparks on sh.done once run returns.
 func (sh *shard) shutdown() {
+	// A graceful close is a sync point: everything acknowledged is durable
+	// when Close returns.
+	sh.walSync()
 	sh.final = sh.sched.Stats()
 	for {
 		req, tk, fire, ok := sh.mb.Next()

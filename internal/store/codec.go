@@ -1,0 +1,208 @@
+// WAL frame codec. Every frame — record or checkpoint — is
+//
+//	len   uint32 LE   (payload length)
+//	crc   uint32 LE   (CRC-32C of the payload)
+//	payload
+//
+// A record payload is
+//
+//	kind  uint8
+//	lsn   uvarint
+//	txn   varint (zigzag)
+//	n     uvarint
+//	n ×   entity varint (zigzag)
+//
+// (RecRead stores its single entity as n=1.) A checkpoint payload is
+//
+//	covered-lsn uvarint
+//	snapshot bytes
+//
+// Scanning distinguishes two failure shapes. A *torn tail* — the file ends
+// inside a frame header or before the payload's declared end — is the
+// normal signature of a crash between write and sync: scanWAL stops
+// cleanly at the last complete frame and reports the clean prefix length
+// so Load can truncate the garbage. A *corrupt* complete frame — bad CRC,
+// impossible length, undecodable payload, or an LSN that is not the
+// predecessor's + 1 — means confirmed bytes changed, and scanning fails
+// with ErrCorruptWAL instead of guessing.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/model"
+)
+
+const (
+	frameHeaderLen = 8
+	// maxFrameLen bounds a single frame's payload (64 MiB): any declared
+	// length beyond it is corruption, not a frame we have not finished
+	// writing yet.
+	maxFrameLen = 1 << 26
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendUvarint / appendVarint are binary.AppendUvarint/AppendVarint
+// aliases kept local for symmetry with the decode helpers.
+
+func appendRecordPayload(buf []byte, r *Record) []byte {
+	buf = append(buf, byte(r.Kind))
+	buf = binary.AppendUvarint(buf, r.LSN)
+	buf = binary.AppendVarint(buf, int64(r.Txn))
+	if r.Kind == RecRead {
+		buf = binary.AppendUvarint(buf, 1)
+		buf = binary.AppendVarint(buf, int64(r.Entity))
+		return buf
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(r.Entities)))
+	for _, x := range r.Entities {
+		buf = binary.AppendVarint(buf, int64(x))
+	}
+	return buf
+}
+
+func decodeRecordPayload(p []byte) (Record, error) {
+	var r Record
+	if len(p) < 1 {
+		return r, fmt.Errorf("empty record payload")
+	}
+	r.Kind = RecKind(p[0])
+	if r.Kind < RecBegin || r.Kind > RecAbort {
+		return r, fmt.Errorf("unknown record kind %d", p[0])
+	}
+	p = p[1:]
+	lsn, n := binary.Uvarint(p)
+	if n <= 0 {
+		return r, fmt.Errorf("bad record lsn")
+	}
+	r.LSN = lsn
+	p = p[n:]
+	txn, n := binary.Varint(p)
+	if n <= 0 {
+		return r, fmt.Errorf("bad record txn")
+	}
+	r.Txn = model.TxnID(txn)
+	p = p[n:]
+	count, n := binary.Uvarint(p)
+	if n <= 0 || count > maxFrameLen {
+		return r, fmt.Errorf("bad record entity count")
+	}
+	p = p[n:]
+	if r.Kind == RecRead {
+		if count != 1 {
+			return r, fmt.Errorf("read record with %d entities", count)
+		}
+		x, n := binary.Varint(p)
+		if n <= 0 {
+			return r, fmt.Errorf("bad read entity")
+		}
+		r.Entity = model.Entity(x)
+		p = p[n:]
+	} else if count > 0 {
+		r.Entities = make([]model.Entity, count)
+		for i := range r.Entities {
+			x, n := binary.Varint(p)
+			if n <= 0 {
+				return r, fmt.Errorf("bad entity %d/%d", i, count)
+			}
+			r.Entities[i] = model.Entity(x)
+			p = p[n:]
+		}
+	}
+	if len(p) != 0 {
+		return r, fmt.Errorf("%d trailing bytes after record", len(p))
+	}
+	return r, nil
+}
+
+// appendFrame wraps payload in a length+CRC header.
+func appendFrame(buf, payload []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// nextFrame extracts the first frame's payload from data. ok=false with
+// err=nil means a torn tail: data ends inside the frame.
+func nextFrame(data []byte) (payload []byte, frameLen int, ok bool, err error) {
+	if len(data) < frameHeaderLen {
+		return nil, 0, false, nil
+	}
+	n := binary.LittleEndian.Uint32(data[0:4])
+	if n > maxFrameLen {
+		return nil, 0, false, fmt.Errorf("%w: frame length %d exceeds limit", ErrCorruptWAL, n)
+	}
+	total := frameHeaderLen + int(n)
+	if len(data) < total {
+		return nil, 0, false, nil
+	}
+	payload = data[frameHeaderLen:total]
+	if crc := crc32.Checksum(payload, castagnoli); crc != binary.LittleEndian.Uint32(data[4:8]) {
+		return nil, 0, false, fmt.Errorf("%w: frame CRC mismatch", ErrCorruptWAL)
+	}
+	return payload, total, true, nil
+}
+
+// scanWAL decodes every complete frame in data as records. It returns the
+// records, the length of the clean prefix (everything before a torn
+// tail), and ErrCorruptWAL if any complete frame fails validation —
+// including an LSN that does not continue the previous record's by exactly
+// one (the first record sets the base).
+func scanWAL(data []byte) (recs []Record, cleanLen int, err error) {
+	var prevLSN uint64
+	first := true
+	for {
+		payload, frameLen, ok, err := nextFrame(data[cleanLen:])
+		if err != nil {
+			return nil, 0, err
+		}
+		if !ok {
+			return recs, cleanLen, nil
+		}
+		rec, derr := decodeRecordPayload(payload)
+		if derr != nil {
+			return nil, 0, fmt.Errorf("%w: %v", ErrCorruptWAL, derr)
+		}
+		if !first && rec.LSN != prevLSN+1 {
+			return nil, 0, fmt.Errorf("%w: LSN %d after %d", ErrCorruptWAL, rec.LSN, prevLSN)
+		}
+		first = false
+		prevLSN = rec.LSN
+		recs = append(recs, rec)
+		cleanLen += frameLen
+	}
+}
+
+// encodeCheckpoint frames a checkpoint payload.
+func encodeCheckpoint(coveredLSN uint64, snapshot []byte) []byte {
+	payload := make([]byte, 0, binary.MaxVarintLen64+len(snapshot))
+	payload = binary.AppendUvarint(payload, coveredLSN)
+	payload = append(payload, snapshot...)
+	return appendFrame(nil, payload)
+}
+
+// decodeCheckpoint parses a checkpoint file's single frame. An empty file
+// means "no checkpoint yet"; anything else must be exactly one valid
+// frame.
+func decodeCheckpoint(data []byte) (coveredLSN uint64, snapshot []byte, err error) {
+	if len(data) == 0 {
+		return 0, nil, nil
+	}
+	payload, frameLen, ok, err := nextFrame(data)
+	if err != nil {
+		return 0, nil, err
+	}
+	if !ok || frameLen != len(data) {
+		return 0, nil, fmt.Errorf("%w: checkpoint is not a single complete frame", ErrCorruptWAL)
+	}
+	lsn, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad checkpoint covered LSN", ErrCorruptWAL)
+	}
+	return lsn, payload[n:], nil
+}

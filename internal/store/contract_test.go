@@ -1,0 +1,406 @@
+// Contract suite run against both Store backends: whatever differs
+// between holding frames in memory and journaling them to disk, the
+// durability semantics — append/sync visibility, checkpoint coverage,
+// LSN monotonicity across truncation, torn-tail repair — must not.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// backend abstracts "make a store" and "crash the process and come back"
+// for the contract suite.
+type backend struct {
+	name string
+	// open returns the store; calling it again simulates a process
+	// restart over the same durable medium.
+	open func(t *testing.T) Store
+}
+
+func backends(t *testing.T) []backend {
+	t.Helper()
+	mem := NewMem(2)
+	return []backend{
+		{name: "mem", open: func(t *testing.T) Store { return mem }},
+		{name: "file", open: func(t *testing.T) Store {
+			dir := filepath.Join(t.TempDir(), "data")
+			return mustOpenFile(t, dir)
+		}},
+	}
+}
+
+func mustOpenFile(t *testing.T, dir string) *File {
+	t.Helper()
+	f, err := OpenFile(dir, 2, Options{})
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	return f
+}
+
+func rec(kind RecKind, txn model.TxnID, entities ...model.Entity) *Record {
+	r := &Record{Kind: kind, Txn: txn}
+	if kind == RecRead {
+		r.Entity = entities[0]
+	} else {
+		r.Entities = entities
+	}
+	return r
+}
+
+func appendAll(t *testing.T, sh ShardStore, recs ...*Record) {
+	t.Helper()
+	for _, r := range recs {
+		if err := sh.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+}
+
+func sameRecord(a Record, b *Record) bool {
+	if a.Kind != b.Kind || a.Txn != b.Txn || a.Entity != b.Entity || len(a.Entities) != len(b.Entities) {
+		return false
+	}
+	for i := range a.Entities {
+		if a.Entities[i] != b.Entities[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// reopen simulates a restart: for the file backend the store is closed
+// and reopened from the directory; Mem survives as the same object.
+func reopen(t *testing.T, b backend, st Store) Store {
+	t.Helper()
+	if f, ok := st.(*File); ok {
+		dir := f.dir
+		if err := f.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		nf, err := OpenFile(dir, 2, Options{})
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		return nf
+	}
+	return st
+}
+
+func TestStoreContract(t *testing.T) {
+	for _, b := range backends(t) {
+		t.Run(b.name, func(t *testing.T) {
+			t.Run("RoundTrip", func(t *testing.T) { contractRoundTrip(t, b) })
+		})
+	}
+}
+
+func contractRoundTrip(t *testing.T, b backend) {
+	st := b.open(t)
+	if st.NumShards() != 2 {
+		t.Fatalf("NumShards = %d, want 2", st.NumShards())
+	}
+	sh := st.Shard(0)
+	want := []*Record{
+		rec(RecBegin, 1, 0, 4),
+		rec(RecRead, 1, 0),
+		rec(RecWrite, 1, 4),
+		rec(RecBeginSub, 7, 2),
+		rec(RecPrepare, 7, 2),
+		rec(RecCommit, 7),
+		rec(RecAbort, 9),
+		rec(RecBegin, 3), // empty footprint
+	}
+	appendAll(t, sh, want...)
+	for i, r := range want {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("record %d got LSN %d, want %d", i, r.LSN, i+1)
+		}
+	}
+	if err := sh.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+
+	st = reopen(t, b, st)
+	got, err := st.Shard(0).Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Snapshot != nil || got.CoveredLSN != 0 {
+		t.Fatalf("unexpected checkpoint before any Checkpoint call: %+v", got)
+	}
+	if len(got.Tail) != len(want) {
+		t.Fatalf("Load returned %d records, want %d", len(got.Tail), len(want))
+	}
+	for i := range want {
+		if !sameRecord(got.Tail[i], want[i]) {
+			t.Fatalf("record %d mismatch: got %+v want %+v", i, got.Tail[i], want[i])
+		}
+		if got.Tail[i].LSN != uint64(i+1) {
+			t.Fatalf("record %d LSN %d, want %d", i, got.Tail[i].LSN, i+1)
+		}
+	}
+	// The sibling shard is untouched.
+	if other, err := st.Shard(1).Load(); err != nil || len(other.Tail) != 0 {
+		t.Fatalf("shard 1 should be empty: %+v, %v", other, err)
+	}
+
+	// Checkpoint covers everything appended so far and truncates the WAL;
+	// LSNs keep counting.
+	sh = st.Shard(0)
+	snap := []byte("snapshot-bytes")
+	if err := sh.Checkpoint(snap); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	after := rec(RecBegin, 11, 1)
+	appendAll(t, sh, after)
+	if after.LSN != uint64(len(want))+1 {
+		t.Fatalf("post-checkpoint LSN %d, want %d (monotone across truncation)", after.LSN, len(want)+1)
+	}
+	if err := sh.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	stats := sh.Stats()
+	if stats.CheckpointSeq != uint64(len(want)) {
+		t.Fatalf("CheckpointSeq = %d, want %d", stats.CheckpointSeq, len(want))
+	}
+	// Counters are since-open of this store instance (a restarted process
+	// starts fresh), so only their floor is part of the contract.
+	if stats.Records < 1 {
+		t.Fatalf("Records = %d, want >= 1", stats.Records)
+	}
+	if stats.AppendedBytes <= 0 || stats.Fsyncs <= 0 {
+		t.Fatalf("stats not counting: %+v", stats)
+	}
+
+	st = reopen(t, b, st)
+	got, err = st.Shard(0).Load()
+	if err != nil {
+		t.Fatalf("Load after checkpoint: %v", err)
+	}
+	if string(got.Snapshot) != string(snap) {
+		t.Fatalf("Snapshot = %q, want %q", got.Snapshot, snap)
+	}
+	if got.CoveredLSN != uint64(len(want)) {
+		t.Fatalf("CoveredLSN = %d, want %d", got.CoveredLSN, len(want))
+	}
+	if len(got.Tail) != 1 || !sameRecord(got.Tail[0], after) {
+		t.Fatalf("tail after checkpoint = %+v, want just %+v", got.Tail, after)
+	}
+}
+
+// TestStoreUnflushedRecordsLost pins the durability boundary: records
+// appended but never flushed do not survive a restart, and the LSN
+// counter rewinds so the next run stays contiguous.
+func TestStoreUnflushedRecordsLost(t *testing.T) {
+	for _, b := range backends(t) {
+		t.Run(b.name, func(t *testing.T) {
+			st := b.open(t)
+			sh := st.Shard(0)
+			appendAll(t, sh, rec(RecBegin, 1))
+			if err := sh.Sync(); err != nil {
+				t.Fatalf("Sync: %v", err)
+			}
+			appendAll(t, sh, rec(RecRead, 1, 3)) // never flushed
+
+			st = reopen(t, b, st)
+			got, err := st.Shard(0).Load()
+			if err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			if len(got.Tail) != 1 || got.Tail[0].Kind != RecBegin {
+				t.Fatalf("tail = %+v, want only the synced begin", got.Tail)
+			}
+			// The replacement record reuses the lost LSN.
+			r := rec(RecRead, 1, 3)
+			appendAll(t, st.Shard(0), r)
+			if r.LSN != 2 {
+				t.Fatalf("post-restart LSN = %d, want 2", r.LSN)
+			}
+		})
+	}
+}
+
+func TestFileTornTailRepair(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+	f := mustOpenFile(t, dir)
+	sh := f.Shard(0)
+	appendAll(t, sh, rec(RecBegin, 1, 0), rec(RecWrite, 1, 0))
+	if err := sh.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	walPath := filepath.Join(dir, "shard-0.wal")
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatalf("read wal: %v", err)
+	}
+	for cut := 1; cut < 12 && cut < len(data); cut++ {
+		torn := append([]byte(nil), data[:len(data)-cut]...)
+		if err := os.WriteFile(walPath, torn, 0o666); err != nil {
+			t.Fatalf("write torn wal: %v", err)
+		}
+		f := mustOpenFile(t, dir)
+		got, err := f.Shard(0).Load()
+		if err != nil {
+			t.Fatalf("cut %d: Load: %v", cut, err)
+		}
+		if len(got.Tail) != 1 || got.Tail[0].Kind != RecBegin {
+			t.Fatalf("cut %d: tail = %+v, want only the first record", cut, got.Tail)
+		}
+		// The torn bytes are gone from disk and the next append is readable.
+		appendAll(t, f.Shard(0), rec(RecAbort, 1))
+		if err := f.Shard(0).Sync(); err != nil {
+			t.Fatalf("cut %d: Sync: %v", cut, err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatalf("cut %d: Close: %v", cut, err)
+		}
+		f = mustOpenFile(t, dir)
+		got, err = f.Shard(0).Load()
+		if err != nil {
+			t.Fatalf("cut %d: reload: %v", cut, err)
+		}
+		if len(got.Tail) != 2 || got.Tail[1].Kind != RecAbort {
+			t.Fatalf("cut %d: reload tail = %+v", cut, got.Tail)
+		}
+		f.Close()
+		if err := os.WriteFile(walPath, data, 0o666); err != nil {
+			t.Fatalf("restore wal: %v", err)
+		}
+	}
+}
+
+func TestFileBitFlipIsCorrupt(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+	f := mustOpenFile(t, dir)
+	sh := f.Shard(0)
+	appendAll(t, sh, rec(RecBegin, 1, 0), rec(RecWrite, 1, 0), rec(RecBegin, 2, 1))
+	if err := sh.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	f.Close()
+
+	walPath := filepath.Join(dir, "shard-0.wal")
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatalf("read wal: %v", err)
+	}
+	// Flip a byte in the middle: a complete frame no longer matches its
+	// CRC, which must be corruption, not a silent tail-stop.
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)/2] ^= 0x40
+	if err := os.WriteFile(walPath, flipped, 0o666); err != nil {
+		t.Fatalf("write flipped wal: %v", err)
+	}
+	f = mustOpenFile(t, dir)
+	defer f.Close()
+	if _, err := f.Shard(0).Load(); !errors.Is(err, ErrCorruptWAL) {
+		t.Fatalf("Load of bit-flipped WAL: err = %v, want ErrCorruptWAL", err)
+	}
+}
+
+func TestFileMetaMismatch(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+	f, err := OpenFile(dir, 4, Options{})
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	f.Close()
+	if _, err := OpenFile(dir, 8, Options{}); err == nil {
+		t.Fatalf("OpenFile with a different shard count should refuse the directory")
+	}
+}
+
+func TestFileFailpointSeam(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+	crash := errors.New("injected crash")
+	armed := false
+	f, err := OpenFile(dir, 2, Options{Failpoint: func(op FailOp) error {
+		if armed && op.Kind == OpSync {
+			return crash
+		}
+		return nil
+	}})
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	defer f.Close()
+	sh := f.Shard(0)
+	appendAll(t, sh, rec(RecBegin, 1))
+	if err := sh.Sync(); err != nil {
+		t.Fatalf("Sync before arming: %v", err)
+	}
+	armed = true
+	appendAll(t, sh, rec(RecWrite, 1))
+	if err := sh.Sync(); !errors.Is(err, crash) {
+		t.Fatalf("Sync with armed failpoint: err = %v, want injected crash", err)
+	}
+}
+
+// TestSnapshotRoundTrip proves the snapshot codec inverts a real
+// scheduler export, and that restore rebuilds an equivalent scheduler
+// (re-export equals the original).
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := core.NewScheduler(core.Config{Policy: core.GreedyC1{}, SweepManual: true})
+	s.MustApply(model.Begin(1))
+	s.MustApply(model.Read(1, 10))
+	s.MustApply(model.WriteFinal(1, 10))
+	s.MustApply(model.Begin(2))
+	s.MustApply(model.Read(2, 10))
+	s.MustApply(model.Begin(3))
+	s.MustApply(model.WriteFinal(3, 11))
+	s.SweepNow()
+
+	exported := s.ExportState()
+	enc := EncodeSnapshot(exported)
+	dec, err := DecodeSnapshot(enc)
+	if err != nil {
+		t.Fatalf("DecodeSnapshot: %v", err)
+	}
+	restored, err := core.RestoreScheduler(core.Config{Policy: core.GreedyC1{}, SweepManual: true}, dec)
+	if err != nil {
+		t.Fatalf("RestoreScheduler: %v", err)
+	}
+	re := restored.ExportState()
+	if fmt.Sprintf("%+v", re) != fmt.Sprintf("%+v", exported) {
+		t.Fatalf("re-export mismatch:\n got %+v\nwant %+v", re, exported)
+	}
+	if string(EncodeSnapshot(re)) != string(enc) {
+		t.Fatalf("re-encoded snapshot differs (encoding not deterministic)")
+	}
+	// The restored scheduler keeps scheduling: the retained reader of
+	// entity 10 still conflicts.
+	if restored.Seq() != s.Seq() {
+		t.Fatalf("Seq = %d, want %d", restored.Seq(), s.Seq())
+	}
+	res := restored.MustApply(model.WriteFinal(2, 10))
+	if !res.Accepted {
+		t.Fatalf("restored scheduler rejected a legal write: %+v", res)
+	}
+	if !restored.Graph().Acyclic() {
+		t.Fatalf("restored graph cyclic after continued scheduling")
+	}
+}
+
+func TestSnapshotDecodeGarbage(t *testing.T) {
+	if _, err := DecodeSnapshot([]byte{snapshotVersion, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}); !errors.Is(err, ErrCorruptWAL) {
+		t.Fatalf("garbage snapshot: err = %v, want ErrCorruptWAL", err)
+	}
+	if _, err := DecodeSnapshot([]byte{99}); !errors.Is(err, ErrCorruptWAL) {
+		t.Fatalf("unknown version: err = %v, want ErrCorruptWAL", err)
+	}
+	if _, err := DecodeSnapshot(nil); !errors.Is(err, ErrCorruptWAL) {
+		t.Fatalf("empty snapshot: err = %v, want ErrCorruptWAL", err)
+	}
+}

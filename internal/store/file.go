@@ -1,0 +1,322 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// FailKind names a file-backend operation that the fault-injection seam
+// can intercept.
+type FailKind uint8
+
+const (
+	// OpWrite is a buffered-frame write into the WAL file (Flush).
+	OpWrite FailKind = iota
+	// OpSync is an fsync of the WAL file.
+	OpSync
+	// OpCkptWrite is the write+fsync of the checkpoint temp file.
+	OpCkptWrite
+	// OpCkptRename is the atomic rename installing the checkpoint.
+	OpCkptRename
+	// OpTruncate is the WAL truncation after a checkpoint.
+	OpTruncate
+)
+
+// String implements fmt.Stringer.
+func (k FailKind) String() string {
+	switch k {
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpCkptWrite:
+		return "ckpt-write"
+	case OpCkptRename:
+		return "ckpt-rename"
+	case OpTruncate:
+		return "truncate"
+	default:
+		return "op-unknown"
+	}
+}
+
+// FailOp identifies one interceptable operation: its kind and the shard
+// performing it.
+type FailOp struct {
+	Kind  FailKind
+	Shard int
+}
+
+// Options configures the file backend.
+type Options struct {
+	// Failpoint, if non-nil, runs before every interceptable I/O
+	// operation; a non-nil return fails that operation with the error (the
+	// crash harness's kill-at-random-point seam). Once a failpoint has
+	// fired, the harness typically keeps failing every later op — a
+	// crashed process does not come back for one more write.
+	Failpoint func(FailOp) error
+}
+
+// File is the file-backed Store: one WAL and one checkpoint file per
+// shard under a data directory, plus a meta file pinning the shard count
+// (recovering with a different shard count would scatter entities across
+// the wrong partitions).
+type File struct {
+	dir    string
+	shards []fileShard
+}
+
+const metaName = "meta"
+
+// OpenFile opens (or initializes) a data directory for n shards.
+func OpenFile(dir string, n int, opts Options) (*File, error) {
+	if n < 1 {
+		n = 1
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	metaPath := filepath.Join(dir, metaName)
+	meta := fmt.Sprintf("txgc-store v1\nshards %d\n", n)
+	if prev, err := os.ReadFile(metaPath); err == nil {
+		if string(prev) != meta {
+			return nil, fmt.Errorf("store: data dir %s was written with a different layout (%q, want %q)", dir, prev, meta)
+		}
+	} else if errors.Is(err, os.ErrNotExist) {
+		if err := os.WriteFile(metaPath, []byte(meta), 0o666); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	} else {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	f := &File{dir: dir, shards: make([]fileShard, n)}
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.idx = i
+		sh.dir = dir
+		sh.failpoint = opts.Failpoint
+		wal, err := os.OpenFile(f.walPath(i), os.O_RDWR|os.O_CREATE, 0o666)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		sh.wal = wal
+	}
+	return f, nil
+}
+
+func (f *File) walPath(i int) string  { return filepath.Join(f.dir, fmt.Sprintf("shard-%d.wal", i)) }
+func (f *File) ckptPath(i int) string { return filepath.Join(f.dir, fmt.Sprintf("shard-%d.ckpt", i)) }
+
+// NumShards implements Store.
+func (f *File) NumShards() int { return len(f.shards) }
+
+// Shard implements Store.
+func (f *File) Shard(i int) ShardStore { return &f.shards[i] }
+
+// Close implements Store.
+func (f *File) Close() error {
+	var first error
+	for i := range f.shards {
+		sh := &f.shards[i]
+		if sh.wal == nil {
+			continue
+		}
+		if err := sh.wal.Close(); err != nil && first == nil {
+			first = err
+		}
+		sh.wal = nil
+	}
+	return first
+}
+
+type fileShard struct {
+	idx       int
+	dir       string
+	wal       *os.File
+	failpoint func(FailOp) error
+	// buf stages encoded frames between Flush calls; off is the WAL
+	// file's current write offset (end of the flushed prefix).
+	buf     []byte
+	off     int64
+	lastLSN uint64
+	scratch []byte
+
+	appendedBytes atomic.Int64
+	fsyncs        atomic.Int64
+	checkpointSeq atomic.Uint64
+	records       atomic.Int64
+}
+
+func (s *fileShard) fail(k FailKind) error {
+	if s.failpoint == nil {
+		return nil
+	}
+	return s.failpoint(FailOp{Kind: k, Shard: s.idx})
+}
+
+func (s *fileShard) Append(r *Record) error {
+	s.lastLSN++
+	r.LSN = s.lastLSN
+	s.scratch = appendRecordPayload(s.scratch[:0], r)
+	before := len(s.buf)
+	s.buf = appendFrame(s.buf, s.scratch)
+	s.appendedBytes.Add(int64(len(s.buf) - before))
+	s.records.Add(1)
+	return nil
+}
+
+func (s *fileShard) Flush() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	if err := s.fail(OpWrite); err != nil {
+		return fmt.Errorf("store: shard %d wal write: %w", s.idx, err)
+	}
+	n, err := s.wal.WriteAt(s.buf, s.off)
+	s.off += int64(n)
+	if err != nil {
+		// A short write leaves a torn tail; Load repairs it on recovery.
+		s.buf = s.buf[:0]
+		return fmt.Errorf("store: shard %d wal write: %w", s.idx, err)
+	}
+	s.buf = s.buf[:0]
+	return nil
+}
+
+func (s *fileShard) Sync() error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	if err := s.fail(OpSync); err != nil {
+		return fmt.Errorf("store: shard %d wal fsync: %w", s.idx, err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("store: shard %d wal fsync: %w", s.idx, err)
+	}
+	s.fsyncs.Add(1)
+	return nil
+}
+
+func (s *fileShard) ckptPath() string {
+	return filepath.Join(s.dir, fmt.Sprintf("shard-%d.ckpt", s.idx))
+}
+
+// Checkpoint writes the snapshot to a temp file, fsyncs it, renames it
+// over the checkpoint, fsyncs the directory, and truncates the WAL. A
+// crash at any point leaves either the old checkpoint (with the full WAL)
+// or the new one (with a WAL whose covered prefix Load skips) — never a
+// half-installed state.
+func (s *fileShard) Checkpoint(snapshot []byte) error {
+	if err := s.Sync(); err != nil {
+		return err
+	}
+	covered := s.lastLSN
+	frame := encodeCheckpoint(covered, snapshot)
+	tmp := s.ckptPath() + ".tmp"
+	if err := s.fail(OpCkptWrite); err != nil {
+		return fmt.Errorf("store: shard %d checkpoint write: %w", s.idx, err)
+	}
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
+	if err != nil {
+		return fmt.Errorf("store: shard %d checkpoint: %w", s.idx, err)
+	}
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		return fmt.Errorf("store: shard %d checkpoint write: %w", s.idx, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: shard %d checkpoint fsync: %w", s.idx, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: shard %d checkpoint close: %w", s.idx, err)
+	}
+	if err := s.fail(OpCkptRename); err != nil {
+		return fmt.Errorf("store: shard %d checkpoint rename: %w", s.idx, err)
+	}
+	if err := os.Rename(tmp, s.ckptPath()); err != nil {
+		return fmt.Errorf("store: shard %d checkpoint rename: %w", s.idx, err)
+	}
+	syncDir(s.dir)
+	if err := s.fail(OpTruncate); err != nil {
+		return fmt.Errorf("store: shard %d wal truncate: %w", s.idx, err)
+	}
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("store: shard %d wal truncate: %w", s.idx, err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("store: shard %d wal fsync: %w", s.idx, err)
+	}
+	s.off = 0
+	s.fsyncs.Add(1)
+	s.checkpointSeq.Store(covered)
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename survives power loss; best-effort
+// (some filesystems refuse directory fsync).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
+
+func (s *fileShard) Load() (ShardState, error) {
+	var st ShardState
+	ckptData, err := os.ReadFile(s.ckptPath())
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return st, fmt.Errorf("store: shard %d checkpoint: %w", s.idx, err)
+	}
+	covered, snap, err := decodeCheckpoint(ckptData)
+	if err != nil {
+		return st, fmt.Errorf("store: shard %d checkpoint: %w", s.idx, err)
+	}
+	st.Snapshot = snap
+	st.CoveredLSN = covered
+	data, err := os.ReadFile(s.walPath())
+	if err != nil {
+		return ShardState{}, fmt.Errorf("store: shard %d wal: %w", s.idx, err)
+	}
+	recs, cleanLen, err := scanWAL(data)
+	if err != nil {
+		return ShardState{}, fmt.Errorf("store: shard %d wal: %w", s.idx, err)
+	}
+	if cleanLen < len(data) {
+		// Torn tail from a crash mid-write: truncate to the clean prefix so
+		// the next append lands on a frame boundary.
+		if err := s.wal.Truncate(int64(cleanLen)); err != nil {
+			return ShardState{}, fmt.Errorf("store: shard %d wal repair: %w", s.idx, err)
+		}
+	}
+	s.off = int64(cleanLen)
+	s.buf = s.buf[:0]
+	last := covered
+	for _, r := range recs {
+		if r.LSN <= covered {
+			continue
+		}
+		st.Tail = append(st.Tail, r)
+		last = r.LSN
+	}
+	s.lastLSN = last
+	s.checkpointSeq.Store(covered)
+	return st, nil
+}
+
+func (s *fileShard) walPath() string {
+	return filepath.Join(s.dir, fmt.Sprintf("shard-%d.wal", s.idx))
+}
+
+func (s *fileShard) Stats() Stats {
+	return Stats{
+		AppendedBytes: s.appendedBytes.Load(),
+		Fsyncs:        s.fsyncs.Load(),
+		CheckpointSeq: s.checkpointSeq.Load(),
+		Records:       s.records.Load(),
+	}
+}

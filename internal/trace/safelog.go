@@ -54,6 +54,27 @@ func (s *SafeLog) Snapshot() *Log {
 	return out
 }
 
+// AppendSince returns a copy of the events with Seq > seq, in order. An
+// incremental tailer (the crash harness, a WAL writer) calls it with the
+// last sequence number it has seen instead of paying Snapshot's
+// whole-log copy per poll; the returned slice is the caller's.
+func (s *SafeLog) AppendSince(seq int64) []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	events := s.l.events
+	// Seqs are 1..len(events) and dense (Append and MarkAborted each claim
+	// one), so the tail after seq starts at index seq — no scan needed.
+	if seq < 0 {
+		seq = 0
+	}
+	if seq >= int64(len(events)) {
+		return nil
+	}
+	out := make([]Event, int64(len(events))-seq)
+	copy(out, events[seq:])
+	return out
+}
+
 // AcceptedSubschedule returns the accepted subschedule of a snapshot.
 func (s *SafeLog) AcceptedSubschedule() []model.Step {
 	return s.Snapshot().AcceptedSubschedule()

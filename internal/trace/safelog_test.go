@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// TestAppendSince checks the incremental tail matches what a full
+// Snapshot would have shown, without the whole-log copy.
+func TestAppendSince(t *testing.T) {
+	l := NewSafeLog()
+	l.Append(model.Begin(1), true)
+	l.Append(model.Read(1, 3), true)
+	l.MarkAborted(2)
+
+	tail := l.AppendSince(0)
+	if len(tail) != 3 {
+		t.Fatalf("AppendSince(0) returned %d events, want 3", len(tail))
+	}
+	if tail[2].AbortMark != true || tail[2].Step.Txn != 2 {
+		t.Fatalf("event 3 = %+v, want the abort mark", tail[2])
+	}
+
+	tail = l.AppendSince(2)
+	if len(tail) != 1 || !tail[0].AbortMark {
+		t.Fatalf("AppendSince(2) = %+v, want just the abort mark", tail)
+	}
+	if got := l.AppendSince(3); got != nil {
+		t.Fatalf("AppendSince(at head) = %+v, want nil", got)
+	}
+	if got := l.AppendSince(99); got != nil {
+		t.Fatalf("AppendSince(past head) = %+v, want nil", got)
+	}
+
+	// Incremental tailing reassembles the full log while appends continue.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			l.Append(model.Read(1, model.Entity(i)), i%2 == 0)
+		}
+	}()
+	var seen []Event
+	for len(seen) < 103 {
+		chunk := l.AppendSince(int64(len(seen)))
+		seen = append(seen, chunk...)
+	}
+	wg.Wait()
+	full := l.Snapshot().Events()
+	if len(seen) != len(full) {
+		t.Fatalf("tailed %d events, log has %d", len(seen), len(full))
+	}
+	for i := range full {
+		if seen[i].Seq != full[i].Seq || seen[i].Step.Txn != full[i].Step.Txn ||
+			seen[i].Step.Entity != full[i].Step.Entity || seen[i].Accepted != full[i].Accepted {
+			t.Fatalf("event %d: tailed %+v, log %+v", i, seen[i], full[i])
+		}
+	}
+}

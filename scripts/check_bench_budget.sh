@@ -5,9 +5,12 @@
 # cross-partition 2PC path (BenchmarkEngineCrossFrac at CrossFrac=0.05),
 # the telemetry emitter overhead (BenchmarkEngineEmitOverhead on vs off,
 # ns/op delta), the retention governor's peak retained count under attack
-# (BenchmarkEngineRetentionGoverned, peak-kept vs max_peak_kept), and the
-# submission path's p99 per-step latency at two cores
-# (BenchmarkEngineParallelScaling, p99-step-ns vs max_p99_step_ns).
+# (BenchmarkEngineRetentionGoverned, peak-kept vs max_peak_kept), the
+# durability layer's WAL overhead at the default fsync batch
+# (BenchmarkEngineWALOverhead on vs off, ns/op delta vs
+# max_wal_overhead_ns), and the submission path's p99 per-step latency at
+# two cores (BenchmarkEngineParallelScaling, p99-step-ns vs
+# max_p99_step_ns).
 #
 # Usage: check_bench_budget.sh [all|alloc|scale]
 #   all   (default) every gate
@@ -31,12 +34,14 @@ cross_budget=$(awk '/^max_cross_allocs_per_op/ {print $2}' bench_budget.txt)
 emit_budget=$(awk '/^max_emit_overhead_ns/ {print $2}' bench_budget.txt)
 kept_budget=$(awk '/^max_peak_kept/ {print $2}' bench_budget.txt)
 p99_budget=$(awk '/^max_p99_step_ns/ {print $2}' bench_budget.txt)
+wal_budget=$(awk '/^max_wal_overhead_ns/ {print $2}' bench_budget.txt)
 [ -n "$budget" ] || { echo "check_bench_budget: no max_allocs_per_op in bench_budget.txt" >&2; exit 2; }
 [ -n "$nogc_budget" ] || { echo "check_bench_budget: no max_nogc_allocs_per_op in bench_budget.txt" >&2; exit 2; }
 [ -n "$cross_budget" ] || { echo "check_bench_budget: no max_cross_allocs_per_op in bench_budget.txt" >&2; exit 2; }
 [ -n "$emit_budget" ] || { echo "check_bench_budget: no max_emit_overhead_ns in bench_budget.txt" >&2; exit 2; }
 [ -n "$kept_budget" ] || { echo "check_bench_budget: no max_peak_kept in bench_budget.txt" >&2; exit 2; }
 [ -n "$p99_budget" ] || { echo "check_bench_budget: no max_p99_step_ns in bench_budget.txt" >&2; exit 2; }
+[ -n "$wal_budget" ] || { echo "check_bench_budget: no max_wal_overhead_ns in bench_budget.txt" >&2; exit 2; }
 
 if [ "$section" != "scale" ]; then
 	out=$(go test -run '^$' -bench 'BenchmarkEngineThroughput/shards=4/(policy=greedy-c1|policy=nogc)$|BenchmarkEngineCrossFrac/cross=5' \
@@ -102,6 +107,30 @@ if [ "$section" != "scale" ]; then
 		exit 1
 	fi
 	echo "check_bench_budget: OK: emitter overhead ${delta} ns/op (median of paired deltas:${emit_deltas}) within budget of ${emit_budget} ns, emitter=on $emit_allocs allocs/op within budget of $budget"
+
+	# WAL overhead: same paired-delta methodology as the emitter gate — the
+	# wal=on-fsync=64 and wal=off variants run back-to-back within one `go
+	# test` invocation, so host drift cancels out of the delta. The budget
+	# is absolute ns and dominated by real fsync latency (see
+	# bench_budget.txt); three pairs suffice because the signal a regression
+	# leaves (lost fsync batching, per-record allocation storms) is a
+	# multiple of the budget, not a flicker.
+	wal_deltas=""
+	for _i in 1 2 3; do
+		wal_out=$(go test -run '^$' -bench 'BenchmarkEngineWALOverhead/(wal=off|wal=on-fsync=64)$' \
+			-benchtime 3000x -benchmem ./internal/engine/)
+		echo "$wal_out" | grep BenchmarkEngine || true
+		wal_off=$(echo "$wal_out" | awk '/wal=off/ {for (i = 2; i <= NF; i++) if ($i == "ns/op") print $(i-1)}' | head -1)
+		wal_on=$(echo "$wal_out" | awk '/wal=on/ {for (i = 2; i <= NF; i++) if ($i == "ns/op") print $(i-1)}' | head -1)
+		[ -n "$wal_off" ] && [ -n "$wal_on" ] || { echo "check_bench_budget: could not parse WAL ns/op from benchmark output" >&2; exit 2; }
+		wal_deltas="$wal_deltas $((wal_on - wal_off))"
+	done
+	wal_delta=$(echo "$wal_deltas" | tr ' ' '\n' | grep -v '^$' | sort -n | awk '{v[NR] = $1} END {print v[int((NR + 1) / 2)]}')
+	if [ "$wal_delta" -gt "$wal_budget" ]; then
+		echo "check_bench_budget: FAIL: WAL overhead ${wal_delta} ns/op (median of paired deltas:${wal_deltas}) exceeds budget of ${wal_budget} ns" >&2
+		exit 1
+	fi
+	echo "check_bench_budget: OK: WAL overhead ${wal_delta} ns/op (median of paired deltas:${wal_deltas}) within budget of ${wal_budget} ns"
 
 	# Retention governor: peak retained count while the adversarial leak
 	# family runs must stay under max_peak_kept — the bounded-retention SLO as

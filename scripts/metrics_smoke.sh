@@ -3,14 +3,17 @@
 # -metrics-addr and -capture, run a small workload over the v2 wire
 # protocol, scrape /metrics, and check that the endpoint exposes the
 # expected counters/gauges and that the capture file holds both event and
-# step records.
+# step records. A second phase smokes the durability surface: a server on
+# -data-dir exposes the WAL counters, survives kill -9, and reports the
+# recovered state when restarted on the same directory.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ADDR="${METRICS_ADDR:-127.0.0.1:9109}"
 CAPTURE="$(mktemp /tmp/txgc-capture.XXXXXX.jsonl)"
+DATADIR="$(mktemp -d /tmp/txgc-data.XXXXXX)"
 SERVE_PID=""
-trap 'rm -f "$CAPTURE"; [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
+trap 'rm -rf "$CAPTURE" "$DATADIR"; [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null || true' EXIT
 
 go build -o /tmp/txgc-serve-smoke ./cmd/txgc-serve
 
@@ -29,7 +32,7 @@ go build -o /tmp/txgc-serve-smoke ./cmd/txgc-serve
         '{"op":"write","txn":3,"entities":[0,1]}' \
         '{"op":"stats"}'
     sleep 4
-) | /tmp/txgc-serve-smoke -shards 4 -retention-watermark 64 -metrics-addr "$ADDR" -capture "$CAPTURE" -verify >/tmp/txgc-smoke-out.jsonl 2>/tmp/txgc-smoke-err.txt &
+) | /tmp/txgc-serve-smoke -shards 4 -retention-watermark 64 -metrics-addr "$ADDR" -capture "$CAPTURE" -data-dir "$DATADIR" -fsync-batch 1 -verify >/tmp/txgc-smoke-out.jsonl 2>/tmp/txgc-smoke-err.txt &
 SERVE_PID=$!
 
 # Wait for the metrics endpoint to come up.
@@ -70,6 +73,12 @@ grep -q 'kind="prepare"' <<<"$METRICS" || fail "no prepare events from the 2PC p
 # never crosses 64).
 grep -q 'txgc_retention_watermark 64' <<<"$METRICS" || fail "no retention watermark gauge"
 grep -q 'txgc_reaped_total' <<<"$METRICS" || fail "no reaped counter"
+# Durability surface: the WAL counters render per shard, and strict mode
+# (fsync-batch 1) has synced at least once by the time the scrape sees a
+# committed transaction.
+grep -q 'txgc_wal_appended_bytes_total{shard="0"}' <<<"$METRICS" || fail "no WAL appended-bytes counter"
+grep -Eq 'txgc_wal_fsyncs_total\{shard="0"\} [1-9]' <<<"$METRICS" || fail "no WAL fsyncs on the strict path"
+grep -q 'txgc_checkpoint_seq{shard="0"}' <<<"$METRICS" || fail "no checkpoint-seq gauge"
 
 wait "$SERVE_PID"
 SERVE_PID=""
@@ -78,4 +87,41 @@ grep -q '"rec":"event"' "$CAPTURE" || { echo "metrics_smoke: FAIL: no event reco
 grep -q '"rec":"step"' "$CAPTURE" || { echo "metrics_smoke: FAIL: no step records in capture" >&2; exit 1; }
 grep -q 'verify OK' /tmp/txgc-smoke-err.txt || { echo "metrics_smoke: FAIL: CSR verify did not pass" >&2; cat /tmp/txgc-smoke-err.txt >&2; exit 1; }
 
-echo "metrics_smoke: OK (/metrics exposes counters+gauges+histograms; capture holds events and steps)"
+# --- Crash phase: acked state survives kill -9 and is reported at restart.
+# Commit one transaction, leave another in flight, then kill the server
+# without ceremony; a restart on the same directory replays the WAL, keeps
+# the committed transaction (its ID refuses a duplicate begin), and aborts
+# the orphan.
+rm -rf "$DATADIR" && mkdir "$DATADIR"
+(
+    printf '%s\n' \
+        '{"op":"hello","version":2}' \
+        '{"op":"begin","txn":10,"footprint":[0]}' \
+        '{"op":"write","txn":10,"entities":[0]}' \
+        '{"op":"begin","txn":11,"footprint":[1]}' \
+        '{"op":"read","txn":11,"entity":1}'
+    sleep 30
+) | /tmp/txgc-serve-smoke -shards 4 -data-dir "$DATADIR" -fsync-batch 1 >/tmp/txgc-crash-out.jsonl 2>/tmp/txgc-crash-err.txt &
+SERVE_PID=$!
+for _ in $(seq 1 40); do
+    grep -q '"txn":11' /tmp/txgc-crash-out.jsonl 2>/dev/null && break
+    sleep 0.25
+done
+grep -q '"txn":11' /tmp/txgc-crash-out.jsonl || { echo "metrics_smoke: FAIL: crash-phase workload never acked" >&2; cat /tmp/txgc-crash-err.txt >&2; exit 1; }
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+
+printf '%s\n' \
+    '{"op":"hello","version":2}' \
+    '{"op":"begin","txn":10,"footprint":[0]}' \
+    | /tmp/txgc-serve-smoke -shards 4 -data-dir "$DATADIR" -fsync-batch 1 >/tmp/txgc-recover-out.jsonl 2>/tmp/txgc-recover-err.txt
+
+grep -Eq 'recovered 4 shards: [1-9][0-9]* records replayed' /tmp/txgc-recover-err.txt \
+    || { echo "metrics_smoke: FAIL: no recovery report after kill -9" >&2; cat /tmp/txgc-recover-err.txt >&2; exit 1; }
+grep -q '1 orphans aborted' /tmp/txgc-recover-err.txt \
+    || { echo "metrics_smoke: FAIL: in-flight txn 11 not aborted at recovery" >&2; cat /tmp/txgc-recover-err.txt >&2; exit 1; }
+grep -q '"code":"protocol"' /tmp/txgc-recover-out.jsonl \
+    || { echo "metrics_smoke: FAIL: committed txn 10 did not survive the crash (duplicate begin was accepted)" >&2; cat /tmp/txgc-recover-out.jsonl >&2; exit 1; }
+
+echo "metrics_smoke: OK (/metrics exposes counters+gauges+histograms incl. WAL; capture holds events and steps; kill -9 recovery keeps acked state)"

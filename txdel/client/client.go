@@ -53,6 +53,7 @@ import (
 	"repro/internal/emit"
 	"repro/internal/engine"
 	"repro/internal/model"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -75,6 +76,10 @@ type (
 	// StepSource is a stream of steps with abort feedback (satisfied by
 	// txdel.Workload generators); see DB.Drive.
 	StepSource = engine.StepSource
+	// Store is a pluggable durability backend (see Config.Store).
+	Store = store.Store
+	// RecoveryReport summarizes what Open recovered from a durable store.
+	RecoveryReport = engine.RecoveryReport
 )
 
 // Re-exported constants.
@@ -114,6 +119,27 @@ type Config struct {
 	// falls back under the watermark. PriorityHigh sessions are exempt.
 	// Requires a deletion policy other than "nogc".
 	RetentionWatermark int
+	// DataDir, when non-empty, enables crash durability on the file
+	// backend: each shard journals its accepted subschedule to a
+	// write-ahead log under this directory and checkpoints at sweep
+	// boundaries, and Open recovers whatever a previous process left there
+	// before serving (see DB.Recovery). The directory is created if
+	// missing; its shard count must match Shards on reopen.
+	DataDir string
+	// FsyncBatch is the WAL sync cadence: the log is forced once this many
+	// records accumulated (default 64). 1 is strict mode — every record
+	// durable before its acknowledgement. 2PC PREPARE votes and COMMIT
+	// decisions are always synced immediately regardless. Ignored without
+	// DataDir or Store.
+	FsyncBatch int
+	// CheckpointEverySweeps is the checkpoint cadence in deletion-policy
+	// sweeps (default 1). Ignored without DataDir or Store.
+	CheckpointEverySweeps int
+	// Store plugs a durability backend directly (e.g. store.NewMem in
+	// tests); mutually exclusive with DataDir. The caller keeps ownership:
+	// Close does not close it.
+	Store Store
+
 	// Verify keeps a full step trace; Close then replays the accepted
 	// subschedule through the offline CSR referee and reports a non-nil
 	// error if conflict serializability was ever violated.
@@ -169,6 +195,11 @@ type DB struct {
 	verify bool
 	nextID atomic.Int64
 	closed atomic.Bool
+	// ownedStore is the file backend Open created from Config.DataDir (nil
+	// when the caller supplied Config.Store or durability is off); Close
+	// closes it after the engine's final sync.
+	ownedStore *store.File
+	recovery   *RecoveryReport
 }
 
 // Open starts the engine with cfg's shard goroutines running.
@@ -189,7 +220,23 @@ func Open(cfg Config) (*DB, error) {
 	if len(cfg.Sinks) > 0 {
 		bus = emit.NewBus(cfg.EventBuffer, cfg.Sinks...)
 	}
-	eng := engine.New(engine.Config{
+	st := cfg.Store
+	var owned *store.File
+	if cfg.DataDir != "" {
+		if st != nil {
+			return nil, fmt.Errorf("client: Config.DataDir and Config.Store are mutually exclusive: %w", ErrProtocol)
+		}
+		shards := cfg.Shards
+		if shards <= 0 {
+			shards = 1
+		}
+		f, err := store.OpenFile(cfg.DataDir, shards, store.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("client: open data dir: %w", err)
+		}
+		st, owned = f, f
+	}
+	eng, rep, err := engine.Open(engine.Config{
 		Shards:                cfg.Shards,
 		Policy:                factory,
 		BatchSize:             cfg.BatchSize,
@@ -199,14 +246,37 @@ func Open(cfg Config) (*DB, error) {
 		RetentionWatermark:    cfg.RetentionWatermark,
 		Log:                   log,
 		Bus:                   bus,
+		Store:                 st,
+		WALSyncEvery:          cfg.FsyncBatch,
+		CheckpointEverySweeps: cfg.CheckpointEverySweeps,
 	})
+	if err != nil {
+		if owned != nil {
+			owned.Close()
+		}
+		if bus != nil {
+			bus.Close()
+		}
+		return nil, err
+	}
 	for _, s := range cfg.Sinks {
 		if m, ok := s.(*emit.MetricsSink); ok {
 			m.SetGauges(eng.Gauges)
 			m.SetBus(bus)
 		}
 	}
-	return &DB{eng: eng, log: log, bus: bus, verify: cfg.Verify}, nil
+	return &DB{eng: eng, log: log, bus: bus, verify: cfg.Verify, ownedStore: owned, recovery: rep}, nil
+}
+
+// Recovery reports what Open recovered from the durability layer (an empty
+// report when durability is off).
+func (db *DB) Recovery() *RecoveryReport { return db.recovery }
+
+// ResolveInDoubt decides a cross-partition transaction recovery held in
+// doubt; see the engine documentation. Only meaningful after an Open whose
+// Recovery().InDoubt was non-empty.
+func (db *DB) ResolveInDoubt(id TxnID, commit bool) bool {
+	return db.eng.ResolveInDoubt(id, commit)
 }
 
 // NumShards returns the number of entity partitions.
@@ -315,8 +385,15 @@ func (db *DB) Close() error {
 	}
 	db.eng.Close()
 	var busErr error
+	if db.ownedStore != nil {
+		// After the engine's final sync; a graceful Close leaves a clean,
+		// fully-durable directory behind.
+		busErr = db.ownedStore.Close()
+	}
 	if db.bus != nil {
-		busErr = db.bus.Close()
+		if err := db.bus.Close(); err != nil && busErr == nil {
+			busErr = err
+		}
 	}
 	if db.verify {
 		if err := db.log.CheckAcceptedCSR(); err != nil {

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -435,5 +436,74 @@ func TestRawBatchPath(t *testing.T) {
 	}
 	if db.Abort(2) {
 		t.Fatal("raw Abort of an unknown ID returned true")
+	}
+}
+
+// TestDurableRoundTrip: sessions against a DataDir-backed DB survive a
+// close/reopen — the retained transaction refuses a duplicate Begin, the
+// orphaned session is aborted, and the recovery report says so.
+func TestDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	db, err := Open(Config{Shards: 2, Policy: "greedy-c1", DataDir: dir, FsyncBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := db.Recovery(); rep == nil || rep.RecordsReplayed != 0 {
+		t.Fatalf("fresh-dir recovery report = %+v", rep)
+	}
+	txn, err := db.Begin(ctx, WithID(1), WithFootprint(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Write(ctx, 0, 1); err != nil {
+		t.Fatalf("cross commit: %v", err)
+	}
+	// An orphan: begun, never decided, its session dies with the process.
+	if _, err := db.Begin(ctx, WithID(2), WithFootprint(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := open(t, Config{Shards: 2, Policy: "greedy-c1", DataDir: dir})
+	rep := db2.Recovery()
+	if rep.OrphansAborted != 1 {
+		t.Fatalf("OrphansAborted = %d, want 1 (report %+v)", rep.OrphansAborted, rep)
+	}
+	// T1 committed before the crash: still retained, duplicate Begin fails.
+	if _, err := db2.Begin(ctx, WithID(1), WithFootprint(0)); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("duplicate Begin of retained txn = %v, want ErrProtocol", err)
+	}
+	// T2 was orphan-aborted: its ID begins fresh and can commit.
+	txn2, err := db2.Begin(ctx, WithID(2), WithFootprint(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := txn2.Write(ctx, 0); err != nil {
+		t.Fatalf("commit after recovery: %v", err)
+	}
+}
+
+// TestDataDirStoreExclusive: the two durability knobs cannot be combined,
+// and a caller-supplied Store works without a DataDir.
+func TestDataDirStoreExclusive(t *testing.T) {
+	if _, err := Open(Config{Shards: 1, DataDir: t.TempDir(), Store: store.NewMem(1)}); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("DataDir+Store = %v, want ErrProtocol", err)
+	}
+	mem := store.NewMem(2)
+	db := open(t, Config{Shards: 2, Policy: "greedy-c1", Store: mem})
+	ctx := context.Background()
+	txn, err := db.Begin(ctx, WithFootprint(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Write(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if mem.Shard(0).Stats().Records == 0 {
+		t.Fatal("caller-supplied store saw no journal records")
 	}
 }
