@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race ci bench bench-check bench-scale examples check-client-only
+.PHONY: all build vet test race ci lint lint-selftest bench bench-check bench-scale examples check-client-only
 
 all: ci
 
@@ -16,7 +16,17 @@ test:
 race:
 	$(GO) test -race ./...
 
-ci: build vet race
+# Project-invariant static analysis (docs/lint.md): layering, hotpath
+# (+compiler escape diff against lint/escape_allowlist.txt), shardowned,
+# errtaxonomy, emitsafe.
+lint:
+	$(GO) run ./cmd/txgc-lint -escape ./...
+
+# Prove the lint gate can fail: seed violations, expect nonzero exits.
+lint-selftest:
+	./scripts/lint_selftest.sh
+
+ci: build vet lint race
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchtime 3000x -benchmem ./internal/engine/

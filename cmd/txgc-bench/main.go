@@ -18,6 +18,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	//lint:ignore layering-client-facade the bench harness measures engine internals (shard counts, WAL modes) that the client facade deliberately hides; it is an experiment rig, not an example to copy
 	"repro/internal/bench"
 )
 

@@ -1,0 +1,92 @@
+// Command txgc-lint runs the project-invariant analyzers over the module.
+//
+//	go run ./cmd/txgc-lint [flags] [packages]
+//
+// With no packages it loads ./... . Exit status: 0 clean, 1 diagnostics
+// reported, 2 the load itself failed. See docs/lint.md for the analyzer
+// catalog, the //txgc: annotation grammar, and the //lint:ignore
+// suppression syntax.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	escape := flag.Bool("escape", false, "also run compiler escape analysis over hot packages and diff against -allowlist")
+	allowlist := flag.String("allowlist", "lint/escape_allowlist.txt", "escape allowlist path (repo-relative)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	prog, err := lint.Load(lint.LoadConfig{}, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "txgc-lint:", err)
+		os.Exit(2)
+	}
+	analyzers := []*lint.Analyzer{
+		lint.NewLayering(lint.DefaultLayerRules(prog.Module)),
+		lint.NewHotpath(),
+		lint.NewShardowned(),
+		lint.NewErrTaxonomy(),
+		lint.NewEmitsafe(lint.DefaultEmitRoots(prog.Module)),
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var sel []*lint.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				sel = append(sel, a)
+				delete(keep, a.Name)
+			}
+		}
+		for name := range keep {
+			fmt.Fprintf(os.Stderr, "txgc-lint: unknown analyzer %q (see -list)\n", name)
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+	for _, e := range prog.Errors {
+		fmt.Fprintln(os.Stderr, "txgc-lint:", e)
+	}
+	if len(prog.Errors) > 0 {
+		os.Exit(2)
+	}
+
+	diags := lint.Run(prog, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if *escape {
+		rep, err := lint.Escape(prog, *allowlist)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "txgc-lint:", err)
+			os.Exit(2)
+		}
+		for _, d := range rep.Diags {
+			fmt.Println(d)
+		}
+		for _, stale := range rep.Stale {
+			fmt.Fprintf(os.Stderr, "txgc-lint: warning: stale allowlist entry (escape no longer happens): %s\n", stale)
+		}
+		diags = append(diags, rep.Diags...)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "txgc-lint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

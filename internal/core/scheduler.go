@@ -186,6 +186,11 @@ type Scheduler struct {
 	// reused Sweep handle of SweepNow for the same reason.
 	compScratch []model.TxnID
 	manualSweep Sweep
+	// autoSweep is the same reuse for the per-step policy sweep in
+	// afterStep: one Sweep handle (and deleted buffer) per scheduler, not
+	// one heap allocation per completion. Result.Deleted aliases its
+	// buffer until the next sweep, matching SweepNow's contract.
+	autoSweep Sweep
 
 	// Cross-shard bookkeeping (subtxn.go), all indexed by arena slot.
 	// crossID names the logical cross transaction occupying a slot as a
@@ -327,6 +332,8 @@ func (s *Scheduler) NumActive() int { return s.numActive }
 // (unknown transaction, duplicate BEGIN, step after completion, a
 // multiple-write-model step kind) yields an error and leaves the state
 // unchanged.
+//
+//txgc:hotpath
 func (s *Scheduler) Apply(step model.Step) (Result, error) {
 	switch step.Kind {
 	case model.KindBegin:
@@ -336,6 +343,7 @@ func (s *Scheduler) Apply(step model.Step) (Result, error) {
 	case model.KindWriteFinal:
 		return s.writeFinal(step)
 	default:
+		//lint:ignore hotpath-fmt protocol-violation path: a malformed step already left the hot path, and the error text is the API
 		return Result{}, fmt.Errorf("core: step kind %v not part of the basic model", step.Kind)
 	}
 }
@@ -353,6 +361,7 @@ func (s *Scheduler) MustApply(step model.Step) Result {
 func (s *Scheduler) begin(step model.Step) (Result, error) {
 	id := step.Txn
 	if _, ok := s.txns[id]; ok {
+		//lint:ignore hotpath-fmt protocol-violation path: duplicate BEGIN is a client bug, not steady state
 		return Result{}, fmt.Errorf("core: duplicate BEGIN for T%d", id)
 	}
 	s.seq++
@@ -463,12 +472,15 @@ func (s *Scheduler) writeFinal(step model.Step) (Result, error) {
 func (s *Scheduler) activeTxn(id model.TxnID) (*TxnState, error) {
 	t, ok := s.txns[id]
 	if !ok {
+		//lint:ignore hotpath-fmt protocol-violation path: every accepted step takes the ok branch
 		return nil, fmt.Errorf("core: step for unknown transaction T%d (no BEGIN, aborted, or deleted)", id)
 	}
 	if t.Status != model.StatusActive {
+		//lint:ignore hotpath-fmt protocol-violation path, as above
 		return nil, fmt.Errorf("core: step for %v transaction T%d", t.Status, id)
 	}
 	if t.prepared {
+		//lint:ignore hotpath-fmt protocol-violation path, as above
 		return nil, fmt.Errorf("core: step for prepared transaction T%d", id)
 	}
 	return t, nil
@@ -482,6 +494,7 @@ func (s *Scheduler) acquireState(id model.TxnID, ref graph.Ref) *TxnState {
 		t = s.statePool[n-1]
 		s.statePool = s.statePool[:n-1]
 	} else {
+		//lint:ignore hotpath-alloc pool miss only: in steady state delete/abort→begin recycles through statePool, so this branch runs O(peak concurrent txns) times, not O(steps)
 		t = &TxnState{
 			Access:    make(model.AccessSet),
 			accessSeq: make(map[model.Entity]int64),
@@ -629,7 +642,10 @@ func (s *Scheduler) deleteTxn(id model.TxnID) error {
 // (a completion or an abort); see Config.SweepEveryStep.
 func (s *Scheduler) afterStep(res *Result, sweepEvent bool) {
 	if s.cfg.Policy != nil && !s.cfg.SweepManual && (sweepEvent || s.cfg.SweepEveryStep) {
-		sw := &Sweep{s: s, justCompleted: res.CompletedTxn}
+		sw := &s.autoSweep
+		sw.s = s
+		sw.justCompleted = res.CompletedTxn
+		sw.deleted = sw.deleted[:0]
 		s.cfg.Policy.Sweep(sw)
 		res.Deleted = sw.deleted
 		s.stats.Sweeps++

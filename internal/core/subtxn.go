@@ -307,6 +307,7 @@ func (s *Scheduler) crossCollect(t *TxnState) bool {
 	if !s.crossEnabled() {
 		return true
 	}
+	//lint:ignore hotpath-closure seen/arrive never leave this frame, so the compiler stack-allocates them; escape mode (-escape) would flag a 'func literal escapes' regression
 	seen := func(l model.TxnID) bool {
 		for _, x := range s.inLabels {
 			if x == l {
@@ -315,6 +316,7 @@ func (s *Scheduler) crossCollect(t *TxnState) bool {
 		}
 		return false
 	}
+	//lint:ignore hotpath-closure non-escaping, as seen above
 	arrive := func(l model.TxnID) bool {
 		if l == t.ID || seen(l) || s.hasLabel(t.ref, l) {
 			return true

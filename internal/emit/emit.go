@@ -210,6 +210,8 @@ func NewBus(n int, sinks ...Sink) *Bus {
 // Emit publishes one event without ever blocking: if the ring is full (the
 // drain goroutine is behind) the event is dropped and counted. It is safe
 // from any number of goroutines and reports whether the event was enqueued.
+//
+//txgc:hotpath
 func (b *Bus) Emit(ev Event) bool {
 	if !b.ring.TryPush(ev) {
 		// The drain goroutine is a full lap behind. Drop, never block.

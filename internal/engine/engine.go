@@ -323,6 +323,7 @@ func Open(cfg Config) (*Engine, *RecoveryReport, error) {
 			done: make(chan struct{}),
 		}
 		if cfg.Store != nil {
+			//lint:ignore shardowned-access construction: the shard goroutine does not exist yet; its launch below happens-after this write
 			sh.st = cfg.Store.Shard(i)
 		}
 		e.shards[i] = sh
@@ -736,6 +737,7 @@ func (e *Engine) Stats() Stats {
 		} else {
 			// The shard shut down (do only fails once done is closed, and
 			// final is written before that), so its last snapshot is valid.
+			//lint:ignore shardowned-access read after <-sh.done: final is written before close(done), which do's failure proves happened
 			cs = sh.final
 		}
 		s.PerShard = append(s.PerShard, cs)

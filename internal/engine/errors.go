@@ -83,6 +83,7 @@ func ClassOf(err error) emit.Class {
 // stepErr wraps a taxonomy sentinel with the failing step's context. Only
 // failure paths pay the allocation.
 func stepErr(step model.Step, sentinel error) error {
+	//lint:ignore hotpath-fmt failure path by definition — the doc comment above is the contract
 	return fmt.Errorf("engine: %v: %w", step, sentinel)
 }
 
@@ -90,6 +91,7 @@ func stepErr(step model.Step, sentinel error) error {
 // and the context's cause (context.Canceled / context.DeadlineExceeded)
 // are reachable through errors.Is.
 func ctxErr(step model.Step, cause error) error {
+	//lint:ignore hotpath-fmt failure path: runs once per killed transaction, not per step
 	return fmt.Errorf("engine: %v: %w (%w)", step, ErrTxnAborted, cause)
 }
 
@@ -97,5 +99,6 @@ func ctxErr(step model.Step, cause error) error {
 // both ErrStragglerAborted and ErrTxnAborted are reachable through
 // errors.Is, mirroring ctxErr's shape for context kills.
 func stragglerErr(step model.Step) error {
+	//lint:ignore hotpath-fmt failure path: runs once per reaped straggler, not per step
 	return fmt.Errorf("engine: %v: %w (%w)", step, ErrStragglerAborted, ErrTxnAborted)
 }

@@ -26,6 +26,8 @@
 //
 // Every resolution is journaled and synced before Open returns, so a crash
 // during (or right after) recovery re-resolves to the same state.
+//
+//lint:file-ignore shardowned recovery runs on Open's goroutine strictly before any shard goroutine starts, so it owns every shard's state by happens-before (the goroutine launch in Open is the synchronization point)
 package engine
 
 import (

@@ -138,6 +138,8 @@ func (g *Graph) Clone() *Graph {
 func (g *Graph) AddNode(id model.TxnID) { g.AddNodeRef(id) }
 
 // AddNodeRef inserts a node (idempotent) and returns its slot.
+//
+//txgc:hotpath
 func (g *Graph) AddNodeRef(id model.TxnID) Ref {
 	if r, ok := g.idx[id]; ok {
 		return r
@@ -410,6 +412,12 @@ func (g *Graph) Reduce(id model.TxnID) {
 
 // ReduceRef is Reduce by slot; r must be a live slot. The splice iterates
 // the incidence lists in place: no sorting, no materialized sets.
+//
+// Annotated as a hot-path root in its own right: deletion sweeps reach it
+// through the Policy interface, which the static call-graph walk from
+// Apply cannot cross.
+//
+//txgc:hotpath
 func (g *Graph) ReduceRef(r Ref) {
 	// The splice appends to out[p] and in[s] for p, s ≠ r, never to the
 	// lists of r itself, so iterating them directly is safe.
@@ -509,6 +517,8 @@ func (g *Graph) Targets() []Ref { return g.tlist }
 // path of length ≥ 1, or length 0 if src itself is marked. It is the
 // scheduler's cycle test: a step adds arcs tail→src for each marked tail,
 // so a cycle appears iff src already reaches some tail.
+//
+//txgc:hotpath
 func (g *Graph) ReachesAnyTarget(src Ref) bool {
 	if len(g.tlist) == 0 {
 		return false
@@ -540,6 +550,8 @@ func (g *Graph) ReachesAnyTarget(src Ref) bool {
 // LinkTargetsTo adds an arc tail→head for every marked target (self-loops
 // and duplicates ignored). Callers run ReachesAnyTarget first, so the new
 // arcs cannot create a cycle.
+//
+//txgc:hotpath
 func (g *Graph) LinkTargetsTo(head Ref) {
 	for _, t := range g.tlist {
 		g.addArcRef(t, head)

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StaticCallee resolves a call expression to the *types.Func it statically
+// invokes, or nil when the target is dynamic: an interface method, a
+// function value, or a built-in. Dynamic targets are the analyzers'
+// traversal cutoff — an interface call site is where one layer's
+// obligations end and the implementor's own annotations must take over.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		sel, ok := info.Selections[fun]
+		if ok {
+			// Method call or method value: dynamic if the receiver is an
+			// interface.
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return nil
+			}
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil && types.IsInterface(recv.Type()) {
+				return nil
+			}
+			return fn
+		}
+		// Qualified identifier: pkg.Func.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// callChain remembers, for every function reached from an annotated root,
+// one call path back to that root — so a diagnostic deep in a callee can
+// say which hot path pulled it in.
+type callChain struct {
+	prog    *Program
+	parent  map[*types.Func]*types.Func
+	root    map[*types.Func]*types.Func
+	visited []*types.Func
+}
+
+// reachableFrom walks the module-local static call graph from roots,
+// breadth-first. filter, if non-nil, bounds the walk (e.g. shardowned
+// stays inside one package).
+func (prog *Program) reachableFrom(roots []*types.Func, filter func(*FuncBody) bool) *callChain {
+	cc := &callChain{
+		prog:   prog,
+		parent: map[*types.Func]*types.Func{},
+		root:   map[*types.Func]*types.Func{},
+	}
+	var queue []*types.Func
+	for _, r := range roots {
+		r = origin(r)
+		if _, seen := cc.root[r]; seen {
+			continue
+		}
+		cc.root[r] = r
+		queue = append(queue, r)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		fb := prog.FuncBodyOf(fn)
+		if fb == nil || fb.Decl.Body == nil || (filter != nil && !filter(fb)) {
+			continue
+		}
+		cc.visited = append(cc.visited, fn)
+		ast.Inspect(fb.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := StaticCallee(fb.Pkg.Info, call)
+			if callee == nil {
+				return true
+			}
+			callee = origin(callee)
+			if prog.FuncBodyOf(callee) == nil {
+				return true // outside the module
+			}
+			if _, seen := cc.root[callee]; seen {
+				return true
+			}
+			cc.root[callee] = cc.root[fn]
+			cc.parent[callee] = fn
+			queue = append(queue, callee)
+			return true
+		})
+	}
+	return cc
+}
+
+// origin maps an instantiated generic function back to its declaration.
+func origin(fn *types.Func) *types.Func {
+	if o := fn.Origin(); o != nil {
+		return o
+	}
+	return fn
+}
+
+// contains reports whether fn was reached.
+func (cc *callChain) contains(fn *types.Func) bool {
+	_, ok := cc.root[origin(fn)]
+	return ok
+}
+
+// rootOf names the annotated root that pulled fn into the walk.
+func (cc *callChain) rootOf(fn *types.Func) *types.Func {
+	return cc.root[origin(fn)]
+}
+
+// funcDisplay renders a function as pkg.Func or pkg.(*Recv).Method, the
+// form the escape allowlist keys on.
+func funcDisplay(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path() + "."
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		name := ""
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			name = "*"
+		}
+		if n, ok := t.(*types.Named); ok {
+			name += n.Obj().Name()
+		} else {
+			name += t.String()
+		}
+		return pkg + "(" + name + ")." + fn.Name()
+	}
+	return pkg + fn.Name()
+}

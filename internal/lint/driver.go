@@ -1,0 +1,368 @@
+// Package lint is txgc-lint's hand-rolled static-analysis driver and the
+// project-invariant analyzers that run on it.
+//
+// The repo's correctness story rests on structural invariants that no
+// runtime oracle can see: the client-facade layering, the alloc-free hot
+// path, single-writer shard state, the errors.Is taxonomy, and the
+// never-blocking telemetry spine. Each analyzer in this package turns one
+// of those conventions into a compile-time check. In keeping with the
+// module's zero-dependency ethos (hand-rolled Prometheus text, hand-rolled
+// JSONL), the driver is stdlib only: packages are discovered with
+// `go list -e -export -deps -json`, module packages are parsed with
+// go/parser and typechecked with go/types, and imports outside the module
+// are satisfied from the compiler export data go list already produced —
+// no golang.org/x/tools.
+//
+// See docs/lint.md for the annotation grammar (`//txgc:hotpath`,
+// `//txgc:owner shard`), the analyzer catalog, and the suppression syntax
+// (`//lint:ignore <id> <reason>`).
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// listPackage mirrors the subset of `go list -json` output the driver
+// consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct{ Path, Dir string }
+	Error      *struct{ Err string }
+}
+
+// Package is one loaded Go package. Module packages carry syntax and full
+// type information; packages outside the module (stdlib) carry only the
+// metadata needed to satisfy imports and build compile invocations.
+type Package struct {
+	Path     string
+	Dir      string
+	Name     string
+	GoFiles  []string // absolute paths
+	Imports  []string
+	Export   string // compiler export data (go list -export)
+	InModule bool
+
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	listed listPackage
+}
+
+// FuncBody locates the declaration of a module function: the package it
+// lives in and its syntax.
+type FuncBody struct {
+	Pkg  *Package
+	Decl *ast.FuncDecl
+}
+
+// OwnedField is a struct field annotated `//txgc:owner shard`: it belongs
+// to the goroutine running the containing struct's run method.
+type OwnedField struct {
+	Pkg    *Package
+	Obj    *types.Var   // the field object
+	Struct *types.Named // the named struct type declaring it
+	Pos    token.Pos
+}
+
+// Program is the loaded world: every module package typechecked from
+// source, plus the metadata of their dependency closure.
+type Program struct {
+	Fset      *token.FileSet
+	Module    string
+	ModuleDir string
+	// Packages holds the module's packages in dependency order (imports
+	// before importers).
+	Packages []*Package
+	// ByPath indexes every loaded package, module and dependency alike.
+	ByPath map[string]*Package
+	// Errors collects parse and type errors; analyzers run on what loaded.
+	Errors []error
+
+	// Hotpath lists the functions annotated //txgc:hotpath.
+	Hotpath []*types.Func
+	// Owned lists the fields annotated //txgc:owner shard.
+	Owned []OwnedField
+
+	funcs        map[*types.Func]*FuncBody
+	ignores      map[string][]ignoreDirective // file path → directives
+	badDirs      []Diagnostic                 // malformed //txgc: or //lint: directives
+	typechecking map[string]bool
+	// imp is shared across every typecheck so a stdlib package has one
+	// identity program-wide (two copies of context.Context don't unify).
+	imp *progImporter
+}
+
+// LoadConfig configures Load.
+type LoadConfig struct {
+	// Dir is the directory go list runs in (the module root or below);
+	// empty means the current directory.
+	Dir string
+}
+
+// Load runs `go list -e -export -deps -json` over patterns and typechecks
+// every package of the surrounding module from source. Dependencies outside
+// the module are imported from the compiler export data the same go list
+// call produced, so the whole load costs one toolchain invocation.
+func Load(cfg LoadConfig, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	modPath, modDir, err := moduleInfo(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Name,GoFiles,Imports,Export,Standard,DepOnly,Module,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	prog := &Program{
+		Fset:         token.NewFileSet(),
+		Module:       modPath,
+		ModuleDir:    modDir,
+		ByPath:       map[string]*Package{},
+		funcs:        map[*types.Func]*FuncBody{},
+		ignores:      map[string][]ignoreDirective{},
+		typechecking: map[string]bool{},
+	}
+	prog.imp = &progImporter{prog: prog}
+	dec := json.NewDecoder(out)
+	var order []*Package
+	for {
+		var lp listPackage
+		if err := dec.Decode(&lp); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		p := &Package{
+			Path:     lp.ImportPath,
+			Dir:      lp.Dir,
+			Name:     lp.Name,
+			Imports:  lp.Imports,
+			Export:   lp.Export,
+			InModule: lp.Module != nil && lp.Module.Path == modPath && !lp.Standard,
+			listed:   lp,
+		}
+		for _, f := range lp.GoFiles {
+			p.GoFiles = append(p.GoFiles, filepath.Join(lp.Dir, f))
+		}
+		if lp.Error != nil && p.InModule {
+			prog.Errors = append(prog.Errors, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err))
+		}
+		prog.ByPath[p.Path] = p
+		order = append(order, p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("lint: go list: %v\n%s", err, stderr.String())
+	}
+	// go list -deps emits dependencies before their importers, so a single
+	// pass typechecks every module package after its module imports.
+	for _, p := range order {
+		if p.InModule {
+			if err := prog.typecheck(p); err != nil {
+				prog.Errors = append(prog.Errors, err)
+			}
+			prog.Packages = append(prog.Packages, p)
+		}
+	}
+	for _, p := range prog.Packages {
+		prog.scanDirectives(p)
+	}
+	return prog, nil
+}
+
+func moduleInfo(dir string) (path, root string, err error) {
+	cmd := exec.Command("go", "list", "-m", "-f", "{{.Path}} {{.Dir}}")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", "", fmt.Errorf("lint: go list -m: %v", err)
+	}
+	fields := strings.Fields(strings.TrimSpace(string(out)))
+	if len(fields) != 2 {
+		return "", "", fmt.Errorf("lint: unexpected go list -m output %q", out)
+	}
+	return fields[0], fields[1], nil
+}
+
+// typecheck parses and typechecks one module package from source.
+func (prog *Program) typecheck(p *Package) error {
+	if p.Types != nil || prog.typechecking[p.Path] {
+		return nil
+	}
+	prog.typechecking[p.Path] = true
+	defer func() { prog.typechecking[p.Path] = false }()
+	for _, f := range p.GoFiles {
+		file, err := parser.ParseFile(prog.Fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("lint: %w", err)
+		}
+		p.Files = append(p.Files, file)
+	}
+	p.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: prog.imp,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, _ := conf.Check(p.Path, prog.Fset, p.Files, p.Info)
+	p.Types = tpkg
+	if firstErr != nil {
+		return fmt.Errorf("lint: typecheck %s: %w", p.Path, firstErr)
+	}
+	prog.indexFuncs(p)
+	return nil
+}
+
+// indexFuncs records every function declaration so analyzers can walk the
+// module-local static call graph. Module packages import each other from
+// source, so a *types.Func seen at a call site in one package is the same
+// object indexed here from its defining package.
+func (prog *Program) indexFuncs(p *Package) {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			prog.funcs[fn] = &FuncBody{Pkg: p, Decl: fd}
+		}
+	}
+}
+
+// FuncBodyOf returns the declaration of fn if it is a module function with
+// a body (generic functions are resolved through their origin).
+func (prog *Program) FuncBodyOf(fn *types.Func) *FuncBody {
+	if fn == nil {
+		return nil
+	}
+	if fb := prog.funcs[fn]; fb != nil {
+		return fb
+	}
+	if o := fn.Origin(); o != fn {
+		return prog.funcs[o]
+	}
+	return nil
+}
+
+// progImporter satisfies module imports from source-typechecked packages
+// and everything else from compiler export data.
+type progImporter struct {
+	prog *Program
+	gc   types.ImporterFrom
+}
+
+func (im *progImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	p := im.prog.ByPath[path]
+	if p == nil {
+		return nil, fmt.Errorf("lint: import %q not in the loaded dependency closure", path)
+	}
+	if p.InModule {
+		if err := im.prog.typecheck(p); err != nil {
+			return nil, err
+		}
+		if p.Types == nil {
+			return nil, fmt.Errorf("lint: %s failed to typecheck", path)
+		}
+		return p.Types, nil
+	}
+	if p.Export == "" {
+		return nil, fmt.Errorf("lint: no export data for %q", path)
+	}
+	if im.gc == nil {
+		lookup := func(path string) (io.ReadCloser, error) {
+			dep := im.prog.ByPath[path]
+			if dep == nil || dep.Export == "" {
+				return nil, fmt.Errorf("lint: no export data for %q", path)
+			}
+			return os.Open(dep.Export)
+		}
+		im.gc = importer.ForCompiler(im.prog.Fset, "gc", lookup).(types.ImporterFrom)
+	}
+	return im.gc.ImportFrom(path, im.prog.ModuleDir, 0)
+}
+
+// Rel makes path repo-relative for display; positions stay stable across
+// checkouts and containers.
+func (prog *Program) Rel(path string) string {
+	if r, err := filepath.Rel(prog.ModuleDir, path); err == nil && !strings.HasPrefix(r, "..") {
+		return r
+	}
+	return path
+}
+
+// Position returns the repo-relative position of pos.
+func (prog *Program) Position(pos token.Pos) token.Position {
+	p := prog.Fset.Position(pos)
+	p.Filename = prog.Rel(p.Filename)
+	return p
+}
+
+// EnclosingFunc returns the innermost FuncDecl of p's syntax containing
+// pos, or nil (package-level initializer). Function literals are attributed
+// to their enclosing declaration: a closure runs wherever the surrounding
+// function does.
+func (p *Package) EnclosingFunc(pos token.Pos) *ast.FuncDecl {
+	for _, file := range p.Files {
+		if pos < file.FileStart || pos > file.FileEnd {
+			continue
+		}
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos <= fd.End() {
+				return fd
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// EmitRoot names a method that must never block: the analyzer walks the
+// module-local static call graph from it and flags blocking constructs.
+type EmitRoot struct {
+	Pkg    string // import path
+	Type   string // named type in that package
+	Method string
+}
+
+// DefaultEmitRoots returns the production root: emit.Bus.Emit, whose
+// documented contract is "never blocks the caller".
+func DefaultEmitRoots(module string) []EmitRoot {
+	return []EmitRoot{{Pkg: module + "/internal/emit", Type: "Bus", Method: "Emit"}}
+}
+
+// NewEmitsafe builds the emitsafe analyzer: no construct that can park the
+// calling goroutine may be reachable from an EmitRoot. Flagged constructs:
+//
+//   - channel sends and receives, unless they sit in a select with a
+//     default clause (the ring's TryPush → wakeConsumer pattern: the send
+//     either lands or the select falls through);
+//   - select statements without a default clause;
+//   - time.Sleep;
+//   - sync lock/wait acquisition (Mutex.Lock, RWMutex.Lock/RLock,
+//     WaitGroup.Wait, Cond.Wait, Once.Do).
+//
+// Interface-method calls end the traversal, same as hotpath: an emitter
+// behind an interface must carry its own annotation discipline.
+func NewEmitsafe(roots []EmitRoot) *Analyzer {
+	return &Analyzer{
+		Name: "emitsafe",
+		Doc:  "no blocking constructs reachable from never-block roots (emit.Bus.Emit)",
+		Run: func(prog *Program) []Diagnostic {
+			var fns []*types.Func
+			for _, r := range roots {
+				if fn := resolveEmitRoot(prog, r); fn != nil {
+					fns = append(fns, fn)
+				}
+				// A root whose package isn't in this load (e.g. a narrowed
+				// pattern) is skipped, not an error.
+			}
+			cc := prog.reachableFrom(fns, nil)
+			var out []Diagnostic
+			for _, fn := range cc.visited {
+				out = append(out, checkEmitFunc(prog, cc, fn)...)
+			}
+			return out
+		},
+	}
+}
+
+func resolveEmitRoot(prog *Program, r EmitRoot) *types.Func {
+	p := prog.ByPath[r.Pkg]
+	if p == nil || p.Types == nil {
+		return nil
+	}
+	tobj := p.Types.Scope().Lookup(r.Type)
+	if tobj == nil {
+		return nil
+	}
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(tobj.Type()), true, p.Types, r.Method)
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+func checkEmitFunc(prog *Program, cc *callChain, fn *types.Func) []Diagnostic {
+	fb := prog.FuncBodyOf(fn)
+	e := &emitChecker{prog: prog, pkg: fb.Pkg, fn: fn, root: cc.rootOf(fn), nonblocking: map[ast.Node]bool{}}
+	// First pass: a comm op inside any select belongs to the select, which
+	// is itself non-blocking exactly when it has a default clause. Marking
+	// every select's comms keeps a blocking select to one diagnostic.
+	ast.Inspect(fb.Decl.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, clause := range sel.Body.List {
+			cc := clause.(*ast.CommClause)
+			if cc.Comm == nil {
+				e.nonblocking[sel] = true // default clause: select can't park
+			} else {
+				e.markComm(cc.Comm)
+			}
+		}
+		return true
+	})
+	ast.Inspect(fb.Decl.Body, e.visit)
+	return e.out
+}
+
+type emitChecker struct {
+	prog        *Program
+	pkg         *Package
+	fn          *types.Func
+	root        *types.Func
+	nonblocking map[ast.Node]bool
+	out         []Diagnostic
+}
+
+// markComm records a select clause's communication op (send, or receive in
+// expression/assign form) as non-blocking.
+func (e *emitChecker) markComm(comm ast.Stmt) {
+	switch s := comm.(type) {
+	case *ast.SendStmt:
+		e.nonblocking[s] = true
+	case *ast.ExprStmt:
+		e.nonblocking[ast.Unparen(s.X)] = true
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			e.nonblocking[ast.Unparen(rhs)] = true
+		}
+	}
+}
+
+func (e *emitChecker) diag(id string, n ast.Node, format string, args ...any) {
+	where := ""
+	if e.fn != e.root {
+		where = fmt.Sprintf(" (reachable from %s)", funcDisplay(e.root))
+	}
+	e.out = append(e.out, Diagnostic{
+		Analyzer: "emitsafe", ID: id, Pos: e.prog.Position(n.Pos()),
+		Message: fmt.Sprintf(format, args...) + where,
+	})
+}
+
+func (e *emitChecker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		return false // runs on some other goroutine's time
+	case *ast.SendStmt:
+		if !e.nonblocking[n] {
+			e.diag("emitsafe-send", n, "channel send can block")
+		}
+	case *ast.UnaryExpr:
+		if n.Op.String() == "<-" && !e.nonblocking[n] {
+			e.diag("emitsafe-recv", n, "channel receive can block")
+		}
+	case *ast.SelectStmt:
+		if !e.nonblocking[n] {
+			e.diag("emitsafe-select", n, "select without default can block")
+		}
+	case *ast.RangeStmt:
+		if tv, ok := e.pkg.Info.Types[n.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				e.diag("emitsafe-recv", n, "range over channel blocks between messages")
+			}
+		}
+	case *ast.CallExpr:
+		fn := StaticCallee(e.pkg.Info, n)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch {
+		case fn.Pkg().Path() == "time" && fn.Name() == "Sleep":
+			e.diag("emitsafe-sleep", n, "time.Sleep parks the goroutine")
+		case fn.Pkg().Path() == "sync" && blockingSyncMethod(fn.Name()):
+			e.diag("emitsafe-lock", n, "sync.%s can park the goroutine", fn.Name())
+		}
+	}
+	return true
+}
+
+func blockingSyncMethod(name string) bool {
+	switch name {
+	case "Lock", "RLock", "Wait", "Do":
+		return true
+	}
+	return false
+}

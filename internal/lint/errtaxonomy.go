@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// NewErrTaxonomy builds the errtaxonomy analyzer. The engine's error
+// taxonomy (ErrShardClosed, ErrTxnNotFound, ...) is consumed through
+// errors.Is so that wrapping — stepErr annotating which sub-operation of a
+// 2PC step failed, WAL errors annotating the dead shard — never breaks a
+// caller's dispatch. Two constructs silently defeat that contract:
+//
+//   - `err == ErrFoo` / `err != ErrFoo`: identity comparison against a
+//     sentinel sees only the outermost wrapper (nil checks stay legal);
+//   - `fmt.Errorf("...: %v", ErrFoo)`: formatting a sentinel with anything
+//     but %w erases it from the Is/Unwrap chain.
+//
+// A sentinel here is any package-level variable of error type in the
+// module.
+func NewErrTaxonomy() *Analyzer {
+	return &Analyzer{
+		Name: "errtaxonomy",
+		Doc:  "sentinel errors compared with errors.Is and wrapped with %w, never ==/!= or %v",
+		Run: func(prog *Program) []Diagnostic {
+			var out []Diagnostic
+			for _, p := range prog.Packages {
+				out = append(out, checkErrTaxonomy(prog, p)...)
+			}
+			return out
+		},
+	}
+}
+
+func checkErrTaxonomy(prog *Program, p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, side := range []ast.Expr{n.X, n.Y} {
+					if s := sentinelError(p.Info, side); s != nil {
+						other := n.Y
+						if side == n.Y {
+							other = n.X
+						}
+						if isNilExpr(p.Info, other) {
+							continue // `ErrFoo == nil` style nil checks are fine
+						}
+						out = append(out, Diagnostic{
+							Analyzer: "errtaxonomy", ID: "errtaxonomy-compare", Pos: prog.Position(n.OpPos),
+							Message: fmt.Sprintf("%s comparison against sentinel %s sees only the outermost wrapper; use errors.Is", n.Op, s.Name()),
+						})
+					}
+				}
+			case *ast.CallExpr:
+				out = append(out, checkErrorfWrap(prog, p, n)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that format a sentinel error with
+// a verb other than %w.
+func checkErrorfWrap(prog *Program, p *Package, call *ast.CallExpr) []Diagnostic {
+	fn := StaticCallee(p.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" || len(call.Args) < 2 {
+		return nil
+	}
+	tv, ok := p.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return nil // non-constant format: nothing to line up against
+	}
+	verbs := formatVerbs(constant.StringVal(tv.Value))
+	var out []Diagnostic
+	for i, arg := range call.Args[1:] {
+		s := sentinelError(p.Info, arg)
+		if s == nil {
+			continue
+		}
+		verb := byte('v')
+		if i < len(verbs) {
+			verb = verbs[i]
+		}
+		if verb != 'w' {
+			out = append(out, Diagnostic{
+
+				Analyzer: "errtaxonomy", ID: "errtaxonomy-wrap", Pos: prog.Position(arg.Pos()),
+				Message: fmt.Sprintf("fmt.Errorf formats sentinel %s with %%%c, erasing it from the errors.Is chain; use %%w", s.Name(), verb),
+			})
+		}
+	}
+	return out
+}
+
+// formatVerbs extracts the verb letters of a format string in argument
+// order (flags, width, and precision are skipped; %% consumes no argument).
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(format) {
+			c := format[i]
+			if c == '+' || c == '-' || c == '#' || c == ' ' || c == '0' ||
+				c == '.' || (c >= '1' && c <= '9') || c == '*' || c == '[' || c == ']' {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(format) && format[i] != '%' {
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs
+}
+
+// sentinelError resolves expr to a package-level module variable of error
+// type, or nil.
+func sentinelError(info *types.Info, expr ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return nil // not package-level
+	}
+	errType := types.Universe.Lookup("error").Type()
+	if !types.AssignableTo(v.Type(), errType) {
+		return nil
+	}
+	return v
+}
+
+func isNilExpr(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	return ok && tv.IsNil()
+}

@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Escape mode: the static hotpath analyzer catches constructs that always
+// allocate, but value composite literals, appends, and pointer arguments
+// allocate only if the compiler's escape analysis says they escape. Rather
+// than re-deriving escape analysis (hopeless) or trusting `go build
+// -gcflags=-m` (silent on cache hits), escape mode invokes the compiler
+// frontend directly — `go tool compile -m` with an importcfg built from the
+// export data `go list -export` already produced — over every package that
+// contains a //txgc:hotpath function or a static callee of one. Heap
+// escapes inside those functions are diffed against
+// lint/escape_allowlist.txt; a new escape is a diagnostic at its exact
+// position, a stale allowlist entry is a warning so the file tracks
+// reality in both directions (same contract as bench_budget.txt).
+
+// EscapeReport is the outcome of one escape-mode run.
+type EscapeReport struct {
+	Diags []Diagnostic
+	// Stale lists allowlist entries no compiler escape matched — fixed
+	// escapes whose entries should be deleted.
+	Stale []string
+}
+
+var escapeLineRE = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// Escape runs the compiler's escape analysis over every package touched by
+// the hotpath call graph and diffs heap escapes inside hot functions
+// against the allowlist.
+func Escape(prog *Program, allowlistPath string) (*EscapeReport, error) {
+	allow, allowOrder, err := readAllowlist(allowlistPath)
+	if err != nil {
+		return nil, err
+	}
+	cc := prog.reachableFrom(prog.Hotpath, nil)
+	hotByPkg := map[*Package][]*types.Func{}
+	for _, fn := range cc.visited {
+		fb := prog.FuncBodyOf(fn)
+		hotByPkg[fb.Pkg] = append(hotByPkg[fb.Pkg], fn)
+	}
+	rep := &EscapeReport{}
+	used := map[string]bool{}
+	// Deterministic package order for deterministic output.
+	var pkgs []*Package
+	for p := range hotByPkg {
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	for _, p := range pkgs {
+		diags, err := escapePackage(prog, p, hotByPkg[p], allow, used)
+		if err != nil {
+			return nil, err
+		}
+		rep.Diags = append(rep.Diags, diags...)
+	}
+	for _, key := range allowOrder {
+		if !used[key] {
+			rep.Stale = append(rep.Stale, key)
+		}
+	}
+	return rep, nil
+}
+
+// escapePackage compiles one package with -m and keeps the heap escapes
+// that land inside hot functions.
+func escapePackage(prog *Program, p *Package, hot []*types.Func, allow map[string]bool, used map[string]bool) ([]Diagnostic, error) {
+	hotSet := map[*types.Func]bool{}
+	for _, fn := range hot {
+		hotSet[fn] = true
+	}
+	out, err := runCompileM(prog, p)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	for sc.Scan() {
+		m := escapeLineRE.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		line, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		fn := enclosingHotFunc(prog, p, m[1], line, hotSet)
+		if fn == nil {
+			continue // escape in a cold function of the same package
+		}
+		key := funcDisplay(fn) + ": " + msg
+		used[key] = true
+		if allow[key] {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Analyzer: "hotpath", ID: "hotpath-escape",
+			Pos: token.Position{Filename: prog.Rel(m[1]), Line: line, Column: col},
+			Message: fmt.Sprintf("%s — new heap escape on a hot path; fix it or add %q to lint/escape_allowlist.txt with a reason",
+				msg, key),
+		})
+	}
+	return diags, sc.Err()
+}
+
+// runCompileM invokes the compiler frontend on p's sources with -m. Going
+// through `go tool compile` instead of `go build -gcflags=-m` sidesteps the
+// build cache, whose hits print nothing.
+func runCompileM(prog *Program, p *Package) ([]byte, error) {
+	tmp, err := os.MkdirTemp("", "txgc-lint-escape-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+	var cfg bytes.Buffer
+	for _, dep := range p.Imports {
+		if dep == "unsafe" {
+			continue // no object file; resolved inside the compiler
+		}
+		d := prog.ByPath[dep]
+		if d == nil || d.Export == "" {
+			return nil, fmt.Errorf("lint: escape: no export data for %s (imported by %s)", dep, p.Path)
+		}
+		fmt.Fprintf(&cfg, "packagefile %s=%s\n", dep, d.Export)
+	}
+	cfgPath := filepath.Join(tmp, "importcfg")
+	if err := os.WriteFile(cfgPath, cfg.Bytes(), 0o644); err != nil {
+		return nil, err
+	}
+	args := []string{
+		"tool", "compile",
+		"-o", filepath.Join(tmp, "pkg.o"),
+		"-p", p.Path,
+		"-importcfg", cfgPath,
+		"-m",
+	}
+	args = append(args, p.GoFiles...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = prog.ModuleDir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("lint: escape: compiling %s: %v\n%s", p.Path, err, out)
+	}
+	return out, nil
+}
+
+// enclosingHotFunc maps a compiler position back to the hot function
+// containing it, or nil.
+func enclosingHotFunc(prog *Program, p *Package, filename string, line int, hotSet map[*types.Func]bool) *types.Func {
+	for _, file := range p.Files {
+		tf := prog.Fset.File(file.Pos())
+		if tf == nil || tf.Name() != filename {
+			continue
+		}
+		if line < 1 || line > tf.LineCount() {
+			return nil
+		}
+		pos := tf.LineStart(line)
+		fd := p.EnclosingFunc(pos)
+		if fd == nil || fd.Name == nil {
+			return nil
+		}
+		fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+		if fn != nil && hotSet[fn] {
+			return fn
+		}
+		return nil
+	}
+	return nil
+}
+
+// readAllowlist parses lint/escape_allowlist.txt: one entry per line in the
+// form `pkg.(Recv).Func: message`; blank lines and #-comments carry the
+// per-escape commentary.
+func readAllowlist(path string) (map[string]bool, []string, error) {
+	allow := map[string]bool{}
+	var order []string
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return allow, nil, nil // no allowlist: every escape is new
+		}
+		return nil, nil, err
+	}
+	for _, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !allow[line] {
+			order = append(order, line)
+		}
+		allow[line] = true
+	}
+	return allow, order, nil
+}

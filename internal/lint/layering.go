@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// LayerRule is one import-DAG invariant. A package whose path matches
+// Scope may not reach any package in Forbidden through the module-local
+// import graph, except along paths that pass through a package in Via
+// (the sanctioned gateway). Direct imports — including dot- and blank
+// imports, which older grep-based checks could see only by accident — and
+// transitive chains are both violations; the diagnostic lands on the
+// direct import that opens the chain and spells the chain out.
+type LayerRule struct {
+	ID string
+	// Scope is a list of import-path prefixes the rule applies to (a
+	// trailing "/..." matches the subtree).
+	Scope []string
+	// Forbidden packages must not be reachable.
+	Forbidden []string
+	// Via packages are sanctioned gateways: chains passing through them
+	// are allowed.
+	Via []string
+	// Why links the rule to the invariant it guards, for the diagnostic.
+	Why string
+}
+
+// DefaultLayerRules is the project import DAG, the single source of truth
+// that replaced scripts/check_client_only.sh's grep. module is the module
+// path ("repro").
+func DefaultLayerRules(module string) []LayerRule {
+	m := func(s string) string { return module + "/" + s }
+	return []LayerRule{
+		{
+			ID:        "core-below-engine",
+			Scope:     []string{m("internal/core"), m("internal/graph"), m("internal/model")},
+			Forbidden: []string{m("internal/engine")},
+			Why:       "the scheduler kernel is what the engine shards; a kernel→engine import would invert the layering the single-writer discipline rests on",
+		},
+		{
+			ID:    "emit-is-leaf",
+			Scope: []string{m("internal/emit"), m("internal/ring")},
+			Forbidden: []string{
+				m("internal/engine"), m("internal/core"),
+				m("internal/graph"), m("internal/store"),
+			},
+			Why: "the telemetry spine and ring transport sit below every engine layer; Emit's never-block contract cannot depend on code that may block or allocate above it",
+		},
+		{
+			ID:        "client-facade",
+			Scope:     []string{m("cmd/..."), m("examples/...")},
+			Forbidden: []string{m("internal/engine")},
+			Via:       []string{m("txdel/client")},
+			Why:       "examples and commands must reach the sharded engine through the public txdel/client facade; internal/engine is an implementation detail",
+		},
+	}
+}
+
+// NewLayering builds the layering analyzer over an explicit rule set
+// (tests inject testdata-scoped rules; production uses DefaultLayerRules).
+func NewLayering(rules []LayerRule) *Analyzer {
+	return &Analyzer{
+		Name: "layering",
+		Doc:  "import-DAG invariants: forbidden direct and transitive imports, with sanctioned gateways",
+		Run: func(prog *Program) []Diagnostic {
+			var out []Diagnostic
+			for _, p := range prog.Packages {
+				for _, rule := range rules {
+					if !matchesAny(p.Path, rule.Scope) {
+						continue
+					}
+					out = append(out, checkLayerRule(prog, p, rule)...)
+				}
+			}
+			return out
+		},
+	}
+}
+
+func matchesAny(path string, patterns []string) bool {
+	for _, pat := range patterns {
+		if sub, ok := strings.CutSuffix(pat, "/..."); ok {
+			if path == sub || strings.HasPrefix(path, sub+"/") {
+				return true
+			}
+		} else if path == pat {
+			return true
+		}
+	}
+	return false
+}
+
+// checkLayerRule searches, from each direct import of p, for a chain to a
+// forbidden package that avoids every Via gateway.
+func checkLayerRule(prog *Program, p *Package, rule LayerRule) []Diagnostic {
+	var out []Diagnostic
+	for _, dep := range p.Imports {
+		if matchesAny(dep, rule.Via) {
+			continue
+		}
+		chain := prog.forbiddenChain(dep, rule, map[string]bool{p.Path: true})
+		if chain == nil {
+			continue
+		}
+		pos, kind := prog.importSite(p, dep)
+		var msg string
+		if len(chain) == 1 {
+			msg = fmt.Sprintf("%s%s imports %s — %s", kind, p.Path, chain[0], rule.Why)
+		} else {
+			msg = fmt.Sprintf("%s%s reaches %s via %s — %s",
+				kind, p.Path, chain[len(chain)-1], strings.Join(chain, " → "), rule.Why)
+		}
+		out = append(out, Diagnostic{Analyzer: "layering", ID: "layering-" + rule.ID, Pos: pos, Message: msg})
+	}
+	return out
+}
+
+// forbiddenChain DFSes the module-local import graph from path, skipping
+// Via gateways, and returns the chain (path … forbidden) if a forbidden
+// package is reachable.
+func (prog *Program) forbiddenChain(path string, rule LayerRule, seen map[string]bool) []string {
+	if seen[path] || matchesAny(path, rule.Via) {
+		return nil
+	}
+	seen[path] = true
+	if matchesAny(path, rule.Forbidden) {
+		return []string{path}
+	}
+	p := prog.ByPath[path]
+	if p == nil || !p.InModule {
+		return nil // only module packages can re-enter the module
+	}
+	for _, dep := range p.Imports {
+		if chain := prog.forbiddenChain(dep, rule, seen); chain != nil {
+			return append([]string{path}, chain...)
+		}
+	}
+	return nil
+}
+
+// importSite locates the ImportSpec of dep in p's files and names its
+// flavor (dot-import / blank import) so the diagnostic says what the
+// old grep could not distinguish.
+func (prog *Program) importSite(p *Package, dep string) (pos token.Position, kind string) {
+	for _, file := range p.Files {
+		for _, imp := range file.Imports {
+			if strings.Trim(imp.Path.Value, `"`) != dep {
+				continue
+			}
+			k := ""
+			if imp.Name != nil {
+				switch imp.Name.Name {
+				case ".":
+					k = "dot-import: "
+				case "_":
+					k = "blank import: "
+				}
+			}
+			return prog.Position(imp.Pos()), k
+		}
+	}
+	// No syntax (load error); fall back to the package directory.
+	return prog.Position(0), ""
+}

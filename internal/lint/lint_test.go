@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden harness: each testdata package marks every expected
+// diagnostic with a trailing comment of the form
+//
+//	// want `regex`
+//
+// (several backtick-quoted patterns may follow one want). A test fails on
+// any unmatched want AND on any diagnostic no want expects, so the
+// fixtures are exact: seeded violations prove the analyzer fires,
+// unannotated negative cases prove it stays quiet.
+
+var wantRE = regexp.MustCompile("want ((?:`[^`]+`\\s*)+)")
+
+type wantEntry struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+func collectWants(t *testing.T, prog *Program) []*wantEntry {
+	t.Helper()
+	var wants []*wantEntry
+	for _, p := range prog.Packages {
+		for _, file := range p.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := prog.Position(c.Pos())
+					for _, pat := range strings.Split(m[1], "`") {
+						pat = strings.TrimSpace(pat)
+						if pat == "" {
+							continue
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+						}
+						wants = append(wants, &wantEntry{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// goldenTest loads dirs, runs analyzers, and matches diagnostics against
+// the // want comments bidirectionally.
+func goldenTest(t *testing.T, analyzers []*Analyzer, dirs ...string) {
+	t.Helper()
+	prog := loadTestdata(t, dirs...)
+	wants := collectWants(t, prog)
+	for _, d := range Run(prog, analyzers) {
+		text := fmt.Sprintf("[%s] %s", d.ID, d.Message)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(text) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s: %s", d.Pos, text)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: want %q matched no diagnostic", w.file, w.line, w.re)
+		}
+	}
+}
+
+func loadTestdata(t *testing.T, dirs ...string) *Program {
+	t.Helper()
+	prog, err := Load(LoadConfig{}, dirs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range prog.Errors {
+		t.Errorf("load error: %v", e)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	return prog
+}
+
+const tdBase = "repro/internal/lint/testdata"
+
+func TestLayeringGolden(t *testing.T) {
+	base := tdBase + "/layering"
+	rules := []LayerRule{
+		{
+			ID:        "kernel-below-engine",
+			Scope:     []string{base + "/kernel"},
+			Forbidden: []string{base + "/engine"},
+			Why:       "seeded: the kernel must not know the engine",
+		},
+		{
+			ID:        "facade",
+			Scope:     []string{base + "/app", base + "/app2", base + "/appdot"},
+			Forbidden: []string{base + "/engine"},
+			Via:       []string{base + "/client"},
+			Why:       "seeded: apps go through client",
+		},
+	}
+	goldenTest(t, []*Analyzer{NewLayering(rules)},
+		"./testdata/layering/engine", "./testdata/layering/kernel",
+		"./testdata/layering/bridge", "./testdata/layering/client",
+		"./testdata/layering/app", "./testdata/layering/app2",
+		"./testdata/layering/appdot")
+}
+
+func TestHotpathGolden(t *testing.T) {
+	goldenTest(t, []*Analyzer{NewHotpath()}, "./testdata/hotpath")
+}
+
+func TestShardownedGolden(t *testing.T) {
+	goldenTest(t, []*Analyzer{NewShardowned()}, "./testdata/shardowned")
+}
+
+func TestErrTaxonomyGolden(t *testing.T) {
+	goldenTest(t, []*Analyzer{NewErrTaxonomy()}, "./testdata/errtaxonomy")
+}
+
+func TestEmitsafeGolden(t *testing.T) {
+	roots := []EmitRoot{{Pkg: tdBase + "/emitsafe", Type: "Bus", Method: "Emit"}}
+	goldenTest(t, []*Analyzer{NewEmitsafe(roots)}, "./testdata/emitsafe")
+}
+
+// TestSuppressionNeedsReason checks both halves of the suppression
+// contract programmatically (the diagnostic lands on the directive's own
+// line, where a want comment cannot sit): a reason-less //lint:ignore is
+// reported, and it does NOT silence the finding it points at.
+func TestSuppressionNeedsReason(t *testing.T) {
+	prog := loadTestdata(t, "./testdata/noreason")
+	var got []string
+	for _, d := range Run(prog, []*Analyzer{NewHotpath()}) {
+		got = append(got, d.ID)
+	}
+	want := map[string]int{"suppress-noreason": 2, "hotpath-alloc": 2}
+	for id, n := range want {
+		c := 0
+		for _, g := range got {
+			if g == id {
+				c++
+			}
+		}
+		if c != n {
+			t.Errorf("diagnostics %v: want %d × %s, got %d", got, n, id, c)
+		}
+	}
+}
+
+// TestEscapeMode drives the compiler-backed escape checker end to end:
+// a seeded escape is reported against an empty allowlist, silenced by a
+// matching entry, and a leftover entry is flagged stale.
+func TestEscapeMode(t *testing.T) {
+	prog := loadTestdata(t, "./testdata/escape")
+	leakKey := tdBase + "/escape.Leak: moved to heap: n"
+
+	rep, err := Escape(prog, filepath.Join(t.TempDir(), "absent.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Diags) != 1 || !strings.Contains(rep.Diags[0].Message, leakKey) {
+		t.Fatalf("against empty allowlist: want exactly the Leak escape, got %v", rep.Diags)
+	}
+	if rep.Diags[0].Pos.Line == 0 || !strings.HasSuffix(rep.Diags[0].Pos.Filename, "escape.go") {
+		t.Fatalf("escape diagnostic lost its position: %v", rep.Diags[0].Pos)
+	}
+
+	allow := filepath.Join(t.TempDir(), "allow.txt")
+	staleKey := tdBase + "/escape.Stay: moved to heap: ghost"
+	content := "# commentary\n" + leakKey + "\n" + staleKey + "\n"
+	if err := os.WriteFile(allow, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = Escape(prog, allow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Diags) != 0 {
+		t.Fatalf("allowlisted escape still reported: %v", rep.Diags)
+	}
+	if len(rep.Stale) != 1 || rep.Stale[0] != staleKey {
+		t.Fatalf("stale detection: want [%s], got %v", staleKey, rep.Stale)
+	}
+}

@@ -1,0 +1,48 @@
+// Package emitdata seeds emitsafe-analyzer violations for the golden test.
+// The test injects EmitRoot{Type: "Bus", Method: "Emit"} for this package.
+package emitdata
+
+import (
+	"sync"
+	"time"
+)
+
+type Bus struct {
+	ch   chan int
+	mu   sync.Mutex
+	done chan struct{}
+}
+
+// Emit is the never-block root under test.
+func (b *Bus) Emit(v int) bool {
+	// The sanctioned pattern: a send that cannot park.
+	select {
+	case b.ch <- v:
+		return true
+	default:
+	}
+	b.slowPath(v)
+	return false
+}
+
+// slowPath is reachable from Emit: each construct here must be flagged.
+func (b *Bus) slowPath(v int) {
+	b.ch <- v // want `\[emitsafe-send\] channel send can block \(reachable from repro/internal/lint/testdata/emitsafe\.\(\*Bus\)\.Emit\)`
+	<-b.done  // want `\[emitsafe-recv\] channel receive can block`
+	select {  // want `\[emitsafe-select\] select without default can block`
+	case b.ch <- v:
+	case <-b.done:
+	}
+	time.Sleep(time.Millisecond) // want `\[emitsafe-sleep\] time\.Sleep parks the goroutine`
+	b.mu.Lock()                  // want `\[emitsafe-lock\] sync\.Lock can park the goroutine`
+	b.mu.Unlock()
+}
+
+// Drain is NOT reachable from Emit: blocking here is fine.
+func (b *Bus) Drain() {
+	for v := range b.ch {
+		_ = v
+	}
+	b.mu.Lock()
+	b.mu.Unlock()
+}

@@ -1,0 +1,42 @@
+// Package errdata seeds errtaxonomy-analyzer violations for the golden
+// test.
+package errdata
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrGone is a package-level sentinel: the taxonomy contract applies.
+var ErrGone = errors.New("gone")
+
+// notASentinel is local state, not an error: comparisons are free.
+var counter int
+
+func compare(err error) bool {
+	if err == ErrGone { // want `\[errtaxonomy-compare\] == comparison against sentinel ErrGone sees only the outermost wrapper; use errors\.Is`
+		return true
+	}
+	if err != ErrGone { // want `\[errtaxonomy-compare\] != comparison against sentinel ErrGone`
+		return false
+	}
+	if ErrGone == nil { // nil check: allowed
+		return false
+	}
+	if errors.Is(err, ErrGone) { // the sanctioned spelling
+		return true
+	}
+	return counter == 0
+}
+
+func wrap(err error) error {
+	if err != nil {
+		return fmt.Errorf("outer: %v", ErrGone) // want `\[errtaxonomy-wrap\] fmt\.Errorf formats sentinel ErrGone with %v, erasing it from the errors\.Is chain; use %w`
+	}
+	return fmt.Errorf("outer: %w", ErrGone) // %w keeps the chain intact
+}
+
+func wrapSuppressed(err error) error {
+	//lint:ignore errtaxonomy-wrap golden-test fixture: the sentinel is deliberately erased here
+	return fmt.Errorf("log-only: %s", ErrGone)
+}

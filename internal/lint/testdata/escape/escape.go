@@ -1,0 +1,24 @@
+// Package escapedata seeds a compiler-verified heap escape for the
+// escape-mode test (no // want comments: escape diagnostics are diffed
+// against an allowlist, not golden comments).
+package escapedata
+
+type node struct {
+	v int
+}
+
+// Leak returns a pointer to a local, the canonical escape.
+//
+//txgc:hotpath
+func Leak(v int) *node {
+	n := node{v: v}
+	return &n
+}
+
+// Stay keeps everything on the stack: no escape may be reported.
+//
+//txgc:hotpath
+func Stay(v int) int {
+	n := node{v: v}
+	return n.v
+}

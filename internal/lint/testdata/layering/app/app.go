@@ -1,0 +1,7 @@
+// Package app reaches engine transitively through bridge — the chain the
+// old grep could never see.
+package app
+
+import "repro/internal/lint/testdata/layering/bridge" // want `\[layering-facade\] repro/internal/lint/testdata/layering/app reaches repro/internal/lint/testdata/layering/engine via repro/internal/lint/testdata/layering/bridge → repro/internal/lint/testdata/layering/engine — seeded: apps go through client`
+
+func Main() int { return bridge.Relay() }

@@ -1,0 +1,6 @@
+// Package app2 goes through the sanctioned client gateway: no diagnostic.
+package app2
+
+import "repro/internal/lint/testdata/layering/client"
+
+func Main() int { return client.Begin() }

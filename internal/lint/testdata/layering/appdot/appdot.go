@@ -1,0 +1,7 @@
+// Package appdot blank-imports engine — invisible to a grep for the
+// qualified identifier, visible to the import DAG.
+package appdot
+
+import _ "repro/internal/lint/testdata/layering/engine" // want `\[layering-facade\] blank import: repro/internal/lint/testdata/layering/appdot imports repro/internal/lint/testdata/layering/engine — seeded: apps go through client`
+
+func Main() int { return 0 }

@@ -1,0 +1,7 @@
+// Package bridge legitimately uses engine; it exists so app can reach
+// engine transitively without importing it directly.
+package bridge
+
+import "repro/internal/lint/testdata/layering/engine"
+
+func Relay() int { return engine.Run() }

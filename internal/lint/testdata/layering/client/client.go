@@ -1,0 +1,6 @@
+// Package client is the sanctioned gateway (Via) to engine.
+package client
+
+import "repro/internal/lint/testdata/layering/engine"
+
+func Begin() int { return engine.Run() }

@@ -1,0 +1,4 @@
+// Package engine is the forbidden layer in the seeded import DAG.
+package engine
+
+func Run() int { return 1 }

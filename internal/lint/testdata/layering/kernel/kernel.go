@@ -1,0 +1,6 @@
+// Package kernel sits below engine and must not import it.
+package kernel
+
+import "repro/internal/lint/testdata/layering/engine" // want `\[layering-kernel-below-engine\] repro/internal/lint/testdata/layering/kernel imports repro/internal/lint/testdata/layering/engine — seeded: the kernel must not know the engine`
+
+func Tick() int { return engine.Run() }

@@ -1,0 +1,19 @@
+// Package noreason seeds a reason-less suppression: the suppression must
+// not work AND must itself be reported. Checked programmatically (the
+// diagnostic lands on the directive's own line, where a // want comment
+// cannot sit).
+package noreason
+
+//txgc:hotpath
+func bad() int {
+	//lint:ignore hotpath-alloc
+	m := map[int]int{}
+	return len(m) + bad2()
+}
+
+//txgc:hotpath
+func bad2() int {
+	//lint:file-ignore
+	s := []int{1}
+	return len(s)
+}

@@ -1,0 +1,50 @@
+// Package owneddata seeds shardowned-analyzer violations for the golden
+// test.
+package owneddata
+
+import "sync/atomic"
+
+type worker struct {
+	count int          //txgc:owner shard
+	gauge atomic.Int64 //txgc:owner shard
+	name  string       // unannotated: free for all
+}
+
+// run is the owning loop; everything it reaches may touch count.
+func (w *worker) run() {
+	w.count++
+	w.bump()
+}
+
+// bump is inside run's call graph: allowed.
+func (w *worker) bump() {
+	w.count++
+	w.gauge.Store(int64(w.count))
+}
+
+// Snapshot is NOT reachable from run: its count access is a violation,
+// while the atomic gauge read and the unannotated name are fine.
+func (w *worker) Snapshot() (int64, string) {
+	n := w.count // want `\[shardowned-access\] repro/internal/lint/testdata/shardowned\.\(\*worker\)\.Snapshot accesses shard-owned field count outside .*run's call graph`
+	_ = n
+	return w.gauge.Load(), w.name
+}
+
+// Reset shows the sanctioned escape hatch: a construction-time access with
+// its happens-before argument spelled out.
+func (w *worker) Reset() {
+	//lint:ignore shardowned-access golden-test fixture: caller guarantees the run goroutine has not started
+	w.count = 0
+}
+
+// orphan has an owner annotation but no run method to anchor it.
+type orphan struct {
+	state int //txgc:owner shard // want `\[shardowned-norun\] field orphan\.state is //txgc:owner shard but orphan has no run method to own it`
+}
+
+// ghost uses an unknown owner verb.
+type ghost struct {
+	x int //txgc:owner reaper // want `\[annotation\] unknown owner "reaper"`
+}
+
+func use(o *orphan, g *ghost) int { return o.state + g.x }

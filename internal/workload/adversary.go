@@ -103,9 +103,9 @@ type Adversary struct {
 	// trapNext[p] is partition p's next fresh trap entity (p + Shards*k,
 	// monotone — fresh traps are the load-bearing trick; see the type doc).
 	trapNext []model.Entity
-	nextID  model.TxnID
-	issued  int
-	aborted int
+	nextID   model.TxnID
+	issued   int
+	aborted  int
 	// dead marks aborted transactions whose already-queued steps must be
 	// dropped instead of emitted.
 	dead map[model.TxnID]bool

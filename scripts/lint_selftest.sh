@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Self-test for the lint gate: seed one violation per critical analyzer
+# into a scratch package and assert txgc-lint exits nonzero naming the
+# right diagnostic. This is the CI job's proof that the gate can actually
+# fail — a lint step that always passes is indistinguishable from one
+# that checks nothing. (The golden tests in internal/lint cover analyzer
+# behavior in depth; this covers the installed binary end to end.)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+seed_layering=examples/lintselftest
+seed_hotpath=internal/lintselftest
+cleanup() { rm -rf "$seed_layering" "$seed_hotpath"; }
+trap cleanup EXIT
+
+fail() {
+    echo "lint_selftest: $1" >&2
+    exit 1
+}
+
+# 1. Seeded layering violation: an example importing internal/engine
+#    directly must trip the client-facade rule.
+mkdir -p "$seed_layering"
+cat > "$seed_layering/main.go" <<'EOF'
+// Seeded by scripts/lint_selftest.sh; never committed.
+package main
+
+import "repro/internal/engine"
+
+func main() { _ = engine.Config{} }
+EOF
+out=$(go run ./cmd/txgc-lint -only layering ./... 2>&1) \
+    && fail "seeded layering violation was NOT caught"
+echo "$out" | grep -q "layering-client-facade" \
+    || fail "expected layering-client-facade in output, got: $out"
+rm -rf "$seed_layering"
+echo "lint_selftest: seeded layering violation caught"
+
+# 2. Seeded hotpath allocation: an annotated function with a map literal.
+mkdir -p "$seed_hotpath"
+cat > "$seed_hotpath/seed.go" <<'EOF'
+// Seeded by scripts/lint_selftest.sh; never committed.
+package lintselftest
+
+//txgc:hotpath
+func seeded() int {
+	m := map[int]int{}
+	return len(m)
+}
+EOF
+out=$(go run ./cmd/txgc-lint -only hotpath "./$seed_hotpath" 2>&1) \
+    && fail "seeded hotpath allocation was NOT caught"
+echo "$out" | grep -q "hotpath-alloc" \
+    || fail "expected hotpath-alloc in output, got: $out"
+rm -rf "$seed_hotpath"
+echo "lint_selftest: seeded hotpath allocation caught"
+
+# 3. With the seeds removed, the gate must pass again.
+go run ./cmd/txgc-lint ./... || fail "clean tree failed lint after seed removal"
+echo "lint_selftest: OK"
